@@ -1,0 +1,139 @@
+// Ablation F (future-work Sect. VI, item 2): "the effects of adversarial
+// participants on the Shapley value calculation".
+//
+// Some owners flip a fraction of their labels (data poisoning). We
+// measure, for several group counts m:
+//  (a) whether GroupSV still assigns the poisoners the lowest scores,
+//  (b) how much an honest owner's score suffers from sharing a group
+//      with a poisoner (the contamination effect the paper worries
+//      about), and
+//  (c) whether Byzantine-robust aggregation (Krum/median) of the group
+//      models blunts the poison's effect on the *global* model.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "data/digits.h"
+#include "data/noise.h"
+#include "data/partition.h"
+#include "fl/robust.h"
+#include "fl/trainer.h"
+#include "shapley/group_sv.h"
+#include "shapley/utility.h"
+#include "workload.h"
+
+using namespace bcfl;
+using namespace bcfl::bench;
+
+namespace {
+
+constexpr size_t kOwners = 9;
+constexpr uint64_t kSeedE = 7;
+// Owners 7 and 8 are the poisoners.
+const std::vector<size_t> kPoisoners = {7, 8};
+
+struct Setup {
+  ml::Dataset test;
+  std::unique_ptr<fl::FederatedTrainer> trainer;
+};
+
+Setup MakeSetup(double flip_prob) {
+  data::DigitsConfig digits;
+  digits.num_instances = 3000;
+  digits.seed = 15;
+  ml::Dataset full = data::DigitsGenerator(digits).Generate();
+  Xoshiro256 rng(15);
+  auto split = full.TrainTestSplit(0.8, &rng).value();
+  auto parts = data::PartitionUniform(split.first, kOwners, &rng).value();
+  for (size_t p : kPoisoners) {
+    Xoshiro256 flip_rng(100 + p);
+    (void)data::FlipLabels(&parts[p], flip_prob, &flip_rng);
+  }
+  ml::LogisticRegressionConfig lr;
+  lr.learning_rate = 0.05;
+  lr.epochs = 5;
+  std::vector<fl::FlClient> clients;
+  for (size_t i = 0; i < kOwners; ++i) {
+    clients.emplace_back(static_cast<fl::OwnerId>(i), std::move(parts[i]),
+                         lr);
+  }
+  fl::FlConfig config;
+  config.rounds = 12;
+  config.local = lr;
+  Setup s;
+  s.test = std::move(split.second);
+  s.trainer =
+      std::make_unique<fl::FederatedTrainer>(std::move(clients), config);
+  return s;
+}
+
+double MeanOf(const std::vector<double>& values,
+              const std::vector<size_t>& indices) {
+  double sum = 0;
+  for (size_t i : indices) sum += values[i];
+  return sum / static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation F: adversarial owners (label flipping) and "
+              "GroupSV\n");
+  PrintRule();
+
+  for (double flip : {0.0, 0.5, 1.0}) {
+    Setup setup = MakeSetup(flip);
+    auto run = setup.trainer->Run().value();
+
+    std::printf("label-flip probability of owners {7, 8}: %.1f\n", flip);
+    std::printf("%-6s %-22s %-22s %-14s\n", "m", "mean SV honest(0-6)",
+                "mean SV poisoners", "detected?");
+    for (size_t m : {2u, 3u, 5u, 9u}) {
+      shapley::TestAccuracyUtility utility(setup.test);
+      shapley::GroupShapley evaluator(kOwners, {m, kSeedE}, &utility);
+      auto totals =
+          evaluator.AccumulateOverRounds(run.per_round_locals).value();
+      std::vector<size_t> honest;
+      for (size_t i = 0; i < 7; ++i) honest.push_back(i);
+      double honest_mean = MeanOf(totals, honest);
+      double poisoner_mean = MeanOf(totals, kPoisoners);
+      // Detection: both poisoners rank in the bottom three.
+      std::vector<size_t> order(kOwners);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return totals[a] < totals[b];
+      });
+      bool detected =
+          std::find(order.begin(), order.begin() + 3, 7) !=
+              order.begin() + 3 &&
+          std::find(order.begin(), order.begin() + 3, 8) !=
+              order.begin() + 3;
+      std::printf("%-6zu %-22.4f %-22.4f %-14s\n", m, honest_mean,
+                  poisoner_mean,
+                  flip == 0.0 ? "n/a" : (detected ? "yes" : "NO"));
+    }
+
+    // Global-model damage with and without robust aggregation of the
+    // final-round local models.
+    const auto& finals = run.per_round_locals.back();
+    auto fedavg = ml::MeanOfMatrices(finals).value();
+    auto krum = fl::Krum(finals, kPoisoners.size()).value();
+    auto median = fl::CoordinateMedian(finals).value();
+    auto acc = [&](const ml::Matrix& w) {
+      return ml::LogisticRegression::FromWeights(w)
+          .value()
+          .Accuracy(setup.test)
+          .value();
+    };
+    std::printf("global accuracy: fedavg %.4f | krum %.4f | median %.4f\n\n",
+                acc(fedavg), acc(krum), acc(median));
+  }
+  PrintRule();
+  std::printf(
+      "Shapes: poisoners' mean SV drops below the honest mean as the\n"
+      "flip probability rises, and finer groupings (larger m) separate\n"
+      "them more sharply — quantifying Sect. VI's concern. Krum/median\n"
+      "recover part of the global-model accuracy FedAvg loses.\n");
+  return 0;
+}

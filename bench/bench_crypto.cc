@@ -1,0 +1,111 @@
+// Ablation C: micro-benchmarks of the from-scratch crypto primitives the
+// protocol is built on. These bound the per-round client cost (masking,
+// signing) and the per-block miner cost (hash, verify).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/dh.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "crypto/shamir.h"
+
+namespace {
+
+using namespace bcfl;
+using namespace bcfl::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ChaCha20Keystream(benchmark::State& state) {
+  std::array<uint8_t, 32> key{};
+  std::array<uint8_t, 12> nonce{};
+  Bytes out(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ChaCha20 cipher(key, nonce);
+    cipher.Keystream(out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20Keystream)->Arg(1024)->Arg(65536);
+
+void BM_ModPow(benchmark::State& state) {
+  GroupParams params = GroupParams::Default();
+  Xoshiro256 rng(1);
+  UInt256 exponent(rng.Next(), rng.Next(), rng.Next(), rng.Next() >> 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(params.g.ModPow(exponent, params.p));
+  }
+}
+BENCHMARK(BM_ModPow);
+
+void BM_DhSharedSecret(benchmark::State& state) {
+  DiffieHellman dh;
+  Xoshiro256 rng(2);
+  DhKeyPair alice = dh.GenerateKeyPair(&rng);
+  DhKeyPair bob = dh.GenerateKeyPair(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dh.ComputeShared(alice.private_key, bob.public_key));
+  }
+}
+BENCHMARK(BM_DhSharedSecret);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Schnorr scheme;
+  Xoshiro256 rng(3);
+  SchnorrKeyPair key = scheme.GenerateKeyPair(&rng);
+  Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Sign(key, msg, &rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Schnorr scheme;
+  Xoshiro256 rng(4);
+  SchnorrKeyPair key = scheme.GenerateKeyPair(&rng);
+  Bytes msg(256, 0x5a);
+  SchnorrSignature sig = scheme.Sign(key, msg, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Verify(key.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ShamirSplit(benchmark::State& state) {
+  auto scheme = ShamirSecretSharing::Create(5, 9).value();
+  Xoshiro256 rng(5);
+  Bytes secret(32, 0x77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Split(secret, &rng));
+  }
+}
+BENCHMARK(BM_ShamirSplit);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  auto scheme = ShamirSecretSharing::Create(5, 9).value();
+  Xoshiro256 rng(6);
+  Bytes secret(32, 0x77);
+  auto shares = scheme.Split(secret, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Reconstruct(shares, secret.size()));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

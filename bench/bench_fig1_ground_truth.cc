@@ -1,0 +1,49 @@
+// Reproduces Fig. 1: ground-truth (native, Eq. 1) Shapley value per data
+// owner for several data-quality sigmas.
+//
+// Paper shape to reproduce:
+//  - sigma = 0: every owner's SV is close to zero (uniform random split,
+//    negligible marginal contributions).
+//  - sigma > 0: SV decreases with the owner index (owner 0 holds the
+//    cleanest data) and the spread widens with sigma.
+
+#include <cstdio>
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "workload.h"
+
+using namespace bcfl;
+using namespace bcfl::bench;
+
+int main() {
+  const double sigmas[] = {0.0, 0.5, 1.0, 2.0};
+  ThreadPool pool(std::thread::hardware_concurrency());
+
+  std::printf("Fig. 1 reproduction: ground-truth SV distribution over "
+              "users w.r.t. sigma\n");
+  std::printf("(native SV, Eq. 1, over 2^9 retrained coalition models; "
+              "9 owners, synthetic digits)\n");
+  PrintRule();
+  std::printf("%-7s", "sigma");
+  for (size_t i = 0; i < Workload::kOwners; ++i) {
+    std::printf("  user%zu  ", i);
+  }
+  std::printf("\n");
+  PrintRule();
+
+  for (double sigma : sigmas) {
+    Workload workload = Workload::Make(sigma);
+    Stopwatch timer;
+    auto truth = workload.GroundTruth(&pool);
+    std::printf("%-7.2f", sigma);
+    for (double v : truth.values) std::printf("%+8.4f ", v);
+    std::printf("  (%.1fs)\n", timer.ElapsedSeconds());
+  }
+  PrintRule();
+  std::printf(
+      "Expected shape: near-zero flat SVs at sigma=0; monotone-decreasing\n"
+      "SV with owner index (noise grows as sigma*i) once sigma > 0, with\n"
+      "the spread widening as sigma increases.\n");
+  return 0;
+}

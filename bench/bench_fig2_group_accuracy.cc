@@ -1,0 +1,94 @@
+// Reproduces Fig. 2: cosine similarity between the GroupSV totals and
+// the ground-truth native SV, versus the number of groups m, for several
+// data-quality sigmas.
+//
+// Paper shape to reproduce:
+//  - sigma = 0: similarity *decreases* with m (ground truth is ~uniform;
+//    coarse groups allocate uniformly and match it best).
+//  - sigma > 0: similarity *increases* with m (finer groups approach the
+//    native per-user evaluation) and with sigma (more diverse quality is
+//    easier to rank).
+
+#include <cstdio>
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "shapley/group_sv.h"
+#include "shapley/similarity.h"
+#include "workload.h"
+
+using namespace bcfl;
+using namespace bcfl::bench;
+
+std::vector<double> Centered(std::vector<double> v) {
+  double mean = 0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  for (double& x : v) x -= mean;
+  return v;
+}
+
+int main() {
+  const double sigmas[] = {0.0, 0.5, 1.0, 2.0};
+  const uint64_t kSeedE = 7;
+  ThreadPool pool(std::thread::hardware_concurrency());
+
+  // For each sigma collect GroupSV totals for every m plus the ground
+  // truth, then print both the raw cosine (scale-sensitive, dominated by
+  // the common positive mean that the efficiency axiom forces on all
+  // SV vectors) and the mean-centered cosine (which compares the
+  // *relative ranking signal*, the quantity Fig. 2's trends describe).
+  std::vector<std::vector<double>> raw(std::size(sigmas)),
+      centered(std::size(sigmas));
+  for (size_t s = 0; s < std::size(sigmas); ++s) {
+    // 30 FL rounds: GroupSV totals average over 30 random groupings,
+    // which is what smooths the per-owner estimate at moderate sigma.
+    Workload workload = Workload::Make(sigmas[s], 42, 5620, 30);
+    auto truth = workload.GroundTruth(&pool);
+    auto run = workload.trainer->Run(&pool).value();
+    for (size_t m = 2; m <= 9; ++m) {
+      shapley::TestAccuracyUtility utility(workload.test_set);
+      shapley::GroupShapley evaluator(Workload::kOwners, {m, kSeedE},
+                                      &utility);
+      auto totals =
+          evaluator.AccumulateOverRounds(run.per_round_locals).value();
+      raw[s].push_back(
+          shapley::CosineSimilarity(totals, truth.values).ValueOr(0.0));
+      centered[s].push_back(
+          shapley::CosineSimilarity(Centered(totals),
+                                    Centered(truth.values))
+              .ValueOr(0.0));
+    }
+  }
+
+  auto print_table = [&](const char* title,
+                         const std::vector<std::vector<double>>& table) {
+    std::printf("%s\n", title);
+    PrintRule();
+    std::printf("%-7s", "sigma");
+    for (size_t m = 2; m <= 9; ++m) std::printf("   m=%zu  ", m);
+    std::printf("\n");
+    PrintRule();
+    for (size_t s = 0; s < std::size(sigmas); ++s) {
+      std::printf("%-7.2f", sigmas[s]);
+      for (double v : table[s]) std::printf("%+7.4f ", v);
+      std::printf("\n");
+    }
+    PrintRule();
+  };
+
+  std::printf("Fig. 2 reproduction: similarity of GroupSV vs native SV "
+              "over # of groups\n\n");
+  print_table("Raw cosine similarity:", raw);
+  std::printf("\n");
+  print_table("Mean-centered cosine similarity (ranking signal):",
+              centered);
+  std::printf(
+      "\nExpected shape (paper): for sigma=0 similarity decreases with m\n"
+      "(ground truth is ~uniform, which coarse groups match best); for\n"
+      "sigma>0 it increases with m (finer groups approach the native\n"
+      "per-user evaluation) and with sigma (stronger quality signal).\n"
+      "The centered table exposes these trends; the raw table is pinned\n"
+      "near 1 by the common positive mean the efficiency axiom forces.\n");
+  return 0;
+}

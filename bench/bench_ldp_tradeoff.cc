@@ -1,0 +1,137 @@
+// Ablation E: why the paper chooses secure aggregation over LDP
+// (Sect. II-B: "the accumulated noises make the model not very useful").
+//
+// Sweeps the per-round privacy budget epsilon for LDP-FL and compares
+// the final model accuracy against (a) plain FL with no protection and
+// (b) FL over secure aggregation, which is numerically exact up to
+// fixed-point quantisation — the whole point of the paper's design.
+
+#include <cstdio>
+
+#include "data/digits.h"
+#include "data/partition.h"
+#include "fl/trainer.h"
+#include "privacy/ldp_fl.h"
+#include "secureagg/session.h"
+#include "workload.h"
+
+using namespace bcfl;
+using namespace bcfl::bench;
+
+namespace {
+
+constexpr size_t kOwners = 9;
+constexpr size_t kRounds = 10;
+
+std::vector<fl::FlClient> MakeClients(ml::Dataset* test_out) {
+  data::DigitsConfig digits;
+  digits.num_instances = 3000;
+  digits.seed = 8;
+  ml::Dataset full = data::DigitsGenerator(digits).Generate();
+  Xoshiro256 rng(8);
+  auto split = full.TrainTestSplit(0.8, &rng).value();
+  *test_out = std::move(split.second);
+  auto parts = data::PartitionUniform(split.first, kOwners, &rng).value();
+  ml::LogisticRegressionConfig lr;
+  lr.learning_rate = 0.05;
+  lr.epochs = 5;
+  std::vector<fl::FlClient> clients;
+  for (size_t i = 0; i < kOwners; ++i) {
+    clients.emplace_back(static_cast<fl::OwnerId>(i), std::move(parts[i]),
+                         lr);
+  }
+  return clients;
+}
+
+double Accuracy(const ml::Matrix& weights, const ml::Dataset& test) {
+  auto model = ml::LogisticRegression::FromWeights(weights).value();
+  return model.Accuracy(test).value();
+}
+
+/// Plain FL run through secure aggregation: every round the clients'
+/// updates pass the full mask/unmask pipeline (one global group).
+double SecureAggAccuracy(std::vector<fl::FlClient> clients,
+                         const ml::Dataset& test) {
+  secureagg::SessionConfig sa_config;
+  sa_config.use_self_masks = false;
+  auto session = secureagg::SecureAggSession::Create(kOwners, sa_config)
+                     .value();
+  std::vector<secureagg::OwnerId> group;
+  for (size_t i = 0; i < kOwners; ++i) {
+    group.push_back(static_cast<secureagg::OwnerId>(i));
+  }
+  ml::Matrix global(65, 10);
+  for (uint64_t round = 0; round < kRounds; ++round) {
+    std::map<secureagg::OwnerId, std::vector<uint64_t>> submissions;
+    for (size_t i = 0; i < kOwners; ++i) {
+      ml::Matrix local = clients[i].LocalUpdate(global).value();
+      submissions[static_cast<secureagg::OwnerId>(i)] =
+          session
+              .Submit(static_cast<secureagg::OwnerId>(i), round, group,
+                      local.data())
+              .value();
+    }
+    auto mean =
+        session.AggregateGroupMean(round, group, submissions).value();
+    global.mutable_data() = mean;
+  }
+  return Accuracy(global, test);
+}
+
+}  // namespace
+
+int main() {
+  ml::Dataset test;
+
+  std::printf("Ablation E: privacy mechanism vs model utility "
+              "(9 owners, %zu rounds)\n", kRounds);
+  PrintRule();
+  std::printf("%-28s %-16s %-18s\n", "mechanism", "test accuracy",
+              "total eps (basic)");
+  PrintRule();
+
+  // Baseline: plain FedAvg, no protection.
+  {
+    auto clients = MakeClients(&test);
+    fl::FlConfig config;
+    config.rounds = kRounds;
+    config.local.learning_rate = 0.05;
+    config.local.epochs = 5;
+    fl::FederatedTrainer trainer(std::move(clients), config);
+    auto run = trainer.Run().value();
+    std::printf("%-28s %-16.4f %-18s\n", "plain FL (no privacy)",
+                Accuracy(run.global_weights, test), "-");
+  }
+
+  // Secure aggregation: exact up to fixed-point quantisation.
+  {
+    auto clients = MakeClients(&test);
+    double acc = SecureAggAccuracy(std::move(clients), test);
+    std::printf("%-28s %-16.4f %-18s\n", "secure aggregation (paper)", acc,
+                "-");
+  }
+
+  // LDP at several per-round budgets.
+  for (double eps : {10.0, 3.0, 1.0, 0.3, 0.1}) {
+    auto clients = MakeClients(&test);
+    privacy::LdpFlConfig config;
+    config.fl.rounds = kRounds;
+    config.fl.local.learning_rate = 0.05;
+    config.fl.local.epochs = 5;
+    config.per_round = {eps, 1e-5};
+    config.clip_norm = 1.0;
+    privacy::LdpFederatedTrainer trainer(std::move(clients), config);
+    auto result = trainer.Run().value();
+    char label[64];
+    std::snprintf(label, sizeof(label), "LDP, eps=%.1f/round", eps);
+    std::printf("%-28s %-16.4f %-18.1f\n", label,
+                Accuracy(result.global_weights, test),
+                result.total_basic.epsilon);
+  }
+  PrintRule();
+  std::printf(
+      "Shape: secure aggregation matches plain FL to within fixed-point\n"
+      "quantisation, while LDP utility collapses as the per-round budget\n"
+      "tightens — the Sect. II-B claim that motivates the paper's design.\n");
+  return 0;
+}

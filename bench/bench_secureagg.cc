@@ -1,0 +1,152 @@
+// Ablation A: secure-aggregation overhead and exactness.
+//
+// Part 1 (google-benchmark): masking / aggregation cost vs update size
+// and group size, compared against plain (unmasked) aggregation.
+// Part 2 (printed table): fixed-point quantisation error vs scale bits —
+// the design knob DESIGN.md calls out (resolution vs overflow headroom).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "secureagg/session.h"
+
+namespace {
+
+using namespace bcfl;
+using namespace bcfl::secureagg;
+
+std::vector<double> RandomUpdate(size_t len, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out(len);
+  for (auto& v : out) v = rng.NextGaussian(0.0, 1.0);
+  return out;
+}
+
+void BM_MaskUpdate(benchmark::State& state) {
+  size_t group_size = static_cast<size_t>(state.range(0));
+  size_t length = static_cast<size_t>(state.range(1));
+  SessionConfig config;
+  config.use_self_masks = false;
+  auto session = SecureAggSession::Create(group_size, config).value();
+  std::vector<OwnerId> group;
+  for (size_t i = 0; i < group_size; ++i) {
+    group.push_back(static_cast<OwnerId>(i));
+  }
+  auto update = RandomUpdate(length, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Submit(0, 0, group, update));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(length) * 8);
+}
+BENCHMARK(BM_MaskUpdate)
+    ->Args({3, 650})
+    ->Args({9, 650})
+    ->Args({9, 65000});
+
+void BM_SecureAggregate(benchmark::State& state) {
+  size_t group_size = static_cast<size_t>(state.range(0));
+  size_t length = 650;  // 65 x 10 model.
+  SessionConfig config;
+  config.use_self_masks = false;
+  auto session = SecureAggSession::Create(group_size, config).value();
+  std::vector<OwnerId> group;
+  for (size_t i = 0; i < group_size; ++i) {
+    group.push_back(static_cast<OwnerId>(i));
+  }
+  std::map<OwnerId, std::vector<uint64_t>> submissions;
+  for (OwnerId id : group) {
+    submissions[id] =
+        session.Submit(id, 0, group, RandomUpdate(length, id + 1)).value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.AggregateGroupMean(0, group, submissions));
+  }
+}
+BENCHMARK(BM_SecureAggregate)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_PlainAggregate(benchmark::State& state) {
+  // Baseline: the same mean without any masking.
+  size_t group_size = static_cast<size_t>(state.range(0));
+  size_t length = 650;
+  std::vector<std::vector<double>> updates;
+  for (size_t i = 0; i < group_size; ++i) {
+    updates.push_back(RandomUpdate(length, i + 1));
+  }
+  for (auto _ : state) {
+    std::vector<double> mean(length, 0.0);
+    for (const auto& u : updates) {
+      for (size_t k = 0; k < length; ++k) mean[k] += u[k];
+    }
+    for (auto& v : mean) v /= static_cast<double>(group_size);
+    benchmark::DoNotOptimize(mean.data());
+  }
+}
+BENCHMARK(BM_PlainAggregate)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_DropoutRecovery(benchmark::State& state) {
+  // Aggregation with one dropped member: includes share reconstruction
+  // and residual-mask regeneration.
+  SessionConfig config;
+  config.use_self_masks = true;
+  auto session = SecureAggSession::Create(9, config).value();
+  std::vector<OwnerId> group;
+  for (size_t i = 0; i < 9; ++i) group.push_back(static_cast<OwnerId>(i));
+  std::map<OwnerId, std::vector<uint64_t>> submissions;
+  for (OwnerId id : group) {
+    if (id == 4) continue;
+    submissions[id] =
+        session.Submit(id, 0, group, RandomUpdate(650, id + 1)).value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.AggregateGroupMean(0, group, submissions, {4}));
+  }
+}
+BENCHMARK(BM_DropoutRecovery);
+
+void PrintQuantisationTable() {
+  std::printf("\nFixed-point quantisation error vs scale bits "
+              "(650-element update, 9 owners summed)\n");
+  std::printf("%-12s %-22s %-22s\n", "scale bits", "max |error| / element",
+              "headroom (values)");
+  for (int bits : {8, 16, 24, 32, 40}) {
+    FixedPointCodec codec(bits);
+    Xoshiro256 rng(9);
+    double max_err = 0;
+    std::vector<uint64_t> sum(650, 0);
+    std::vector<double> true_sum(650, 0.0);
+    for (int owner = 0; owner < 9; ++owner) {
+      auto update = RandomUpdate(650, static_cast<uint64_t>(owner) + 40);
+      auto encoded = codec.EncodeVector(update);
+      for (size_t k = 0; k < 650; ++k) {
+        sum[k] += encoded[k];
+        true_sum[k] += update[k];
+      }
+    }
+    for (size_t k = 0; k < 650; ++k) {
+      max_err = std::max(max_err, std::abs(codec.Decode(sum[k]) -
+                                           true_sum[k]));
+    }
+    // Headroom: the largest summed magnitude before the ring wraps.
+    double headroom = std::ldexp(1.0, 63 - bits);
+    std::printf("%-12d %-22.3e %-22.3e\n", bits, max_err, headroom);
+  }
+  std::printf("Trade-off: each extra scale bit halves the quantisation "
+              "error and the overflow headroom.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintQuantisationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

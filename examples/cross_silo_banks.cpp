@@ -1,0 +1,100 @@
+// Cross-silo scenario from the paper's introduction: mutually untrusted
+// organizations (think banks building a shared fraud/character-
+// recognition model) that will only collaborate for a fair,
+// *verifiable* reward. No semi-trusted server exists; the blockchain
+// replaces it.
+//
+// This example runs the full pipeline for 9 institutions with
+// heterogeneous data quality, then turns the on-chain Shapley values
+// into a reward allocation from a fixed budget, and prints the Merkle
+// proof that one institution's masked update really is on chain (an
+// audit a regulator could replay).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "chain/merkle.h"
+#include "core/coordinator.h"
+
+using namespace bcfl;
+
+int main() {
+  const double kRewardBudget = 1'000'000.0;  // Total payout to split.
+
+  core::BcflConfig config;
+  config.num_owners = 9;
+  config.num_miners = 5;
+  config.rounds = 6;
+  config.num_groups = 3;
+  config.sigma = 1.0;
+  config.seed = 2021;
+  config.digits.num_instances = 3000;
+  config.local.epochs = 3;
+  config.local.learning_rate = 0.05;
+
+  std::printf("Cross-silo federation: 9 institutions, 5 miners, m=%u "
+              "groups, %u rounds\n\n",
+              config.num_groups, config.rounds);
+
+  auto coordinator = core::BcflCoordinator::Create(config);
+  if (!coordinator.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 1;
+  }
+  auto result = (*coordinator)->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Model quality over rounds (shared test set):");
+  for (double acc : result->round_accuracies) std::printf(" %.3f", acc);
+  std::printf("\n\n");
+
+  // Reward allocation: clamp negative contributions to zero, split the
+  // budget proportionally — the incentive mechanism the paper motivates.
+  std::vector<double> clamped(result->total_sv.size());
+  double total_positive = 0;
+  for (size_t i = 0; i < clamped.size(); ++i) {
+    clamped[i] = std::max(0.0, result->total_sv[i]);
+    total_positive += clamped[i];
+  }
+  std::printf("%-8s %-14s %-14s %-14s\n", "bank", "data quality",
+              "on-chain SV", "reward");
+  for (size_t i = 0; i < clamped.size(); ++i) {
+    double reward = total_positive > 0
+                        ? kRewardBudget * clamped[i] / total_positive
+                        : kRewardBudget / static_cast<double>(clamped.size());
+    std::printf("%-8zu sigma=%-7.1f %+13.4f  $%-13.2f\n", i,
+                config.sigma * static_cast<double>(i),
+                result->total_sv[i], reward);
+  }
+
+  // Auditability: prove that block 2's first transaction is committed
+  // under its Merkle root — verifiable with only the block header.
+  const auto& chain = (*coordinator)->engine().CanonicalChain();
+  for (uint64_t h = 1; h <= chain.Height(); ++h) {
+    auto block = chain.GetBlock(h);
+    if (!block.ok() || block->txs.size() < 2) continue;
+    std::vector<crypto::Digest> leaves;
+    for (const auto& tx : block->txs) leaves.push_back(tx.Hash());
+    chain::MerkleTree tree(leaves);
+    auto proof = tree.Proof(0);
+    bool valid = proof.ok() &&
+                 chain::MerkleTree::VerifyProof(leaves[0], *proof,
+                                                block->header.merkle_root);
+    std::printf("\nAudit: block %llu, tx 0 inclusion proof (%zu hashes): "
+                "%s\n",
+                static_cast<unsigned long long>(h),
+                proof.ok() ? proof->size() : 0,
+                valid ? "VALID" : "INVALID");
+    break;
+  }
+
+  std::printf("\nEvery SV above was computed by a smart contract that all "
+              "5 miners re-executed\nand agreed on — no institution had to "
+              "trust a central evaluator.\n");
+  return 0;
+}

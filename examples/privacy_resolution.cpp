@@ -1,0 +1,91 @@
+// The m-knob: how the number of groups trades privacy for contribution
+// resolution (Sect. IV-B, "Group SV is configurable...").
+//
+// m = 1: one group — every owner's update hides inside an average of n
+//        models (maximum privacy), but everyone receives the same SV
+//        (no resolution).
+// m = n: every owner is its own group — per-user SVs (full resolution),
+//        but each "group model" IS the individual's model (no privacy).
+//
+// This example runs one off-chain federation and sweeps m, reporting the
+// anonymity-set size next to how faithfully each setting recovers the
+// per-user contribution ranking.
+
+#include <cstdio>
+
+#include "data/digits.h"
+#include "data/noise.h"
+#include "data/partition.h"
+#include "fl/trainer.h"
+#include "shapley/group_sv.h"
+#include "shapley/similarity.h"
+#include "shapley/utility.h"
+
+using namespace bcfl;
+
+int main() {
+  const size_t kOwners = 8;
+  const uint64_t kSeedE = 9;
+
+  // Federation with a pronounced quality gradient.
+  data::DigitsConfig digits;
+  digits.num_instances = 2000;
+  digits.seed = 12;
+  ml::Dataset full = data::DigitsGenerator(digits).Generate();
+  Xoshiro256 rng(12);
+  auto split = full.TrainTestSplit(0.8, &rng).value();
+  auto parts = data::PartitionUniform(split.first, kOwners, &rng).value();
+  if (!data::ApplyQualityGradient(&parts, 1.0, 13).ok()) return 1;
+
+  ml::LogisticRegressionConfig lr;
+  lr.learning_rate = 0.05;
+  lr.epochs = 4;
+  std::vector<fl::FlClient> clients;
+  for (size_t i = 0; i < kOwners; ++i) {
+    clients.emplace_back(static_cast<fl::OwnerId>(i), std::move(parts[i]),
+                         lr);
+  }
+  fl::FlConfig fl_config;
+  fl_config.rounds = 10;
+  fl_config.local = lr;
+  fl::FederatedTrainer trainer(std::move(clients), fl_config);
+  auto run = trainer.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reference ranking: GroupSV at m = n (per-user evaluation).
+  shapley::TestAccuracyUtility ref_utility(split.second);
+  shapley::GroupShapley reference(kOwners, {kOwners, kSeedE},
+                                  &ref_utility);
+  auto per_user =
+      reference.AccumulateOverRounds(run->per_round_locals).value();
+
+  std::printf("Privacy vs resolution for n = %zu owners\n\n", kOwners);
+  std::printf("%-5s %-22s %-22s %-14s\n", "m", "anonymity set (n/m)",
+              "distinct SV levels", "rank fidelity");
+  for (size_t m = 1; m <= kOwners; ++m) {
+    shapley::TestAccuracyUtility utility(split.second);
+    shapley::GroupShapley evaluator(kOwners, {m, kSeedE}, &utility);
+    auto totals =
+        evaluator.AccumulateOverRounds(run->per_round_locals).value();
+
+    // Distinct per-round levels ~ the resolution of a single round; over
+    // multiple rounds values mix, so report Spearman vs per-user too.
+    auto rho = shapley::SpearmanCorrelation(totals, per_user);
+    std::printf("%-5zu %-22.2f %-22zu %-14s\n", m,
+                static_cast<double>(kOwners) / static_cast<double>(m), m,
+                rho.ok() ? std::to_string(*rho).c_str()
+                         : "(uniform)");
+  }
+
+  std::printf(
+      "\nReading the table: small m -> each on-chain group model averages\n"
+      "many owners (large anonymity set) but a single round can only\n"
+      "distinguish m contribution levels; large m -> sharp per-user\n"
+      "scores, at the price of revealing nearly-individual models.\n"
+      "Multi-round accumulation (here, 10 rounds of re-randomised\n"
+      "groupings) partially recovers the ranking even for moderate m.\n");
+  return 0;
+}

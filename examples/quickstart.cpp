@@ -1,0 +1,52 @@
+// Quickstart: run a full blockchain-FL session with transparent
+// contribution evaluation in ~30 lines of client code.
+//
+//   $ ./examples/quickstart
+//
+// Five data owners with increasingly noisy data train a digit classifier
+// through the on-chain protocol; the smart contract aggregates their
+// masked updates, evaluates GroupSV every round, and the final
+// contribution scores come straight from the canonical chain state.
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+
+int main() {
+  bcfl::core::BcflConfig config;
+  config.num_owners = 5;
+  config.num_miners = 4;
+  config.rounds = 10;
+  config.num_groups = 5;     // GroupSV resolution (m = n: per-user).
+  config.sigma = 4.0;        // Owner i's features get N(0, sigma*i) noise.
+  config.digits.num_instances = 2000;
+  config.local.epochs = 3;
+  config.local.learning_rate = 0.05;
+
+  auto coordinator = bcfl::core::BcflCoordinator::Create(config);
+  if (!coordinator.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 1;
+  }
+  auto result = (*coordinator)->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Training on chain: %zu blocks, %zu transactions\n",
+              result->blocks_committed, result->total_transactions);
+  std::printf("Global model accuracy per round:");
+  for (double acc : result->round_accuracies) std::printf(" %.3f", acc);
+  std::printf("\n\nOn-chain contribution (total Shapley value per owner):\n");
+  for (size_t i = 0; i < result->total_sv.size(); ++i) {
+    std::printf("  owner %zu (noise sigma %.1f): %+.4f\n", i,
+                config.sigma * static_cast<double>(i),
+                result->total_sv[i]);
+  }
+  std::printf("\nOwner 0 holds the cleanest data and should score "
+              "highest.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "chain/merkle.h"
+#include "chain/transaction.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::chain {
+
+/// Header of a block; everything consensus votes on.
+struct BlockHeader {
+  uint64_t height = 0;
+  crypto::Digest prev_hash{};
+  crypto::Digest merkle_root{};
+  crypto::Digest state_root{};  ///< Contract state after executing the body.
+  uint64_t timestamp_us = 0;    ///< Simulated time of proposal.
+  uint32_t proposer = 0;        ///< Miner id of the round leader.
+
+  Bytes Serialize() const;
+  static Result<BlockHeader> Deserialize(ByteReader* reader);
+
+  /// SHA-256 of the serialized header — the block id.
+  crypto::Digest Hash() const;
+};
+
+/// A block: header plus the ordered transaction body.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  /// Merkle root over the body's transaction hashes.
+  crypto::Digest ComputeMerkleRoot() const;
+
+  /// Checks header.merkle_root against the body.
+  bool MerkleRootMatchesBody() const;
+
+  Bytes Serialize() const;
+  static Result<Block> Deserialize(const Bytes& bytes);
+};
+
+/// The deterministic genesis block (height 0, no transactions,
+/// `state_root` of the empty state).
+Block MakeGenesisBlock();
+
+}  // namespace bcfl::chain

@@ -1,0 +1,54 @@
+#include "chain/blockchain.h"
+
+namespace bcfl::chain {
+
+Blockchain::Blockchain() { blocks_.push_back(MakeGenesisBlock()); }
+
+Result<Block> Blockchain::GetBlock(uint64_t height) const {
+  if (height >= blocks_.size()) {
+    return Status::OutOfRange("no block at height " + std::to_string(height));
+  }
+  return blocks_[height];
+}
+
+Status Blockchain::Validate(const Block& block, const Block& parent) {
+  if (block.header.height != parent.header.height + 1) {
+    return Status::InvalidArgument("non-consecutive block height");
+  }
+  if (block.header.prev_hash != parent.header.Hash()) {
+    return Status::InvalidArgument("prev_hash does not match parent");
+  }
+  if (!block.MerkleRootMatchesBody()) {
+    return Status::Corruption("merkle root does not match body");
+  }
+  if (block.header.timestamp_us < parent.header.timestamp_us) {
+    return Status::InvalidArgument("timestamp moved backwards");
+  }
+  return Status::OK();
+}
+
+Status Blockchain::Append(Block block) {
+  BCFL_RETURN_IF_ERROR(Validate(block, blocks_.back()));
+  blocks_.push_back(std::move(block));
+  return Status::OK();
+}
+
+Result<std::pair<uint64_t, size_t>> Blockchain::FindTransaction(
+    const crypto::Digest& tx_hash) const {
+  for (const auto& block : blocks_) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      if (block.txs[i].Hash() == tx_hash) {
+        return std::make_pair(block.header.height, i);
+      }
+    }
+  }
+  return Status::NotFound("transaction not on chain");
+}
+
+size_t Blockchain::TotalTransactions() const {
+  size_t total = 0;
+  for (const auto& block : blocks_) total += block.txs.size();
+  return total;
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "chain/block.h"
+#include "common/result.h"
+
+namespace bcfl::chain {
+
+/// An append-only validated chain of blocks.
+///
+/// Every miner holds one replica. `Append` enforces the structural
+/// invariants (monotone height, parent-hash linkage, Merkle consistency);
+/// semantic validity (state-root correctness) is consensus's job because
+/// it requires re-execution.
+class Blockchain {
+ public:
+  /// Starts with the deterministic genesis block.
+  Blockchain();
+
+  /// Height of the tip (genesis = 0).
+  uint64_t Height() const { return blocks_.back().header.height; }
+  size_t NumBlocks() const { return blocks_.size(); }
+  const Block& Tip() const { return blocks_.back(); }
+
+  /// Block at `height`; OutOfRange when above the tip.
+  Result<Block> GetBlock(uint64_t height) const;
+
+  /// Validates `block` against the tip and appends it.
+  Status Append(Block block);
+
+  /// Structural validation of `block` as a successor of `parent`.
+  static Status Validate(const Block& block, const Block& parent);
+
+  /// Locates a transaction by hash; returns (height, index).
+  Result<std::pair<uint64_t, size_t>> FindTransaction(
+      const crypto::Digest& tx_hash) const;
+
+  /// Total transactions across all blocks (excluding genesis).
+  size_t TotalTransactions() const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace bcfl::chain

@@ -1,0 +1,168 @@
+#include "chain/consensus.h"
+
+#include "common/logging.h"
+
+namespace bcfl::chain {
+
+namespace {
+
+constexpr uint8_t kMsgProposal = 0;
+constexpr uint8_t kMsgVote = 1;
+
+Bytes EncodeProposal(const Block& block) {
+  ByteWriter writer;
+  writer.WriteU8(kMsgProposal);
+  writer.WriteBytes(block.Serialize());
+  return writer.Take();
+}
+
+Bytes EncodeVote(uint64_t height, const crypto::Digest& hash, bool accept,
+                 uint32_t voter) {
+  ByteWriter writer;
+  writer.WriteU8(kMsgVote);
+  writer.WriteU64(height);
+  writer.WriteRaw(hash.data(), hash.size());
+  writer.WriteU8(accept ? 1 : 0);
+  writer.WriteU32(voter);
+  return writer.Take();
+}
+
+}  // namespace
+
+ConsensusEngine::ConsensusEngine(size_t num_miners,
+                                 std::shared_ptr<const ContractHost> host,
+                                 ConsensusConfig config)
+    : host_(std::move(host)), config_(config), network_(config.network) {
+  std::vector<uint32_t> ids;
+  ids.reserve(num_miners);
+  miners_.reserve(num_miners);
+  for (size_t i = 0; i < num_miners; ++i) {
+    uint32_t id = static_cast<uint32_t>(i);
+    ids.push_back(id);
+    miners_.push_back(std::make_unique<Miner>(id, host_));
+    // Handler: validators answer proposals with votes; the leader's
+    // handler tallies the votes of the in-flight attempt.
+    Status st = network_.RegisterNode(id, [this, id](const net::Message& msg) {
+      ByteReader reader(msg.payload);
+      auto type = reader.ReadU8();
+      if (!type.ok()) return;
+      if (*type == kMsgProposal) {
+        auto block_bytes = reader.ReadBytes();
+        if (!block_bytes.ok()) return;
+        auto block = Block::Deserialize(*block_bytes);
+        if (!block.ok()) return;
+        auto verdict = miners_[id]->ValidateProposal(*block);
+        bool accept = verdict.ok() && *verdict;
+        Bytes vote = EncodeVote(block->header.height, block->header.Hash(),
+                                accept, id);
+        (void)network_.Send(id, msg.from, std::move(vote));
+      } else if (*type == kMsgVote) {
+        auto height = reader.ReadU64();
+        auto hash_raw = reader.ReadRaw(32);
+        auto accept = reader.ReadU8();
+        if (!height.ok() || !hash_raw.ok() || !accept.ok()) return;
+        if (!proposal_valid_) return;
+        crypto::Digest hash;
+        std::copy(hash_raw->begin(), hash_raw->end(), hash.begin());
+        if (*height != pending_proposal_.header.height ||
+            hash != pending_proposal_.header.Hash()) {
+          return;  // Stale vote from an earlier attempt.
+        }
+        if (*accept != 0) {
+          votes_.accepts++;
+        } else {
+          votes_.rejects++;
+        }
+      }
+    });
+    (void)st;
+  }
+  schedule_ = std::make_unique<LeaderSchedule>(ids, config_.leader_seed);
+}
+
+Status ConsensusEngine::SubmitTransaction(const Transaction& tx) {
+  for (auto& miner : miners_) {
+    Status st = miner->mempool().Add(tx);
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  return Status::OK();
+}
+
+Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
+                                                 uint32_t retries) {
+  BCFL_ASSIGN_OR_RETURN(uint32_t leader_id,
+                        schedule_->LeaderFor(height, retries));
+  Miner& leader = *miners_[leader_id];
+
+  BCFL_ASSIGN_OR_RETURN(
+      Block proposal,
+      leader.ProposeBlock(network_.clock().NowMicros() + 1,
+                          config_.max_txs_per_block));
+
+  // Arm the vote box, broadcast, and drain the network: validators
+  // validate and vote inside the drain.
+  votes_ = VoteBox{};
+  pending_proposal_ = proposal;
+  proposal_valid_ = true;
+  BCFL_RETURN_IF_ERROR(network_.Broadcast(leader_id, EncodeProposal(proposal)));
+  network_.DeliverAll();
+  proposal_valid_ = false;
+
+  CommitResult result;
+  result.leader = leader_id;
+  result.retries_used = retries;
+  result.height = height;
+  result.block_hash = proposal.header.Hash();
+  result.num_txs = proposal.txs.size();
+  result.accept_votes = votes_.accepts + 1;  // Proposer implicitly accepts.
+  result.reject_votes = votes_.rejects;
+
+  // Strict majority of all miners must accept.
+  result.committed = result.accept_votes * 2 > miners_.size();
+  if (result.committed) {
+    for (auto& miner : miners_) {
+      Status st = miner->CommitBlock(proposal);
+      if (!st.ok()) {
+        // A replica refusing a majority-accepted block means the leader
+        // published an unexecutable proposal — surface loudly.
+        return st.WithContext("replica " + std::to_string(miner->id()) +
+                              " failed to commit");
+      }
+    }
+  }
+  return result;
+}
+
+Result<CommitResult> ConsensusEngine::RunRound() {
+  uint64_t height = miners_[0]->chain().Height() + 1;
+  CommitResult last;
+  for (uint32_t retry = 0; retry <= config_.max_retries; ++retry) {
+    BCFL_ASSIGN_OR_RETURN(last, TryPropose(height, retry));
+    if (last.committed) return last;
+    BCFL_LOG_INFO() << "proposal at height " << height << " by miner "
+                    << last.leader << " rejected (" << last.reject_votes
+                    << " reject votes); rotating leader";
+  }
+  return last;  // committed == false after exhausting retries.
+}
+
+Result<std::vector<CommitResult>> ConsensusEngine::RunUntilDrained(
+    size_t max_rounds) {
+  std::vector<CommitResult> results;
+  for (size_t i = 0; i < max_rounds; ++i) {
+    bool any_pending = false;
+    for (auto& miner : miners_) {
+      if (!miner->mempool().empty()) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending) break;
+    BCFL_ASSIGN_OR_RETURN(CommitResult result, RunRound());
+    results.push_back(result);
+    if (!result.committed) break;  // No progress possible.
+  }
+  return results;
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chain/leader.h"
+#include "chain/miner.h"
+#include "common/result.h"
+#include "net/network.h"
+
+namespace bcfl::chain {
+
+/// Parameters of the consensus engine.
+struct ConsensusConfig {
+  uint64_t leader_seed = 2021;
+  size_t max_txs_per_block = 0;   ///< 0 = no cap.
+  uint32_t max_retries = 8;       ///< Leader rotations before giving up.
+  net::NetworkConfig network;
+};
+
+/// Outcome of one consensus round.
+struct CommitResult {
+  bool committed = false;
+  uint32_t leader = 0;          ///< The leader whose proposal decided it.
+  uint32_t retries_used = 0;    ///< Rejected proposals before success.
+  size_t accept_votes = 0;
+  size_t reject_votes = 0;
+  uint64_t height = 0;
+  crypto::Digest block_hash{};
+  size_t num_txs = 0;
+};
+
+/// Honest-majority propose/verify/vote consensus over the simulated P2P
+/// network — the blockchain protocol of Sect. III.
+///
+/// One `RunRound` call:
+///  1. The schedule picks a leader for the next height; the leader
+///     executes its mempool on a scratch state and broadcasts the block.
+///  2. Every other miner re-executes the proposal against its own state
+///     replica and unicasts an accept/reject vote back.
+///  3. With strict-majority accepts (> n/2, the proposer counting as an
+///     implicit accept), every miner commits; otherwise the proposal is
+///     discarded and the next leader in the fallback rotation proposes
+///     ("they wait for another leader to propose").
+///
+/// All proposal/vote traffic crosses `SimulatedNetwork`, so the same
+/// engine measures throughput and latency for the Ablation-B benchmark.
+class ConsensusEngine {
+ public:
+  ConsensusEngine(size_t num_miners, std::shared_ptr<const ContractHost> host,
+                  ConsensusConfig config = {});
+
+  size_t num_miners() const { return miners_.size(); }
+  Miner& miner(size_t i) { return *miners_[i]; }
+  const Miner& miner(size_t i) const { return *miners_[i]; }
+  const net::SimulatedNetwork& network() const { return network_; }
+  net::SimulatedNetwork& mutable_network() { return network_; }
+
+  /// Gossips `tx` to every miner's mempool.
+  Status SubmitTransaction(const Transaction& tx);
+
+  /// Runs consensus for the next height. Retries with fallback leaders
+  /// until a proposal commits or `max_retries` is exhausted.
+  Result<CommitResult> RunRound();
+
+  /// Runs rounds until every mempool is drained (or no progress is
+  /// possible). Returns one result per committed block.
+  Result<std::vector<CommitResult>> RunUntilDrained(size_t max_rounds = 1000);
+
+  /// The canonical committed state (all honest replicas agree; miner 0's
+  /// replica is returned).
+  const ContractState& CanonicalState() const { return miners_[0]->state(); }
+  const Blockchain& CanonicalChain() const { return miners_[0]->chain(); }
+
+ private:
+  /// One proposal attempt at the given retry depth.
+  Result<CommitResult> TryPropose(uint64_t height, uint32_t retries);
+
+  std::shared_ptr<const ContractHost> host_;
+  ConsensusConfig config_;
+  net::SimulatedNetwork network_;
+  std::vector<std::unique_ptr<Miner>> miners_;
+  std::unique_ptr<LeaderSchedule> schedule_;
+
+  // Per-attempt vote collection (filled by network handlers).
+  struct VoteBox {
+    size_t accepts = 0;
+    size_t rejects = 0;
+  };
+  VoteBox votes_;
+  Block pending_proposal_;
+  bool proposal_valid_ = false;
+};
+
+}  // namespace bcfl::chain

@@ -1,0 +1,66 @@
+#include "chain/contract_host.h"
+
+namespace bcfl::chain {
+
+ContractHost::ContractHost(crypto::Schnorr scheme)
+    : scheme_(std::move(scheme)) {}
+
+Status ContractHost::Register(std::shared_ptr<SmartContract> contract) {
+  if (!contract) {
+    return Status::InvalidArgument("null contract");
+  }
+  auto [it, inserted] = contracts_.emplace(contract->name(), contract);
+  if (!inserted) {
+    return Status::AlreadyExists("contract already registered: " +
+                                 contract->name());
+  }
+  return Status::OK();
+}
+
+bool ContractHost::HasContract(const std::string& name) const {
+  return contracts_.count(name) > 0;
+}
+
+Result<TxReceipt> ContractHost::ExecuteTransaction(const Transaction& tx,
+                                                   ContractState* state) const {
+  TxReceipt receipt;
+  receipt.tx_hash = tx.Hash();
+
+  if (!tx.VerifySignature(scheme_)) {
+    receipt.success = false;
+    receipt.error = "invalid signature";
+    return receipt;
+  }
+  auto it = contracts_.find(tx.contract);
+  if (it == contracts_.end()) {
+    receipt.success = false;
+    receipt.error = "unknown contract: " + tx.contract;
+    return receipt;
+  }
+
+  // Execute on a scratch copy; merge only on success so a failed tx
+  // cannot leave partial writes behind.
+  ContractState scratch = state->Snapshot();
+  Status status = it->second->Execute(tx, &scratch);
+  if (status.ok()) {
+    *state = std::move(scratch);
+    receipt.success = true;
+  } else {
+    receipt.success = false;
+    receipt.error = status.ToString();
+  }
+  return receipt;
+}
+
+Result<std::vector<TxReceipt>> ContractHost::ExecuteBlock(
+    const std::vector<Transaction>& txs, ContractState* state) const {
+  std::vector<TxReceipt> receipts;
+  receipts.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    BCFL_ASSIGN_OR_RETURN(TxReceipt receipt, ExecuteTransaction(tx, state));
+    receipts.push_back(std::move(receipt));
+  }
+  return receipts;
+}
+
+}  // namespace bcfl::chain

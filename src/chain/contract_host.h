@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/contract.h"
+#include "chain/state.h"
+#include "chain/transaction.h"
+#include "common/result.h"
+#include "crypto/schnorr.h"
+
+namespace bcfl::chain {
+
+/// Outcome of executing one transaction.
+struct TxReceipt {
+  crypto::Digest tx_hash;
+  bool success = false;
+  std::string error;  ///< Status string when failed.
+};
+
+/// Deterministic smart-contract execution environment.
+///
+/// Dispatches transactions to registered contracts, enforcing signature
+/// validity first. Failed transactions are recorded in receipts but do
+/// not mutate state (execution runs on a scratch snapshot that is only
+/// merged on success), so a block containing a bad transaction still
+/// yields the same post-state on every honest miner.
+class ContractHost {
+ public:
+  explicit ContractHost(crypto::Schnorr scheme = crypto::Schnorr());
+
+  /// Registers a contract; names must be unique.
+  Status Register(std::shared_ptr<SmartContract> contract);
+
+  bool HasContract(const std::string& name) const;
+
+  /// Verifies + executes one transaction against `state`.
+  Result<TxReceipt> ExecuteTransaction(const Transaction& tx,
+                                       ContractState* state) const;
+
+  /// Executes a full block body in order; returns one receipt per tx.
+  Result<std::vector<TxReceipt>> ExecuteBlock(
+      const std::vector<Transaction>& txs, ContractState* state) const;
+
+  const crypto::Schnorr& scheme() const { return scheme_; }
+
+ private:
+  crypto::Schnorr scheme_;
+  std::map<std::string, std::shared_ptr<SmartContract>> contracts_;
+};
+
+}  // namespace bcfl::chain

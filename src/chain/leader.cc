@@ -1,0 +1,36 @@
+#include "chain/leader.h"
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::chain {
+
+LeaderSchedule::LeaderSchedule(std::vector<uint32_t> miner_ids, uint64_t seed)
+    : miner_ids_(std::move(miner_ids)), seed_(seed) {}
+
+Result<uint32_t> LeaderSchedule::LeaderFor(uint64_t height) const {
+  return LeaderFor(height, 0);
+}
+
+Result<uint32_t> LeaderSchedule::LeaderFor(uint64_t height,
+                                           uint32_t retries) const {
+  if (miner_ids_.empty()) {
+    return Status::FailedPrecondition("no miners registered");
+  }
+  if (height == 0) {
+    return Status::InvalidArgument("genesis has no leader");
+  }
+  ByteWriter writer;
+  writer.WriteString("bcfl-leader-schedule");
+  writer.WriteU64(seed_);
+  writer.WriteU64(height);
+  writer.WriteU32(retries);
+  crypto::Digest digest = crypto::Sha256::Hash(writer.buffer());
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(digest[static_cast<size_t>(i)]) << (8 * i);
+  }
+  return miner_ids_[value % miner_ids_.size()];
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bcfl::chain {
+
+/// Deterministic leader selection ("the leader selection protocol
+/// periodically selects a leader to propose a set of transactions",
+/// Sect. III).
+///
+/// Proof-of-authority style: the proposer for height h is drawn from the
+/// registered miner set by hashing (seed, h), so every miner computes the
+/// same schedule with no communication, and a rejected proposal simply
+/// falls through to the next height's leader.
+class LeaderSchedule {
+ public:
+  LeaderSchedule(std::vector<uint32_t> miner_ids, uint64_t seed);
+
+  /// Leader for block height `height` (>= 1; genesis has no leader).
+  Result<uint32_t> LeaderFor(uint64_t height) const;
+
+  /// Leader for `height` after `retries` rejected proposals: deterministic
+  /// fallback rotation so consensus always makes progress.
+  Result<uint32_t> LeaderFor(uint64_t height, uint32_t retries) const;
+
+  size_t num_miners() const { return miner_ids_.size(); }
+
+ private:
+  std::vector<uint32_t> miner_ids_;
+  uint64_t seed_;
+};
+
+}  // namespace bcfl::chain

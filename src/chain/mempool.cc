@@ -1,0 +1,48 @@
+#include "chain/mempool.h"
+
+namespace bcfl::chain {
+
+std::string Mempool::KeyOf(const Transaction& tx) {
+  crypto::Digest digest = tx.Hash();
+  return std::string(digest.begin(), digest.end());
+}
+
+Status Mempool::Add(Transaction tx) {
+  std::string key = KeyOf(tx);
+  if (!seen_.insert(key).second) {
+    return Status::AlreadyExists("transaction already in mempool");
+  }
+  pending_.push_back(std::move(tx));
+  return Status::OK();
+}
+
+std::vector<Transaction> Mempool::Take(size_t max_count) {
+  size_t count = max_count == 0 ? pending_.size()
+                                : std::min(max_count, pending_.size());
+  std::vector<Transaction> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+std::vector<Transaction> Mempool::Peek(size_t max_count) const {
+  size_t count = max_count == 0 ? pending_.size()
+                                : std::min(max_count, pending_.size());
+  return std::vector<Transaction>(pending_.begin(),
+                                  pending_.begin() + static_cast<long>(count));
+}
+
+void Mempool::RemoveCommitted(const std::vector<Transaction>& txs) {
+  std::set<std::string> committed;
+  for (const auto& tx : txs) committed.insert(KeyOf(tx));
+  std::deque<Transaction> kept;
+  for (auto& tx : pending_) {
+    if (committed.count(KeyOf(tx)) == 0) kept.push_back(std::move(tx));
+  }
+  pending_ = std::move(kept);
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <deque>
+#include <set>
+#include <string>
+
+#include "chain/transaction.h"
+#include "common/result.h"
+
+namespace bcfl::chain {
+
+/// FIFO pool of pending transactions with duplicate suppression.
+///
+/// Leaders draw block bodies from here. The pool remembers every hash it
+/// has ever admitted so a re-gossiped transaction is not proposed twice.
+class Mempool {
+ public:
+  Mempool() = default;
+
+  /// Admits `tx`; AlreadyExists for duplicates (by hash).
+  Status Add(Transaction tx);
+
+  /// Removes and returns up to `max_count` transactions in arrival order
+  /// (0 = all pending).
+  std::vector<Transaction> Take(size_t max_count = 0);
+
+  /// Copies up to `max_count` pending transactions without removing them
+  /// (0 = all). Leaders peek so that a rejected proposal leaves the pool
+  /// intact for the next leader.
+  std::vector<Transaction> Peek(size_t max_count = 0) const;
+
+  /// Drops any pending transactions that appear in `txs` — called when a
+  /// block commits so replicas shed already-included entries.
+  void RemoveCommitted(const std::vector<Transaction>& txs);
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  static std::string KeyOf(const Transaction& tx);
+
+  std::deque<Transaction> pending_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace bcfl::chain

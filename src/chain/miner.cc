@@ -1,0 +1,56 @@
+#include "chain/miner.h"
+
+namespace bcfl::chain {
+
+Miner::Miner(uint32_t id, std::shared_ptr<const ContractHost> host)
+    : id_(id), host_(std::move(host)) {}
+
+Result<Block> Miner::ProposeBlock(uint64_t timestamp_us, size_t max_txs) {
+  Block block;
+  block.txs = mempool_.Peek(max_txs);
+  block.header.height = chain_.Height() + 1;
+  block.header.prev_hash = chain_.Tip().header.Hash();
+  block.header.timestamp_us = timestamp_us;
+  block.header.proposer = id_;
+  block.header.merkle_root = block.ComputeMerkleRoot();
+
+  ContractState scratch = state_.Snapshot();
+  BCFL_ASSIGN_OR_RETURN(std::vector<TxReceipt> receipts,
+                        host_->ExecuteBlock(block.txs, &scratch));
+  (void)receipts;
+  if (behavior_.tamper_state) {
+    behavior_.tamper_state(&scratch);
+  }
+  block.header.state_root = scratch.StateRoot();
+  return block;
+}
+
+Result<bool> Miner::ValidateProposal(const Block& block) {
+  if (behavior_.always_reject) return false;
+  Status structural = Blockchain::Validate(block, chain_.Tip());
+  if (!structural.ok()) return false;
+
+  // Re-execute the body on a snapshot of this miner's own state — the
+  // "verification protocol" of Sect. III.
+  ContractState scratch = state_.Snapshot();
+  auto receipts = host_->ExecuteBlock(block.txs, &scratch);
+  if (!receipts.ok()) return false;
+  return scratch.StateRoot() == block.header.state_root;
+}
+
+Status Miner::CommitBlock(const Block& block) {
+  ContractState scratch = state_.Snapshot();
+  BCFL_ASSIGN_OR_RETURN(std::vector<TxReceipt> receipts,
+                        host_->ExecuteBlock(block.txs, &scratch));
+  (void)receipts;
+  if (scratch.StateRoot() != block.header.state_root) {
+    return Status::Corruption(
+        "committed block does not re-execute to its state root");
+  }
+  BCFL_RETURN_IF_ERROR(chain_.Append(block));
+  state_ = std::move(scratch);
+  mempool_.RemoveCommitted(block.txs);
+  return Status::OK();
+}
+
+}  // namespace bcfl::chain

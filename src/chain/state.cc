@@ -1,0 +1,44 @@
+#include "chain/state.h"
+
+namespace bcfl::chain {
+
+void ContractState::Put(const std::string& key, Bytes value) {
+  entries_[key] = std::move(value);
+}
+
+Result<Bytes> ContractState::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such state key: " + key);
+  }
+  return it->second;
+}
+
+bool ContractState::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+void ContractState::Delete(const std::string& key) { entries_.erase(key); }
+
+std::vector<std::string> ContractState::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+crypto::Digest ContractState::StateRoot() const {
+  crypto::Sha256 hasher;
+  for (const auto& [key, value] : entries_) {
+    ByteWriter writer;
+    writer.WriteString(key);
+    writer.WriteBytes(value);
+    hasher.Update(writer.buffer());
+  }
+  return hasher.Finish();
+}
+
+}  // namespace bcfl::chain

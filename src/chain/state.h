@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::chain {
+
+/// Deterministic key-value store backing smart-contract execution.
+///
+/// Keys are strings, values opaque bytes. The store is an ordered map so
+/// `StateRoot()` — a SHA-256 over the sorted entries — is identical on
+/// every miner that executed the same transactions in the same order.
+/// Consensus compares state roots to verify the leader's execution.
+class ContractState {
+ public:
+  ContractState() = default;
+
+  /// Stores `value` under `key` (overwrites).
+  void Put(const std::string& key, Bytes value);
+  /// Retrieves a value; NotFound if absent.
+  Result<Bytes> Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  /// Removes a key (no-op when absent).
+  void Delete(const std::string& key);
+
+  /// Number of live keys.
+  size_t size() const { return entries_.size(); }
+
+  /// Keys beginning with `prefix`, in sorted order — contracts use
+  /// prefix scans to enumerate e.g. all submissions of a round.
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  /// Commitment to the full store contents.
+  crypto::Digest StateRoot() const;
+
+  /// Deep copy, used by validators to re-execute proposals without
+  /// touching their committed state.
+  ContractState Snapshot() const { return *this; }
+
+ private:
+  std::map<std::string, Bytes> entries_;
+};
+
+}  // namespace bcfl::chain

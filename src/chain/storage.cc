@@ -1,0 +1,102 @@
+#include "chain/storage.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace bcfl::chain {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'C', 'F', 'L'};
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+Status SaveChain(const Blockchain& chain, const std::string& path) {
+  ByteWriter writer;
+  writer.WriteRaw(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic));
+  writer.WriteU32(kFormatVersion);
+  writer.WriteU32(static_cast<uint32_t>(chain.NumBlocks()));
+  for (uint64_t h = 0; h < chain.NumBlocks(); ++h) {
+    auto block = chain.GetBlock(h);
+    if (!block.ok()) return block.status();
+    writer.WriteBytes(block->Serialize());
+  }
+
+  std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + tmp_path);
+  }
+  const Bytes& buffer = writer.buffer();
+  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != buffer.size() || close_rc != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("short write while saving chain");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<Blockchain> LoadChain(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no chain file at " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::Internal("cannot stat chain file");
+  }
+  Bytes buffer(static_cast<size_t>(size));
+  size_t read = std::fread(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (read != buffer.size()) {
+    return Status::Corruption("short read while loading chain");
+  }
+
+  ByteReader reader(buffer);
+  BCFL_ASSIGN_OR_RETURN(Bytes magic, reader.ReadRaw(sizeof(kMagic)));
+  if (!std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const uint8_t*>(kMagic))) {
+    return Status::Corruption("bad magic: not a BCFL chain file");
+  }
+  BCFL_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::Unimplemented("unsupported chain format version " +
+                                 std::to_string(version));
+  }
+  BCFL_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count == 0) {
+    return Status::Corruption("chain file has no blocks");
+  }
+
+  Blockchain chain;
+  for (uint32_t i = 0; i < count; ++i) {
+    BCFL_ASSIGN_OR_RETURN(Bytes block_bytes, reader.ReadBytes());
+    BCFL_ASSIGN_OR_RETURN(Block block, Block::Deserialize(block_bytes));
+    if (i == 0) {
+      // The stored genesis must match ours exactly.
+      if (block.header.Hash() != MakeGenesisBlock().header.Hash()) {
+        return Status::Corruption("genesis block mismatch");
+      }
+      continue;
+    }
+    BCFL_RETURN_IF_ERROR(chain.Append(std::move(block))
+                             .WithContext("block " + std::to_string(i)));
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes after chain data");
+  }
+  return chain;
+}
+
+}  // namespace bcfl::chain

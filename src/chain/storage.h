@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "chain/blockchain.h"
+#include "common/result.h"
+
+namespace bcfl::chain {
+
+/// On-disk persistence for a chain replica.
+///
+/// File layout: magic "BCFL" (4 bytes), format version (u32), block
+/// count (u32), then each block as a length-prefixed serialized blob.
+/// `LoadChain` re-validates every link (heights, parent hashes, Merkle
+/// roots) while reading, so a corrupted or truncated file is rejected —
+/// never half-loaded.
+///
+/// Writes go to `<path>.tmp` and are renamed into place, so a crash
+/// mid-save leaves the previous file intact.
+Status SaveChain(const Blockchain& chain, const std::string& path);
+
+Result<Blockchain> LoadChain(const std::string& path);
+
+}  // namespace bcfl::chain

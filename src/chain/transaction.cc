@@ -1,0 +1,65 @@
+#include "chain/transaction.h"
+
+namespace bcfl::chain {
+
+Bytes Transaction::SigningBytes() const {
+  ByteWriter writer;
+  writer.WriteString(contract);
+  writer.WriteString(method);
+  writer.WriteBytes(payload);
+  writer.WriteBytes(sender.ToBytes());
+  writer.WriteU64(nonce);
+  return writer.Take();
+}
+
+crypto::Digest Transaction::Hash() const {
+  crypto::Sha256 hasher;
+  hasher.Update(SigningBytes());
+  hasher.Update(signature.ToBytes());
+  return hasher.Finish();
+}
+
+void Transaction::Sign(const crypto::Schnorr& scheme,
+                       const crypto::SchnorrKeyPair& key, Xoshiro256* rng) {
+  sender = key.public_key;
+  signature = scheme.Sign(key, SigningBytes(), rng);
+}
+
+bool Transaction::VerifySignature(const crypto::Schnorr& scheme) const {
+  return scheme.Verify(sender, SigningBytes(), signature);
+}
+
+Bytes Transaction::Serialize() const {
+  ByteWriter writer;
+  writer.WriteString(contract);
+  writer.WriteString(method);
+  writer.WriteBytes(payload);
+  writer.WriteBytes(sender.ToBytes());
+  writer.WriteU64(nonce);
+  writer.WriteBytes(signature.ToBytes());
+  return writer.Take();
+}
+
+Result<Transaction> Transaction::Deserialize(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  Transaction tx;
+  BCFL_ASSIGN_OR_RETURN(tx.contract, reader.ReadString());
+  BCFL_ASSIGN_OR_RETURN(tx.method, reader.ReadString());
+  BCFL_ASSIGN_OR_RETURN(tx.payload, reader.ReadBytes());
+  BCFL_ASSIGN_OR_RETURN(Bytes sender_bytes, reader.ReadBytes());
+  BCFL_ASSIGN_OR_RETURN(tx.sender, crypto::UInt256::FromBytes(sender_bytes));
+  BCFL_ASSIGN_OR_RETURN(tx.nonce, reader.ReadU64());
+  BCFL_ASSIGN_OR_RETURN(Bytes sig_bytes, reader.ReadBytes());
+  BCFL_ASSIGN_OR_RETURN(tx.signature,
+                        crypto::SchnorrSignature::FromBytes(sig_bytes));
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes after transaction");
+  }
+  return tx;
+}
+
+bool Transaction::operator==(const Transaction& other) const {
+  return Hash() == other.Hash();
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::chain {
+
+/// A signed smart-contract invocation.
+///
+/// `contract` and `method` route the call inside the ContractHost;
+/// `payload` is the method's serialized argument blob (e.g. a masked
+/// model update). The signature covers everything but itself, so miners
+/// can verify that a submission really originates from the claimed data
+/// owner before executing it.
+struct Transaction {
+  std::string contract;
+  std::string method;
+  Bytes payload;
+  crypto::UInt256 sender;  ///< Signer's public key.
+  uint64_t nonce = 0;      ///< Sender-chosen replay protection.
+
+  crypto::SchnorrSignature signature;
+
+  /// Canonical bytes covered by the signature (everything above).
+  Bytes SigningBytes() const;
+
+  /// SHA-256 over the signing bytes plus the signature: the tx id.
+  crypto::Digest Hash() const;
+
+  /// Signs in place with `key` (whose public part becomes `sender`).
+  void Sign(const crypto::Schnorr& scheme, const crypto::SchnorrKeyPair& key,
+            Xoshiro256* rng);
+
+  /// Verifies the signature against `sender`.
+  bool VerifySignature(const crypto::Schnorr& scheme) const;
+
+  /// Full wire encoding (including the signature).
+  Bytes Serialize() const;
+  static Result<Transaction> Deserialize(const Bytes& bytes);
+
+  bool operator==(const Transaction& other) const;
+};
+
+}  // namespace bcfl::chain

@@ -1,0 +1,184 @@
+#include "common/bytes.h"
+
+namespace bcfl {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(const uint8_t* data, size_t size) {
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string ToHex(const Bytes& data) { return ToHex(data.data(), data.size()); }
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void ByteWriter::WriteU16(uint16_t v) {
+  WriteU8(static_cast<uint8_t>(v));
+  WriteU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) WriteU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) WriteU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(const Bytes& data) {
+  WriteBytes(data.data(), data.size());
+}
+
+void ByteWriter::WriteBytes(const uint8_t* data, size_t size) {
+  WriteU32(static_cast<uint32_t>(size));
+  WriteRaw(data, size);
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) WriteDouble(d);
+}
+
+void ByteWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (uint64_t x : v) WriteU64(x);
+}
+
+void ByteWriter::WriteRaw(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Status ByteReader::CheckAvailable(size_t n) const {
+  if (size_ - offset_ < n) {
+    return Status::Corruption("truncated payload: need " + std::to_string(n) +
+                              " bytes, have " +
+                              std::to_string(size_ - offset_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  BCFL_RETURN_IF_ERROR(CheckAvailable(1));
+  return data_[offset_++];
+}
+
+Result<uint16_t> ByteReader::ReadU16() {
+  BCFL_RETURN_IF_ERROR(CheckAvailable(2));
+  uint16_t v = static_cast<uint16_t>(data_[offset_]) |
+               static_cast<uint16_t>(data_[offset_ + 1]) << 8;
+  offset_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  BCFL_RETURN_IF_ERROR(CheckAvailable(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  BCFL_RETURN_IF_ERROR(CheckAvailable(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::ReadDouble() {
+  BCFL_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<Bytes> ByteReader::ReadBytes() {
+  BCFL_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  return ReadRaw(size);
+}
+
+Result<std::string> ByteReader::ReadString() {
+  BCFL_ASSIGN_OR_RETURN(Bytes raw, ReadBytes());
+  return std::string(raw.begin(), raw.end());
+}
+
+Result<std::vector<double>> ByteReader::ReadDoubleVector() {
+  BCFL_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  BCFL_RETURN_IF_ERROR(CheckAvailable(static_cast<size_t>(size) * 8));
+  std::vector<double> out;
+  out.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    BCFL_ASSIGN_OR_RETURN(double d, ReadDouble());
+    out.push_back(d);
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> ByteReader::ReadU64Vector() {
+  BCFL_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  BCFL_RETURN_IF_ERROR(CheckAvailable(static_cast<size_t>(size) * 8));
+  std::vector<uint64_t> out;
+  out.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    BCFL_ASSIGN_OR_RETURN(uint64_t x, ReadU64());
+    out.push_back(x);
+  }
+  return out;
+}
+
+Result<Bytes> ByteReader::ReadRaw(size_t size) {
+  BCFL_RETURN_IF_ERROR(CheckAvailable(size));
+  Bytes out(data_ + offset_, data_ + offset_ + size);
+  offset_ += size;
+  return out;
+}
+
+}  // namespace bcfl

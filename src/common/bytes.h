@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bcfl {
+
+/// Byte sequence alias used across serialization, hashing and networking.
+using Bytes = std::vector<uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string ToHex(const uint8_t* data, size_t size);
+std::string ToHex(const Bytes& data);
+
+/// Decodes a hex string (upper or lower case). Fails on odd length or
+/// non-hex characters.
+Result<Bytes> FromHex(std::string_view hex);
+
+/// Little-endian binary writer with a growable buffer.
+///
+/// All on-chain payloads (transactions, model updates, contract state) are
+/// serialized through this writer so that hashing and re-execution are
+/// byte-deterministic across miners.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  /// Encodes the IEEE-754 bit pattern; exact round trip.
+  void WriteDouble(double v);
+  /// Length-prefixed (u32) raw bytes.
+  void WriteBytes(const Bytes& data);
+  void WriteBytes(const uint8_t* data, size_t size);
+  /// Length-prefixed (u32) UTF-8 string.
+  void WriteString(std::string_view s);
+  /// Length-prefixed (u32) vector of doubles.
+  void WriteDoubleVector(const std::vector<double>& v);
+  /// Length-prefixed (u32) vector of u64.
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  /// Raw bytes with no length prefix (for fixed-width fields).
+  void WriteRaw(const uint8_t* data, size_t size);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Little-endian binary reader over a borrowed byte span.
+///
+/// Every read is bounds-checked and returns `Status`/`Result`; corrupt or
+/// truncated payloads surface as `Corruption` instead of undefined
+/// behaviour.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  /// Reads a u32 length prefix then that many bytes.
+  Result<Bytes> ReadBytes();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+  Result<std::vector<uint64_t>> ReadU64Vector();
+  /// Reads exactly `size` raw bytes (no prefix).
+  Result<Bytes> ReadRaw(size_t size);
+
+  /// Number of unread bytes.
+  size_t remaining() const { return size_ - offset_; }
+  /// True when all bytes were consumed — parsers should check this to
+  /// reject payloads with trailing garbage.
+  bool exhausted() const { return offset_ == size_; }
+
+ private:
+  Status CheckAvailable(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace bcfl

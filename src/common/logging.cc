@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace bcfl {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace bcfl

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bcfl {
+
+/// Log severity, ordered by importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+/// Minimal process-wide logger.
+///
+/// Simulation and protocol code logs through this sink so tests can raise
+/// the threshold to keep output quiet, and examples can lower it to show
+/// the protocol narrative.
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  /// Messages below `level` are dropped.
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Emits one line to stderr if `level` passes the threshold.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kWarning;
+};
+
+namespace internal {
+
+/// Stream-style helper that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define BCFL_LOG_DEBUG() ::bcfl::internal::LogMessage(::bcfl::LogLevel::kDebug)
+#define BCFL_LOG_INFO() ::bcfl::internal::LogMessage(::bcfl::LogLevel::kInfo)
+#define BCFL_LOG_WARN() \
+  ::bcfl::internal::LogMessage(::bcfl::LogLevel::kWarning)
+#define BCFL_LOG_ERROR() ::bcfl::internal::LogMessage(::bcfl::LogLevel::kError)
+
+}  // namespace bcfl

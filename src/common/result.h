@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace bcfl {
+
+/// `Result<T>` is either a value of type `T` or a non-OK `Status`.
+///
+/// This is the library's equivalent of `arrow::Result` / `absl::StatusOr`.
+/// Accessing the value of an errored result is a programmer error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result`-returning expression to `lhs`, or
+/// propagates its error status from the enclosing function.
+#define BCFL_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  BCFL_ASSIGN_OR_RETURN_IMPL_(                           \
+      BCFL_RESULT_CONCAT_(_bcfl_result_, __LINE__), lhs, rexpr)
+
+#define BCFL_RESULT_CONCAT_INNER_(x, y) x##y
+#define BCFL_RESULT_CONCAT_(x, y) BCFL_RESULT_CONCAT_INNER_(x, y)
+#define BCFL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace bcfl

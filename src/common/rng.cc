@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace bcfl {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t SplitMix64::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift reduction.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double SplitMix64::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 seeder(seed);
+  for (auto& word : s_) word = seeder.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Marsaglia polar method: draw (u, v) in the unit disk, transform both.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+std::vector<size_t> Xoshiro256::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+}  // namespace bcfl

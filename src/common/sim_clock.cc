@@ -1,0 +1,30 @@
+#include "common/sim_clock.h"
+
+#include <chrono>
+
+namespace bcfl {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(NowNanos()) {}
+
+void Stopwatch::Reset() { start_ns_ = NowNanos(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(NowNanos() - start_ns_) * 1e-9;
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(NowNanos() - start_ns_) * 1e-6;
+}
+
+}  // namespace bcfl

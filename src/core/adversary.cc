@@ -1,0 +1,38 @@
+#include "core/adversary.h"
+
+#include "core/state_keys.h"
+
+namespace bcfl::core {
+
+chain::MinerBehavior MakeSvInflationBehavior(uint32_t beneficiary_owner,
+                                             double inflation) {
+  chain::MinerBehavior behavior;
+  behavior.tamper_state = [beneficiary_owner,
+                           inflation](chain::ContractState* state) {
+    std::string key = keys::TotalSv(beneficiary_owner);
+    double current = 0.0;
+    auto existing = GetDouble(*state, key);
+    if (existing.ok()) current = *existing;
+    (void)PutDouble(state, key, current + inflation);
+  };
+  return behavior;
+}
+
+chain::MinerBehavior MakeSvSuppressionBehavior(uint32_t victim_owner) {
+  chain::MinerBehavior behavior;
+  behavior.tamper_state = [victim_owner](chain::ContractState* state) {
+    std::string key = keys::TotalSv(victim_owner);
+    if (state->Has(key)) {
+      (void)PutDouble(state, key, 0.0);
+    }
+  };
+  return behavior;
+}
+
+chain::MinerBehavior MakeAlwaysRejectBehavior() {
+  chain::MinerBehavior behavior;
+  behavior.always_reject = true;
+  return behavior;
+}
+
+}  // namespace bcfl::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "chain/miner.h"
+#include "common/result.h"
+
+namespace bcfl::core {
+
+/// Byzantine behaviours for the threat-model experiments (Sect. III-A and
+/// the future-work items of Sect. VI).
+
+/// A fraudulent leader that "tries to maximize his/her contribution by
+/// proposing incorrect evaluation results": after executing the round it
+/// rewrites the on-chain total SV of `beneficiary_owner`, adding
+/// `inflation`. Honest validators re-execute, obtain a different state
+/// root, and vote reject — the chain only ever commits truthful results
+/// while a majority of miners is honest.
+chain::MinerBehavior MakeSvInflationBehavior(uint32_t beneficiary_owner,
+                                             double inflation);
+
+/// A leader that silently drops a victim owner's per-round SV record
+/// (sets it to zero) — a targeted suppression attack.
+chain::MinerBehavior MakeSvSuppressionBehavior(uint32_t victim_owner);
+
+/// A griefing validator that rejects every proposal regardless of
+/// validity. Consensus tolerates a minority of these.
+chain::MinerBehavior MakeAlwaysRejectBehavior();
+
+}  // namespace bcfl::core

@@ -1,0 +1,257 @@
+#include "core/coordinator.h"
+
+#include "core/reward_contract.h"
+#include "data/noise.h"
+#include "data/partition.h"
+#include "secureagg/fixed_point.h"
+#include "shapley/group_sv.h"
+
+namespace bcfl::core {
+
+Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
+    BcflConfig config) {
+  if (config.num_owners < 2) {
+    return Status::InvalidArgument("need at least two data owners");
+  }
+  if (config.num_miners < 1) {
+    return Status::InvalidArgument("need at least one miner");
+  }
+  auto coord = std::unique_ptr<BcflCoordinator>(new BcflCoordinator());
+  coord->config_ = config;
+  coord->rng_ = std::make_unique<Xoshiro256>(config.seed);
+  Xoshiro256& rng = *coord->rng_;
+
+  // --- Data: synthesize, split 8:2, partition, quality gradient. -------
+  data::DigitsConfig digits_config = config.digits;
+  digits_config.seed = config.seed;
+  ml::Dataset full = data::DigitsGenerator(digits_config).Generate();
+  BCFL_ASSIGN_OR_RETURN(auto split, full.TrainTestSplit(0.8, &rng));
+  ml::Dataset train = std::move(split.first);
+  coord->test_set_ = std::move(split.second);
+  BCFL_ASSIGN_OR_RETURN(
+      std::vector<ml::Dataset> parts,
+      data::PartitionUniform(train, config.num_owners, &rng));
+  BCFL_RETURN_IF_ERROR(
+      data::ApplyQualityGradient(&parts, config.sigma, config.seed + 1));
+
+  // --- Owner-side state: FL clients, DH participants, signing keys. ----
+  crypto::DiffieHellman dh;
+  coord->clients_.reserve(config.num_owners);
+  for (uint32_t i = 0; i < config.num_owners; ++i) {
+    coord->clients_.emplace_back(i, std::move(parts[i]), config.local);
+    // Paper-faithful pairwise-only masking: all owners participate in
+    // every round (Sect. III), so no self masks are needed on chain.
+    coord->participants_.push_back(
+        std::make_unique<secureagg::SecureAggParticipant>(
+            i, dh, &rng, /*use_self_mask=*/false));
+    coord->schnorr_keys_.push_back(coord->schnorr_.GenerateKeyPair(&rng));
+  }
+  // Pairwise key agreement from the broadcast public keys.
+  for (auto& p : coord->participants_) {
+    for (const auto& q : coord->participants_) {
+      if (p->id() == q->id()) continue;
+      BCFL_RETURN_IF_ERROR(p->RegisterPeer(q->id(), q->public_key()));
+    }
+  }
+
+  // --- Agreed parameters. ----------------------------------------------
+  SetupParams params;
+  params.num_owners = config.num_owners;
+  params.rounds = config.rounds;
+  params.num_groups = config.num_groups;
+  params.seed_e = config.seed_e;
+  params.fixed_point_bits = config.fixed_point_bits;
+  params.weight_rows =
+      static_cast<uint32_t>(coord->clients_[0].data().num_features() + 1);
+  params.weight_cols =
+      static_cast<uint32_t>(coord->clients_[0].data().num_classes());
+  for (uint32_t i = 0; i < config.num_owners; ++i) {
+    params.schnorr_public_keys.push_back(
+        coord->schnorr_keys_[i].public_key);
+    params.dh_public_keys.push_back(coord->participants_[i]->public_key());
+  }
+  BCFL_RETURN_IF_ERROR(params.Validate());
+  coord->params_ = params;
+
+  // --- Chain: contract host, consensus engine, setup transaction. ------
+  coord->host_ = std::make_shared<chain::ContractHost>(coord->schnorr_);
+  BCFL_RETURN_IF_ERROR(coord->host_->Register(
+      std::make_shared<FlContract>(coord->test_set_)));
+  BCFL_RETURN_IF_ERROR(
+      coord->host_->Register(std::make_shared<RewardContract>()));
+  coord->engine_ = std::make_unique<chain::ConsensusEngine>(
+      config.num_miners, coord->host_, config.consensus);
+
+  chain::Transaction setup_tx;
+  setup_tx.contract = "bcfl";
+  setup_tx.method = "setup";
+  setup_tx.payload = params.Serialize();
+  setup_tx.nonce = 0;
+  setup_tx.Sign(coord->schnorr_, coord->schnorr_keys_[0], &rng);
+  BCFL_RETURN_IF_ERROR(coord->engine_->SubmitTransaction(setup_tx));
+  BCFL_ASSIGN_OR_RETURN(auto commits, coord->engine_->RunUntilDrained());
+  if (commits.empty() || !commits.back().committed) {
+    return Status::Internal("setup transaction failed to commit");
+  }
+  return coord;
+}
+
+std::vector<ml::Dataset> BcflCoordinator::OwnerDatasets() const {
+  std::vector<ml::Dataset> out;
+  out.reserve(clients_.size());
+  for (const auto& client : clients_) out.push_back(client.data());
+  return out;
+}
+
+Status BcflCoordinator::InstallMinerBehavior(size_t miner_idx,
+                                             chain::MinerBehavior behavior) {
+  if (miner_idx >= engine_->num_miners()) {
+    return Status::OutOfRange("no such miner");
+  }
+  engine_->miner(miner_idx).set_behavior(std::move(behavior));
+  return Status::OK();
+}
+
+Status BcflCoordinator::SubmitOwnerUpdate(
+    uint32_t owner, uint64_t round, const ml::Matrix& local_weights,
+    const std::vector<std::vector<size_t>>& groups) {
+  // Locate the owner's group for this round.
+  std::vector<secureagg::OwnerId> group_members;
+  for (const auto& group : groups) {
+    if (std::find(group.begin(), group.end(), owner) != group.end()) {
+      for (size_t member : group) {
+        group_members.push_back(static_cast<secureagg::OwnerId>(member));
+      }
+      break;
+    }
+  }
+  if (group_members.empty()) {
+    return Status::Internal("owner missing from grouping");
+  }
+
+  secureagg::FixedPointCodec codec(
+      static_cast<int>(config_.fixed_point_bits));
+  std::vector<uint64_t> encoded = codec.EncodeMatrix(local_weights);
+  auto masked =
+      participants_[owner]->MaskUpdate(round, group_members, encoded);
+  if (!masked.ok()) return masked.status();
+
+  chain::Transaction tx;
+  tx.contract = "bcfl";
+  tx.method = "submit_update";
+  tx.payload = FlContract::EncodeSubmitUpdate(round, owner, *masked);
+  tx.nonce = (round + 1) * 1000 + owner;
+  tx.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
+  return engine_->SubmitTransaction(tx);
+}
+
+Result<BcflRunResult> BcflCoordinator::Run() {
+  BcflRunResult result;
+  const size_t n = config_.num_owners;
+  ml::Matrix global(params_.weight_rows, params_.weight_cols);
+
+  for (uint64_t round = 0; round < config_.rounds; ++round) {
+    // Owners derive the round's grouping locally from the agreed seed.
+    std::vector<size_t> perm =
+        shapley::PermutationFromSeed(config_.seed_e, round, n);
+    BCFL_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> groups,
+                          shapley::GroupUsers(perm, config_.num_groups));
+
+    // Local training + masked submissions.
+    std::vector<ml::Matrix> locals(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
+      BCFL_RETURN_IF_ERROR(SubmitOwnerUpdate(i, round, locals[i], groups));
+    }
+    result.per_round_locals.push_back(std::move(locals));
+
+    // Consensus drains the mempool; the contract evaluates the round on
+    // the block containing the last submission.
+    BCFL_ASSIGN_OR_RETURN(auto commits, engine_->RunUntilDrained());
+    for (const auto& commit : commits) {
+      if (!commit.committed) {
+        return Status::Internal("consensus failed during round " +
+                                std::to_string(round));
+      }
+      result.blocks_committed++;
+      result.total_transactions += commit.num_txs;
+    }
+
+    const chain::ContractState& state = engine_->CanonicalState();
+    if (!state.Has(keys::RoundComplete(round))) {
+      return Status::Internal("round " + std::to_string(round) +
+                              " did not complete on chain");
+    }
+
+    // Download the new global model (Sect. IV-B bullet 2).
+    BCFL_ASSIGN_OR_RETURN(global,
+                          GetMatrix(state, keys::GlobalModel(round)));
+    std::vector<double> round_sv(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      BCFL_ASSIGN_OR_RETURN(round_sv[i],
+                            GetDouble(state, keys::RoundSv(round, i)));
+    }
+    result.per_round_sv.push_back(std::move(round_sv));
+
+    BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
+                          ml::LogisticRegression::FromWeights(global));
+    BCFL_ASSIGN_OR_RETURN(double acc, model.Accuracy(test_set_));
+    result.round_accuracies.push_back(acc);
+  }
+
+  // Final totals from the canonical state: v_i = sum_r v_i^r.
+  {
+    const chain::ContractState& state = engine_->CanonicalState();
+    result.total_sv.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      BCFL_ASSIGN_OR_RETURN(result.total_sv[i],
+                            GetDouble(state, keys::TotalSv(i)));
+    }
+  }
+  result.global_weights = std::move(global);
+
+  // Optional incentive phase: fund -> distribute -> per-owner claims,
+  // all as on-chain transactions.
+  if (config_.reward_pool > 0) {
+    chain::Transaction fund;
+    fund.contract = "reward";
+    fund.method = "fund";
+    fund.payload = RewardContract::EncodeFund(config_.reward_pool);
+    fund.nonce = 1'000'000;
+    fund.Sign(schnorr_, schnorr_keys_[0], rng_.get());
+    BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(fund));
+
+    chain::Transaction distribute;
+    distribute.contract = "reward";
+    distribute.method = "distribute";
+    distribute.nonce = 1'000'001;
+    distribute.Sign(schnorr_, schnorr_keys_[0], rng_.get());
+    BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(distribute));
+
+    for (uint32_t i = 0; i < n; ++i) {
+      chain::Transaction claim;
+      claim.contract = "reward";
+      claim.method = "claim";
+      claim.payload = RewardContract::EncodeClaim(i);
+      claim.nonce = 1'000'002 + i;
+      claim.Sign(schnorr_, schnorr_keys_[i], rng_.get());
+      BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(claim));
+    }
+    BCFL_ASSIGN_OR_RETURN(auto commits, engine_->RunUntilDrained());
+    for (const auto& commit : commits) {
+      if (!commit.committed) {
+        return Status::Internal("reward phase failed to commit");
+      }
+      result.blocks_committed++;
+      result.total_transactions += commit.num_txs;
+    }
+    const chain::ContractState& state = engine_->CanonicalState();
+    result.rewards.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      result.rewards[i] = ReadU64OrZero(state, RewardContract::ClaimedKey(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace bcfl::core

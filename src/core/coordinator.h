@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chain/consensus.h"
+#include "common/result.h"
+#include "core/fl_contract.h"
+#include "core/params.h"
+#include "data/digits.h"
+#include "fl/client.h"
+#include "ml/dataset.h"
+#include "secureagg/participant.h"
+
+namespace bcfl::core {
+
+/// End-to-end configuration of a BCFL session.
+struct BcflConfig {
+  uint32_t num_owners = 9;
+  size_t num_miners = 5;
+  uint32_t rounds = 10;
+  uint32_t num_groups = 3;
+  uint64_t seed = 42;    ///< Master seed: data, keys, partitions.
+  uint64_t seed_e = 7;   ///< Contribution-evaluation permutation seed.
+  uint32_t fixed_point_bits = 24;
+  /// Data-quality gradient: owner i gets N(0, sigma*i) feature noise.
+  double sigma = 0.0;
+  ml::LogisticRegressionConfig local;
+  data::DigitsConfig digits;
+  chain::ConsensusConfig consensus;
+  /// When non-zero, owner 0 funds this reward pool at setup and the
+  /// coordinator triggers on-chain distribution + claims after the
+  /// final round (see RewardContract).
+  uint64_t reward_pool = 0;
+};
+
+/// Everything a full on-chain session produces.
+struct BcflRunResult {
+  ml::Matrix global_weights;                     ///< Final W_G.
+  std::vector<double> total_sv;                  ///< On-chain sv_total per owner.
+  std::vector<std::vector<double>> per_round_sv; ///< [round][owner].
+  std::vector<double> round_accuracies;          ///< Global model test accuracy.
+  /// Owner-side record of local weights (each owner knows its own) —
+  /// used by experiments to compare against off-chain baselines.
+  std::vector<std::vector<ml::Matrix>> per_round_locals;
+  size_t blocks_committed = 0;
+  size_t total_transactions = 0;
+  /// On-chain reward claimed by each owner (empty when no pool was
+  /// configured).
+  std::vector<uint64_t> rewards;
+};
+
+/// Drives the full protocol of Sect. IV-B on the simulated blockchain:
+/// off-chain setup (key generation, parameter agreement, setup tx),
+/// R training rounds (local training -> masked submissions as signed
+/// transactions -> consensus -> on-chain aggregation + GroupSV), and
+/// final contribution totals read back from the canonical state.
+class BcflCoordinator {
+ public:
+  /// Builds the session: synthesizes the digits dataset, splits 8:2,
+  /// partitions the training set over the owners, applies the quality
+  /// gradient, generates all key material and commits the setup
+  /// transaction through consensus.
+  static Result<std::unique_ptr<BcflCoordinator>> Create(BcflConfig config);
+
+  /// Runs all `config.rounds` FL rounds through the chain.
+  Result<BcflRunResult> Run();
+
+  const BcflConfig& config() const { return config_; }
+  const ml::Dataset& test_set() const { return test_set_; }
+  /// The owners' private partitions (for off-chain baselines in
+  /// experiments; the chain itself never sees them).
+  std::vector<ml::Dataset> OwnerDatasets() const;
+  chain::ConsensusEngine& engine() { return *engine_; }
+
+  /// Installs a Byzantine behaviour on miner `miner_idx` (e.g. an
+  /// SV-inflating leader for the adversarial experiments).
+  Status InstallMinerBehavior(size_t miner_idx, chain::MinerBehavior behavior);
+
+ private:
+  BcflCoordinator() = default;
+
+  /// Builds, signs and submits one owner's masked update for `round`.
+  Status SubmitOwnerUpdate(uint32_t owner, uint64_t round,
+                           const ml::Matrix& local_weights,
+                           const std::vector<std::vector<size_t>>& groups);
+
+  BcflConfig config_;
+  ml::Dataset test_set_;
+  std::vector<fl::FlClient> clients_;
+  std::vector<std::unique_ptr<secureagg::SecureAggParticipant>> participants_;
+  std::vector<crypto::SchnorrKeyPair> schnorr_keys_;
+  crypto::Schnorr schnorr_;
+  std::shared_ptr<chain::ContractHost> host_;
+  std::unique_ptr<chain::ConsensusEngine> engine_;
+  std::unique_ptr<Xoshiro256> rng_;
+  SetupParams params_;
+};
+
+}  // namespace bcfl::core

@@ -1,0 +1,302 @@
+#include "core/fl_contract.h"
+
+#include <algorithm>
+
+#include "crypto/dh.h"
+#include "secureagg/fixed_point.h"
+#include "secureagg/mask.h"
+#include "secureagg/participant.h"
+#include "shapley/group_sv.h"
+
+namespace bcfl::core {
+
+FlContract::FlContract(ml::Dataset validation_set)
+    : validation_set_(std::move(validation_set)),
+      utility_(std::make_unique<shapley::CachingUtility>(
+          std::make_unique<shapley::TestAccuracyUtility>(validation_set_))) {}
+
+Bytes FlContract::EncodeSubmitUpdate(uint64_t round, uint32_t owner,
+                                     const std::vector<uint64_t>& masked) {
+  ByteWriter writer;
+  writer.WriteU64(round);
+  writer.WriteU32(owner);
+  writer.WriteU64Vector(masked);
+  return writer.Take();
+}
+
+Bytes FlContract::EncodeRecover(uint64_t round, uint32_t dropped_owner,
+                                const crypto::UInt256& dh_private_key) {
+  ByteWriter writer;
+  writer.WriteU64(round);
+  writer.WriteU32(dropped_owner);
+  writer.WriteRaw(dh_private_key.ToBytes().data(), 32);
+  return writer.Take();
+}
+
+Status FlContract::Execute(const chain::Transaction& tx,
+                           chain::ContractState* state) {
+  if (tx.method == "setup") {
+    return ExecuteSetup(tx, state);
+  }
+  if (tx.method == "submit_update") {
+    return ExecuteSubmitUpdate(tx, state);
+  }
+  if (tx.method == "recover") {
+    return ExecuteRecover(tx, state);
+  }
+  return Status::Unimplemented("unknown method: " + tx.method);
+}
+
+Status FlContract::ExecuteSetup(const chain::Transaction& tx,
+                                chain::ContractState* state) {
+  if (state->Has(keys::SetupParams())) {
+    return Status::AlreadyExists("setup already executed");
+  }
+  auto params = SetupParams::Deserialize(tx.payload);
+  if (!params.ok()) {
+    return params.status().WithContext("bad setup payload");
+  }
+  // The initiator (owner 0) must sign the setup transaction.
+  if (params->schnorr_public_keys.empty() ||
+      tx.sender != params->schnorr_public_keys[0]) {
+    return Status::PermissionDenied("setup must be signed by owner 0");
+  }
+  state->Put(keys::SetupParams(), tx.payload);
+  return Status::OK();
+}
+
+Status FlContract::ExecuteSubmitUpdate(const chain::Transaction& tx,
+                                       chain::ContractState* state) {
+  auto params_bytes = state->Get(keys::SetupParams());
+  if (!params_bytes.ok()) {
+    return Status::FailedPrecondition("setup has not run");
+  }
+  BCFL_ASSIGN_OR_RETURN(SetupParams params,
+                        SetupParams::Deserialize(*params_bytes));
+
+  ByteReader reader(tx.payload);
+  BCFL_ASSIGN_OR_RETURN(uint64_t round, reader.ReadU64());
+  BCFL_ASSIGN_OR_RETURN(uint32_t owner, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, reader.ReadU64Vector());
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes in submit_update payload");
+  }
+
+  if (owner >= params.num_owners) {
+    return Status::InvalidArgument("unknown owner id");
+  }
+  if (round >= params.rounds) {
+    return Status::InvalidArgument("round beyond the agreed horizon");
+  }
+  // Authentication: the tx must be signed with the owner's key published
+  // at setup (the host already checked the signature itself).
+  if (tx.sender != params.schnorr_public_keys[owner]) {
+    return Status::PermissionDenied(
+        "submission signed with a key not registered for owner " +
+        std::to_string(owner));
+  }
+  size_t expected =
+      static_cast<size_t>(params.weight_rows) * params.weight_cols;
+  if (masked.size() != expected) {
+    return Status::InvalidArgument("masked update has wrong dimension");
+  }
+  std::string update_key = keys::Update(round, owner);
+  if (state->Has(update_key)) {
+    return Status::AlreadyExists("owner already submitted this round");
+  }
+  if (state->Has(keys::Dropped(round, owner))) {
+    return Status::FailedPrecondition(
+        "owner was already recovered as dropped this round");
+  }
+  BCFL_RETURN_IF_ERROR(PutU64Vector(state, update_key, masked));
+  return MaybeEvaluateRound(params, round, state);
+}
+
+Status FlContract::ExecuteRecover(const chain::Transaction& tx,
+                                  chain::ContractState* state) {
+  auto params_bytes = state->Get(keys::SetupParams());
+  if (!params_bytes.ok()) {
+    return Status::FailedPrecondition("setup has not run");
+  }
+  BCFL_ASSIGN_OR_RETURN(SetupParams params,
+                        SetupParams::Deserialize(*params_bytes));
+
+  ByteReader reader(tx.payload);
+  BCFL_ASSIGN_OR_RETURN(uint64_t round, reader.ReadU64());
+  BCFL_ASSIGN_OR_RETURN(uint32_t dropped, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(Bytes key_bytes, reader.ReadRaw(32));
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes in recover payload");
+  }
+  if (dropped >= params.num_owners) {
+    return Status::InvalidArgument("unknown owner id");
+  }
+  if (round >= params.rounds) {
+    return Status::InvalidArgument("round beyond the agreed horizon");
+  }
+  // Any *registered* owner may submit the recovery (it is the product
+  // of a threshold of share reveals, not one party's secret).
+  bool sender_registered = false;
+  for (const auto& key : params.schnorr_public_keys) {
+    if (tx.sender == key) {
+      sender_registered = true;
+      break;
+    }
+  }
+  if (!sender_registered) {
+    return Status::PermissionDenied("recovery must come from an owner");
+  }
+  if (state->Has(keys::Update(round, dropped))) {
+    return Status::FailedPrecondition(
+        "owner submitted this round; nothing to recover");
+  }
+  if (state->Has(keys::Dropped(round, dropped))) {
+    return Status::AlreadyExists("owner already recovered this round");
+  }
+
+  // Verifiability: the revealed private key must match the dropped
+  // owner's DH public key broadcast at setup — g^x == pub. A forged
+  // "recovery" is rejected deterministically by every miner.
+  BCFL_ASSIGN_OR_RETURN(crypto::UInt256 private_key,
+                        crypto::UInt256::FromBytes(key_bytes));
+  crypto::DiffieHellman dh;
+  crypto::UInt256 derived = dh.params().g.ModPow(private_key, dh.params().p);
+  if (derived != params.dh_public_keys[dropped]) {
+    return Status::PermissionDenied(
+        "revealed key does not match owner " + std::to_string(dropped) +
+        "'s public key");
+  }
+  state->Put(keys::Dropped(round, dropped), key_bytes);
+  return MaybeEvaluateRound(params, round, state);
+}
+
+Status FlContract::MaybeEvaluateRound(const SetupParams& params,
+                                      uint64_t round,
+                                      chain::ContractState* state) {
+  size_t submitted =
+      state->KeysWithPrefix(keys::UpdatePrefix(round)).size();
+  size_t dropped = state->KeysWithPrefix(keys::DroppedPrefix(round)).size();
+  if (submitted + dropped < params.num_owners) {
+    return Status::OK();  // Round still in progress.
+  }
+  if (submitted == 0) {
+    return Status::FailedPrecondition("no survivors: cannot evaluate round");
+  }
+  return EvaluateRound(params, round, state);
+}
+
+Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
+                                 chain::ContractState* state) {
+  const size_t n = params.num_owners;
+  const size_t rows = params.weight_rows;
+  const size_t cols = params.weight_cols;
+  secureagg::FixedPointCodec codec(
+      static_cast<int>(params.fixed_point_bits));
+  crypto::DiffieHellman dh;
+
+  // Collect the round's dropout set and the revealed keys.
+  std::map<uint32_t, crypto::UInt256> dropped_keys;
+  for (const auto& key : state->KeysWithPrefix(keys::DroppedPrefix(round))) {
+    // Key layout: "dropped/<round>/<owner>".
+    uint32_t owner = static_cast<uint32_t>(
+        std::stoul(key.substr(key.rfind('/') + 1)));
+    BCFL_ASSIGN_OR_RETURN(Bytes key_bytes, state->Get(key));
+    BCFL_ASSIGN_OR_RETURN(crypto::UInt256 priv,
+                          crypto::UInt256::FromBytes(key_bytes));
+    dropped_keys[owner] = priv;
+  }
+
+  // Derive the deterministic grouping for this round (Algorithm 1,
+  // lines 1-2) — identical on every miner.
+  std::vector<size_t> perm =
+      shapley::PermutationFromSeed(params.seed_e, round, n);
+  BCFL_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> groups,
+                        shapley::GroupUsers(perm, params.num_groups));
+
+  // Line 3: within-group ring sums over the *survivors*; pairwise masks
+  // between survivors cancel, and each survivor<->dropped residual mask
+  // is regenerated from the revealed key and removed. Decode the mean
+  // over survivors as the group model.
+  std::vector<std::vector<size_t>> surviving_groups(groups.size());
+  std::vector<ml::Matrix> group_models;
+  group_models.reserve(groups.size());
+  for (size_t j = 0; j < groups.size(); ++j) {
+    std::vector<size_t> survivors;
+    std::vector<uint32_t> dropped_members;
+    for (size_t member : groups[j]) {
+      if (dropped_keys.count(static_cast<uint32_t>(member)) > 0) {
+        dropped_members.push_back(static_cast<uint32_t>(member));
+      } else {
+        survivors.push_back(member);
+      }
+    }
+    if (survivors.empty()) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(j) + " has no survivors");
+    }
+    surviving_groups[j] = survivors;
+
+    std::vector<uint64_t> sum(rows * cols, 0);
+    for (size_t member : survivors) {
+      BCFL_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> masked,
+          GetU64Vector(*state,
+                       keys::Update(round, static_cast<uint32_t>(member))));
+      for (size_t k = 0; k < sum.size(); ++k) sum[k] += masked[k];
+    }
+    // Residual-mask removal (the recovery path of Bonawitz et al.).
+    for (uint32_t u : dropped_members) {
+      for (size_t v : survivors) {
+        crypto::UInt256 shared = dh.ComputeShared(
+            dropped_keys[u], params.dh_public_keys[v]);
+        auto pair_key = secureagg::DerivePairKey(
+            shared, u, static_cast<secureagg::OwnerId>(v));
+        std::vector<uint64_t> mask =
+            secureagg::ExpandMask(pair_key, round, sum.size());
+        if (v < u) {
+          // Survivor v added +mask against the (larger-id) dropped u.
+          for (size_t k = 0; k < sum.size(); ++k) sum[k] -= mask[k];
+        } else {
+          for (size_t k = 0; k < sum.size(); ++k) sum[k] += mask[k];
+        }
+      }
+    }
+
+    BCFL_ASSIGN_OR_RETURN(std::vector<double> mean,
+                          codec.DecodeMean(sum, survivors.size()));
+    ml::Matrix model(rows, cols);
+    model.mutable_data() = std::move(mean);
+    BCFL_RETURN_IF_ERROR(
+        PutMatrix(state, keys::GroupModel(round, static_cast<uint32_t>(j)),
+                  model));
+    group_models.push_back(std::move(model));
+  }
+
+  // Lines 4-7 over the surviving membership: coalition models, group
+  // SVs, per-user assignment. Dropped owners appear in no group and
+  // score zero for the round.
+  shapley::GroupShapley evaluator(
+      n, {params.num_groups, params.seed_e}, utility_.get());
+  BCFL_ASSIGN_OR_RETURN(shapley::GroupShapleyRound result,
+                        evaluator.EvaluateRoundFromGroupModels(
+                            surviving_groups, std::move(group_models)));
+
+  for (uint32_t i = 0; i < n; ++i) {
+    BCFL_RETURN_IF_ERROR(
+        PutDouble(state, keys::RoundSv(round, i), result.user_values[i]));
+    double total = 0.0;
+    auto prev = GetDouble(*state, keys::TotalSv(i));
+    if (prev.ok()) total = *prev;
+    BCFL_RETURN_IF_ERROR(
+        PutDouble(state, keys::TotalSv(i), total + result.user_values[i]));
+  }
+
+  BCFL_RETURN_IF_ERROR(
+      PutMatrix(state, keys::GlobalModel(round), result.global_model));
+  ByteWriter marker;
+  marker.WriteU8(1);
+  state->Put(keys::RoundComplete(round), marker.Take());
+  return Status::OK();
+}
+
+}  // namespace bcfl::core

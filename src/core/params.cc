@@ -1,0 +1,87 @@
+#include "core/params.h"
+
+namespace bcfl::core {
+
+Bytes SetupParams::Serialize() const {
+  ByteWriter writer;
+  writer.WriteU32(num_owners);
+  writer.WriteU32(rounds);
+  writer.WriteU32(num_groups);
+  writer.WriteU64(seed_e);
+  writer.WriteU32(fixed_point_bits);
+  writer.WriteU32(weight_rows);
+  writer.WriteU32(weight_cols);
+  writer.WriteU32(static_cast<uint32_t>(schnorr_public_keys.size()));
+  for (const auto& key : schnorr_public_keys) {
+    writer.WriteRaw(key.ToBytes().data(), 32);
+  }
+  writer.WriteU32(static_cast<uint32_t>(dh_public_keys.size()));
+  for (const auto& key : dh_public_keys) {
+    writer.WriteRaw(key.ToBytes().data(), 32);
+  }
+  return writer.Take();
+}
+
+Result<SetupParams> SetupParams::Deserialize(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  SetupParams params;
+  BCFL_ASSIGN_OR_RETURN(params.num_owners, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.rounds, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.num_groups, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.seed_e, reader.ReadU64());
+  BCFL_ASSIGN_OR_RETURN(params.fixed_point_bits, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.weight_rows, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.weight_cols, reader.ReadU32());
+
+  BCFL_ASSIGN_OR_RETURN(uint32_t schnorr_count, reader.ReadU32());
+  if (static_cast<uint64_t>(schnorr_count) * 32 > reader.remaining()) {
+    return Status::Corruption("key count exceeds payload");
+  }
+  params.schnorr_public_keys.reserve(schnorr_count);
+  for (uint32_t i = 0; i < schnorr_count; ++i) {
+    BCFL_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+    BCFL_ASSIGN_OR_RETURN(crypto::UInt256 key, crypto::UInt256::FromBytes(raw));
+    params.schnorr_public_keys.push_back(key);
+  }
+  BCFL_ASSIGN_OR_RETURN(uint32_t dh_count, reader.ReadU32());
+  if (static_cast<uint64_t>(dh_count) * 32 > reader.remaining()) {
+    return Status::Corruption("key count exceeds payload");
+  }
+  params.dh_public_keys.reserve(dh_count);
+  for (uint32_t i = 0; i < dh_count; ++i) {
+    BCFL_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+    BCFL_ASSIGN_OR_RETURN(crypto::UInt256 key, crypto::UInt256::FromBytes(raw));
+    params.dh_public_keys.push_back(key);
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes after setup params");
+  }
+  BCFL_RETURN_IF_ERROR(params.Validate());
+  return params;
+}
+
+Status SetupParams::Validate() const {
+  if (num_owners == 0) {
+    return Status::InvalidArgument("num_owners must be >= 1");
+  }
+  if (num_groups == 0 || num_groups > num_owners) {
+    return Status::InvalidArgument("num_groups must be in [1, num_owners]");
+  }
+  if (num_groups > 20) {
+    return Status::InvalidArgument("num_groups > 20 is intractable");
+  }
+  if (rounds == 0) {
+    return Status::InvalidArgument("rounds must be >= 1");
+  }
+  if (weight_rows == 0 || weight_cols == 0) {
+    return Status::InvalidArgument("model shape must be non-zero");
+  }
+  if (schnorr_public_keys.size() != num_owners ||
+      dh_public_keys.size() != num_owners) {
+    return Status::InvalidArgument(
+        "key roster size does not match num_owners");
+  }
+  return Status::OK();
+}
+
+}  // namespace bcfl::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/uint256.h"
+
+namespace bcfl::core {
+
+/// Everything the data owners agree on at the off-chain setup stage
+/// (Sect. IV-B): FL parameters, secure-aggregation parameters and
+/// contribution-evaluation parameters. The setup transaction publishes
+/// this structure to the blockchain, after which every miner can derive
+/// groupings, verify submissions and evaluate contributions.
+struct SetupParams {
+  uint32_t num_owners = 9;
+  uint32_t rounds = 10;        ///< R, total FL rounds.
+  uint32_t num_groups = 3;     ///< m, GroupSV resolution knob.
+  uint64_t seed_e = 7;         ///< Permutation seed e.
+  uint32_t fixed_point_bits = 24;
+  uint32_t weight_rows = 65;   ///< Model shape: (features + 1).
+  uint32_t weight_cols = 10;   ///< Classes.
+
+  /// Broadcast key material, indexed by owner id.
+  std::vector<crypto::UInt256> schnorr_public_keys;
+  std::vector<crypto::UInt256> dh_public_keys;
+
+  Bytes Serialize() const;
+  static Result<SetupParams> Deserialize(const Bytes& bytes);
+
+  /// Sanity checks (key counts match num_owners, m <= n, etc.).
+  Status Validate() const;
+};
+
+}  // namespace bcfl::core

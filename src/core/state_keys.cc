@@ -1,0 +1,101 @@
+#include "core/state_keys.h"
+
+#include <cstdio>
+
+namespace bcfl::core {
+
+namespace keys {
+
+namespace {
+
+std::string Pad(uint64_t value) {
+  char buf[21];
+  std::snprintf(buf, sizeof(buf), "%08llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+std::string SetupParams() { return "setup/params"; }
+
+std::string Update(uint64_t round, uint32_t owner) {
+  return "update/" + Pad(round) + "/" + Pad(owner);
+}
+
+std::string UpdatePrefix(uint64_t round) {
+  return "update/" + Pad(round) + "/";
+}
+
+std::string GroupModel(uint64_t round, uint32_t group) {
+  return "group_model/" + Pad(round) + "/" + Pad(group);
+}
+
+std::string GlobalModel(uint64_t round) { return "global/" + Pad(round); }
+
+std::string RoundSv(uint64_t round, uint32_t owner) {
+  return "sv/" + Pad(round) + "/" + Pad(owner);
+}
+
+std::string TotalSv(uint32_t owner) { return "sv_total/" + Pad(owner); }
+
+std::string RoundComplete(uint64_t round) {
+  return "round_complete/" + Pad(round);
+}
+
+std::string Dropped(uint64_t round, uint32_t owner) {
+  return "dropped/" + Pad(round) + "/" + Pad(owner);
+}
+
+std::string DroppedPrefix(uint64_t round) {
+  return "dropped/" + Pad(round) + "/";
+}
+
+}  // namespace keys
+
+Status PutDouble(chain::ContractState* state, const std::string& key,
+                 double value) {
+  ByteWriter writer;
+  writer.WriteDouble(value);
+  state->Put(key, writer.Take());
+  return Status::OK();
+}
+
+Result<double> GetDouble(const chain::ContractState& state,
+                         const std::string& key) {
+  BCFL_ASSIGN_OR_RETURN(Bytes raw, state.Get(key));
+  ByteReader reader(raw);
+  return reader.ReadDouble();
+}
+
+Status PutMatrix(chain::ContractState* state, const std::string& key,
+                 const ml::Matrix& m) {
+  ByteWriter writer;
+  m.Serialize(&writer);
+  state->Put(key, writer.Take());
+  return Status::OK();
+}
+
+Result<ml::Matrix> GetMatrix(const chain::ContractState& state,
+                             const std::string& key) {
+  BCFL_ASSIGN_OR_RETURN(Bytes raw, state.Get(key));
+  ByteReader reader(raw);
+  return ml::Matrix::Deserialize(&reader);
+}
+
+Status PutU64Vector(chain::ContractState* state, const std::string& key,
+                    const std::vector<uint64_t>& v) {
+  ByteWriter writer;
+  writer.WriteU64Vector(v);
+  state->Put(key, writer.Take());
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> GetU64Vector(const chain::ContractState& state,
+                                           const std::string& key) {
+  BCFL_ASSIGN_OR_RETURN(Bytes raw, state.Get(key));
+  ByteReader reader(raw);
+  return reader.ReadU64Vector();
+}
+
+}  // namespace bcfl::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/state.h"
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::core {
+
+/// Canonical contract-state key layout of the BCFL framework. Numeric
+/// components are zero-padded so lexicographic prefix scans enumerate
+/// rounds and owners in order.
+namespace keys {
+
+/// "setup/params"
+std::string SetupParams();
+/// "update/<round>/<owner>" — a masked model update.
+std::string Update(uint64_t round, uint32_t owner);
+/// Prefix of all updates of a round.
+std::string UpdatePrefix(uint64_t round);
+/// "group_model/<round>/<group>" — decoded group model W_j.
+std::string GroupModel(uint64_t round, uint32_t group);
+/// "global/<round>" — global model after the round.
+std::string GlobalModel(uint64_t round);
+/// "sv/<round>/<owner>" — per-round contribution v_i^r.
+std::string RoundSv(uint64_t round, uint32_t owner);
+/// "sv_total/<owner>" — accumulated contribution.
+std::string TotalSv(uint32_t owner);
+/// "round_complete/<round>" — marker written after evaluation.
+std::string RoundComplete(uint64_t round);
+/// "dropped/<round>/<owner>" — revealed DH private key of a dropped owner.
+std::string Dropped(uint64_t round, uint32_t owner);
+/// Prefix of all dropout records of a round.
+std::string DroppedPrefix(uint64_t round);
+
+}  // namespace keys
+
+/// Typed helpers over the raw byte values stored at the keys above.
+Status PutDouble(chain::ContractState* state, const std::string& key,
+                 double value);
+Result<double> GetDouble(const chain::ContractState& state,
+                         const std::string& key);
+Status PutMatrix(chain::ContractState* state, const std::string& key,
+                 const ml::Matrix& m);
+Result<ml::Matrix> GetMatrix(const chain::ContractState& state,
+                             const std::string& key);
+Status PutU64Vector(chain::ContractState* state, const std::string& key,
+                    const std::vector<uint64_t>& v);
+Result<std::vector<uint64_t>> GetU64Vector(const chain::ContractState& state,
+                                           const std::string& key);
+
+}  // namespace bcfl::core

@@ -1,0 +1,120 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace bcfl::crypto {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, kKeySize>& key,
+                   const std::array<uint8_t, kNonceSize>& nonce,
+                   uint32_t counter)
+    : block_offset_(64) {
+  // "expand 32-byte k" sigma constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = LoadLe32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = LoadLe32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::RefillBlock() {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    // Diagonal rounds.
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t word = x[i] + state_[i];
+    block_[4 * i + 0] = static_cast<uint8_t>(word);
+    block_[4 * i + 1] = static_cast<uint8_t>(word >> 8);
+    block_[4 * i + 2] = static_cast<uint8_t>(word >> 16);
+    block_[4 * i + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  state_[12] += 1;  // Block counter.
+  block_offset_ = 0;
+}
+
+void ChaCha20::Keystream(uint8_t* out, size_t size) {
+  while (size > 0) {
+    if (block_offset_ == 64) RefillBlock();
+    size_t take = std::min<size_t>(size, 64 - block_offset_);
+    std::memcpy(out, block_.data() + block_offset_, take);
+    block_offset_ += take;
+    out += take;
+    size -= take;
+  }
+}
+
+Bytes ChaCha20::Keystream(size_t size) {
+  Bytes out(size);
+  Keystream(out.data(), size);
+  return out;
+}
+
+void ChaCha20::Crypt(uint8_t* data, size_t size) {
+  while (size > 0) {
+    if (block_offset_ == 64) RefillBlock();
+    size_t take = std::min<size_t>(size, 64 - block_offset_);
+    for (size_t i = 0; i < take; ++i) data[i] ^= block_[block_offset_ + i];
+    block_offset_ += take;
+    data += take;
+    size -= take;
+  }
+}
+
+uint64_t ChaCha20::NextU64() {
+  uint8_t raw[8];
+  Keystream(raw, sizeof(raw));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+  return v;
+}
+
+ChaChaRng::ChaChaRng(const std::array<uint8_t, ChaCha20::kKeySize>& key,
+                     uint64_t stream_id)
+    : cipher_(key,
+              [stream_id] {
+                std::array<uint8_t, ChaCha20::kNonceSize> nonce{};
+                for (int i = 0; i < 8; ++i) {
+                  nonce[i] = static_cast<uint8_t>(stream_id >> (8 * i));
+                }
+                return nonce;
+              }(),
+              0) {}
+
+uint64_t ChaChaRng::NextU64() { return cipher_.NextU64(); }
+
+double ChaChaRng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace bcfl::crypto {
+
+/// ChaCha20 stream cipher / deterministic random byte generator
+/// (RFC 8439 block function).
+///
+/// In this library ChaCha20 is the `PRNG(key, round)` of the paper's
+/// secure-aggregation sketch: pairwise Diffie–Hellman secrets key the
+/// cipher, the FL round number selects the nonce, and the keystream
+/// becomes the additive mask over the fixed-point ring.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  /// Initialises the cipher with a 256-bit key and a 96-bit nonce,
+  /// starting at block `counter`.
+  ChaCha20(const std::array<uint8_t, kKeySize>& key,
+           const std::array<uint8_t, kNonceSize>& nonce,
+           uint32_t counter = 0);
+
+  /// Fills `out[0..size)` with keystream bytes.
+  void Keystream(uint8_t* out, size_t size);
+  Bytes Keystream(size_t size);
+
+  /// XORs `size` bytes of keystream into `data` (encrypt == decrypt).
+  void Crypt(uint8_t* data, size_t size);
+
+  /// Next 64 bits of keystream interpreted little-endian — the generator
+  /// behind mask sampling.
+  uint64_t NextU64();
+
+ private:
+  void RefillBlock();
+
+  std::array<uint32_t, 16> state_;
+  std::array<uint8_t, 64> block_;
+  size_t block_offset_;
+};
+
+/// Convenience: a seedable uint64 stream from a 32-byte key + 64-bit
+/// stream id. Deterministic across platforms.
+class ChaChaRng {
+ public:
+  ChaChaRng(const std::array<uint8_t, ChaCha20::kKeySize>& key,
+            uint64_t stream_id);
+
+  uint64_t NextU64();
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  ChaCha20 cipher_;
+};
+
+}  // namespace bcfl::crypto

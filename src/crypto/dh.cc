@@ -1,0 +1,49 @@
+#include "crypto/dh.h"
+
+namespace bcfl::crypto {
+
+GroupParams GroupParams::Default() {
+  // p = 2^255 - 19, little-endian limbs.
+  UInt256 p(0xffffffffffffffedULL, 0xffffffffffffffffULL,
+            0xffffffffffffffffULL, 0x7fffffffffffffffULL);
+  return GroupParams{p, UInt256(2)};
+}
+
+UInt256 RandomInRange(Xoshiro256* rng, const UInt256& low,
+                      const UInt256& high) {
+  // range = high - low + 1; sample 256 random bits, reduce mod range.
+  UInt256 range = high.Sub(low).Add(UInt256(1));
+  UInt256 sample(rng->Next(), rng->Next(), rng->Next(), rng->Next());
+  if (range.IsZero()) {
+    // Full 2^256 range: the raw sample is already uniform.
+    return sample;
+  }
+  return low.Add(sample.Mod(range));
+}
+
+DhKeyPair DiffieHellman::GenerateKeyPair(Xoshiro256* rng) const {
+  UInt256 two(2);
+  UInt256 max = params_.p.Sub(UInt256(2));
+  UInt256 x = RandomInRange(rng, two, max);
+  UInt256 y = params_.g.ModPow(x, params_.p);
+  return DhKeyPair{x, y};
+}
+
+UInt256 DiffieHellman::ComputeShared(const UInt256& private_key,
+                                     const UInt256& peer_public) const {
+  return peer_public.ModPow(private_key, params_.p);
+}
+
+std::array<uint8_t, 32> DiffieHellman::DeriveKey(const UInt256& shared,
+                                                 std::string_view label) {
+  Sha256 hasher;
+  hasher.Update(label);
+  Bytes bytes = shared.ToBytes();
+  hasher.Update(bytes);
+  Digest digest = hasher.Finish();
+  std::array<uint8_t, 32> key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "crypto/uint256.h"
+
+namespace bcfl::crypto {
+
+/// Multiplicative-group parameters for discrete-log cryptography.
+///
+/// The default group uses p = 2^255 - 19 (a well-known 255-bit prime) with
+/// generator g = 2. The paper's secure-aggregation sketch ("based on
+/// discrete logarithm cryptography") only needs a commutative group where
+/// g^(ab) is derivable by both endpoints; a production deployment would
+/// use an RFC 3526 MODP group or an elliptic curve, which is a drop-in
+/// swap behind this interface.
+struct GroupParams {
+  UInt256 p;  ///< Prime modulus.
+  UInt256 g;  ///< Generator.
+
+  /// p = 2^255 - 19, g = 2.
+  static GroupParams Default();
+};
+
+/// A Diffie–Hellman key pair: x and g^x mod p.
+struct DhKeyPair {
+  UInt256 private_key;
+  UInt256 public_key;
+};
+
+/// Diffie–Hellman key agreement over `GroupParams`.
+///
+/// Every data owner broadcasts g^x to the blockchain during setup
+/// (Sect. IV-A-1 of the paper); pairwise shared secrets g^(xy) then key
+/// the mask PRNG in the secure-aggregation module.
+class DiffieHellman {
+ public:
+  explicit DiffieHellman(GroupParams params = GroupParams::Default())
+      : params_(params) {}
+
+  const GroupParams& params() const { return params_; }
+
+  /// Samples a private key uniformly from [2, p-2] and derives the public
+  /// key. Deterministic given the RNG state, so protocol runs are
+  /// reproducible.
+  DhKeyPair GenerateKeyPair(Xoshiro256* rng) const;
+
+  /// Computes the shared group element peer_public^private mod p.
+  UInt256 ComputeShared(const UInt256& private_key,
+                        const UInt256& peer_public) const;
+
+  /// Derives a 32-byte symmetric key from a shared group element:
+  /// SHA-256(label || shared.bytes). Distinct labels yield independent
+  /// keys from the same secret.
+  static std::array<uint8_t, 32> DeriveKey(const UInt256& shared,
+                                           std::string_view label);
+
+ private:
+  GroupParams params_;
+};
+
+/// Samples a uniformly random value in [low, high] (inclusive) using
+/// rejection-free mod reduction; bias is negligible for 256-bit ranges.
+UInt256 RandomInRange(Xoshiro256* rng, const UInt256& low,
+                      const UInt256& high);
+
+}  // namespace bcfl::crypto

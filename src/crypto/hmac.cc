@@ -1,0 +1,72 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace bcfl::crypto {
+
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+Digest HmacSha256Raw(const Bytes& key, const uint8_t* msg, size_t msg_len) {
+  // Keys longer than the block size are hashed first (RFC 2104).
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    Digest hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize], opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(msg, msg_len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace
+
+Digest HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacSha256Raw(key, message.data(), message.size());
+}
+
+Digest HmacSha256(const Bytes& key, std::string_view message) {
+  return HmacSha256Raw(key, reinterpret_cast<const uint8_t*>(message.data()),
+                       message.size());
+}
+
+Bytes HkdfExpand(const Bytes& prk, std::string_view info, size_t length) {
+  Bytes out;
+  out.reserve(length);
+  Bytes previous;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = previous;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    Digest t = HmacSha256(prk, block);
+    previous.assign(t.begin(), t.end());
+    size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+Bytes Hkdf(const Bytes& input_key, const Bytes& salt, std::string_view info,
+           size_t length) {
+  Digest prk = HmacSha256(salt, input_key);
+  return HkdfExpand(DigestToBytes(prk), info, length);
+}
+
+}  // namespace bcfl::crypto

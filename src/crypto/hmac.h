@@ -1,0 +1,25 @@
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::crypto {
+
+/// HMAC-SHA256 (RFC 2104).
+///
+/// Used for key derivation (HKDF-style expand below) and as a keyed MAC
+/// in tests/examples. Verified against RFC 4231 test vectors.
+Digest HmacSha256(const Bytes& key, const Bytes& message);
+Digest HmacSha256(const Bytes& key, std::string_view message);
+
+/// Minimal HKDF-SHA256 expand step (RFC 5869): derives `length` bytes of
+/// keying material from a pseudorandom key and an info label. The library
+/// uses it to derive independent mask/cipher keys from a Diffie–Hellman
+/// shared secret.
+Bytes HkdfExpand(const Bytes& prk, std::string_view info, size_t length);
+
+/// Full HKDF (extract + expand) with optional salt.
+Bytes Hkdf(const Bytes& input_key, const Bytes& salt, std::string_view info,
+           size_t length);
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,164 @@
+#include "crypto/shamir.h"
+
+#include <set>
+
+namespace bcfl::crypto {
+
+uint64_t ShamirSecretSharing::FieldAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // < 2^62, no overflow.
+  if (s >= kPrime) s -= kPrime;
+  return s;
+}
+
+uint64_t ShamirSecretSharing::FieldSub(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+uint64_t ShamirSecretSharing::FieldMul(uint64_t a, uint64_t b) {
+  unsigned __int128 product = static_cast<unsigned __int128>(a) * b;
+  // Fast Mersenne reduction: x = hi*2^61 + lo == hi + lo (mod 2^61 - 1).
+  uint64_t lo = static_cast<uint64_t>(product) & kPrime;
+  uint64_t hi = static_cast<uint64_t>(product >> 61);
+  uint64_t s = lo + hi;
+  if (s >= kPrime) s -= kPrime;
+  // One more fold covers hi parts beyond 61 bits (product < 2^122).
+  if (s >= kPrime) s -= kPrime;
+  return s;
+}
+
+uint64_t ShamirSecretSharing::FieldPow(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kPrime;
+  while (exp > 0) {
+    if (exp & 1) result = FieldMul(result, base);
+    base = FieldMul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t ShamirSecretSharing::FieldInv(uint64_t a) {
+  return FieldPow(a, kPrime - 2);
+}
+
+Result<ShamirSecretSharing> ShamirSecretSharing::Create(size_t threshold,
+                                                        size_t num_shares) {
+  if (threshold == 0) {
+    return Status::InvalidArgument("threshold must be >= 1");
+  }
+  if (threshold > num_shares) {
+    return Status::InvalidArgument("threshold exceeds number of shares");
+  }
+  if (num_shares >= kPrime) {
+    return Status::InvalidArgument("too many shares for the field");
+  }
+  return ShamirSecretSharing(threshold, num_shares);
+}
+
+std::vector<uint64_t> ShamirSecretSharing::Pack(const Bytes& secret) {
+  std::vector<uint64_t> out;
+  out.reserve((secret.size() + kChunkBytes - 1) / kChunkBytes);
+  for (size_t i = 0; i < secret.size(); i += kChunkBytes) {
+    uint64_t v = 0;
+    for (size_t j = 0; j < kChunkBytes && i + j < secret.size(); ++j) {
+      v |= static_cast<uint64_t>(secret[i + j]) << (8 * j);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Bytes ShamirSecretSharing::Unpack(const std::vector<uint64_t>& elements,
+                                  size_t size) {
+  Bytes out;
+  out.reserve(size);
+  for (uint64_t v : elements) {
+    for (size_t j = 0; j < kChunkBytes && out.size() < size; ++j) {
+      out.push_back(static_cast<uint8_t>(v >> (8 * j)));
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<ShamirShare> ShamirSecretSharing::Split(const Bytes& secret,
+                                                    Xoshiro256* rng) const {
+  std::vector<uint64_t> chunks = Pack(secret);
+  std::vector<ShamirShare> shares(num_shares_);
+  for (size_t s = 0; s < num_shares_; ++s) {
+    shares[s].x = static_cast<uint64_t>(s + 1);
+    shares[s].values.resize(chunks.size());
+  }
+  // One random polynomial of degree threshold-1 per chunk, constant term
+  // = the chunk value.
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    std::vector<uint64_t> coeffs(threshold_);
+    coeffs[0] = chunks[c] % kPrime;
+    for (size_t d = 1; d < threshold_; ++d) {
+      coeffs[d] = rng->NextBounded(kPrime);
+    }
+    for (size_t s = 0; s < num_shares_; ++s) {
+      // Horner evaluation at x = s+1.
+      uint64_t x = shares[s].x;
+      uint64_t y = 0;
+      for (size_t d = threshold_; d-- > 0;) {
+        y = FieldAdd(FieldMul(y, x), coeffs[d]);
+      }
+      shares[s].values[c] = y;
+    }
+  }
+  return shares;
+}
+
+Result<Bytes> ShamirSecretSharing::Reconstruct(
+    const std::vector<ShamirShare>& shares, size_t secret_size) const {
+  if (shares.size() < threshold_) {
+    return Status::FailedPrecondition(
+        "insufficient shares: need " + std::to_string(threshold_) + ", have " +
+        std::to_string(shares.size()));
+  }
+  // Use exactly `threshold_` shares; validate coordinates.
+  std::set<uint64_t> seen;
+  std::vector<const ShamirShare*> used;
+  for (const auto& share : shares) {
+    if (share.x == 0 || share.x >= kPrime) {
+      return Status::InvalidArgument("share has invalid x coordinate");
+    }
+    if (!seen.insert(share.x).second) {
+      return Status::InvalidArgument("duplicate share x coordinate");
+    }
+    used.push_back(&share);
+    if (used.size() == threshold_) break;
+  }
+  size_t num_chunks = used[0]->values.size();
+  for (const auto* share : used) {
+    if (share->values.size() != num_chunks) {
+      return Status::InvalidArgument("shares have mismatched chunk counts");
+    }
+  }
+
+  // Lagrange interpolation at x = 0:
+  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i).
+  std::vector<uint64_t> basis(used.size());
+  for (size_t i = 0; i < used.size(); ++i) {
+    uint64_t num = 1, den = 1;
+    for (size_t j = 0; j < used.size(); ++j) {
+      if (j == i) continue;
+      num = FieldMul(num, used[j]->x % kPrime);
+      den = FieldMul(den, FieldSub(used[j]->x % kPrime, used[i]->x % kPrime));
+    }
+    basis[i] = FieldMul(num, FieldInv(den));
+  }
+
+  std::vector<uint64_t> chunks(num_chunks, 0);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < used.size(); ++i) {
+      acc = FieldAdd(acc, FieldMul(used[i]->values[c], basis[i]));
+    }
+    chunks[c] = acc;
+  }
+  return Unpack(chunks, secret_size);
+}
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace bcfl::crypto {
+
+/// One participant's share of a secret-shared value.
+struct ShamirShare {
+  uint64_t x;                    ///< Evaluation point (participant index, >= 1).
+  std::vector<uint64_t> values;  ///< One field element per secret chunk.
+};
+
+/// Shamir secret sharing over GF(p) with p = 2^61 - 1 (Mersenne prime).
+///
+/// The secure-aggregation protocol (following Bonawitz et al., which the
+/// paper adopts) secret-shares each owner's mask seeds so the remaining
+/// owners can reconstruct the pairwise masks of a dropped participant and
+/// un-stick the aggregate. Byte secrets are packed 7 bytes per field
+/// element (56 bits < 61 bits), so any byte string round-trips exactly.
+class ShamirSecretSharing {
+ public:
+  /// Field modulus, 2^61 - 1.
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+  /// Bytes packed into each field element.
+  static constexpr size_t kChunkBytes = 7;
+
+  /// Creates a (threshold, num_shares) scheme: any `threshold` shares
+  /// reconstruct, fewer reveal nothing. Requires
+  /// 1 <= threshold <= num_shares < kPrime.
+  static Result<ShamirSecretSharing> Create(size_t threshold,
+                                            size_t num_shares);
+
+  size_t threshold() const { return threshold_; }
+  size_t num_shares() const { return num_shares_; }
+
+  /// Splits `secret` (arbitrary bytes) into `num_shares()` shares.
+  std::vector<ShamirShare> Split(const Bytes& secret, Xoshiro256* rng) const;
+
+  /// Reconstructs the secret from >= threshold() shares with distinct,
+  /// valid x coordinates. `secret_size` restores the exact original
+  /// length (packing pads the final chunk).
+  Result<Bytes> Reconstruct(const std::vector<ShamirShare>& shares,
+                            size_t secret_size) const;
+
+  // Field helpers, exposed for tests.
+  static uint64_t FieldAdd(uint64_t a, uint64_t b);
+  static uint64_t FieldSub(uint64_t a, uint64_t b);
+  static uint64_t FieldMul(uint64_t a, uint64_t b);
+  /// Multiplicative inverse via Fermat's little theorem; a != 0.
+  static uint64_t FieldInv(uint64_t a);
+  static uint64_t FieldPow(uint64_t base, uint64_t exp);
+
+ private:
+  ShamirSecretSharing(size_t threshold, size_t num_shares)
+      : threshold_(threshold), num_shares_(num_shares) {}
+
+  /// Packs bytes into field elements, 7 bytes each, zero-padded.
+  static std::vector<uint64_t> Pack(const Bytes& secret);
+  /// Inverse of Pack.
+  static Bytes Unpack(const std::vector<uint64_t>& elements, size_t size);
+
+  size_t threshold_;
+  size_t num_shares_;
+};
+
+}  // namespace bcfl::crypto

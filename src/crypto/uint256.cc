@@ -1,0 +1,219 @@
+#include "crypto/uint256.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace bcfl::crypto {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+Result<UInt256> UInt256::FromHex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 64) {
+    return Status::InvalidArgument("hex must be 1..64 digits");
+  }
+  UInt256 out;
+  for (char c : hex) {
+    int v = HexValue(c);
+    if (v < 0) return Status::InvalidArgument("non-hex character");
+    // out = out * 16 + v, via four single-bit shifts.
+    for (int i = 0; i < 4; ++i) {
+      if (out.ShiftLeft1()) {
+        return Status::OutOfRange("hex value exceeds 256 bits");
+      }
+    }
+    out.limbs_[0] |= static_cast<uint64_t>(v);
+  }
+  return out;
+}
+
+std::string UInt256::ToHex() const {
+  std::string out(64, '0');
+  for (int i = 0; i < 64; ++i) {
+    // Nibble i counted from the most-significant end.
+    int limb_index = 3 - i / 16;
+    int shift = (15 - i % 16) * 4;
+    out[i] = kHexDigits[(limbs_[limb_index] >> shift) & 0xf];
+  }
+  return out;
+}
+
+Result<UInt256> UInt256::FromBytes(const Bytes& bytes) {
+  if (bytes.size() != 32) {
+    return Status::InvalidArgument("UInt256 requires exactly 32 bytes");
+  }
+  UInt256 out;
+  for (int i = 0; i < 32; ++i) {
+    // bytes[0] is the most significant byte.
+    int limb_index = 3 - i / 8;
+    int shift = (7 - i % 8) * 8;
+    out.limbs_[limb_index] |= static_cast<uint64_t>(bytes[i]) << shift;
+  }
+  return out;
+}
+
+Bytes UInt256::ToBytes() const {
+  Bytes out(32);
+  for (int i = 0; i < 32; ++i) {
+    int limb_index = 3 - i / 8;
+    int shift = (7 - i % 8) * 8;
+    out[i] = static_cast<uint8_t>(limbs_[limb_index] >> shift);
+  }
+  return out;
+}
+
+bool UInt256::IsZero() const {
+  return limbs_[0] == 0 && limbs_[1] == 0 && limbs_[2] == 0 && limbs_[3] == 0;
+}
+
+int UInt256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != 0) {
+      return 64 * i + (64 - std::countl_zero(limbs_[i]));
+    }
+  }
+  return 0;
+}
+
+bool UInt256::Bit(int i) const {
+  return (limbs_[i / 64] >> (i % 64)) & 1;
+}
+
+int UInt256::Compare(const UInt256& other) const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] < other.limbs_[i]) return -1;
+    if (limbs_[i] > other.limbs_[i]) return 1;
+  }
+  return 0;
+}
+
+UInt256 UInt256::Add(const UInt256& other, bool* carry_out) const {
+  UInt256 out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 sum = static_cast<unsigned __int128>(limbs_[i]) +
+                            other.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  if (carry_out != nullptr) *carry_out = carry != 0;
+  return out;
+}
+
+UInt256 UInt256::Sub(const UInt256& other, bool* borrow_out) const {
+  UInt256 out;
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t a = limbs_[i];
+    uint64_t b = other.limbs_[i];
+    uint64_t d1 = a - b;
+    uint64_t borrow1 = a < b ? 1 : 0;
+    uint64_t d2 = d1 - borrow;
+    uint64_t borrow2 = d1 < borrow ? 1 : 0;
+    out.limbs_[i] = d2;
+    borrow = borrow1 | borrow2;
+  }
+  if (borrow_out != nullptr) *borrow_out = borrow != 0;
+  return out;
+}
+
+bool UInt256::ShiftLeft1() {
+  bool carry = (limbs_[3] >> 63) & 1;
+  for (int i = 3; i > 0; --i) {
+    limbs_[i] = (limbs_[i] << 1) | (limbs_[i - 1] >> 63);
+  }
+  limbs_[0] <<= 1;
+  return carry;
+}
+
+UInt256 UInt256::ModAdd(const UInt256& other, const UInt256& m) const {
+  bool carry = false;
+  UInt256 sum = Add(other, &carry);
+  // sum may exceed m (or have overflowed 2^256); one subtraction suffices
+  // because both operands are < m <= 2^256.
+  if (carry || sum >= m) {
+    sum = sum.Sub(m);
+  }
+  return sum;
+}
+
+UInt256 UInt256::ModSub(const UInt256& other, const UInt256& m) const {
+  bool borrow = false;
+  UInt256 diff = Sub(other, &borrow);
+  if (borrow) diff = diff.Add(m);
+  return diff;
+}
+
+std::array<uint64_t, 8> MulWide(const UInt256& a, const UInt256& b) {
+  std::array<uint64_t, 8> out{};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.limb(i)) *
+                                  b.limb(j) +
+                              out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out[i + 4] = static_cast<uint64_t>(carry);
+  }
+  return out;
+}
+
+UInt256 Reduce512(const std::array<uint64_t, 8>& value, const UInt256& m) {
+  // Restoring binary long division: scan the 512 bits from the most
+  // significant down, maintaining remainder r < m. After the shift-in,
+  // r < 2m <= 2^257, so we track one overflow bit explicitly.
+  UInt256 r;
+  for (int bit = 511; bit >= 0; --bit) {
+    bool overflow = r.ShiftLeft1();
+    if ((value[bit / 64] >> (bit % 64)) & 1) {
+      bool carry = false;
+      r = r.Add(UInt256(1), &carry);
+      overflow = overflow || carry;
+    }
+    if (overflow || r >= m) {
+      // r = (overflow * 2^256 + r) - m; the borrow is absorbed by the
+      // overflow bit when present.
+      r = r.Sub(m);
+    }
+  }
+  return r;
+}
+
+UInt256 UInt256::ModMul(const UInt256& other, const UInt256& m) const {
+  return Reduce512(MulWide(*this, other), m);
+}
+
+UInt256 UInt256::Mod(const UInt256& m) const {
+  std::array<uint64_t, 8> wide{};
+  for (int i = 0; i < 4; ++i) wide[i] = limbs_[i];
+  return Reduce512(wide, m);
+}
+
+UInt256 UInt256::ModPow(const UInt256& exponent, const UInt256& m) const {
+  UInt256 result(1);
+  result = result.Mod(m);  // Handles m == 1.
+  UInt256 base = Mod(m);
+  int bits = exponent.BitLength();
+  // Left-to-right square-and-multiply.
+  for (int i = bits - 1; i >= 0; --i) {
+    result = result.ModMul(result, m);
+    if (exponent.Bit(i)) {
+      result = result.ModMul(base, m);
+    }
+  }
+  return result;
+}
+
+}  // namespace bcfl::crypto

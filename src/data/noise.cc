@@ -1,0 +1,50 @@
+#include "data/noise.h"
+
+namespace bcfl::data {
+
+void AddGaussianNoise(ml::Dataset* dataset, double sigma, Xoshiro256* rng) {
+  if (sigma <= 0.0) return;
+  for (double& v : dataset->mutable_features().mutable_data()) {
+    v += rng->NextGaussian(0.0, sigma);
+  }
+}
+
+Status ApplyQualityGradient(std::vector<ml::Dataset>* owners, double sigma,
+                            uint64_t seed) {
+  if (owners == nullptr || owners->empty()) {
+    return Status::InvalidArgument("no owner datasets");
+  }
+  if (sigma < 0.0) {
+    return Status::InvalidArgument("sigma must be non-negative");
+  }
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < owners->size(); ++i) {
+    // d_i += N(0, sigma * i): owner 0 stays clean.
+    AddGaussianNoise(&(*owners)[i], sigma * static_cast<double>(i), &rng);
+  }
+  return Status::OK();
+}
+
+Status FlipLabels(ml::Dataset* dataset, double flip_prob, Xoshiro256* rng) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset");
+  }
+  if (flip_prob < 0.0 || flip_prob > 1.0) {
+    return Status::InvalidArgument("flip_prob must be in [0, 1]");
+  }
+  int num_classes = dataset->num_classes();
+  if (num_classes < 2) {
+    return Status::FailedPrecondition("need >= 2 classes to flip labels");
+  }
+  for (int& label : dataset->mutable_labels()) {
+    if (rng->NextDouble() < flip_prob) {
+      // Pick a different class uniformly.
+      int offset = 1 + static_cast<int>(rng->NextBounded(
+                           static_cast<uint64_t>(num_classes - 1)));
+      label = (label + offset) % num_classes;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bcfl::data

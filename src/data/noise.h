@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace bcfl::data {
+
+/// Adds i.i.d. Gaussian noise N(0, sigma^2) to every feature of `dataset`
+/// in place. Used to model data quality.
+void AddGaussianNoise(ml::Dataset* dataset, double sigma, Xoshiro256* rng);
+
+/// Applies the paper's quality gradient across owners: owner i receives
+/// noise N(0, (sigma * i)^2), so owner 0 keeps the best data and quality
+/// degrades linearly with the index (Sect. V-A-1).
+Status ApplyQualityGradient(std::vector<ml::Dataset>* owners, double sigma,
+                            uint64_t seed);
+
+/// Flips each label to a uniformly random different class with
+/// probability `flip_prob` — an adversarial-participant model used by the
+/// robustness extensions.
+Status FlipLabels(ml::Dataset* dataset, double flip_prob, Xoshiro256* rng);
+
+}  // namespace bcfl::data

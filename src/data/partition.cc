@@ -1,0 +1,117 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bcfl::data {
+
+namespace {
+
+Result<std::vector<ml::Dataset>> SubsetsFromIndexGroups(
+    const ml::Dataset& dataset,
+    const std::vector<std::vector<size_t>>& groups) {
+  std::vector<ml::Dataset> parts;
+  parts.reserve(groups.size());
+  for (const auto& indices : groups) {
+    if (indices.empty()) {
+      return Status::InvalidArgument(
+          "partition produced an empty part; too many parts for dataset");
+    }
+    BCFL_ASSIGN_OR_RETURN(ml::Dataset part, dataset.Subset(indices));
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<std::vector<ml::Dataset>> PartitionUniform(const ml::Dataset& dataset,
+                                                  size_t num_parts,
+                                                  Xoshiro256* rng) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  if (num_parts > dataset.num_examples()) {
+    return Status::InvalidArgument("more parts than examples");
+  }
+  std::vector<size_t> perm = rng->Permutation(dataset.num_examples());
+  std::vector<std::vector<size_t>> groups(num_parts);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    groups[i % num_parts].push_back(perm[i]);
+  }
+  return SubsetsFromIndexGroups(dataset, groups);
+}
+
+Result<std::vector<ml::Dataset>> PartitionWeighted(
+    const ml::Dataset& dataset, const std::vector<double>& fractions,
+    Xoshiro256* rng) {
+  if (fractions.empty()) {
+    return Status::InvalidArgument("no fractions given");
+  }
+  double total = std::accumulate(fractions.begin(), fractions.end(), 0.0);
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("fractions must sum to 1");
+  }
+  for (double f : fractions) {
+    if (f <= 0.0) return Status::InvalidArgument("fractions must be positive");
+  }
+  std::vector<size_t> perm = rng->Permutation(dataset.num_examples());
+  std::vector<std::vector<size_t>> groups(fractions.size());
+  size_t cursor = 0;
+  for (size_t p = 0; p < fractions.size(); ++p) {
+    size_t count = (p + 1 == fractions.size())
+                       ? perm.size() - cursor
+                       : static_cast<size_t>(std::round(
+                             fractions[p] * static_cast<double>(perm.size())));
+    count = std::min(count, perm.size() - cursor);
+    for (size_t i = 0; i < count; ++i) groups[p].push_back(perm[cursor++]);
+  }
+  return SubsetsFromIndexGroups(dataset, groups);
+}
+
+Result<std::vector<ml::Dataset>> PartitionLabelSkew(const ml::Dataset& dataset,
+                                                    size_t num_parts,
+                                                    double skew,
+                                                    Xoshiro256* rng) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  if (skew < 0.0 || skew > 1.0) {
+    return Status::InvalidArgument("skew must be in [0, 1]");
+  }
+  int num_classes = dataset.num_classes();
+
+  // Bucket example indices by class, shuffled.
+  std::vector<std::vector<size_t>> by_class(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < dataset.num_examples(); ++i) {
+    by_class[static_cast<size_t>(dataset.labels()[i])].push_back(i);
+  }
+  for (auto& bucket : by_class) rng->Shuffle(&bucket);
+
+  // Each part prefers classes {p mod C}; with probability `skew` an
+  // example goes to a part preferring its class, otherwise uniform.
+  std::vector<std::vector<size_t>> groups(num_parts);
+  for (int c = 0; c < num_classes; ++c) {
+    // Parts preferring class c.
+    std::vector<size_t> preferring;
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (static_cast<int>(p % static_cast<size_t>(num_classes)) == c) {
+        preferring.push_back(p);
+      }
+    }
+    for (size_t idx : by_class[static_cast<size_t>(c)]) {
+      size_t target;
+      if (!preferring.empty() && rng->NextDouble() < skew) {
+        target = preferring[rng->NextBounded(preferring.size())];
+      } else {
+        target = rng->NextBounded(num_parts);
+      }
+      groups[target].push_back(idx);
+    }
+  }
+  return SubsetsFromIndexGroups(dataset, groups);
+}
+
+}  // namespace bcfl::data

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace bcfl::data {
+
+/// Splits `dataset` uniformly at random into `num_parts` horizontal
+/// partitions (the paper's "randomly split the training dataset into 9
+/// subsets to simulate 9 data owners"). Part sizes differ by at most one.
+Result<std::vector<ml::Dataset>> PartitionUniform(const ml::Dataset& dataset,
+                                                  size_t num_parts,
+                                                  Xoshiro256* rng);
+
+/// Splits with explicit fractional sizes (must be positive and sum to ~1).
+/// Useful for ablations with unequal owner sizes.
+Result<std::vector<ml::Dataset>> PartitionWeighted(
+    const ml::Dataset& dataset, const std::vector<double>& fractions,
+    Xoshiro256* rng);
+
+/// Label-skewed partition: each part draws `skew` of its examples from a
+/// preferred subset of classes and the rest uniformly. `skew` in [0, 1];
+/// 0 reduces to uniform. Models non-IID cross-silo data for extensions.
+Result<std::vector<ml::Dataset>> PartitionLabelSkew(const ml::Dataset& dataset,
+                                                    size_t num_parts,
+                                                    double skew,
+                                                    Xoshiro256* rng);
+
+}  // namespace bcfl::data

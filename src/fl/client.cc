@@ -1,0 +1,18 @@
+#include "fl/client.h"
+
+namespace bcfl::fl {
+
+FlClient::FlClient(OwnerId id, ml::Dataset data,
+                   ml::LogisticRegressionConfig local_config)
+    : id_(id), data_(std::move(data)), local_config_(local_config) {}
+
+Result<ml::Matrix> FlClient::LocalUpdate(
+    const ml::Matrix& global_weights) const {
+  BCFL_ASSIGN_OR_RETURN(
+      ml::LogisticRegression model,
+      ml::LogisticRegression::FromWeights(global_weights, local_config_));
+  BCFL_RETURN_IF_ERROR(model.Train(data_));
+  return model.weights();
+}
+
+}  // namespace bcfl::fl

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+
+namespace bcfl::fl {
+
+/// Identifier of a data owner / FL participant.
+using OwnerId = uint32_t;
+
+/// One data owner in the cross-silo federation.
+///
+/// Holds the owner's private horizontal partition and performs local
+/// training: starting from the current global weights, run the configured
+/// number of local gradient-descent epochs and return the new local
+/// weights `w_i` (FedAvg averages weights, not gradients).
+class FlClient {
+ public:
+  FlClient(OwnerId id, ml::Dataset data,
+           ml::LogisticRegressionConfig local_config);
+
+  OwnerId id() const { return id_; }
+  const ml::Dataset& data() const { return data_; }
+  ml::Dataset& mutable_data() { return data_; }
+  size_t num_examples() const { return data_.num_examples(); }
+
+  /// Trains from `global_weights` and returns the updated local weights.
+  Result<ml::Matrix> LocalUpdate(const ml::Matrix& global_weights) const;
+
+ private:
+  OwnerId id_;
+  ml::Dataset data_;
+  ml::LogisticRegressionConfig local_config_;
+};
+
+}  // namespace bcfl::fl

@@ -1,0 +1,21 @@
+#include "fl/fedavg.h"
+
+namespace bcfl::fl {
+
+Result<ml::Matrix> FedAvg(const std::vector<ml::Matrix>& local_weights) {
+  return ml::MeanOfMatrices(local_weights);
+}
+
+Result<ml::Matrix> FedAvgWeighted(const std::vector<ml::Matrix>& local_weights,
+                                  const std::vector<size_t>& sample_counts) {
+  if (local_weights.size() != sample_counts.size()) {
+    return Status::InvalidArgument("weights/sample-count size mismatch");
+  }
+  std::vector<double> weights(sample_counts.size());
+  for (size_t i = 0; i < sample_counts.size(); ++i) {
+    weights[i] = static_cast<double>(sample_counts[i]);
+  }
+  return ml::WeightedMeanOfMatrices(local_weights, weights);
+}
+
+}  // namespace bcfl::fl

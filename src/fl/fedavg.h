@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::fl {
+
+/// FedAvg aggregation (McMahan et al., AISTATS'17): the element-wise mean
+/// of participant weight matrices. The paper's global train epoch.
+Result<ml::Matrix> FedAvg(const std::vector<ml::Matrix>& local_weights);
+
+/// Sample-count weighted FedAvg: each participant contributes
+/// proportionally to its dataset size.
+Result<ml::Matrix> FedAvgWeighted(const std::vector<ml::Matrix>& local_weights,
+                                  const std::vector<size_t>& sample_counts);
+
+}  // namespace bcfl::fl

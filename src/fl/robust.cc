@@ -1,0 +1,132 @@
+#include "fl/robust.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bcfl::fl {
+
+namespace {
+
+Status CheckUpdates(const std::vector<ml::Matrix>& updates) {
+  if (updates.empty()) {
+    return Status::InvalidArgument("no updates to aggregate");
+  }
+  for (const auto& u : updates) {
+    if (u.rows() != updates[0].rows() || u.cols() != updates[0].cols()) {
+      return Status::InvalidArgument("update shapes differ");
+    }
+  }
+  return Status::OK();
+}
+
+double SquaredDistance(const ml::Matrix& a, const ml::Matrix& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a.data()[i] - b.data()[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<ml::Matrix> CoordinateMedian(const std::vector<ml::Matrix>& updates) {
+  BCFL_RETURN_IF_ERROR(CheckUpdates(updates));
+  ml::Matrix out(updates[0].rows(), updates[0].cols());
+  std::vector<double> column(updates.size());
+  for (size_t k = 0; k < out.size(); ++k) {
+    for (size_t u = 0; u < updates.size(); ++u) {
+      column[u] = updates[u].data()[k];
+    }
+    auto mid = column.begin() + static_cast<long>(column.size() / 2);
+    std::nth_element(column.begin(), mid, column.end());
+    double median = *mid;
+    if (column.size() % 2 == 0) {
+      double below = *std::max_element(
+          column.begin(), column.begin() + static_cast<long>(column.size() / 2));
+      median = (median + below) / 2.0;
+    }
+    out.mutable_data()[k] = median;
+  }
+  return out;
+}
+
+Result<ml::Matrix> TrimmedMean(const std::vector<ml::Matrix>& updates,
+                               size_t trim) {
+  BCFL_RETURN_IF_ERROR(CheckUpdates(updates));
+  if (2 * trim >= updates.size()) {
+    return Status::InvalidArgument(
+        "trim too large: nothing left to average");
+  }
+  ml::Matrix out(updates[0].rows(), updates[0].cols());
+  std::vector<double> column(updates.size());
+  for (size_t k = 0; k < out.size(); ++k) {
+    for (size_t u = 0; u < updates.size(); ++u) {
+      column[u] = updates[u].data()[k];
+    }
+    std::sort(column.begin(), column.end());
+    double sum = 0;
+    for (size_t u = trim; u < column.size() - trim; ++u) sum += column[u];
+    out.mutable_data()[k] =
+        sum / static_cast<double>(column.size() - 2 * trim);
+  }
+  return out;
+}
+
+Result<std::vector<double>> KrumScores(const std::vector<ml::Matrix>& updates,
+                                       size_t byzantine) {
+  BCFL_RETURN_IF_ERROR(CheckUpdates(updates));
+  const size_t n = updates.size();
+  if (n < byzantine + 3) {
+    return Status::InvalidArgument(
+        "Krum needs at least byzantine + 3 updates");
+  }
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = SquaredDistance(updates[i], updates[j]);
+    }
+  }
+  // Score = sum of distances to the n - byzantine - 2 nearest others.
+  const size_t neighbours = n - byzantine - 2;
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> others;
+    others.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(dist[i][j]);
+    }
+    std::sort(others.begin(), others.end());
+    scores[i] = std::accumulate(others.begin(),
+                                others.begin() + static_cast<long>(neighbours),
+                                0.0);
+  }
+  return scores;
+}
+
+Result<ml::Matrix> Krum(const std::vector<ml::Matrix>& updates,
+                        size_t byzantine) {
+  return MultiKrum(updates, byzantine, 1);
+}
+
+Result<ml::Matrix> MultiKrum(const std::vector<ml::Matrix>& updates,
+                             size_t byzantine, size_t select) {
+  BCFL_ASSIGN_OR_RETURN(std::vector<double> scores,
+                        KrumScores(updates, byzantine));
+  if (select == 0 || select > updates.size()) {
+    return Status::InvalidArgument("select must be in [1, n]");
+  }
+  std::vector<size_t> order(updates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  ml::Matrix out(updates[0].rows(), updates[0].cols());
+  for (size_t k = 0; k < select; ++k) {
+    BCFL_RETURN_IF_ERROR(out.AddInPlace(updates[order[k]]));
+  }
+  out.Scale(1.0 / static_cast<double>(select));
+  return out;
+}
+
+}  // namespace bcfl::fl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::fl {
+
+/// Byzantine-robust aggregation rules — the family Chen et al. [14]
+/// (the paper's related work on blockchain ML) use in place of plain
+/// FedAvg. Included both as baselines and for the future-work study of
+/// adversarial participants' effect on contribution evaluation.
+
+/// Coordinate-wise median of the updates. Tolerates < 1/2 arbitrary
+/// outliers per coordinate.
+Result<ml::Matrix> CoordinateMedian(const std::vector<ml::Matrix>& updates);
+
+/// Coordinate-wise trimmed mean: drops the `trim` largest and `trim`
+/// smallest values per coordinate, averages the rest. Requires
+/// 2*trim < updates.size().
+Result<ml::Matrix> TrimmedMean(const std::vector<ml::Matrix>& updates,
+                               size_t trim);
+
+/// Krum (Blanchard et al.) / l-nearest selection: scores each update by
+/// the summed squared distance to its `num_updates - byzantine - 2`
+/// nearest neighbours and returns the update with the lowest score —
+/// the one most surrounded by agreeing peers.
+Result<ml::Matrix> Krum(const std::vector<ml::Matrix>& updates,
+                        size_t byzantine);
+
+/// Multi-Krum: averages the `select` lowest-scoring updates (Krum's
+/// selection generalised; select = 1 reduces to Krum).
+Result<ml::Matrix> MultiKrum(const std::vector<ml::Matrix>& updates,
+                             size_t byzantine, size_t select);
+
+/// Krum scores, exposed for analysis (same ordering Krum uses).
+Result<std::vector<double>> KrumScores(const std::vector<ml::Matrix>& updates,
+                                       size_t byzantine);
+
+}  // namespace bcfl::fl

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "fl/client.h"
+#include "fl/fedavg.h"
+#include "ml/dataset.h"
+
+namespace bcfl::fl {
+
+/// Configuration for a plain (non-secure) federated training run.
+struct FlConfig {
+  size_t rounds = 10;  ///< Global FedAvg rounds (R in the paper).
+  ml::LogisticRegressionConfig local;
+  bool weighted_aggregation = false;  ///< FedAvg vs sample-weighted FedAvg.
+};
+
+/// Everything a federated run produces, kept because contribution
+/// evaluation replays history: GroupSV consumes the per-round local
+/// weights, and coalition models are aggregated from them "in a FL
+/// fashion" (Sect. IV-B).
+struct FlRunResult {
+  ml::Matrix global_weights;
+  /// per_round_locals[r][i] = local weights of client i after round r.
+  std::vector<std::vector<ml::Matrix>> per_round_locals;
+  /// Global model weights after each round (post-aggregation).
+  std::vector<ml::Matrix> per_round_globals;
+};
+
+/// Reference FL driver without blockchain or masking — the baseline the
+/// secure on-chain pipeline is validated against: both must produce
+/// bit-comparable global models (up to fixed-point quantisation).
+class FederatedTrainer {
+ public:
+  FederatedTrainer(std::vector<FlClient> clients, FlConfig config);
+
+  size_t num_clients() const { return clients_.size(); }
+  const std::vector<FlClient>& clients() const { return clients_; }
+  const FlConfig& config() const { return config_; }
+
+  /// Runs `config().rounds` rounds from a zero-initialised model.
+  /// `pool` (optional) parallelises local training across clients.
+  Result<FlRunResult> Run(ThreadPool* pool = nullptr) const;
+
+  /// Runs from explicit initial weights.
+  Result<FlRunResult> RunFrom(const ml::Matrix& initial_weights,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Trains a centralized model on the union of the given clients' data —
+  /// used to build ground-truth coalition models for the native SV.
+  /// `total_epochs` defaults to rounds * local epochs for parity.
+  Result<ml::Matrix> TrainCentralized(const std::vector<size_t>& client_idx,
+                                      size_t total_epochs = 0) const;
+
+ private:
+  std::vector<FlClient> clients_;
+  FlConfig config_;
+};
+
+}  // namespace bcfl::fl

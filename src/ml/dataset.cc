@@ -1,0 +1,102 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bcfl::ml {
+
+Dataset::Dataset(Matrix features, std::vector<int> labels, int num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {}
+
+Status Dataset::Validate() const {
+  if (features_.rows() != labels_.size()) {
+    return Status::InvalidArgument("feature rows != label count");
+  }
+  if (num_classes_ <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  for (int label : labels_) {
+    if (label < 0 || label >= num_classes_) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::Subset(const std::vector<size_t>& indices) const {
+  Matrix sub_features(indices.size(), features_.cols());
+  std::vector<int> sub_labels(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    size_t src = indices[i];
+    if (src >= num_examples()) {
+      return Status::OutOfRange("subset index out of range");
+    }
+    std::memcpy(sub_features.Row(i), features_.Row(src),
+                features_.cols() * sizeof(double));
+    sub_labels[i] = labels_[src];
+  }
+  return Dataset(std::move(sub_features), std::move(sub_labels),
+                 num_classes_);
+}
+
+Result<std::pair<Dataset, Dataset>> Dataset::TrainTestSplit(
+    double train_fraction, Xoshiro256* rng) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  std::vector<size_t> perm = rng->Permutation(num_examples());
+  size_t train_count =
+      static_cast<size_t>(train_fraction * static_cast<double>(perm.size()));
+  train_count = std::clamp<size_t>(train_count, 1, perm.size() - 1);
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + train_count);
+  std::vector<size_t> test_idx(perm.begin() + train_count, perm.end());
+  BCFL_ASSIGN_OR_RETURN(Dataset train, Subset(train_idx));
+  BCFL_ASSIGN_OR_RETURN(Dataset test, Subset(test_idx));
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+Matrix Dataset::OneHotLabels() const {
+  Matrix out(num_examples(), static_cast<size_t>(num_classes_));
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    out.At(i, static_cast<size_t>(labels_[i])) = 1.0;
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (int label : labels_) counts[static_cast<size_t>(label)]++;
+  return counts;
+}
+
+Result<Dataset> Dataset::Concatenate(const std::vector<Dataset>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("concatenate of zero datasets");
+  }
+  size_t total = 0;
+  for (const auto& part : parts) {
+    if (part.num_features() != parts[0].num_features() ||
+        part.num_classes() != parts[0].num_classes()) {
+      return Status::InvalidArgument("dataset schemas differ");
+    }
+    total += part.num_examples();
+  }
+  Matrix features(total, parts[0].num_features());
+  std::vector<int> labels;
+  labels.reserve(total);
+  size_t row = 0;
+  for (const auto& part : parts) {
+    for (size_t i = 0; i < part.num_examples(); ++i) {
+      std::memcpy(features.Row(row), part.features().Row(i),
+                  features.cols() * sizeof(double));
+      ++row;
+    }
+    labels.insert(labels.end(), part.labels().begin(), part.labels().end());
+  }
+  return Dataset(std::move(features), std::move(labels),
+                 parts[0].num_classes());
+}
+
+}  // namespace bcfl::ml

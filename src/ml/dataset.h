@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace bcfl::ml {
+
+/// A supervised classification dataset: `features` is num_examples x
+/// num_features, `labels[i]` in [0, num_classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Matrix features, std::vector<int> labels, int num_classes);
+
+  /// Validates internal consistency (label range, row counts).
+  Status Validate() const;
+
+  size_t num_examples() const { return labels_.size(); }
+  size_t num_features() const { return features_.cols(); }
+  int num_classes() const { return num_classes_; }
+
+  const Matrix& features() const { return features_; }
+  Matrix& mutable_features() { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  std::vector<int>& mutable_labels() { return labels_; }
+
+  /// Returns the subset selected by `indices` (copying rows).
+  Result<Dataset> Subset(const std::vector<size_t>& indices) const;
+
+  /// Randomly splits into (train, test) with `train_fraction` of examples
+  /// in the first part, shuffled by `rng`.
+  Result<std::pair<Dataset, Dataset>> TrainTestSplit(double train_fraction,
+                                                     Xoshiro256* rng) const;
+
+  /// One-hot encodes the labels as a num_examples x num_classes matrix.
+  Matrix OneHotLabels() const;
+
+  /// Counts of each class label.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Concatenates datasets with identical schemas.
+  static Result<Dataset> Concatenate(const std::vector<Dataset>& parts);
+
+ private:
+  Matrix features_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace bcfl::ml

@@ -1,0 +1,153 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace bcfl::ml {
+
+void SoftmaxRowsInPlace(Matrix* logits) {
+  for (size_t i = 0; i < logits->rows(); ++i) {
+    double* row = logits->Row(i);
+    double max_logit = row[0];
+    for (size_t j = 1; j < logits->cols(); ++j) {
+      max_logit = std::max(max_logit, row[j]);
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < logits->cols(); ++j) {
+      row[j] = std::exp(row[j] - max_logit);
+      sum += row[j];
+    }
+    for (size_t j = 0; j < logits->cols(); ++j) row[j] /= sum;
+  }
+}
+
+LogisticRegression::LogisticRegression(size_t num_features, int num_classes,
+                                       LogisticRegressionConfig config)
+    : weights_(num_features + 1, static_cast<size_t>(num_classes)),
+      config_(config) {}
+
+Result<LogisticRegression> LogisticRegression::FromWeights(
+    Matrix weights, LogisticRegressionConfig config) {
+  if (weights.rows() < 2 || weights.cols() < 2) {
+    return Status::InvalidArgument(
+        "weights must be (features+1) x classes with classes >= 2");
+  }
+  LogisticRegression model(weights.rows() - 1,
+                           static_cast<int>(weights.cols()), config);
+  model.weights_ = std::move(weights);
+  return model;
+}
+
+Status LogisticRegression::SetWeights(const Matrix& weights) {
+  if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols()) {
+    return Status::InvalidArgument("SetWeights: shape mismatch");
+  }
+  weights_ = weights;
+  return Status::OK();
+}
+
+Matrix LogisticRegression::Augment(const Matrix& features) {
+  Matrix aug(features.rows(), features.cols() + 1);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    double* dst = aug.Row(i);
+    dst[0] = 1.0;
+    std::memcpy(dst + 1, features.Row(i), features.cols() * sizeof(double));
+  }
+  return aug;
+}
+
+Result<double> LogisticRegression::Step(const Matrix& aug_features,
+                                        const Matrix& one_hot) {
+  const double n = static_cast<double>(aug_features.rows());
+  BCFL_ASSIGN_OR_RETURN(Matrix probs, aug_features.MatMul(weights_));
+  SoftmaxRowsInPlace(&probs);
+
+  // Loss before the step (for monitoring / tests of monotone descent).
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    for (size_t j = 0; j < probs.cols(); ++j) {
+      if (one_hot.At(i, j) != 0.0) {
+        loss -= std::log(std::max(probs.At(i, j), 1e-12));
+      }
+    }
+  }
+  loss /= n;
+
+  // grad = X^T (P - Y) / n + l2 * W.
+  BCFL_RETURN_IF_ERROR(probs.SubInPlace(one_hot));
+  BCFL_ASSIGN_OR_RETURN(Matrix grad, aug_features.TransposedMatMul(probs));
+  grad.Scale(1.0 / n);
+  BCFL_RETURN_IF_ERROR(grad.Axpy(config_.l2_penalty, weights_));
+  BCFL_RETURN_IF_ERROR(weights_.Axpy(-config_.learning_rate, grad));
+  return loss;
+}
+
+Status LogisticRegression::Train(const Dataset& data) {
+  return TrainEpochs(data, config_.epochs);
+}
+
+Status LogisticRegression::TrainEpochs(const Dataset& data, size_t epochs) {
+  BCFL_RETURN_IF_ERROR(data.Validate());
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument("dataset feature count != model");
+  }
+  if (data.num_classes() != num_classes()) {
+    return Status::InvalidArgument("dataset class count != model");
+  }
+  if (data.num_examples() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  Matrix aug = Augment(data.features());
+  Matrix one_hot = data.OneHotLabels();
+  for (size_t e = 0; e < epochs; ++e) {
+    auto loss = Step(aug, one_hot);
+    if (!loss.ok()) return loss.status();
+  }
+  return Status::OK();
+}
+
+Result<Matrix> LogisticRegression::PredictProba(const Matrix& features) const {
+  if (features.cols() != num_features()) {
+    return Status::InvalidArgument("PredictProba: feature count mismatch");
+  }
+  Matrix aug = Augment(features);
+  BCFL_ASSIGN_OR_RETURN(Matrix probs, aug.MatMul(weights_));
+  SoftmaxRowsInPlace(&probs);
+  return probs;
+}
+
+Result<std::vector<int>> LogisticRegression::Predict(
+    const Matrix& features) const {
+  BCFL_ASSIGN_OR_RETURN(Matrix probs, PredictProba(features));
+  std::vector<int> out(probs.rows());
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    const double* row = probs.Row(i);
+    out[i] = static_cast<int>(
+        std::max_element(row, row + probs.cols()) - row);
+  }
+  return out;
+}
+
+Result<double> LogisticRegression::Accuracy(const Dataset& data) const {
+  BCFL_ASSIGN_OR_RETURN(std::vector<int> preds, Predict(data.features()));
+  if (preds.empty()) return Status::InvalidArgument("empty dataset");
+  size_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == data.labels()[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+Result<double> LogisticRegression::LogLoss(const Dataset& data) const {
+  BCFL_ASSIGN_OR_RETURN(Matrix probs, PredictProba(data.features()));
+  if (probs.rows() == 0) return Status::InvalidArgument("empty dataset");
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    double p = probs.At(i, static_cast<size_t>(data.labels()[i]));
+    loss -= std::log(std::max(p, 1e-12));
+  }
+  return loss / static_cast<double>(probs.rows());
+}
+
+}  // namespace bcfl::ml

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace bcfl::ml {
+
+/// Hyper-parameters for multinomial logistic regression trained by
+/// full-batch gradient descent — the paper's local training algorithm
+/// ("logistic regression with gradient descent in local train epoch").
+struct LogisticRegressionConfig {
+  double learning_rate = 0.5;
+  size_t epochs = 5;       ///< Local epochs per FL round.
+  double l2_penalty = 1e-4;
+};
+
+/// Multinomial (softmax) logistic regression.
+///
+/// The parameter matrix has shape (num_features + 1) x num_classes; the
+/// extra leading row is the bias. Model parameters are plain `Matrix`
+/// values so FedAvg, secure aggregation and the on-chain contracts can
+/// treat them as opaque flat vectors.
+class LogisticRegression {
+ public:
+  /// Zero-initialised model. Zero initialisation keeps FL runs
+  /// deterministic and is standard for convex softmax regression.
+  LogisticRegression(size_t num_features, int num_classes,
+                     LogisticRegressionConfig config = {});
+
+  /// Wraps existing weights (e.g. a global model downloaded from chain).
+  static Result<LogisticRegression> FromWeights(
+      Matrix weights, LogisticRegressionConfig config = {});
+
+  size_t num_features() const { return weights_.rows() - 1; }
+  int num_classes() const { return static_cast<int>(weights_.cols()); }
+  const Matrix& weights() const { return weights_; }
+  const LogisticRegressionConfig& config() const { return config_; }
+
+  /// Replaces the parameters; shape must match.
+  Status SetWeights(const Matrix& weights);
+
+  /// Runs `config().epochs` full-batch gradient-descent epochs on `data`.
+  Status Train(const Dataset& data);
+  /// Runs exactly `epochs` epochs.
+  Status TrainEpochs(const Dataset& data, size_t epochs);
+
+  /// Class-probability matrix (rows sum to 1) for the given features.
+  Result<Matrix> PredictProba(const Matrix& features) const;
+  /// Argmax class predictions.
+  Result<std::vector<int>> Predict(const Matrix& features) const;
+  /// Fraction of correctly classified examples.
+  Result<double> Accuracy(const Dataset& data) const;
+  /// Mean cross-entropy loss (with numerical clamping).
+  Result<double> LogLoss(const Dataset& data) const;
+
+ private:
+  /// One gradient-descent step; returns the pre-step loss for monitoring.
+  Result<double> Step(const Matrix& aug_features, const Matrix& one_hot);
+
+  /// Prepends a column of ones (bias input) to `features`.
+  static Matrix Augment(const Matrix& features);
+
+  Matrix weights_;
+  LogisticRegressionConfig config_;
+};
+
+/// Numerically stable row-wise softmax (in place).
+void SoftmaxRowsInPlace(Matrix* logits);
+
+}  // namespace bcfl::ml

@@ -1,0 +1,170 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace bcfl::ml {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(size_t rows, size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, double stddev,
+                        Xoshiro256* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->NextGaussian(0.0, stddev);
+  return m;
+}
+
+Status Matrix::AddInPlace(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("AddInPlace: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return Status::OK();
+}
+
+Status Matrix::SubInPlace(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("SubInPlace: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return Status::OK();
+}
+
+void Matrix::Scale(double scalar) {
+  for (double& v : data_) v *= scalar;
+}
+
+Status Matrix::Axpy(double scalar, const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("Axpy: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+  return Status::OK();
+}
+
+void Matrix::SetZero() {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Result<Matrix> Matrix::MatMul(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("MatMul: inner dimensions differ");
+  }
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through both operands row-major.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::TransposedMatMul(const Matrix& other) const {
+  if (rows_ != other.rows_) {
+    return Status::InvalidArgument("TransposedMatMul: row counts differ");
+  }
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a_row = Row(k);
+    const double* b_row = other.Row(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = a_row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+void Matrix::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(rows_));
+  writer->WriteU32(static_cast<uint32_t>(cols_));
+  for (double v : data_) writer->WriteDouble(v);
+}
+
+Result<Matrix> Matrix::Deserialize(ByteReader* reader) {
+  BCFL_ASSIGN_OR_RETURN(uint32_t rows, reader->ReadU32());
+  BCFL_ASSIGN_OR_RETURN(uint32_t cols, reader->ReadU32());
+  uint64_t count = static_cast<uint64_t>(rows) * cols;
+  // Each element occupies 8 bytes in the stream; a shape that claims
+  // more elements than the remaining payload is corrupt — reject before
+  // allocating for it.
+  if (count * 8 > reader->remaining()) {
+    return Status::Corruption("matrix shape exceeds payload");
+  }
+  Matrix m(rows, cols);
+  for (uint64_t i = 0; i < count; ++i) {
+    BCFL_ASSIGN_OR_RETURN(double v, reader->ReadDouble());
+    m.mutable_data()[i] = v;
+  }
+  return m;
+}
+
+Result<Matrix> MeanOfMatrices(const std::vector<Matrix>& matrices) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("mean of zero matrices");
+  }
+  Matrix acc = matrices[0];
+  for (size_t i = 1; i < matrices.size(); ++i) {
+    BCFL_RETURN_IF_ERROR(acc.AddInPlace(matrices[i]));
+  }
+  acc.Scale(1.0 / static_cast<double>(matrices.size()));
+  return acc;
+}
+
+Result<Matrix> WeightedMeanOfMatrices(const std::vector<Matrix>& matrices,
+                                      const std::vector<double>& weights) {
+  if (matrices.empty() || matrices.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "weighted mean needs equal, non-zero counts of matrices and weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total == 0.0) return Status::InvalidArgument("weights sum to zero");
+  Matrix acc(matrices[0].rows(), matrices[0].cols());
+  for (size_t i = 0; i < matrices.size(); ++i) {
+    BCFL_RETURN_IF_ERROR(acc.Axpy(weights[i] / total, matrices[i]));
+  }
+  return acc;
+}
+
+}  // namespace bcfl::ml

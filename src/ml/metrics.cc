@@ -1,0 +1,59 @@
+#include "ml/metrics.h"
+
+namespace bcfl::ml {
+
+Result<double> AccuracyScore(const std::vector<int>& predictions,
+                             const std::vector<int>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty()) {
+    return Status::InvalidArgument(
+        "accuracy needs equal, non-empty prediction/label vectors");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Result<Matrix> ConfusionMatrix(const std::vector<int>& predictions,
+                               const std::vector<int>& labels,
+                               int num_classes) {
+  if (predictions.size() != labels.size()) {
+    return Status::InvalidArgument("prediction/label size mismatch");
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  Matrix cm(static_cast<size_t>(num_classes), static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int t = labels[i], p = predictions[i];
+    if (t < 0 || t >= num_classes || p < 0 || p >= num_classes) {
+      return Status::OutOfRange("class index out of range");
+    }
+    cm.At(static_cast<size_t>(t), static_cast<size_t>(p)) += 1.0;
+  }
+  return cm;
+}
+
+Result<double> MacroF1(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes) {
+  BCFL_ASSIGN_OR_RETURN(Matrix cm,
+                        ConfusionMatrix(predictions, labels, num_classes));
+  double f1_sum = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    size_t cu = static_cast<size_t>(c);
+    double tp = cm.At(cu, cu);
+    double fp = 0.0, fn = 0.0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      size_t ou = static_cast<size_t>(o);
+      fp += cm.At(ou, cu);
+      fn += cm.At(cu, ou);
+    }
+    double denom = 2.0 * tp + fp + fn;
+    f1_sum += denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return f1_sum / static_cast<double>(num_classes);
+}
+
+}  // namespace bcfl::ml

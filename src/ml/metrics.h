@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::ml {
+
+/// Fraction of positions where `predictions[i] == labels[i]`.
+Result<double> AccuracyScore(const std::vector<int>& predictions,
+                             const std::vector<int>& labels);
+
+/// num_classes x num_classes confusion matrix; entry (t, p) counts
+/// examples of true class t predicted as p.
+Result<Matrix> ConfusionMatrix(const std::vector<int>& predictions,
+                               const std::vector<int>& labels,
+                               int num_classes);
+
+/// Macro-averaged F1 score over all classes (classes absent from both
+/// predictions and labels contribute 0).
+Result<double> MacroF1(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes);
+
+}  // namespace bcfl::ml

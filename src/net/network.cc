@@ -1,0 +1,80 @@
+#include "net/network.h"
+
+namespace bcfl::net {
+
+SimulatedNetwork::SimulatedNetwork(NetworkConfig config)
+    : config_(config), rng_(config.seed) {}
+
+Status SimulatedNetwork::RegisterNode(NodeId id, Handler handler) {
+  if (handlers_.count(id) > 0) {
+    return Status::AlreadyExists("node already registered: " +
+                                 std::to_string(id));
+  }
+  if (!handler) {
+    return Status::InvalidArgument("null handler");
+  }
+  handlers_[id] = std::move(handler);
+  return Status::OK();
+}
+
+std::vector<NodeId> SimulatedNetwork::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(handlers_.size());
+  for (const auto& [id, _] : handlers_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t SimulatedNetwork::SampleLatency() {
+  if (config_.max_latency_us <= config_.min_latency_us) {
+    return config_.min_latency_us;
+  }
+  uint64_t span = config_.max_latency_us - config_.min_latency_us;
+  return config_.min_latency_us + rng_.NextBounded(span + 1);
+}
+
+Status SimulatedNetwork::Send(NodeId from, NodeId to, Bytes payload) {
+  if (handlers_.count(to) == 0) {
+    return Status::NotFound("unknown destination node: " + std::to_string(to));
+  }
+  stats_.messages_sent++;
+  stats_.bytes_sent += payload.size();
+  if (config_.drop_probability > 0.0 &&
+      rng_.NextDouble() < config_.drop_probability) {
+    stats_.messages_dropped++;
+    return Status::OK();  // Silently lost, like a real datagram.
+  }
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  msg.deliver_at_us = clock_.NowMicros() + SampleLatency();
+  msg.seq = next_seq_++;
+  queue_.push(std::move(msg));
+  return Status::OK();
+}
+
+Status SimulatedNetwork::Broadcast(NodeId from, const Bytes& payload) {
+  for (const auto& [id, _] : handlers_) {
+    if (id == from) continue;
+    BCFL_RETURN_IF_ERROR(Send(from, id, payload));
+  }
+  return Status::OK();
+}
+
+size_t SimulatedNetwork::DeliverAll() {
+  size_t delivered = 0;
+  while (!queue_.empty()) {
+    Message msg = queue_.top();
+    queue_.pop();
+    clock_.AdvanceTo(msg.deliver_at_us);
+    auto it = handlers_.find(msg.to);
+    if (it != handlers_.end()) {
+      it->second(msg);
+      ++delivered;
+      stats_.messages_delivered++;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace bcfl::net

@@ -1,0 +1,52 @@
+#include "privacy/ldp_fl.h"
+
+#include "fl/fedavg.h"
+
+namespace bcfl::privacy {
+
+LdpFederatedTrainer::LdpFederatedTrainer(std::vector<fl::FlClient> clients,
+                                         LdpFlConfig config)
+    : clients_(std::move(clients)), config_(config) {}
+
+Result<LdpFlRunResult> LdpFederatedTrainer::Run() const {
+  if (clients_.empty()) {
+    return Status::FailedPrecondition("no clients registered");
+  }
+  BCFL_ASSIGN_OR_RETURN(
+      double sigma, GaussianSigma(config_.per_round, config_.clip_norm));
+
+  size_t features = clients_[0].data().num_features();
+  int classes = clients_[0].data().num_classes();
+  ml::Matrix global(features + 1, static_cast<size_t>(classes));
+
+  Xoshiro256 noise_rng(config_.noise_seed);
+  PrivacyAccountant accountant;
+  LdpFlRunResult result;
+
+  for (size_t round = 0; round < config_.fl.rounds; ++round) {
+    std::vector<ml::Matrix> noisy_locals;
+    noisy_locals.reserve(clients_.size());
+    for (const auto& client : clients_) {
+      BCFL_ASSIGN_OR_RETURN(ml::Matrix local, client.LocalUpdate(global));
+      // Privatise the *delta*: clip, noise, re-add the public global.
+      ml::Matrix delta = local;
+      BCFL_RETURN_IF_ERROR(delta.SubInPlace(global));
+      ClipL2(&delta, config_.clip_norm);
+      AddGaussianNoise(&delta, sigma, &noise_rng);
+      ml::Matrix noisy = global;
+      BCFL_RETURN_IF_ERROR(noisy.AddInPlace(delta));
+      noisy_locals.push_back(std::move(noisy));
+      accountant.Record(config_.per_round);
+    }
+    BCFL_ASSIGN_OR_RETURN(global, fl::FedAvg(noisy_locals));
+    result.per_round_globals.push_back(global);
+  }
+
+  result.global_weights = std::move(global);
+  result.total_basic = accountant.BasicComposition();
+  BCFL_ASSIGN_OR_RETURN(result.total_advanced,
+                        accountant.AdvancedComposition());
+  return result;
+}
+
+}  // namespace bcfl::privacy

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "fl/client.h"
+#include "fl/trainer.h"
+#include "privacy/mechanisms.h"
+
+namespace bcfl::privacy {
+
+/// Configuration of LDP-based federated learning — the alternative
+/// privacy approach the paper's related work (Sect. II-B) surveys and
+/// rejects: "the accumulated noises make the model not very useful".
+struct LdpFlConfig {
+  fl::FlConfig fl;
+  /// Per-round, per-client privacy budget.
+  DpParams per_round;
+  /// L2 clipping bound applied to the *update delta* before noising.
+  double clip_norm = 1.0;
+  uint64_t noise_seed = 17;
+};
+
+/// Result of an LDP-FL run, including the accumulated privacy cost.
+struct LdpFlRunResult {
+  ml::Matrix global_weights;
+  std::vector<ml::Matrix> per_round_globals;
+  DpParams total_basic;       ///< Basic composition over all rounds.
+  DpParams total_advanced;    ///< Advanced composition.
+};
+
+/// Local-differential-privacy FL driver: every client clips its update
+/// delta (w_local - w_global) to `clip_norm` and adds Gaussian noise
+/// calibrated to `per_round` *before* sharing, so the server (or anyone
+/// on the blockchain) never sees a raw update. Implemented to reproduce
+/// the utility/privacy trade-off that motivates the paper's choice of
+/// secure aggregation instead.
+class LdpFederatedTrainer {
+ public:
+  LdpFederatedTrainer(std::vector<fl::FlClient> clients, LdpFlConfig config);
+
+  /// Runs the configured number of rounds from a zero model.
+  Result<LdpFlRunResult> Run() const;
+
+ private:
+  std::vector<fl::FlClient> clients_;
+  LdpFlConfig config_;
+};
+
+}  // namespace bcfl::privacy

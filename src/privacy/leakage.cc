@@ -1,0 +1,69 @@
+#include "privacy/leakage.h"
+
+#include <cmath>
+
+namespace bcfl::privacy {
+
+Result<ml::Matrix> RecoverClassGradient(const ml::Matrix& w_before,
+                                        const ml::Matrix& w_after,
+                                        double learning_rate,
+                                        double l2_penalty) {
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+  if (w_before.rows() != w_after.rows() ||
+      w_before.cols() != w_after.cols()) {
+    return Status::InvalidArgument("weight shapes differ");
+  }
+  // G = (W1 - W0) / lr + l2 * W0.
+  ml::Matrix g = w_after;
+  BCFL_RETURN_IF_ERROR(g.SubInPlace(w_before));
+  g.Scale(1.0 / learning_rate);
+  BCFL_RETURN_IF_ERROR(g.Axpy(l2_penalty, w_before));
+  return g;
+}
+
+std::vector<std::vector<double>> ExtractClassImages(
+    const ml::Matrix& class_gradient) {
+  std::vector<std::vector<double>> images;
+  if (class_gradient.rows() < 2) return images;
+  const size_t features = class_gradient.rows() - 1;  // Row 0 is the bias.
+  images.resize(class_gradient.cols());
+  for (size_t c = 0; c < class_gradient.cols(); ++c) {
+    images[c].resize(features);
+    for (size_t f = 0; f < features; ++f) {
+      images[c][f] = class_gradient.At(f + 1, c);
+    }
+  }
+  return images;
+}
+
+Result<double> ImageCorrelation(const std::vector<double>& reconstruction,
+                                const std::vector<double>& reference) {
+  if (reconstruction.empty() || reconstruction.size() != reference.size()) {
+    return Status::InvalidArgument(
+        "images must be non-empty and equally sized");
+  }
+  const double n = static_cast<double>(reconstruction.size());
+  double mean_a = 0, mean_b = 0;
+  for (size_t i = 0; i < reconstruction.size(); ++i) {
+    mean_a += reconstruction[i];
+    mean_b += reference[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < reconstruction.size(); ++i) {
+    double da = reconstruction[i] - mean_a;
+    double db = reference[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return Status::FailedPrecondition("correlation undefined: flat image");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace bcfl::privacy

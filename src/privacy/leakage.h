@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::privacy {
+
+/// Gradient-leakage attack on unprotected FL updates (the motivation the
+/// paper cites from Zhu et al., "Deep Leakage from Gradients" [6]).
+///
+/// For multinomial logistic regression trained by one full-batch
+/// gradient-descent step from a *public* starting point W0 (the global
+/// model every participant downloads), the shared update satisfies
+///
+///   W1 - W0 = -lr * ( X^T (P - Y) / n + l2 * W0 ),
+///
+/// so a curious observer who knows lr, l2 and W0 recovers
+///
+///   G = X^T (Y - P) / n = (W1 - W0) / lr + l2 * W0,
+///
+/// whose column c is a scaled, mean-subtracted image of the *average
+/// class-c training example* — for a victim holding a single example,
+/// the example itself. Secure aggregation defeats the attack because the
+/// observer only sees masked ring elements.
+///
+/// Recovers G from an observed (unmasked) update.
+Result<ml::Matrix> RecoverClassGradient(const ml::Matrix& w_before,
+                                        const ml::Matrix& w_after,
+                                        double learning_rate,
+                                        double l2_penalty);
+
+/// Strips the bias row of G and returns one reconstructed feature image
+/// per class (column c of G, length = num_features). These are the
+/// attacker's best estimates of per-class mean inputs (up to the shared
+/// dataset mean and a positive scale).
+std::vector<std::vector<double>> ExtractClassImages(
+    const ml::Matrix& class_gradient);
+
+/// Attack-quality metric: Pearson correlation between a reconstruction
+/// and a reference image. > ~0.5 means the private data visibly leaked.
+Result<double> ImageCorrelation(const std::vector<double>& reconstruction,
+                                const std::vector<double>& reference);
+
+}  // namespace bcfl::privacy

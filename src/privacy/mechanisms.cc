@@ -1,0 +1,89 @@
+#include "privacy/mechanisms.h"
+
+#include <cmath>
+
+namespace bcfl::privacy {
+
+double ClipL2(ml::Matrix* m, double clip_norm) {
+  double norm = m->FrobeniusNorm();
+  if (norm > clip_norm && norm > 0.0) {
+    m->Scale(clip_norm / norm);
+  }
+  return norm;
+}
+
+Result<double> GaussianSigma(DpParams params, double sensitivity) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (params.delta <= 0.0 || params.delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  return std::sqrt(2.0 * std::log(1.25 / params.delta)) * sensitivity /
+         params.epsilon;
+}
+
+void AddGaussianNoise(ml::Matrix* m, double sigma, Xoshiro256* rng) {
+  if (sigma <= 0.0) return;
+  for (double& v : m->mutable_data()) {
+    v += rng->NextGaussian(0.0, sigma);
+  }
+}
+
+Result<double> LaplaceScale(double epsilon, double sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  return sensitivity / epsilon;
+}
+
+void AddLaplaceNoise(ml::Matrix* m, double scale, Xoshiro256* rng) {
+  if (scale <= 0.0) return;
+  for (double& v : m->mutable_data()) {
+    // Inverse-CDF sampling: X = -b * sgn(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+    double u = rng->NextDouble() - 0.5;
+    double sign = u < 0 ? -1.0 : 1.0;
+    v += -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+  }
+}
+
+void PrivacyAccountant::Record(DpParams params) {
+  releases_++;
+  sum_epsilon_ += params.epsilon;
+  sum_delta_ += params.delta;
+  max_epsilon_ = std::max(max_epsilon_, params.epsilon);
+}
+
+DpParams PrivacyAccountant::BasicComposition() const {
+  return DpParams{sum_epsilon_, sum_delta_};
+}
+
+Result<DpParams> PrivacyAccountant::AdvancedComposition(
+    double delta_slack) const {
+  if (delta_slack <= 0.0 || delta_slack >= 1.0) {
+    return Status::InvalidArgument("delta_slack must be in (0, 1)");
+  }
+  if (releases_ == 0) {
+    return DpParams{0.0, 0.0};
+  }
+  double k = static_cast<double>(releases_);
+  double eps = max_epsilon_;
+  double eps_total = eps * std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) +
+                     k * eps * (std::exp(eps) - 1.0);
+  return DpParams{eps_total, sum_delta_ + delta_slack};
+}
+
+double DistributedNoiseShareSigma(double total_sigma, size_t num_clients) {
+  if (num_clients == 0) return total_sigma;
+  // Sum of n independent N(0, s^2) is N(0, n s^2): per-client share is
+  // total / sqrt(n).
+  return total_sigma / std::sqrt(static_cast<double>(num_clients));
+}
+
+}  // namespace bcfl::privacy

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace bcfl::privacy {
+
+/// Differential-privacy parameters of a single release.
+struct DpParams {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+};
+
+/// Clips `m` to L2 norm at most `clip_norm` (in place); returns the
+/// original norm. This bounds the sensitivity of a model update before
+/// noising — the standard first step of DP-SGD-style mechanisms.
+double ClipL2(ml::Matrix* m, double clip_norm);
+
+/// The Gaussian mechanism: returns the noise standard deviation that
+/// makes an L2-sensitivity-`sensitivity` release (eps, delta)-DP,
+/// sigma = sqrt(2 ln(1.25/delta)) * sensitivity / eps (classic analytic
+/// bound, valid for eps <= 1; conservative above).
+Result<double> GaussianSigma(DpParams params, double sensitivity);
+
+/// Adds i.i.d. N(0, sigma^2) noise to every entry.
+void AddGaussianNoise(ml::Matrix* m, double sigma, Xoshiro256* rng);
+
+/// The Laplace mechanism: b = sensitivity / eps for pure eps-DP over an
+/// L1-sensitivity-`sensitivity` release.
+Result<double> LaplaceScale(double epsilon, double sensitivity);
+
+/// Adds i.i.d. Laplace(0, scale) noise to every entry.
+void AddLaplaceNoise(ml::Matrix* m, double scale, Xoshiro256* rng);
+
+/// Tracks cumulative privacy loss over repeated releases.
+///
+/// Supports the two classic composition bounds:
+///  - basic: eps_total = sum eps_i, delta_total = sum delta_i.
+///  - advanced (Dwork-Rothblum-Vadhan): for k releases of the same
+///    (eps, delta): eps_total = eps * sqrt(2k ln(1/delta')) +
+///    k*eps*(e^eps - 1), with an extra delta' slack.
+class PrivacyAccountant {
+ public:
+  PrivacyAccountant() = default;
+
+  /// Records one (eps, delta)-DP release.
+  void Record(DpParams params);
+
+  size_t num_releases() const { return releases_; }
+
+  /// Basic composition over everything recorded.
+  DpParams BasicComposition() const;
+
+  /// Advanced composition assuming homogeneous releases (uses the max
+  /// recorded eps); `delta_slack` is the additional delta' term.
+  Result<DpParams> AdvancedComposition(double delta_slack = 1e-6) const;
+
+ private:
+  size_t releases_ = 0;
+  double sum_epsilon_ = 0;
+  double sum_delta_ = 0;
+  double max_epsilon_ = 0;
+};
+
+/// Distributed-noise parameters (Goryczka & Xiong, ref [13] of the
+/// paper): each of the n clients adds N(0, sigma^2 / n) so the *sum*
+/// carries N(0, sigma^2) — central-DP noise magnitude with no trusted
+/// aggregator, when combined with secure aggregation.
+double DistributedNoiseShareSigma(double total_sigma, size_t num_clients);
+
+}  // namespace bcfl::privacy

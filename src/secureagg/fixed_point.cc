@@ -1,0 +1,82 @@
+#include "secureagg/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcfl::secureagg {
+
+FixedPointCodec::FixedPointCodec(int scale_bits)
+    : scale_bits_(std::clamp(scale_bits, 1, 52)),
+      scale_(std::ldexp(1.0, scale_bits_)),
+      resolution_(std::ldexp(1.0, -scale_bits_)) {}
+
+uint64_t FixedPointCodec::Encode(double value) const {
+  double scaled = std::nearbyint(value * scale_);
+  // Two's-complement wrap: int64 -> uint64 preserves additive structure.
+  return static_cast<uint64_t>(static_cast<int64_t>(scaled));
+}
+
+double FixedPointCodec::Decode(uint64_t element) const {
+  return static_cast<double>(static_cast<int64_t>(element)) / scale_;
+}
+
+std::vector<uint64_t> FixedPointCodec::EncodeVector(
+    const std::vector<double>& values) const {
+  std::vector<uint64_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Encode(values[i]);
+  return out;
+}
+
+std::vector<double> FixedPointCodec::DecodeVector(
+    const std::vector<uint64_t>& ring) const {
+  std::vector<double> out(ring.size());
+  for (size_t i = 0; i < ring.size(); ++i) out[i] = Decode(ring[i]);
+  return out;
+}
+
+std::vector<uint64_t> FixedPointCodec::EncodeMatrix(const ml::Matrix& m) const {
+  return EncodeVector(m.data());
+}
+
+Result<ml::Matrix> FixedPointCodec::DecodeMatrix(
+    const std::vector<uint64_t>& ring, size_t rows, size_t cols) const {
+  if (ring.size() != rows * cols) {
+    return Status::InvalidArgument("ring size does not match matrix shape");
+  }
+  ml::Matrix out(rows, cols);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    out.mutable_data()[i] = Decode(ring[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> FixedPointCodec::DecodeMean(
+    const std::vector<uint64_t>& ring, size_t count) const {
+  if (count == 0) return Status::InvalidArgument("mean of zero vectors");
+  std::vector<double> out(ring.size());
+  double inv = 1.0 / static_cast<double>(count);
+  for (size_t i = 0; i < ring.size(); ++i) out[i] = Decode(ring[i]) * inv;
+  return out;
+}
+
+Result<std::vector<uint64_t>> RingAdd(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("RingAdd: size mismatch");
+  }
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Result<std::vector<uint64_t>> RingSub(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("RingSub: size mismatch");
+  }
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace bcfl::secureagg

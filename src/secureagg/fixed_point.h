@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace bcfl::secureagg {
+
+/// Fixed-point codec between doubles and the ring Z_{2^64}.
+///
+/// Secure aggregation needs masks that cancel *exactly*; floating-point
+/// addition cannot guarantee that, so model weights are quantised to
+/// 64-bit ring elements (two's-complement encoding of round(x * 2^scale)),
+/// masked, summed with natural wrap-around, and decoded back. As long as
+/// |sum| * 2^scale < 2^63 the decoded sum equals the sum of quantised
+/// inputs exactly; quantisation error per element is <= 2^-scale / 2.
+class FixedPointCodec {
+ public:
+  /// `scale_bits` in [1, 52]: fractional bits kept.
+  explicit FixedPointCodec(int scale_bits = 24);
+
+  int scale_bits() const { return scale_bits_; }
+  /// Smallest representable increment (2^-scale_bits).
+  double resolution() const { return resolution_; }
+
+  /// Encodes one value (wraps on overflow of the ring; callers bound
+  /// their magnitudes — model weights are O(1)).
+  uint64_t Encode(double value) const;
+  /// Decodes one ring element.
+  double Decode(uint64_t element) const;
+
+  std::vector<uint64_t> EncodeVector(const std::vector<double>& values) const;
+  std::vector<double> DecodeVector(const std::vector<uint64_t>& ring) const;
+
+  /// Flattens and encodes a matrix.
+  std::vector<uint64_t> EncodeMatrix(const ml::Matrix& m) const;
+  /// Decodes into a matrix of the given shape; size must match.
+  Result<ml::Matrix> DecodeMatrix(const std::vector<uint64_t>& ring,
+                                  size_t rows, size_t cols) const;
+
+  /// Decodes `ring` as a sum of `count` encoded vectors and divides by
+  /// `count` — the mean in the double domain.
+  Result<std::vector<double>> DecodeMean(const std::vector<uint64_t>& ring,
+                                         size_t count) const;
+
+ private:
+  int scale_bits_;
+  double scale_;
+  double resolution_;
+};
+
+/// Element-wise sum in the ring (natural uint64 wrap).
+Result<std::vector<uint64_t>> RingAdd(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b);
+/// a - b in the ring.
+Result<std::vector<uint64_t>> RingSub(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b);
+
+}  // namespace bcfl::secureagg

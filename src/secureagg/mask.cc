@@ -1,0 +1,36 @@
+#include "secureagg/mask.h"
+
+namespace bcfl::secureagg {
+
+namespace {
+
+std::vector<uint64_t> Expand(
+    const std::array<uint8_t, crypto::ChaCha20::kKeySize>& key,
+    uint64_t round, uint8_t domain, size_t length) {
+  // Nonce = round (LE) || domain separator || zero padding.
+  std::array<uint8_t, crypto::ChaCha20::kNonceSize> nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<size_t>(i)] = static_cast<uint8_t>(round >> (8 * i));
+  }
+  nonce[8] = domain;
+  crypto::ChaCha20 cipher(key, nonce);
+  std::vector<uint64_t> out(length);
+  for (auto& v : out) v = cipher.NextU64();
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> ExpandMask(
+    const std::array<uint8_t, crypto::ChaCha20::kKeySize>& pair_key,
+    uint64_t round, size_t length) {
+  return Expand(pair_key, round, /*domain=*/0x01, length);
+}
+
+std::vector<uint64_t> ExpandSelfMask(
+    const std::array<uint8_t, crypto::ChaCha20::kKeySize>& self_seed,
+    uint64_t round, size_t length) {
+  return Expand(self_seed, round, /*domain=*/0x02, length);
+}
+
+}  // namespace bcfl::secureagg

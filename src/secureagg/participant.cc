@@ -1,0 +1,107 @@
+#include "secureagg/participant.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "secureagg/mask.h"
+
+namespace bcfl::secureagg {
+
+std::array<uint8_t, 32> DerivePairKey(const crypto::UInt256& shared,
+                                      OwnerId a, OwnerId b) {
+  if (a > b) std::swap(a, b);
+  crypto::Sha256 hasher;
+  hasher.Update("bcfl-pairwise-mask-key");
+  uint8_t ids[8];
+  for (int i = 0; i < 4; ++i) ids[i] = static_cast<uint8_t>(a >> (8 * i));
+  for (int i = 0; i < 4; ++i) ids[4 + i] = static_cast<uint8_t>(b >> (8 * i));
+  hasher.Update(ids, sizeof(ids));
+  hasher.Update(shared.ToBytes());
+  crypto::Digest digest = hasher.Finish();
+  std::array<uint8_t, 32> key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+SecureAggParticipant::SecureAggParticipant(OwnerId id,
+                                           const crypto::DiffieHellman& dh,
+                                           Xoshiro256* rng, bool use_self_mask)
+    : id_(id), dh_(dh), use_self_mask_(use_self_mask) {
+  key_pair_ = dh_.GenerateKeyPair(rng);
+  for (size_t i = 0; i < self_seed_.size(); i += 8) {
+    uint64_t word = rng->Next();
+    for (size_t j = 0; j < 8; ++j) {
+      self_seed_[i + j] = static_cast<uint8_t>(word >> (8 * j));
+    }
+  }
+}
+
+Status SecureAggParticipant::RegisterPeer(OwnerId peer,
+                                          const crypto::UInt256& peer_public) {
+  if (peer == id_) {
+    return Status::InvalidArgument("cannot register self as peer");
+  }
+  if (peer_public.IsZero() || peer_public >= dh_.params().p) {
+    return Status::InvalidArgument("peer public key outside the group");
+  }
+  crypto::UInt256 shared =
+      dh_.ComputeShared(key_pair_.private_key, peer_public);
+  pair_keys_[peer] = DerivePairKey(shared, id_, peer);
+  return Status::OK();
+}
+
+bool SecureAggParticipant::HasPeer(OwnerId peer) const {
+  return pair_keys_.count(peer) > 0;
+}
+
+Result<std::array<uint8_t, 32>> SecureAggParticipant::PairKey(
+    OwnerId peer) const {
+  auto it = pair_keys_.find(peer);
+  if (it == pair_keys_.end()) {
+    return Status::NotFound("peer not registered: " + std::to_string(peer));
+  }
+  return it->second;
+}
+
+Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
+    uint64_t round, const std::vector<OwnerId>& group_members,
+    const std::vector<uint64_t>& encoded) const {
+  if (std::find(group_members.begin(), group_members.end(), id_) ==
+      group_members.end()) {
+    return Status::InvalidArgument("participant not in the given group");
+  }
+  std::vector<uint64_t> out = encoded;
+  for (OwnerId peer : group_members) {
+    if (peer == id_) continue;
+    auto it = pair_keys_.find(peer);
+    if (it == pair_keys_.end()) {
+      return Status::FailedPrecondition("peer key not registered: " +
+                                        std::to_string(peer));
+    }
+    std::vector<uint64_t> mask = ExpandMask(it->second, round, out.size());
+    if (id_ < peer) {
+      for (size_t i = 0; i < out.size(); ++i) out[i] += mask[i];
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) out[i] -= mask[i];
+    }
+  }
+  if (use_self_mask_) {
+    std::vector<uint64_t> self = ExpandSelfMask(self_seed_, round, out.size());
+    for (size_t i = 0; i < out.size(); ++i) out[i] += self[i];
+  }
+  return out;
+}
+
+Result<RecoveryShares> SecureAggParticipant::ShareSecrets(
+    size_t threshold, size_t roster_size, Xoshiro256* rng) const {
+  BCFL_ASSIGN_OR_RETURN(
+      crypto::ShamirSecretSharing scheme,
+      crypto::ShamirSecretSharing::Create(threshold, roster_size));
+  RecoveryShares out;
+  out.dh_private_shares = scheme.Split(key_pair_.private_key.ToBytes(), rng);
+  Bytes seed_bytes(self_seed_.begin(), self_seed_.end());
+  out.self_seed_shares = scheme.Split(seed_bytes, rng);
+  return out;
+}
+
+}  // namespace bcfl::secureagg

@@ -1,0 +1,112 @@
+#include "secureagg/session.h"
+
+#include <algorithm>
+
+namespace bcfl::secureagg {
+
+Result<SecureAggSession> SecureAggSession::Create(size_t num_owners,
+                                                  SessionConfig config) {
+  if (num_owners < 2) {
+    return Status::InvalidArgument("secure aggregation needs >= 2 owners");
+  }
+  SecureAggSession session(config, FixedPointCodec(config.fixed_point_bits));
+  session.threshold_ =
+      config.threshold != 0 ? config.threshold : num_owners / 2 + 1;
+  if (session.threshold_ > num_owners) {
+    return Status::InvalidArgument("threshold exceeds owner count");
+  }
+
+  Xoshiro256 rng(config.seed);
+  crypto::DiffieHellman dh;
+
+  // Phase 1: key generation + broadcast.
+  session.participants_.reserve(num_owners);
+  for (size_t i = 0; i < num_owners; ++i) {
+    session.participants_.push_back(std::make_unique<SecureAggParticipant>(
+        static_cast<OwnerId>(i), dh, &rng, config.use_self_masks));
+  }
+
+  // Phase 2: pairwise key agreement from broadcast public keys.
+  std::map<OwnerId, crypto::UInt256> roster;
+  for (const auto& p : session.participants_) {
+    roster[p->id()] = p->public_key();
+  }
+  for (auto& p : session.participants_) {
+    for (const auto& [peer, pub] : roster) {
+      if (peer == p->id()) continue;
+      BCFL_RETURN_IF_ERROR(p->RegisterPeer(peer, pub));
+    }
+  }
+
+  // Phase 3: secret-share recovery material.
+  session.recovery_shares_.reserve(num_owners);
+  for (auto& p : session.participants_) {
+    BCFL_ASSIGN_OR_RETURN(
+        RecoveryShares shares,
+        p->ShareSecrets(session.threshold_, num_owners, &rng));
+    session.recovery_shares_.push_back(std::move(shares));
+  }
+
+  session.aggregator_ = std::make_unique<SecureAggregator>(
+      dh.params(), std::move(roster));
+  return session;
+}
+
+Result<std::vector<uint64_t>> SecureAggSession::Submit(
+    OwnerId owner, uint64_t round, const std::vector<OwnerId>& group,
+    const std::vector<double>& update) {
+  if (owner >= participants_.size()) {
+    return Status::OutOfRange("unknown owner");
+  }
+  std::vector<uint64_t> encoded = codec_.EncodeVector(update);
+  return participants_[owner]->MaskUpdate(round, group, encoded);
+}
+
+Result<std::array<uint8_t, 32>> SecureAggSession::RevealSecret(
+    OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) const {
+  const RecoveryShares& all = recovery_shares_[id];
+  const auto& source =
+      dh_key ? all.dh_private_shares : all.self_seed_shares;
+  // Only shares held by *online* roster members can be revealed.
+  std::vector<crypto::ShamirShare> available;
+  for (size_t holder = 0; holder < participants_.size(); ++holder) {
+    if (dropped.count(static_cast<OwnerId>(holder)) > 0) continue;
+    available.push_back(source[holder]);
+  }
+  return SecureAggregator::ReconstructSecret32(available, threshold_,
+                                               participants_.size());
+}
+
+Result<std::vector<double>> SecureAggSession::AggregateGroupMean(
+    uint64_t round, const std::vector<OwnerId>& group,
+    const std::map<OwnerId, std::vector<uint64_t>>& submissions,
+    const std::set<OwnerId>& dropped) {
+  UnmaskingInfo unmask;
+  for (OwnerId id : group) {
+    if (dropped.count(id) > 0) {
+      auto key_bytes = RevealSecret(id, /*dh_key=*/true, dropped);
+      if (!key_bytes.ok()) return key_bytes.status();
+      Bytes as_bytes(key_bytes->begin(), key_bytes->end());
+      BCFL_ASSIGN_OR_RETURN(crypto::UInt256 key,
+                            crypto::UInt256::FromBytes(as_bytes));
+      unmask.dropped_private_keys[id] = key;
+    } else if (config_.use_self_masks) {
+      auto seed = RevealSecret(id, /*dh_key=*/false, dropped);
+      if (!seed.ok()) return seed.status();
+      unmask.survivor_self_seeds[id] = *seed;
+    }
+  }
+
+  BCFL_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> sum,
+      aggregator_->SumGroup(round, group, submissions, unmask,
+                            config_.use_self_masks));
+
+  size_t survivors = 0;
+  for (OwnerId id : group) {
+    if (dropped.count(id) == 0 && submissions.count(id) > 0) ++survivors;
+  }
+  return codec_.DecodeMean(sum, survivors);
+}
+
+}  // namespace bcfl::secureagg

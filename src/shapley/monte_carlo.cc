@@ -1,0 +1,63 @@
+#include "shapley/monte_carlo.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace bcfl::shapley {
+
+Result<MonteCarloResult> MonteCarloShapley(
+    size_t n, const std::function<Result<double>(uint64_t)>& utility,
+    MonteCarloConfig config) {
+  if (n == 0 || n >= 64) {
+    return Status::InvalidArgument("n must be in [1, 63]");
+  }
+  if (config.num_permutations == 0) {
+    return Status::InvalidArgument("need at least one permutation");
+  }
+
+  MonteCarloResult out;
+  out.values.assign(n, 0.0);
+  Xoshiro256 rng(config.seed);
+
+  // Memoize utilities: permutation prefixes repeat often for small n.
+  std::unordered_map<uint64_t, double> cache;
+  auto eval = [&](uint64_t mask) -> Result<double> {
+    auto it = cache.find(mask);
+    if (it != cache.end()) return it->second;
+    BCFL_ASSIGN_OR_RETURN(double u, utility(mask));
+    cache.emplace(mask, u);
+    ++out.utility_evaluations;
+    return u;
+  };
+
+  BCFL_ASSIGN_OR_RETURN(double empty_u, eval(0));
+  const uint64_t grand = (n == 63) ? ~0ULL >> 1 : (1ULL << n) - 1;
+  BCFL_ASSIGN_OR_RETURN(double grand_u, eval(grand));
+
+  for (size_t p = 0; p < config.num_permutations; ++p) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    uint64_t mask = 0;
+    double prev_u = empty_u;
+    for (size_t pos = 0; pos < n; ++pos) {
+      // Truncation: if the running utility is already within tolerance
+      // of the grand coalition, remaining marginals are ~0.
+      if (config.truncation_tolerance > 0.0 &&
+          std::abs(grand_u - prev_u) < config.truncation_tolerance) {
+        ++out.truncated_scans;
+        break;
+      }
+      size_t player = perm[pos];
+      mask |= 1ULL << player;
+      BCFL_ASSIGN_OR_RETURN(double cur_u, eval(mask));
+      out.values[player] += cur_u - prev_u;
+      prev_u = cur_u;
+    }
+  }
+
+  for (double& v : out.values) {
+    v /= static_cast<double>(config.num_permutations);
+  }
+  return out;
+}
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace bcfl::shapley {
+
+/// Configuration of the Monte-Carlo permutation-sampling SV estimator.
+struct MonteCarloConfig {
+  size_t num_permutations = 200;
+  uint64_t seed = 13;
+  /// Truncated-MC (Ghorbani & Zou): stop scanning a permutation once the
+  /// running coalition utility is within `truncation_tolerance` of the
+  /// grand-coalition utility (0 disables truncation).
+  double truncation_tolerance = 0.0;
+};
+
+/// Result of a Monte-Carlo SV estimation.
+struct MonteCarloResult {
+  std::vector<double> values;
+  size_t utility_evaluations = 0;  ///< Work actually performed.
+  size_t truncated_scans = 0;      ///< Permutation suffixes skipped.
+};
+
+/// Monte-Carlo (and truncated Monte-Carlo) Shapley estimation.
+///
+/// Samples random permutations of the n players and averages marginal
+/// contributions u(prefix + i) - u(prefix). The estimator is unbiased;
+/// its variance shrinks as 1/num_permutations. Included as the standard
+/// scalable baseline from the data-valuation literature ([2], [3]) that
+/// the paper's related-work section builds on.
+///
+/// `utility(mask)` must be deterministic; mask bit i = player i present.
+Result<MonteCarloResult> MonteCarloShapley(
+    size_t n, const std::function<Result<double>(uint64_t)>& utility,
+    MonteCarloConfig config = {});
+
+}  // namespace bcfl::shapley

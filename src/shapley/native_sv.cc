@@ -1,0 +1,94 @@
+#include "shapley/native_sv.h"
+
+#include <bit>
+#include <mutex>
+
+#include "shapley/shapley_math.h"
+
+namespace bcfl::shapley {
+
+NativeShapley::NativeShapley(const fl::FederatedTrainer* trainer,
+                             UtilityFunction* utility,
+                             NativeShapleyConfig config)
+    : trainer_(trainer), utility_(utility), config_(config) {}
+
+Result<NativeShapleyResult> NativeShapley::Compute(
+    const std::vector<ml::Matrix>* final_locals) const {
+  const size_t n = trainer_->num_clients();
+  if (n == 0 || n > 20) {
+    return Status::InvalidArgument("owner count must be in [1, 20]");
+  }
+  if (config_.source == CoalitionModelSource::kAggregateFromLocals) {
+    if (final_locals == nullptr || final_locals->size() != n) {
+      return Status::InvalidArgument(
+          "kAggregateFromLocals requires one final local weight per owner");
+    }
+  }
+  const uint64_t full = 1ULL << n;
+
+  // Stage 1: one coalition model per mask.
+  std::vector<ml::Matrix> models(full);
+  std::vector<Status> statuses(full, Status::OK());
+  auto build_model = [&](uint64_t mask) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) members.push_back(i);
+    }
+    if (config_.source == CoalitionModelSource::kRetrainCentralized) {
+      auto model = trainer_->TrainCentralized(members, config_.epochs);
+      if (model.ok()) {
+        models[mask] = std::move(model).value();
+      } else {
+        statuses[mask] = model.status();
+      }
+    } else {
+      if (members.empty()) {
+        // Empty coalition: untrained model.
+        auto model = trainer_->TrainCentralized({}, 1);
+        if (model.ok()) {
+          models[mask] = std::move(model).value();
+        } else {
+          statuses[mask] = model.status();
+        }
+        return;
+      }
+      std::vector<ml::Matrix> parts;
+      parts.reserve(members.size());
+      for (size_t i : members) parts.push_back((*final_locals)[i]);
+      auto mean = ml::MeanOfMatrices(parts);
+      if (mean.ok()) {
+        models[mask] = std::move(mean).value();
+      } else {
+        statuses[mask] = mean.status();
+      }
+    }
+  };
+
+  if (config_.pool != nullptr &&
+      config_.source == CoalitionModelSource::kRetrainCentralized) {
+    config_.pool->ParallelFor(full, [&](size_t mask) {
+      build_model(static_cast<uint64_t>(mask));
+    });
+  } else {
+    for (uint64_t mask = 0; mask < full; ++mask) build_model(mask);
+  }
+  for (const Status& s : statuses) {
+    BCFL_RETURN_IF_ERROR(s);
+  }
+
+  // Stage 2: utility of every coalition model. The utility object may
+  // cache internally; evaluate serially for determinism.
+  NativeShapleyResult result;
+  result.utility_table.resize(full);
+  for (uint64_t mask = 0; mask < full; ++mask) {
+    BCFL_ASSIGN_OR_RETURN(result.utility_table[mask],
+                          utility_->Evaluate(models[mask]));
+  }
+
+  // Stage 3: Eq. 1.
+  BCFL_ASSIGN_OR_RETURN(result.values,
+                        ExactShapleyFromTable(n, result.utility_table));
+  return result;
+}
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "fl/trainer.h"
+#include "shapley/utility.h"
+
+namespace bcfl::shapley {
+
+/// How coalition models are obtained for the native (Eq. 1) SV.
+enum class CoalitionModelSource {
+  /// Retrain a centralized model on the union of the coalition's data —
+  /// the paper's ground truth ("we build 2^n models based on the data
+  /// coalitions"). Expensive: 2^n trainings.
+  kRetrainCentralized,
+  /// Aggregate the coalition model from the members' final-round local
+  /// weights (Song et al. [4] style) — cheap but approximate.
+  kAggregateFromLocals,
+};
+
+struct NativeShapleyConfig {
+  CoalitionModelSource source = CoalitionModelSource::kRetrainCentralized;
+  /// Training epochs per coalition model (0 = trainer default).
+  size_t epochs = 0;
+  /// Optional worker pool parallelising coalition training.
+  ThreadPool* pool = nullptr;
+};
+
+/// Result of a native SV computation.
+struct NativeShapleyResult {
+  std::vector<double> values;          ///< One SV per owner.
+  std::vector<double> utility_table;   ///< u(S) for every mask, 2^n entries.
+};
+
+/// Native Shapley value over data owners (Eq. 1 of the paper).
+///
+/// This is the transparency *baseline*: it needs every coalition's model,
+/// which is impossible on masked updates — exactly the incompatibility
+/// GroupSV resolves. The library keeps it for ground truth (Fig. 1), for
+/// the accuracy comparison (Fig. 2) and the runtime comparison (Table I).
+class NativeShapley {
+ public:
+  NativeShapley(const fl::FederatedTrainer* trainer, UtilityFunction* utility,
+                NativeShapleyConfig config = {});
+
+  /// Computes SVs for all owners. With `kAggregateFromLocals`,
+  /// `final_locals` must hold each owner's final local weights.
+  Result<NativeShapleyResult> Compute(
+      const std::vector<ml::Matrix>* final_locals = nullptr) const;
+
+ private:
+  const fl::FederatedTrainer* trainer_;
+  UtilityFunction* utility_;
+  NativeShapleyConfig config_;
+};
+
+}  // namespace bcfl::shapley

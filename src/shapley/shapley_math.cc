@@ -1,0 +1,71 @@
+#include "shapley/shapley_math.h"
+
+#include <bit>
+#include <cmath>
+
+namespace bcfl::shapley {
+
+double Binomial(size_t n, size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    result = result * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+Result<std::vector<double>> ExactShapleyFromTable(
+    size_t n, const std::vector<double>& utilities) {
+  if (n == 0 || n > 20) {
+    return Status::InvalidArgument("n must be in [1, 20] for exact SV");
+  }
+  const uint64_t full = 1ULL << n;
+  if (utilities.size() != full) {
+    return Status::InvalidArgument("utility table must have 2^n entries");
+  }
+
+  // Precompute the per-coalition-size weights 1/(n * C(n-1, s)).
+  std::vector<double> weight(n);
+  for (size_t s = 0; s < n; ++s) {
+    weight[s] = 1.0 / (static_cast<double>(n) * Binomial(n - 1, s));
+  }
+
+  std::vector<double> values(n, 0.0);
+  for (uint64_t mask = 0; mask < full; ++mask) {
+    size_t size = static_cast<size_t>(std::popcount(mask));
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t bit = 1ULL << i;
+      if (mask & bit) continue;  // S must exclude i.
+      double marginal = utilities[mask | bit] - utilities[mask];
+      values[i] += weight[size] * marginal;
+    }
+  }
+  return values;
+}
+
+Result<std::vector<double>> ExactShapley(
+    size_t n, const std::function<Result<double>(uint64_t mask)>& utility) {
+  if (n == 0 || n > 20) {
+    return Status::InvalidArgument("n must be in [1, 20] for exact SV");
+  }
+  const uint64_t full = 1ULL << n;
+  std::vector<double> table(full);
+  for (uint64_t mask = 0; mask < full; ++mask) {
+    BCFL_ASSIGN_OR_RETURN(table[mask], utility(mask));
+  }
+  return ExactShapleyFromTable(n, table);
+}
+
+Result<bool> CheckEfficiency(const std::vector<double>& shapley_values,
+                             double grand_utility, double empty_utility,
+                             double tolerance) {
+  if (shapley_values.empty()) {
+    return Status::InvalidArgument("no Shapley values");
+  }
+  double sum = 0.0;
+  for (double v : shapley_values) sum += v;
+  return std::abs(sum - (grand_utility - empty_utility)) <= tolerance;
+}
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bcfl::shapley {
+
+/// Binomial coefficient C(n, k) as a double (exact for the small n used
+/// in coalition games; n <= 20 enforced by callers).
+double Binomial(size_t n, size_t k);
+
+/// Exact Shapley values from a complete table of coalition utilities.
+///
+/// `utilities[mask]` is u(S) for the coalition whose members are the set
+/// bits of `mask`; the table has 2^n entries. Implements Eq. 1 of the
+/// paper directly:
+///   v_i = 1/n * sum_{S subseteq I\{i}} 1/C(n-1, |S|) * [u(S+i) - u(S)].
+/// Cost O(n * 2^n).
+Result<std::vector<double>> ExactShapleyFromTable(
+    size_t n, const std::vector<double>& utilities);
+
+/// Exact Shapley values with utilities computed on demand.
+/// `utility(mask)` must be deterministic. Evaluates each of the 2^n
+/// coalitions exactly once.
+Result<std::vector<double>> ExactShapley(
+    size_t n, const std::function<Result<double>(uint64_t mask)>& utility);
+
+/// Verifies the efficiency axiom: sum of SVs == u(grand) - u(empty),
+/// within `tolerance`. Exposed for tests and on-chain verification.
+Result<bool> CheckEfficiency(const std::vector<double>& shapley_values,
+                             double grand_utility, double empty_utility,
+                             double tolerance = 1e-9);
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,90 @@
+#include "shapley/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bcfl::shapley {
+
+namespace {
+
+Status CheckPair(const std::vector<double>& u, const std::vector<double>& v) {
+  if (u.empty() || u.size() != v.size()) {
+    return Status::InvalidArgument(
+        "vectors must be non-empty and equally sized");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> CosineSimilarity(const std::vector<double>& u,
+                                const std::vector<double>& v) {
+  BCFL_RETURN_IF_ERROR(CheckPair(u, v));
+  double dot = 0.0, nu = 0.0, nv = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    dot += u[i] * v[i];
+    nu += u[i] * u[i];
+    nv += v[i] * v[i];
+  }
+  if (nu == 0.0 || nv == 0.0) {
+    return Status::FailedPrecondition("cosine undefined for zero vector");
+  }
+  return dot / (std::sqrt(nu) * std::sqrt(nv));
+}
+
+Result<double> L2Distance(const std::vector<double>& u,
+                          const std::vector<double>& v) {
+  BCFL_RETURN_IF_ERROR(CheckPair(u, v));
+  double sum = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    double d = u[i] - v[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tied block [i, j]: average rank (1-based).
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& u,
+                                   const std::vector<double>& v) {
+  BCFL_RETURN_IF_ERROR(CheckPair(u, v));
+  if (u.size() < 2) {
+    return Status::InvalidArgument("need >= 2 points for correlation");
+  }
+  std::vector<double> ru = AverageRanks(u);
+  std::vector<double> rv = AverageRanks(v);
+  double mean = (static_cast<double>(u.size()) + 1.0) / 2.0;
+  double num = 0.0, du = 0.0, dv = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    double a = ru[i] - mean;
+    double b = rv[i] - mean;
+    num += a * b;
+    du += a * a;
+    dv += b * b;
+  }
+  if (du == 0.0 || dv == 0.0) {
+    return Status::FailedPrecondition(
+        "Spearman undefined when one ranking is constant");
+  }
+  return num / std::sqrt(du * dv);
+}
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace bcfl::shapley {
+
+/// Cosine similarity between two equal-length vectors — the paper's
+/// Fig. 2 metric for comparing GroupSV against the native SV.
+/// Fails on empty or zero-norm inputs.
+Result<double> CosineSimilarity(const std::vector<double>& u,
+                                const std::vector<double>& v);
+
+/// Euclidean (L2) distance.
+Result<double> L2Distance(const std::vector<double>& u,
+                          const std::vector<double>& v);
+
+/// Spearman rank correlation (average ranks for ties) — measures whether
+/// two contribution vectors order the owners the same way, which is what
+/// a reward allocation actually consumes.
+Result<double> SpearmanCorrelation(const std::vector<double>& u,
+                                   const std::vector<double>& v);
+
+/// Ranks with ties averaged (helper, exposed for tests).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,46 @@
+#include "shapley/utility.h"
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace bcfl::shapley {
+
+TestAccuracyUtility::TestAccuracyUtility(ml::Dataset test_set)
+    : test_set_(std::move(test_set)) {}
+
+Result<double> TestAccuracyUtility::Evaluate(const ml::Matrix& weights) {
+  BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
+                        ml::LogisticRegression::FromWeights(weights));
+  return model.Accuracy(test_set_);
+}
+
+NegLogLossUtility::NegLogLossUtility(ml::Dataset test_set)
+    : test_set_(std::move(test_set)) {}
+
+Result<double> NegLogLossUtility::Evaluate(const ml::Matrix& weights) {
+  BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
+                        ml::LogisticRegression::FromWeights(weights));
+  BCFL_ASSIGN_OR_RETURN(double loss, model.LogLoss(test_set_));
+  return -loss;
+}
+
+CachingUtility::CachingUtility(std::unique_ptr<UtilityFunction> inner)
+    : inner_(std::move(inner)) {}
+
+Result<double> CachingUtility::Evaluate(const ml::Matrix& weights) {
+  ByteWriter writer;
+  weights.Serialize(&writer);
+  crypto::Digest digest = crypto::Sha256::Hash(writer.buffer());
+  std::string key(digest.begin(), digest.end());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  BCFL_ASSIGN_OR_RETURN(double value, inner_->Evaluate(weights));
+  cache_.emplace(std::move(key), value);
+  return value;
+}
+
+}  // namespace bcfl::shapley

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+
+namespace bcfl::shapley {
+
+/// The utility function u(.) of cooperative game theory, evaluated on
+/// model parameters. Contribution evaluation scores coalition models;
+/// higher is better.
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+  /// Scores the model given by `weights`.
+  virtual Result<double> Evaluate(const ml::Matrix& weights) = 0;
+};
+
+/// The paper's utility: accuracy of the coalition model on a held-out
+/// test set (agreed upon at the off-chain setup stage and therefore
+/// evaluable deterministically by every miner).
+class TestAccuracyUtility : public UtilityFunction {
+ public:
+  explicit TestAccuracyUtility(ml::Dataset test_set);
+
+  Result<double> Evaluate(const ml::Matrix& weights) override;
+
+  const ml::Dataset& test_set() const { return test_set_; }
+
+ private:
+  ml::Dataset test_set_;
+};
+
+/// Negative log-loss utility — smoother than accuracy, used in ablations.
+class NegLogLossUtility : public UtilityFunction {
+ public:
+  explicit NegLogLossUtility(ml::Dataset test_set);
+
+  Result<double> Evaluate(const ml::Matrix& weights) override;
+
+ private:
+  ml::Dataset test_set_;
+};
+
+/// Memoizing decorator: caches utility values keyed by a SHA-256 of the
+/// weight bytes. Coalition enumeration evaluates many duplicate models
+/// (e.g. W_S for S and for S in another round with identical weights);
+/// the cache makes repeated sweeps cheap and is itself benchmarked.
+class CachingUtility : public UtilityFunction {
+ public:
+  explicit CachingUtility(std::unique_ptr<UtilityFunction> inner);
+
+  Result<double> Evaluate(const ml::Matrix& weights) override;
+
+  size_t cache_size() const { return cache_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  std::unique_ptr<UtilityFunction> inner_;
+  std::unordered_map<std::string, double> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace bcfl::shapley

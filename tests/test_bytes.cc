@@ -1,0 +1,136 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace bcfl {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+  Bytes data = {0x00, 0xff, 0x0a, 0xb7};
+  EXPECT_EQ(ToHex(data), "00ff0ab7");
+}
+
+TEST(HexTest, EmptyRoundTrip) {
+  EXPECT_EQ(ToHex(Bytes{}), "");
+  auto decoded = FromHex("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(HexTest, DecodesMixedCase) {
+  auto decoded = FromHex("DeadBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_TRUE(FromHex("abc").status().IsInvalidArgument());
+}
+
+TEST(HexTest, RejectsNonHexCharacters) {
+  EXPECT_TRUE(FromHex("zz").status().IsInvalidArgument());
+}
+
+TEST(ByteWriterTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU16(0x1234);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteDouble(3.14159);
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU8(), 0xab);
+  EXPECT_EQ(*reader.ReadU16(), 0x1234);
+  EXPECT_EQ(*reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(*reader.ReadDouble(), 3.14159);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriterTest, DoubleRoundTripIsExact) {
+  const double values[] = {0.0, -0.0, 1e-300, -1e300, 0.1,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (double v : values) {
+    ByteWriter writer;
+    writer.WriteDouble(v);
+    ByteReader reader(writer.buffer());
+    auto back = reader.ReadDouble();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(std::memcmp(&v, &*back, sizeof(double)), 0);
+  }
+}
+
+TEST(ByteWriterTest, LengthPrefixedRoundTrip) {
+  ByteWriter writer;
+  writer.WriteBytes(Bytes{1, 2, 3});
+  writer.WriteString("hello");
+  writer.WriteDoubleVector({1.5, -2.5});
+  writer.WriteU64Vector({7, 8, 9});
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(*reader.ReadDoubleVector(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(*reader.ReadU64Vector(), (std::vector<uint64_t>{7, 8, 9}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriterTest, EmptyContainersRoundTrip) {
+  ByteWriter writer;
+  writer.WriteBytes(Bytes{});
+  writer.WriteString("");
+  writer.WriteDoubleVector({});
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadBytes()->empty());
+  EXPECT_TRUE(reader.ReadString()->empty());
+  EXPECT_TRUE(reader.ReadDoubleVector()->empty());
+}
+
+TEST(ByteReaderTest, TruncatedScalarIsCorruption) {
+  Bytes data = {0x01, 0x02};
+  ByteReader reader(data);
+  EXPECT_TRUE(reader.ReadU32().status().IsCorruption());
+}
+
+TEST(ByteReaderTest, TruncatedLengthPrefixedIsCorruption) {
+  // Claims 100 bytes but provides 2.
+  ByteWriter writer;
+  writer.WriteU32(100);
+  writer.WriteU16(0);
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadBytes().status().IsCorruption());
+}
+
+TEST(ByteReaderTest, HugeVectorLengthIsRejectedNotAllocated) {
+  ByteWriter writer;
+  writer.WriteU32(0xffffffffu);  // Absurd element count, no payload.
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadDoubleVector().status().IsCorruption());
+  ByteReader reader2(writer.buffer());
+  EXPECT_TRUE(reader2.ReadU64Vector().status().IsCorruption());
+}
+
+TEST(ByteReaderTest, RemainingAndExhausted) {
+  ByteWriter writer;
+  writer.WriteU32(5);
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_FALSE(reader.exhausted());
+  ASSERT_TRUE(reader.ReadU32().ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteReaderTest, ReadRawExactBytes) {
+  Bytes data = {9, 8, 7, 6};
+  ByteReader reader(data);
+  auto first = reader.ReadRaw(2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, (Bytes{9, 8}));
+  EXPECT_TRUE(reader.ReadRaw(3).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,107 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace bcfl::crypto {
+namespace {
+
+std::array<uint8_t, 32> TestKey() {
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  return key;
+}
+
+// RFC 8439 section 2.3.2: key 00..1f, nonce 00 00 00 09 00 00 00 4a
+// 00 00 00 00, counter 1 — first keystream block.
+TEST(ChaCha20Test, Rfc8439BlockFunctionVector) {
+  std::array<uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  ChaCha20 cipher(TestKey(), nonce, /*counter=*/1);
+  Bytes keystream = cipher.Keystream(64);
+  EXPECT_EQ(ToHex(keystream),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 section 2.4.2: encrypting the sunscreen plaintext.
+TEST(ChaCha20Test, Rfc8439EncryptionVector) {
+  std::array<uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Bytes data(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(TestKey(), nonce, /*counter=*/1);
+  cipher.Crypt(data.data(), data.size());
+  EXPECT_EQ(ToHex(Bytes(data.begin(), data.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  std::array<uint8_t, 12> nonce{};
+  Bytes data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  Bytes original = data;
+  ChaCha20 enc(TestKey(), nonce);
+  enc.Crypt(data.data(), data.size());
+  EXPECT_NE(data, original);
+  ChaCha20 dec(TestKey(), nonce);
+  dec.Crypt(data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20Test, KeystreamIsDeterministic) {
+  std::array<uint8_t, 12> nonce{};
+  ChaCha20 a(TestKey(), nonce), b(TestKey(), nonce);
+  EXPECT_EQ(a.Keystream(100), b.Keystream(100));
+}
+
+TEST(ChaCha20Test, ChunkedKeystreamMatchesContiguous) {
+  std::array<uint8_t, 12> nonce{};
+  ChaCha20 contiguous(TestKey(), nonce);
+  Bytes expected = contiguous.Keystream(200);
+  ChaCha20 chunked(TestKey(), nonce);
+  Bytes actual;
+  for (size_t taken = 0; taken < 200;) {
+    size_t take = std::min<size_t>(13, 200 - taken);
+    Bytes part = chunked.Keystream(take);
+    actual.insert(actual.end(), part.begin(), part.end());
+    taken += take;
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ChaCha20Test, DifferentNoncesDiverge) {
+  std::array<uint8_t, 12> n1{}, n2{};
+  n2[0] = 1;
+  ChaCha20 a(TestKey(), n1), b(TestKey(), n2);
+  EXPECT_NE(a.Keystream(64), b.Keystream(64));
+}
+
+TEST(ChaChaRngTest, DeterministicStreams) {
+  ChaChaRng a(TestKey(), 5), b(TestKey(), 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(ChaChaRngTest, StreamIdsAreIndependent) {
+  ChaChaRng a(TestKey(), 1), b(TestKey(), 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ChaChaRngTest, DoublesInUnitInterval) {
+  ChaChaRng rng(TestKey(), 9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bcfl::crypto

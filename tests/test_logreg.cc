@@ -1,0 +1,152 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+
+namespace bcfl::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs -> a linearly separable problem.
+Dataset SeparableBlobs(size_t n_per_class, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix x(2 * n_per_class, 2);
+  std::vector<int> y(2 * n_per_class);
+  for (size_t i = 0; i < n_per_class; ++i) {
+    x.At(i, 0) = rng.NextGaussian(-3.0, 0.5);
+    x.At(i, 1) = rng.NextGaussian(-3.0, 0.5);
+    y[i] = 0;
+    x.At(n_per_class + i, 0) = rng.NextGaussian(3.0, 0.5);
+    x.At(n_per_class + i, 1) = rng.NextGaussian(3.0, 0.5);
+    y[n_per_class + i] = 1;
+  }
+  return Dataset(std::move(x), std::move(y), 2);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndAreStable) {
+  Matrix logits(2, 3);
+  logits.At(0, 0) = 1000.0;  // Would overflow a naive exp.
+  logits.At(0, 1) = 1000.0;
+  logits.At(0, 2) = 999.0;
+  logits.At(1, 0) = -1000.0;
+  logits.At(1, 1) = 0.0;
+  logits.At(1, 2) = 1.0;
+  SoftmaxRowsInPlace(&logits);
+  for (size_t i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(logits.At(i, j), 0.0);
+      EXPECT_LE(logits.At(i, j), 1.0);
+      sum += logits.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(logits.At(0, 0), logits.At(0, 2));
+}
+
+TEST(LogRegTest, ZeroModelPredictsUniform) {
+  LogisticRegression model(4, 5);
+  Matrix x(1, 4, 1.0);
+  auto probs = model.PredictProba(x);
+  ASSERT_TRUE(probs.ok());
+  for (size_t j = 0; j < 5; ++j) EXPECT_NEAR(probs->At(0, j), 0.2, 1e-12);
+}
+
+TEST(LogRegTest, LearnsSeparableProblem) {
+  Dataset data = SeparableBlobs(100, 1);
+  LogisticRegressionConfig config;
+  config.learning_rate = 0.5;
+  LogisticRegression model(2, 2, config);
+  ASSERT_TRUE(model.TrainEpochs(data, 50).ok());
+  auto acc = model.Accuracy(data);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.98);
+}
+
+TEST(LogRegTest, LossDecreasesDuringTraining) {
+  Dataset data = SeparableBlobs(50, 2);
+  LogisticRegression model(2, 2);
+  auto initial_loss = model.LogLoss(data);
+  ASSERT_TRUE(initial_loss.ok());
+  ASSERT_TRUE(model.TrainEpochs(data, 20).ok());
+  auto trained_loss = model.LogLoss(data);
+  ASSERT_TRUE(trained_loss.ok());
+  EXPECT_LT(*trained_loss, *initial_loss);
+}
+
+TEST(LogRegTest, TrainingIsDeterministic) {
+  Dataset data = SeparableBlobs(30, 3);
+  LogisticRegression m1(2, 2), m2(2, 2);
+  ASSERT_TRUE(m1.TrainEpochs(data, 10).ok());
+  ASSERT_TRUE(m2.TrainEpochs(data, 10).ok());
+  EXPECT_EQ(m1.weights(), m2.weights());
+}
+
+TEST(LogRegTest, RejectsMismatchedData) {
+  LogisticRegression model(4, 3);
+  Dataset wrong_features = SeparableBlobs(10, 4);  // 2 features.
+  EXPECT_TRUE(model.Train(wrong_features).IsInvalidArgument());
+
+  Matrix x(2, 4);
+  Dataset wrong_classes(x, {0, 1}, 2);  // Model expects 3 classes.
+  EXPECT_TRUE(model.Train(wrong_classes).IsInvalidArgument());
+}
+
+TEST(LogRegTest, PredictRejectsWrongFeatureCount) {
+  LogisticRegression model(4, 3);
+  Matrix x(2, 5);
+  EXPECT_TRUE(model.PredictProba(x).status().IsInvalidArgument());
+}
+
+TEST(LogRegTest, FromWeightsRoundTrip) {
+  Dataset data = SeparableBlobs(30, 4);
+  LogisticRegression model(2, 2);
+  ASSERT_TRUE(model.TrainEpochs(data, 10).ok());
+  auto restored = LogisticRegression::FromWeights(model.weights());
+  ASSERT_TRUE(restored.ok());
+  auto acc1 = model.Accuracy(data);
+  auto acc2 = restored->Accuracy(data);
+  ASSERT_TRUE(acc1.ok());
+  ASSERT_TRUE(acc2.ok());
+  EXPECT_EQ(*acc1, *acc2);
+}
+
+TEST(LogRegTest, FromWeightsRejectsDegenerateShape) {
+  EXPECT_FALSE(LogisticRegression::FromWeights(Matrix(1, 5)).ok());
+  EXPECT_FALSE(LogisticRegression::FromWeights(Matrix(5, 1)).ok());
+}
+
+TEST(LogRegTest, SetWeightsEnforcesShape) {
+  LogisticRegression model(4, 3);
+  EXPECT_TRUE(model.SetWeights(Matrix(5, 3)).ok());
+  EXPECT_TRUE(model.SetWeights(Matrix(4, 3)).IsInvalidArgument());
+}
+
+TEST(LogRegTest, AchievesGoodAccuracyOnSyntheticDigits) {
+  data::DigitsConfig config;
+  config.num_instances = 1500;
+  ml::Dataset digits = data::DigitsGenerator(config).Generate();
+  Xoshiro256 rng(5);
+  auto split = digits.TrainTestSplit(0.8, &rng);
+  ASSERT_TRUE(split.ok());
+
+  LogisticRegressionConfig lr_config;
+  lr_config.learning_rate = 0.05;
+  LogisticRegression model(64, 10, lr_config);
+  ASSERT_TRUE(model.TrainEpochs(split->first, 100).ok());
+  auto acc = model.Accuracy(split->second);
+  ASSERT_TRUE(acc.ok());
+  // The synthetic digits must be learnable well above chance (0.1) for
+  // the paper's experiments to be meaningful.
+  EXPECT_GT(*acc, 0.85);
+}
+
+TEST(LogRegTest, EmptyTrainingSetRejected) {
+  LogisticRegression model(2, 2);
+  Matrix x(0, 2);
+  Dataset empty(x, {}, 2);
+  EXPECT_TRUE(model.Train(empty).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bcfl::ml

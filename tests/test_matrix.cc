@@ -1,0 +1,182 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcfl::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(i, j), 0.0);
+  }
+  Matrix filled(2, 2, 7.5);
+  EXPECT_EQ(filled.At(1, 1), 7.5);
+}
+
+TEST(MatrixTest, MatMulHandComputed) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  a.At(0, 0) = 1; a.At(0, 1) = 2; a.At(0, 2) = 3;
+  a.At(1, 0) = 4; a.At(1, 1) = 5; a.At(1, 2) = 6;
+  Matrix b(3, 2);
+  // [7 8; 9 10; 11 12]
+  b.At(0, 0) = 7;  b.At(0, 1) = 8;
+  b.At(1, 0) = 9;  b.At(1, 1) = 10;
+  b.At(2, 0) = 11; b.At(2, 1) = 12;
+
+  auto c = a.MatMul(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->At(0, 0), 58);
+  EXPECT_EQ(c->At(0, 1), 64);
+  EXPECT_EQ(c->At(1, 0), 139);
+  EXPECT_EQ(c->At(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulShapeMismatch) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_TRUE(a.MatMul(b).status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, TransposedMatMulEqualsExplicitTranspose) {
+  Xoshiro256 rng(5);
+  Matrix a = Matrix::Gaussian(7, 4, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(7, 3, 1.0, &rng);
+  auto fused = a.TransposedMatMul(b);
+  ASSERT_TRUE(fused.ok());
+  auto explicit_t = a.Transpose().MatMul(b);
+  ASSERT_TRUE(explicit_t.ok());
+  ASSERT_EQ(fused->rows(), explicit_t->rows());
+  for (size_t i = 0; i < fused->rows(); ++i) {
+    for (size_t j = 0; j < fused->cols(); ++j) {
+      EXPECT_NEAR(fused->At(i, j), explicit_t->At(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Xoshiro256 rng(6);
+  Matrix m = Matrix::Gaussian(5, 3, 2.0, &rng);
+  EXPECT_EQ(m.Transpose().Transpose(), m);
+}
+
+TEST(MatrixTest, AddSubScaleAxpy) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  ASSERT_TRUE(a.AddInPlace(b).ok());
+  EXPECT_EQ(a.At(0, 0), 3.0);
+  ASSERT_TRUE(a.SubInPlace(b).ok());
+  EXPECT_EQ(a.At(0, 0), 1.0);
+  a.Scale(4.0);
+  EXPECT_EQ(a.At(1, 1), 4.0);
+  ASSERT_TRUE(a.Axpy(0.5, b).ok());
+  EXPECT_EQ(a.At(1, 1), 5.0);
+
+  Matrix wrong(3, 2);
+  EXPECT_TRUE(a.AddInPlace(wrong).IsInvalidArgument());
+  EXPECT_TRUE(a.SubInPlace(wrong).IsInvalidArgument());
+  EXPECT_TRUE(a.Axpy(1.0, wrong).IsInvalidArgument());
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_EQ(Matrix(3, 3).FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, SetZero) {
+  Matrix m(2, 2, 9.0);
+  m.SetZero();
+  EXPECT_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, GaussianStatistics) {
+  Xoshiro256 rng(7);
+  Matrix m = Matrix::Gaussian(200, 200, 3.0, &rng);
+  double sum = 0, sum_sq = 0;
+  for (double v : m.data()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  double n = static_cast<double>(m.size());
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(MatrixTest, SerializeRoundTrip) {
+  Xoshiro256 rng(8);
+  Matrix m = Matrix::Gaussian(4, 6, 1.0, &rng);
+  ByteWriter writer;
+  m.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto back = Matrix::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(MatrixTest, DeserializeRejectsHugeShapes) {
+  ByteWriter writer;
+  writer.WriteU32(1 << 16);
+  writer.WriteU32(1 << 16);
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(Matrix::Deserialize(&reader).status().IsCorruption());
+}
+
+TEST(MeanOfMatricesTest, ComputesElementwiseMean) {
+  Matrix a(1, 2); a.At(0, 0) = 1; a.At(0, 1) = 10;
+  Matrix b(1, 2); b.At(0, 0) = 3; b.At(0, 1) = 20;
+  auto mean = MeanOfMatrices({a, b});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean->At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(mean->At(0, 1), 15.0);
+}
+
+TEST(MeanOfMatricesTest, ErrorsOnEmptyOrMismatch) {
+  EXPECT_TRUE(MeanOfMatrices({}).status().IsInvalidArgument());
+  Matrix a(1, 2), b(2, 1);
+  EXPECT_TRUE(MeanOfMatrices({a, b}).status().IsInvalidArgument());
+}
+
+TEST(WeightedMeanTest, RespectsWeights) {
+  Matrix a(1, 1); a.At(0, 0) = 0.0;
+  Matrix b(1, 1); b.At(0, 0) = 10.0;
+  auto mean = WeightedMeanOfMatrices({a, b}, {1.0, 3.0});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean->At(0, 0), 7.5);
+}
+
+TEST(WeightedMeanTest, ErrorsOnBadWeights) {
+  Matrix a(1, 1);
+  EXPECT_TRUE(
+      WeightedMeanOfMatrices({a}, {0.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      WeightedMeanOfMatrices({a}, {-1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      WeightedMeanOfMatrices({a}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(WeightedMeanTest, UniformWeightsMatchPlainMean) {
+  Xoshiro256 rng(9);
+  std::vector<Matrix> ms;
+  for (int i = 0; i < 4; ++i) ms.push_back(Matrix::Gaussian(3, 3, 1.0, &rng));
+  auto plain = MeanOfMatrices(ms);
+  auto weighted = WeightedMeanOfMatrices(ms, {2, 2, 2, 2});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(weighted.ok());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_NEAR(plain->data()[i], weighted->data()[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bcfl::ml

@@ -1,0 +1,64 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace bcfl::ml {
+namespace {
+
+TEST(AccuracyTest, HandComputed) {
+  auto acc = AccuracyScore({0, 1, 2, 1}, {0, 1, 1, 1});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 0.75);
+}
+
+TEST(AccuracyTest, PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(*AccuracyScore({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(*AccuracyScore({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(AccuracyTest, RejectsMismatchedOrEmpty) {
+  EXPECT_FALSE(AccuracyScore({1}, {1, 2}).ok());
+  EXPECT_FALSE(AccuracyScore({}, {}).ok());
+}
+
+TEST(ConfusionMatrixTest, CountsByTrueAndPredicted) {
+  auto cm = ConfusionMatrix({0, 1, 1, 2}, {0, 1, 2, 2}, 3);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->At(0, 0), 1.0);  // True 0 predicted 0.
+  EXPECT_EQ(cm->At(1, 1), 1.0);  // True 1 predicted 1.
+  EXPECT_EQ(cm->At(2, 1), 1.0);  // True 2 predicted 1.
+  EXPECT_EQ(cm->At(2, 2), 1.0);
+  double total = 0;
+  for (double v : cm->data()) total += v;
+  EXPECT_EQ(total, 4.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsBadInput) {
+  EXPECT_FALSE(ConfusionMatrix({0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix({0}, {0}, 0).ok());
+  EXPECT_TRUE(ConfusionMatrix({5}, {0}, 2).status().IsOutOfRange());
+}
+
+TEST(MacroF1Test, PerfectPredictionsScoreOne) {
+  auto f1 = MacroF1({0, 1, 2}, {0, 1, 2}, 3);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 1.0);
+}
+
+TEST(MacroF1Test, HandComputedBinaryCase) {
+  // Predictions: [1,1,0,0], labels: [1,0,1,0].
+  // Class 0: tp=1, fp=1, fn=1 -> F1 = 2/4 = 0.5. Class 1 same.
+  auto f1 = MacroF1({1, 1, 0, 0}, {1, 0, 1, 0}, 2);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 0.5);
+}
+
+TEST(MacroF1Test, AbsentClassContributesZero) {
+  // Class 2 never appears: its F1 term is 0, dragging down the macro.
+  auto f1 = MacroF1({0, 1}, {0, 1}, 3);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NEAR(*f1, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bcfl::ml

@@ -1,0 +1,137 @@
+#include "shapley/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "shapley/shapley_math.h"
+
+namespace bcfl::shapley {
+namespace {
+
+Result<double> AdditiveUtility(uint64_t mask) {
+  // Weights 1, 2, 3, 4, 5 per player.
+  double total = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    if (mask & (1ULL << i)) total += static_cast<double>(i + 1);
+  }
+  return total;
+}
+
+TEST(MonteCarloTest, ConvergesToExactOnAdditiveGame) {
+  MonteCarloConfig config;
+  config.num_permutations = 2000;
+  config.seed = 1;
+  auto result = MonteCarloShapley(5, AdditiveUtility, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result->values[i], static_cast<double>(i + 1), 0.05);
+  }
+}
+
+TEST(MonteCarloTest, MatchesExactOnRandomGame) {
+  Xoshiro256 rng(5);
+  const size_t n = 5;
+  std::vector<double> table(1ULL << n);
+  for (auto& u : table) u = rng.NextDouble();
+  auto utility = [&](uint64_t mask) -> Result<double> {
+    return table[mask];
+  };
+  auto exact = ExactShapleyFromTable(n, table);
+  ASSERT_TRUE(exact.ok());
+
+  MonteCarloConfig config;
+  config.num_permutations = 5000;
+  config.seed = 2;
+  auto mc = MonteCarloShapley(n, utility, config);
+  ASSERT_TRUE(mc.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mc->values[i], (*exact)[i], 0.05) << "player " << i;
+  }
+}
+
+TEST(MonteCarloTest, EstimatorIsUnbiasedInExpectationAcrossSeeds) {
+  // The mean of several independent estimates approaches the exact value
+  // faster than any single estimate.
+  auto utility = [](uint64_t mask) -> Result<double> {
+    bool left = (mask & 0b011) != 0;
+    bool right = (mask & 0b100) != 0;
+    return left && right ? 1.0 : 0.0;
+  };
+  auto exact = ExactShapley(3, utility);
+  ASSERT_TRUE(exact.ok());
+  std::vector<double> avg(3, 0.0);
+  const int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    MonteCarloConfig config;
+    config.num_permutations = 300;
+    config.seed = static_cast<uint64_t>(run + 1);
+    auto mc = MonteCarloShapley(3, utility, config);
+    ASSERT_TRUE(mc.ok());
+    for (size_t i = 0; i < 3; ++i) avg[i] += mc->values[i] / kRuns;
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(avg[i], (*exact)[i], 0.03);
+  }
+}
+
+TEST(MonteCarloTest, MemoizationBoundsEvaluations) {
+  MonteCarloConfig config;
+  config.num_permutations = 10000;
+  config.seed = 3;
+  auto result = MonteCarloShapley(4, AdditiveUtility, config);
+  ASSERT_TRUE(result.ok());
+  // At most 2^4 distinct coalitions can ever be evaluated.
+  EXPECT_LE(result->utility_evaluations, 16u);
+}
+
+TEST(MonteCarloTest, TruncationSkipsConvergedSuffixes) {
+  // A game whose utility saturates once any player joins: truncation
+  // should skip almost every suffix.
+  auto saturating = [](uint64_t mask) -> Result<double> {
+    return mask != 0 ? 1.0 : 0.0;
+  };
+  MonteCarloConfig truncated;
+  truncated.num_permutations = 200;
+  truncated.seed = 4;
+  truncated.truncation_tolerance = 0.01;
+  auto with_trunc = MonteCarloShapley(6, saturating, truncated);
+  ASSERT_TRUE(with_trunc.ok());
+  EXPECT_GT(with_trunc->truncated_scans, 100u);
+
+  MonteCarloConfig full = truncated;
+  full.truncation_tolerance = 0.0;
+  auto without = MonteCarloShapley(6, saturating, full);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->truncated_scans, 0u);
+}
+
+TEST(MonteCarloTest, RejectsBadArguments) {
+  EXPECT_FALSE(MonteCarloShapley(0, AdditiveUtility, {}).ok());
+  EXPECT_FALSE(MonteCarloShapley(64, AdditiveUtility, {}).ok());
+  MonteCarloConfig config;
+  config.num_permutations = 0;
+  EXPECT_FALSE(MonteCarloShapley(3, AdditiveUtility, config).ok());
+}
+
+TEST(MonteCarloTest, PropagatesUtilityErrors) {
+  auto broken = [](uint64_t) -> Result<double> {
+    return Status::Internal("bad utility");
+  };
+  EXPECT_TRUE(MonteCarloShapley(3, broken, {}).status().IsInternal());
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeed) {
+  MonteCarloConfig config;
+  config.num_permutations = 50;
+  config.seed = 6;
+  auto r1 = MonteCarloShapley(5, AdditiveUtility, config);
+  auto r2 = MonteCarloShapley(5, AdditiveUtility, config);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->values, r2->values);
+}
+
+}  // namespace
+}  // namespace bcfl::shapley

@@ -1,0 +1,175 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace bcfl::net {
+namespace {
+
+TEST(NetworkTest, RegisterRejectsDuplicatesAndNullHandlers) {
+  SimulatedNetwork network;
+  ASSERT_TRUE(network.RegisterNode(1, [](const Message&) {}).ok());
+  EXPECT_TRUE(
+      network.RegisterNode(1, [](const Message&) {}).IsAlreadyExists());
+  EXPECT_TRUE(network.RegisterNode(2, nullptr).IsInvalidArgument());
+}
+
+TEST(NetworkTest, SendToUnknownNodeFails) {
+  SimulatedNetwork network;
+  ASSERT_TRUE(network.RegisterNode(1, [](const Message&) {}).ok());
+  EXPECT_TRUE(network.Send(1, 99, {1, 2, 3}).IsNotFound());
+}
+
+TEST(NetworkTest, DeliversPayloadAndMetadata) {
+  SimulatedNetwork network;
+  Message received;
+  ASSERT_TRUE(network.RegisterNode(1, [](const Message&) {}).ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(2, [&](const Message& m) { received = m; })
+                  .ok());
+  ASSERT_TRUE(network.Send(1, 2, {9, 8, 7}).ok());
+  EXPECT_EQ(network.DeliverAll(), 1u);
+  EXPECT_EQ(received.from, 1u);
+  EXPECT_EQ(received.to, 2u);
+  EXPECT_EQ(received.payload, (Bytes{9, 8, 7}));
+}
+
+TEST(NetworkTest, DeliveryOrderFollowsLatency) {
+  NetworkConfig config;
+  config.min_latency_us = 1;
+  config.max_latency_us = 10000;
+  config.seed = 5;
+  SimulatedNetwork network(config);
+  std::vector<uint64_t> arrival_times;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(1,
+                                [&](const Message& m) {
+                                  arrival_times.push_back(m.deliver_at_us);
+                                })
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(network.Send(0, 1, {static_cast<uint8_t>(i)}).ok());
+  }
+  network.DeliverAll();
+  ASSERT_EQ(arrival_times.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(arrival_times.begin(), arrival_times.end()));
+}
+
+TEST(NetworkTest, LatencyWithinConfiguredBounds) {
+  NetworkConfig config;
+  config.min_latency_us = 100;
+  config.max_latency_us = 200;
+  SimulatedNetwork network(config);
+  std::vector<uint64_t> deliveries;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(1,
+                                [&](const Message& m) {
+                                  deliveries.push_back(m.deliver_at_us);
+                                })
+                  .ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(network.Send(0, 1, {}).ok());
+  network.DeliverAll();
+  for (uint64_t t : deliveries) {
+    EXPECT_GE(t, 100u);
+    EXPECT_LE(t, 200u);
+  }
+}
+
+TEST(NetworkTest, BroadcastReachesAllButSender) {
+  SimulatedNetwork network;
+  std::map<NodeId, int> counts;
+  for (NodeId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(
+        network.RegisterNode(id, [&, id](const Message&) { counts[id]++; })
+            .ok());
+  }
+  ASSERT_TRUE(network.Broadcast(2, {1}).ok());
+  network.DeliverAll();
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(NetworkTest, HandlersCanSendDuringDrain) {
+  // Ping-pong: node 1 replies to node 0's message within the same drain.
+  SimulatedNetwork network;
+  int pongs = 0;
+  ASSERT_TRUE(
+      network.RegisterNode(0, [&](const Message&) { pongs++; }).ok());
+  SimulatedNetwork* net = &network;
+  ASSERT_TRUE(network
+                  .RegisterNode(1,
+                                [net](const Message& m) {
+                                  (void)net->Send(1, m.from, {0xff});
+                                })
+                  .ok());
+  ASSERT_TRUE(network.Send(0, 1, {1}).ok());
+  size_t delivered = network.DeliverAll();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(pongs, 1);
+}
+
+TEST(NetworkTest, DropProbabilityLosesMessages) {
+  NetworkConfig config;
+  config.drop_probability = 0.5;
+  config.seed = 7;
+  SimulatedNetwork network(config);
+  int received = 0;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(
+      network.RegisterNode(1, [&](const Message&) { received++; }).ok());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(network.Send(0, 1, {}).ok());
+  network.DeliverAll();
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+  EXPECT_EQ(network.stats().messages_dropped,
+            1000u - static_cast<uint64_t>(received));
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  SimulatedNetwork network;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network.RegisterNode(1, [](const Message&) {}).ok());
+  ASSERT_TRUE(network.Send(0, 1, Bytes(100)).ok());
+  ASSERT_TRUE(network.Send(1, 0, Bytes(50)).ok());
+  network.DeliverAll();
+  EXPECT_EQ(network.stats().messages_sent, 2u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);
+  EXPECT_EQ(network.stats().bytes_sent, 150u);
+}
+
+TEST(NetworkTest, ClockAdvancesMonotonically) {
+  SimulatedNetwork network;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network.RegisterNode(1, [](const Message&) {}).ok());
+  EXPECT_EQ(network.clock().NowMicros(), 0u);
+  ASSERT_TRUE(network.Send(0, 1, {}).ok());
+  network.DeliverAll();
+  uint64_t after_first = network.clock().NowMicros();
+  EXPECT_GT(after_first, 0u);
+  ASSERT_TRUE(network.Send(0, 1, {}).ok());
+  network.DeliverAll();
+  EXPECT_GT(network.clock().NowMicros(), after_first);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    NetworkConfig config;
+    config.seed = 11;
+    SimulatedNetwork network(config);
+    std::vector<uint64_t> times;
+    (void)network.RegisterNode(0, [](const Message&) {});
+    (void)network.RegisterNode(1, [&](const Message& m) {
+      times.push_back(m.deliver_at_us);
+    });
+    for (int i = 0; i < 20; ++i) (void)network.Send(0, 1, {});
+    network.DeliverAll();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace bcfl::net

@@ -1,0 +1,132 @@
+#include "data/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/digits.h"
+#include "data/partition.h"
+
+namespace bcfl::data {
+namespace {
+
+ml::Dataset Tiny(uint64_t seed = 1) {
+  DigitsConfig config;
+  config.num_instances = 100;
+  config.seed = seed;
+  return DigitsGenerator(config).Generate();
+}
+
+TEST(AddGaussianNoiseTest, ZeroSigmaIsNoop) {
+  ml::Dataset d = Tiny();
+  ml::Dataset copy = d;
+  Xoshiro256 rng(1);
+  AddGaussianNoise(&copy, 0.0, &rng);
+  EXPECT_EQ(copy.features(), d.features());
+}
+
+TEST(AddGaussianNoiseTest, PerturbsWithExpectedMagnitude) {
+  ml::Dataset d = Tiny();
+  ml::Dataset noisy = d;
+  Xoshiro256 rng(2);
+  AddGaussianNoise(&noisy, 2.0, &rng);
+  double sum_sq = 0;
+  size_t n = d.features().size();
+  for (size_t i = 0; i < n; ++i) {
+    double diff = noisy.features().data()[i] - d.features().data()[i];
+    sum_sq += diff * diff;
+  }
+  double empirical_sigma = std::sqrt(sum_sq / static_cast<double>(n));
+  EXPECT_NEAR(empirical_sigma, 2.0, 0.1);
+}
+
+TEST(QualityGradientTest, OwnerZeroStaysClean) {
+  ml::Dataset d = Tiny();
+  Xoshiro256 rng(3);
+  auto parts = PartitionUniform(d, 4, &rng);
+  ASSERT_TRUE(parts.ok());
+  std::vector<ml::Dataset> original = *parts;
+  ASSERT_TRUE(ApplyQualityGradient(&*parts, 0.5, 42).ok());
+  EXPECT_EQ((*parts)[0].features(), original[0].features());
+  // Later owners must be perturbed.
+  EXPECT_NE((*parts)[1].features(), original[1].features());
+  EXPECT_NE((*parts)[3].features(), original[3].features());
+}
+
+TEST(QualityGradientTest, NoiseGrowsWithOwnerIndex) {
+  ml::Dataset d = Tiny(5);
+  Xoshiro256 rng(4);
+  auto parts = PartitionUniform(d, 4, &rng);
+  ASSERT_TRUE(parts.ok());
+  std::vector<ml::Dataset> original = *parts;
+  ASSERT_TRUE(ApplyQualityGradient(&*parts, 1.0, 43).ok());
+  std::vector<double> rms(4, 0.0);
+  for (size_t p = 1; p < 4; ++p) {
+    double sum_sq = 0;
+    size_t n = original[p].features().size();
+    for (size_t i = 0; i < n; ++i) {
+      double diff =
+          (*parts)[p].features().data()[i] - original[p].features().data()[i];
+      sum_sq += diff * diff;
+    }
+    rms[p] = std::sqrt(sum_sq / static_cast<double>(n));
+  }
+  EXPECT_LT(rms[1], rms[2]);
+  EXPECT_LT(rms[2], rms[3]);
+  EXPECT_NEAR(rms[1], 1.0, 0.2);
+  EXPECT_NEAR(rms[3], 3.0, 0.5);
+}
+
+TEST(QualityGradientTest, RejectsBadArguments) {
+  std::vector<ml::Dataset> empty;
+  EXPECT_TRUE(ApplyQualityGradient(&empty, 0.5, 1).IsInvalidArgument());
+  EXPECT_TRUE(ApplyQualityGradient(nullptr, 0.5, 1).IsInvalidArgument());
+  ml::Dataset d = Tiny();
+  std::vector<ml::Dataset> one = {d};
+  EXPECT_TRUE(ApplyQualityGradient(&one, -1.0, 1).IsInvalidArgument());
+}
+
+TEST(FlipLabelsTest, ZeroProbabilityIsNoop) {
+  ml::Dataset d = Tiny();
+  std::vector<int> original = d.labels();
+  Xoshiro256 rng(5);
+  ASSERT_TRUE(FlipLabels(&d, 0.0, &rng).ok());
+  EXPECT_EQ(d.labels(), original);
+}
+
+TEST(FlipLabelsTest, FullProbabilityFlipsEverything) {
+  ml::Dataset d = Tiny();
+  std::vector<int> original = d.labels();
+  Xoshiro256 rng(6);
+  ASSERT_TRUE(FlipLabels(&d, 1.0, &rng).ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NE(d.labels()[i], original[i]);
+    EXPECT_GE(d.labels()[i], 0);
+    EXPECT_LT(d.labels()[i], 10);
+  }
+}
+
+TEST(FlipLabelsTest, PartialProbabilityFlipsFraction) {
+  DigitsConfig config;
+  config.num_instances = 2000;
+  ml::Dataset d = DigitsGenerator(config).Generate();
+  std::vector<int> original = d.labels();
+  Xoshiro256 rng(7);
+  ASSERT_TRUE(FlipLabels(&d, 0.3, &rng).ok());
+  size_t flipped = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (d.labels()[i] != original[i]) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / 2000.0, 0.3, 0.04);
+}
+
+TEST(FlipLabelsTest, RejectsBadArguments) {
+  ml::Dataset d = Tiny();
+  Xoshiro256 rng(8);
+  EXPECT_TRUE(FlipLabels(nullptr, 0.5, &rng).IsInvalidArgument());
+  EXPECT_TRUE(FlipLabels(&d, 1.5, &rng).IsInvalidArgument());
+  EXPECT_TRUE(FlipLabels(&d, -0.5, &rng).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bcfl::data

@@ -1,0 +1,134 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/digits.h"
+
+namespace bcfl::data {
+namespace {
+
+ml::Dataset SmallDigits(size_t n, uint64_t seed = 1) {
+  DigitsConfig config;
+  config.num_instances = n;
+  config.seed = seed;
+  return DigitsGenerator(config).Generate();
+}
+
+TEST(PartitionUniformTest, SizesDifferByAtMostOne) {
+  ml::Dataset d = SmallDigits(100);
+  Xoshiro256 rng(1);
+  auto parts = PartitionUniform(d, 9, &rng);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 9u);
+  size_t total = 0, min_size = SIZE_MAX, max_size = 0;
+  for (const auto& part : *parts) {
+    total += part.num_examples();
+    min_size = std::min(min_size, part.num_examples());
+    max_size = std::max(max_size, part.num_examples());
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(PartitionUniformTest, PartsAreDisjointAndCover) {
+  // Tag each example with a unique feature value to track coverage.
+  ml::Matrix x(30, 1);
+  std::vector<int> y(30, 0);
+  for (size_t i = 0; i < 30; ++i) x.At(i, 0) = static_cast<double>(i);
+  ml::Dataset d(std::move(x), std::move(y), 2);
+
+  Xoshiro256 rng(2);
+  auto parts = PartitionUniform(d, 4, &rng);
+  ASSERT_TRUE(parts.ok());
+  std::multiset<double> seen;
+  for (const auto& part : *parts) {
+    for (size_t i = 0; i < part.num_examples(); ++i) {
+      seen.insert(part.features().At(i, 0));
+    }
+  }
+  ASSERT_EQ(seen.size(), 30u);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(seen.count(static_cast<double>(i)), 1u);
+  }
+}
+
+TEST(PartitionUniformTest, RejectsDegenerateCounts) {
+  ml::Dataset d = SmallDigits(10);
+  Xoshiro256 rng(3);
+  EXPECT_FALSE(PartitionUniform(d, 0, &rng).ok());
+  EXPECT_FALSE(PartitionUniform(d, 11, &rng).ok());
+}
+
+TEST(PartitionWeightedTest, ApproximatesFractions) {
+  ml::Dataset d = SmallDigits(1000);
+  Xoshiro256 rng(4);
+  auto parts = PartitionWeighted(d, {0.5, 0.3, 0.2}, &rng);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_NEAR(static_cast<double>((*parts)[0].num_examples()), 500, 2);
+  EXPECT_NEAR(static_cast<double>((*parts)[1].num_examples()), 300, 2);
+  EXPECT_NEAR(static_cast<double>((*parts)[2].num_examples()), 200, 2);
+}
+
+TEST(PartitionWeightedTest, RejectsBadFractions) {
+  ml::Dataset d = SmallDigits(50);
+  Xoshiro256 rng(5);
+  EXPECT_FALSE(PartitionWeighted(d, {}, &rng).ok());
+  EXPECT_FALSE(PartitionWeighted(d, {0.5, 0.6}, &rng).ok());
+  EXPECT_FALSE(PartitionWeighted(d, {1.5, -0.5}, &rng).ok());
+}
+
+TEST(PartitionLabelSkewTest, ZeroSkewBehavesUniform) {
+  ml::Dataset d = SmallDigits(900);
+  Xoshiro256 rng(6);
+  auto parts = PartitionLabelSkew(d, 3, 0.0, &rng);
+  ASSERT_TRUE(parts.ok());
+  // Every part should contain most classes.
+  for (const auto& part : *parts) {
+    auto counts = part.ClassCounts();
+    int present = 0;
+    for (size_t c : counts) present += c > 0 ? 1 : 0;
+    EXPECT_GE(present, 8);
+  }
+}
+
+TEST(PartitionLabelSkewTest, HighSkewConcentratesPreferredClasses) {
+  ml::Dataset d = SmallDigits(2000);
+  Xoshiro256 rng(7);
+  auto parts = PartitionLabelSkew(d, 10, 0.95, &rng);
+  ASSERT_TRUE(parts.ok());
+  // Part p prefers class p; it must hold a large majority of that class.
+  for (size_t p = 0; p < 10; ++p) {
+    auto counts = (*parts)[p].ClassCounts();
+    size_t preferred = counts[p];
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    EXPECT_GT(static_cast<double>(preferred) / static_cast<double>(total),
+              0.5)
+        << "part " << p;
+  }
+}
+
+TEST(PartitionLabelSkewTest, RejectsBadSkew) {
+  ml::Dataset d = SmallDigits(100);
+  Xoshiro256 rng(8);
+  EXPECT_FALSE(PartitionLabelSkew(d, 3, -0.1, &rng).ok());
+  EXPECT_FALSE(PartitionLabelSkew(d, 3, 1.1, &rng).ok());
+  EXPECT_FALSE(PartitionLabelSkew(d, 0, 0.5, &rng).ok());
+}
+
+TEST(PartitionTest, DeterministicGivenSeed) {
+  ml::Dataset d = SmallDigits(200);
+  Xoshiro256 rng1(9), rng2(9);
+  auto p1 = PartitionUniform(d, 5, &rng1);
+  auto p2 = PartitionUniform(d, 5, &rng2);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*p1)[i].labels(), (*p2)[i].labels());
+  }
+}
+
+}  // namespace
+}  // namespace bcfl::data

@@ -1,0 +1,134 @@
+#include "privacy/mechanisms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcfl::privacy {
+namespace {
+
+TEST(ClipL2Test, LeavesSmallMatricesUntouched) {
+  ml::Matrix m(2, 2, 0.1);  // Norm 0.2.
+  ml::Matrix original = m;
+  double norm = ClipL2(&m, 1.0);
+  EXPECT_NEAR(norm, 0.2, 1e-12);
+  EXPECT_EQ(m, original);
+}
+
+TEST(ClipL2Test, ScalesLargeMatricesToBound) {
+  ml::Matrix m(1, 2);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = 4;  // Norm 5.
+  double norm = ClipL2(&m, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(m.FrobeniusNorm(), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(m.At(0, 0) / m.At(0, 1), 0.75, 1e-12);
+}
+
+TEST(GaussianSigmaTest, MatchesAnalyticFormula) {
+  DpParams params{1.0, 1e-5};
+  auto sigma = GaussianSigma(params, 2.0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR(*sigma, std::sqrt(2.0 * std::log(1.25e5)) * 2.0, 1e-9);
+}
+
+TEST(GaussianSigmaTest, ShrinksWithEpsilon) {
+  auto loose = GaussianSigma({10.0, 1e-5}, 1.0);
+  auto tight = GaussianSigma({0.1, 1e-5}, 1.0);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(*loose, *tight);
+}
+
+TEST(GaussianSigmaTest, RejectsBadParams) {
+  EXPECT_FALSE(GaussianSigma({0.0, 1e-5}, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma({1.0, 0.0}, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma({1.0, 1.5}, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma({1.0, 1e-5}, 0.0).ok());
+}
+
+TEST(NoiseTest, GaussianNoiseHasConfiguredScale) {
+  ml::Matrix m(100, 100);
+  Xoshiro256 rng(1);
+  AddGaussianNoise(&m, 3.0, &rng);
+  double sum_sq = 0;
+  for (double v : m.data()) sum_sq += v * v;
+  double rms = std::sqrt(sum_sq / static_cast<double>(m.size()));
+  EXPECT_NEAR(rms, 3.0, 0.1);
+}
+
+TEST(NoiseTest, LaplaceNoiseHasConfiguredScale) {
+  // Laplace(b) has variance 2b^2.
+  ml::Matrix m(100, 100);
+  Xoshiro256 rng(2);
+  AddLaplaceNoise(&m, 2.0, &rng);
+  double sum_sq = 0;
+  for (double v : m.data()) sum_sq += v * v;
+  double var = sum_sq / static_cast<double>(m.size());
+  EXPECT_NEAR(var, 8.0, 0.5);
+}
+
+TEST(NoiseTest, NonPositiveScaleIsNoop) {
+  ml::Matrix m(3, 3, 1.0);
+  ml::Matrix original = m;
+  Xoshiro256 rng(3);
+  AddGaussianNoise(&m, 0.0, &rng);
+  AddLaplaceNoise(&m, -1.0, &rng);
+  EXPECT_EQ(m, original);
+}
+
+TEST(LaplaceScaleTest, Formula) {
+  auto scale = LaplaceScale(0.5, 2.0);
+  ASSERT_TRUE(scale.ok());
+  EXPECT_DOUBLE_EQ(*scale, 4.0);
+  EXPECT_FALSE(LaplaceScale(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceScale(1.0, -1.0).ok());
+}
+
+TEST(AccountantTest, BasicCompositionSums) {
+  PrivacyAccountant accountant;
+  accountant.Record({0.5, 1e-6});
+  accountant.Record({0.25, 1e-6});
+  accountant.Record({0.25, 2e-6});
+  DpParams total = accountant.BasicComposition();
+  EXPECT_NEAR(total.epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(total.delta, 4e-6, 1e-15);
+  EXPECT_EQ(accountant.num_releases(), 3u);
+}
+
+TEST(AccountantTest, AdvancedBeatsBasicForManySmallReleases) {
+  PrivacyAccountant accountant;
+  for (int i = 0; i < 100; ++i) accountant.Record({0.1, 1e-7});
+  DpParams basic = accountant.BasicComposition();
+  auto advanced = accountant.AdvancedComposition(1e-6);
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_LT(advanced->epsilon, basic.epsilon);
+  EXPECT_GT(advanced->delta, basic.delta);  // Pays the delta' slack.
+}
+
+TEST(AccountantTest, EmptyAccountantIsZero) {
+  PrivacyAccountant accountant;
+  auto advanced = accountant.AdvancedComposition();
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_EQ(advanced->epsilon, 0.0);
+  EXPECT_FALSE(PrivacyAccountant().AdvancedComposition(2.0).ok());
+}
+
+TEST(DistributedNoiseTest, SharesSumToTargetVariance) {
+  double share = DistributedNoiseShareSigma(3.0, 9);
+  EXPECT_NEAR(share, 1.0, 1e-12);
+  // Empirically: sum of 9 clients' shares has std ~3.
+  Xoshiro256 rng(4);
+  double sum_sq = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    double total = 0;
+    for (int c = 0; c < 9; ++c) total += rng.NextGaussian(0.0, share);
+    sum_sq += total * total;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / kTrials), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace bcfl::privacy

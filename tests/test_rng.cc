@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace bcfl {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64Test, KnownFirstOutput) {
+  // Reference value for seed 0 from the public-domain SplitMix64 code.
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.Next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix64Test, BoundedStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(XoshiroTest, DeterministicForSameSeed) {
+  Xoshiro256 a(55), b(55);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(XoshiroTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XoshiroTest, DoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(XoshiroTest, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 rng(13);
+  const int kN = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(XoshiroTest, GaussianScalesAndShifts) {
+  Xoshiro256 rng(17);
+  const int kN = 100000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+class PermutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PermutationTest, IsValidPermutation) {
+  Xoshiro256 rng(GetParam());
+  for (size_t n : {0u, 1u, 2u, 9u, 100u}) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::set<size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*seen.begin(), 0u);
+      EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationTest,
+                         ::testing::Values(0, 1, 42, 1234567, 0xffffffffULL));
+
+TEST(PermutationTest, ShufflesUniformlyEnough) {
+  // Over many 3-element permutations each of the 6 orders should appear
+  // with roughly equal frequency.
+  Xoshiro256 rng(21);
+  std::map<std::vector<size_t>, int> counts;
+  const int kN = 60000;
+  for (int i = 0; i < kN; ++i) counts[rng.Permutation(3)]++;
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kN, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(ShuffleTest, EmptyAndSingleAreNoops) {
+  Xoshiro256 rng(3);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(BoundedTest, CoversFullRange) {
+  Xoshiro256 rng(31);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,144 @@
+#include "fl/robust.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcfl::fl {
+namespace {
+
+ml::Matrix Fill(double v) {
+  ml::Matrix m(2, 2, v);
+  return m;
+}
+
+std::vector<ml::Matrix> HonestPlusOutlier(double outlier_value) {
+  // Four honest updates near 1.0 plus one wild outlier.
+  return {Fill(0.9), Fill(1.0), Fill(1.1), Fill(1.0), Fill(outlier_value)};
+}
+
+TEST(MedianTest, OddCountPicksMiddle) {
+  auto median = CoordinateMedian({Fill(1), Fill(5), Fill(3)});
+  ASSERT_TRUE(median.ok());
+  EXPECT_DOUBLE_EQ(median->At(0, 0), 3.0);
+}
+
+TEST(MedianTest, EvenCountAveragesMiddlePair) {
+  auto median = CoordinateMedian({Fill(1), Fill(2), Fill(8), Fill(9)});
+  ASSERT_TRUE(median.ok());
+  EXPECT_DOUBLE_EQ(median->At(0, 0), 5.0);
+}
+
+TEST(MedianTest, IgnoresWildOutlier) {
+  auto median = CoordinateMedian(HonestPlusOutlier(1e9));
+  ASSERT_TRUE(median.ok());
+  EXPECT_NEAR(median->At(0, 0), 1.0, 0.01);
+}
+
+TEST(MedianTest, WorksPerCoordinate) {
+  ml::Matrix a(1, 2), b(1, 2), c(1, 2);
+  a.At(0, 0) = 1; a.At(0, 1) = 30;
+  b.At(0, 0) = 2; b.At(0, 1) = 10;
+  c.At(0, 0) = 9; c.At(0, 1) = 20;
+  auto median = CoordinateMedian({a, b, c});
+  ASSERT_TRUE(median.ok());
+  EXPECT_DOUBLE_EQ(median->At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(median->At(0, 1), 20.0);
+}
+
+TEST(TrimmedMeanTest, DropsExtremes) {
+  auto mean = TrimmedMean(HonestPlusOutlier(1e9), 1);
+  ASSERT_TRUE(mean.ok());
+  // Drops 1e9 (top) and 0.9 (bottom): mean of {1.0, 1.0, 1.1}.
+  EXPECT_NEAR(mean->At(0, 0), (1.0 + 1.0 + 1.1) / 3, 1e-12);
+}
+
+TEST(TrimmedMeanTest, ZeroTrimIsPlainMean) {
+  auto mean = TrimmedMean({Fill(1), Fill(2), Fill(3)}, 0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean->At(0, 0), 2.0);
+}
+
+TEST(TrimmedMeanTest, RejectsOverTrim) {
+  EXPECT_FALSE(TrimmedMean({Fill(1), Fill(2)}, 1).ok());
+}
+
+TEST(KrumTest, SelectsUpdateSurroundedByPeers) {
+  auto chosen = Krum(HonestPlusOutlier(100.0), /*byzantine=*/1);
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_NEAR(chosen->At(0, 0), 1.0, 0.15);  // One of the honest ones.
+}
+
+TEST(KrumTest, OutlierHasWorstScore) {
+  auto scores = KrumScores(HonestPlusOutlier(100.0), 1);
+  ASSERT_TRUE(scores.ok());
+  size_t worst = 0;
+  for (size_t i = 1; i < scores->size(); ++i) {
+    if ((*scores)[i] > (*scores)[worst]) worst = i;
+  }
+  EXPECT_EQ(worst, 4u);  // The outlier.
+}
+
+TEST(KrumTest, NeedsEnoughUpdates) {
+  EXPECT_FALSE(Krum({Fill(1), Fill(2), Fill(3)}, 1).ok());  // Needs 4.
+  EXPECT_TRUE(Krum({Fill(1), Fill(2), Fill(3), Fill(4)}, 1).ok());
+}
+
+TEST(MultiKrumTest, SelectAveragesBestUpdates) {
+  auto avg = MultiKrum(HonestPlusOutlier(100.0), 1, 3);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->At(0, 0), 1.0, 0.1);
+  EXPECT_FALSE(MultiKrum(HonestPlusOutlier(100.0), 1, 0).ok());
+  EXPECT_FALSE(MultiKrum(HonestPlusOutlier(100.0), 1, 9).ok());
+}
+
+TEST(RobustAggTest, AllRejectEmptyOrMismatched) {
+  EXPECT_FALSE(CoordinateMedian({}).ok());
+  EXPECT_FALSE(TrimmedMean({}, 0).ok());
+  std::vector<ml::Matrix> mismatched = {ml::Matrix(1, 2), ml::Matrix(2, 1)};
+  EXPECT_FALSE(CoordinateMedian(mismatched).ok());
+  EXPECT_FALSE(TrimmedMean(mismatched, 0).ok());
+}
+
+class RobustnessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessPropertyTest, RobustRulesBeatMeanUnderAttack) {
+  // Honest updates ~ N(mu, 0.1); one attacker at mu + 50. The robust
+  // aggregates must land far closer to mu than the plain mean does.
+  Xoshiro256 rng(GetParam());
+  const double mu = 2.0;
+  std::vector<ml::Matrix> updates;
+  for (int i = 0; i < 6; ++i) {
+    ml::Matrix u(3, 3);
+    for (double& v : u.mutable_data()) v = rng.NextGaussian(mu, 0.1);
+    updates.push_back(std::move(u));
+  }
+  updates.push_back(ml::Matrix(3, 3, mu + 50.0));  // Attacker.
+
+  auto mean = ml::MeanOfMatrices(updates);
+  auto median = CoordinateMedian(updates);
+  auto trimmed = TrimmedMean(updates, 1);
+  auto krum = Krum(updates, 1);
+  ASSERT_TRUE(mean.ok());
+  ASSERT_TRUE(median.ok());
+  ASSERT_TRUE(trimmed.ok());
+  ASSERT_TRUE(krum.ok());
+
+  auto error = [&](const ml::Matrix& m) {
+    ml::Matrix diff = m;
+    ml::Matrix target(3, 3, mu);
+    EXPECT_TRUE(diff.SubInPlace(target).ok());
+    return diff.FrobeniusNorm();
+  };
+  double mean_err = error(*mean);
+  EXPECT_GT(mean_err, 10.0);  // Mean is dragged by the attacker.
+  EXPECT_LT(error(*median), 1.0);
+  EXPECT_LT(error(*trimmed), 1.0);
+  EXPECT_LT(error(*krum), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessPropertyTest,
+                         ::testing::Values(1, 22, 333));
+
+}  // namespace
+}  // namespace bcfl::fl

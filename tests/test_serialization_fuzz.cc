@@ -1,0 +1,83 @@
+// Property tests: every deserializer must treat arbitrary corrupted or
+// random bytes as data, never as a crash — miners parse payloads from
+// untrusted peers.
+
+#include <gtest/gtest.h>
+
+#include "chain/block.h"
+#include "chain/transaction.h"
+#include "common/rng.h"
+#include "core/params.h"
+#include "ml/matrix.h"
+
+namespace bcfl {
+namespace {
+
+chain::Transaction MakeTx(Xoshiro256* rng) {
+  crypto::Schnorr scheme;
+  auto key = scheme.GenerateKeyPair(rng);
+  chain::Transaction tx;
+  tx.contract = "bcfl";
+  tx.method = "submit_update";
+  tx.payload = Bytes(64, 0x5a);
+  tx.nonce = rng->Next();
+  tx.Sign(scheme, key, rng);
+  return tx;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, RandomBytesNeverCrashDeserializers) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.NextBounded(300);
+    Bytes junk(len);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    // Any outcome is fine as long as it is a Status, not UB.
+    (void)chain::Transaction::Deserialize(junk);
+    (void)chain::Block::Deserialize(junk);
+    (void)core::SetupParams::Deserialize(junk);
+    (void)crypto::SchnorrSignature::FromBytes(junk);
+    ByteReader reader(junk);
+    (void)ml::Matrix::Deserialize(&reader);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, BitFlippedTransactionsEitherFailOrVerifyFalse) {
+  Xoshiro256 rng(GetParam() + 1000);
+  crypto::Schnorr scheme;
+  chain::Transaction tx = MakeTx(&rng);
+  Bytes wire = tx.Serialize();
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes corrupted = wire;
+    size_t pos = rng.NextBounded(corrupted.size());
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    auto parsed = chain::Transaction::Deserialize(corrupted);
+    if (parsed.ok()) {
+      // Structure survived; the signature must not (the flipped byte is
+      // covered either by the signing bytes or the signature itself).
+      EXPECT_FALSE(parsed->VerifySignature(scheme))
+          << "byte " << pos << " flip silently verified";
+    }
+  }
+}
+
+TEST_P(FuzzTest, TruncatedBlocksAlwaysRejected) {
+  Xoshiro256 rng(GetParam() + 2000);
+  chain::Block block;
+  block.header.height = 5;
+  for (int i = 0; i < 3; ++i) block.txs.push_back(MakeTx(&rng));
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  Bytes wire = block.Serialize();
+  for (size_t cut = 0; cut < wire.size(); cut += 17) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(chain::Block::Deserialize(truncated).ok())
+        << "accepted a block truncated to " << cut << " bytes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 99, 31337));
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,153 @@
+#include "shapley/shapley_math.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bcfl::shapley {
+namespace {
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Binomial(9, 4), 126.0);
+  EXPECT_DOUBLE_EQ(Binomial(3, 7), 0.0);
+}
+
+TEST(ExactShapleyTest, AdditiveGameGivesIndividualValues) {
+  // u(S) = sum of member weights: SV_i must equal weight_i exactly.
+  const std::vector<double> weights = {1.0, 4.0, 2.5};
+  auto utility = [&](uint64_t mask) -> Result<double> {
+    double total = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (mask & (1ULL << i)) total += weights[i];
+    }
+    return total;
+  };
+  auto values = ExactShapley(3, utility);
+  ASSERT_TRUE(values.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*values)[i], weights[i], 1e-12);
+  }
+}
+
+TEST(ExactShapleyTest, GloveGame) {
+  // Classic: players 0,1 hold left gloves, player 2 a right glove.
+  // u(S) = 1 iff S has at least one of {0,1} AND player 2.
+  // Known SVs: (1/6, 1/6, 4/6).
+  auto utility = [](uint64_t mask) -> Result<double> {
+    bool left = (mask & 0b011) != 0;
+    bool right = (mask & 0b100) != 0;
+    return left && right ? 1.0 : 0.0;
+  };
+  auto values = ExactShapley(3, utility);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR((*values)[0], 1.0 / 6, 1e-12);
+  EXPECT_NEAR((*values)[1], 1.0 / 6, 1e-12);
+  EXPECT_NEAR((*values)[2], 4.0 / 6, 1e-12);
+}
+
+TEST(ExactShapleyTest, DummyPlayerGetsZero) {
+  // Player 1 never changes utility.
+  auto utility = [](uint64_t mask) -> Result<double> {
+    return (mask & 0b101) == 0b101 ? 10.0 : 0.0;
+  };
+  auto values = ExactShapley(3, utility);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR((*values)[1], 0.0, 1e-12);
+  EXPECT_NEAR((*values)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*values)[2], 5.0, 1e-12);
+}
+
+TEST(ExactShapleyTest, SymmetricPlayersGetEqualValues) {
+  // u(S) = |S|^2: all players symmetric.
+  auto utility = [](uint64_t mask) -> Result<double> {
+    double s = static_cast<double>(std::popcount(mask));
+    return s * s;
+  };
+  auto values = ExactShapley(4, utility);
+  ASSERT_TRUE(values.ok());
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR((*values)[i], (*values)[0], 1e-12);
+  }
+}
+
+class RandomGameTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGameTest, EfficiencyAxiomHolds) {
+  // sum_i SV_i == u(grand) - u(empty) for arbitrary games.
+  Xoshiro256 rng(GetParam());
+  const size_t n = 6;
+  std::vector<double> table(1ULL << n);
+  for (auto& u : table) u = rng.NextDouble() * 10;
+  auto values = ExactShapleyFromTable(n, table);
+  ASSERT_TRUE(values.ok());
+  double sum = 0;
+  for (double v : *values) sum += v;
+  EXPECT_NEAR(sum, table.back() - table.front(), 1e-9);
+  auto check = CheckEfficiency(*values, table.back(), table.front(), 1e-9);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(*check);
+}
+
+TEST_P(RandomGameTest, AdditivityAxiomHolds) {
+  // SV(u + w) == SV(u) + SV(w).
+  Xoshiro256 rng(GetParam() + 50);
+  const size_t n = 5;
+  std::vector<double> u(1ULL << n), w(1ULL << n), uw(1ULL << n);
+  for (size_t i = 0; i < u.size(); ++i) {
+    u[i] = rng.NextDouble();
+    w[i] = rng.NextDouble();
+    uw[i] = u[i] + w[i];
+  }
+  auto su = ExactShapleyFromTable(n, u);
+  auto sw = ExactShapleyFromTable(n, w);
+  auto suw = ExactShapleyFromTable(n, uw);
+  ASSERT_TRUE(su.ok());
+  ASSERT_TRUE(sw.ok());
+  ASSERT_TRUE(suw.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*suw)[i], (*su)[i] + (*sw)[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGameTest,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+TEST(ExactShapleyTest, RejectsBadArguments) {
+  EXPECT_FALSE(ExactShapleyFromTable(0, {}).ok());
+  EXPECT_FALSE(ExactShapleyFromTable(21, std::vector<double>(8)).ok());
+  EXPECT_FALSE(ExactShapleyFromTable(3, std::vector<double>(7)).ok());
+}
+
+TEST(ExactShapleyTest, PropagatesUtilityErrors) {
+  auto utility = [](uint64_t mask) -> Result<double> {
+    if (mask == 3) return Status::Internal("utility blew up");
+    return 0.0;
+  };
+  EXPECT_TRUE(ExactShapley(2, utility).status().IsInternal());
+}
+
+TEST(CheckEfficiencyTest, DetectsViolation) {
+  auto violated = CheckEfficiency({1.0, 1.0}, 5.0, 0.0, 1e-9);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+  EXPECT_FALSE(CheckEfficiency({}, 0, 0).ok());
+}
+
+TEST(ExactShapleyTest, SingletonGame) {
+  auto utility = [](uint64_t mask) -> Result<double> {
+    return mask ? 7.0 : 2.0;
+  };
+  auto values = ExactShapley(1, utility);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR((*values)[0], 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bcfl::shapley

@@ -1,0 +1,101 @@
+#include "shapley/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcfl::shapley {
+namespace {
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  auto sim = CosineSimilarity({1, 2, 3}, {1, 2, 3});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-12);
+}
+
+TEST(CosineTest, ScaledVectorsScoreOne) {
+  auto sim = CosineSimilarity({1, 2, 3}, {10, 20, 30});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsScoreZero) {
+  auto sim = CosineSimilarity({1, 0}, {0, 1});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 0.0, 1e-12);
+}
+
+TEST(CosineTest, OppositeVectorsScoreMinusOne) {
+  auto sim = CosineSimilarity({1, 2}, {-1, -2});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, -1.0, 1e-12);
+}
+
+TEST(CosineTest, HandComputedValue) {
+  // cos([1,1],[1,0]) = 1/sqrt(2).
+  auto sim = CosineSimilarity({1, 1}, {1, 0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CosineTest, RejectsBadInput) {
+  EXPECT_FALSE(CosineSimilarity({}, {}).ok());
+  EXPECT_FALSE(CosineSimilarity({1}, {1, 2}).ok());
+  EXPECT_TRUE(
+      CosineSimilarity({0, 0}, {1, 2}).status().IsFailedPrecondition());
+}
+
+TEST(L2Test, HandComputed) {
+  auto dist = L2Distance({0, 0}, {3, 4});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(*dist, 5.0);
+  EXPECT_DOUBLE_EQ(*L2Distance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(L2Test, RejectsMismatch) {
+  EXPECT_FALSE(L2Distance({1}, {1, 2}).ok());
+}
+
+TEST(AverageRanksTest, SimpleOrdering) {
+  // values 30,10,20 -> ranks 3,1,2.
+  EXPECT_EQ(AverageRanks({30, 10, 20}), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(AverageRanksTest, TiesGetAveragedRank) {
+  // values 5,5,1 -> the two 5s share ranks 2 and 3 -> 2.5 each.
+  EXPECT_EQ(AverageRanks({5, 5, 1}), (std::vector<double>{2.5, 2.5, 1}));
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsOne) {
+  auto rho = SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+  // Nonlinear but monotone still scores 1.
+  auto rho2 = SpearmanCorrelation({1, 2, 3, 4}, {1, 4, 9, 16});
+  ASSERT_TRUE(rho2.ok());
+  EXPECT_NEAR(*rho2, 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  auto rho = SpearmanCorrelation({1, 2, 3}, {3, 2, 1});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandComputedPartialCorrelation) {
+  // Ranks of u: 1,2,3; ranks of v: 2,1,3. d = (-1,1,0);
+  // rho = 1 - 6*2 / (3*8) = 0.5.
+  auto rho = SpearmanCorrelation({10, 20, 30}, {20, 10, 30});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 0.5, 1e-12);
+}
+
+TEST(SpearmanTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(SpearmanCorrelation({1}, {1}).ok());
+  EXPECT_TRUE(SpearmanCorrelation({2, 2, 2}, {1, 2, 3})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace bcfl::shapley

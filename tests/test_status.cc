@@ -1,0 +1,124 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace bcfl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,    StatusCode::kUnimplemented,
+      StatusCode::kCorruption,  StatusCode::kPermissionDenied,
+      StatusCode::kTimeout,     StatusCode::kResourceExhausted};
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_NE(StatusCodeToString(codes[i]), StatusCodeToString(codes[j]));
+    }
+  }
+}
+
+TEST(StatusTest, PredicatesMatchOnlyOwnCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInternal());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status s = Status::NotFound("key k").WithContext("loading state");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "loading state: key k");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("irrelevant");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_NE(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_NE(Status::Internal("a"), Status::Corruption("a"));
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  BCFL_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  BCFL_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.ValueOr(-1), 42);
+
+  Result<int> bad = Status::NotFound("gone");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = UsesAssignOrReturn(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+
+  Result<int> err = UsesAssignOrReturn(0);
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,136 @@
+#include "chain/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bcfl::chain {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bcfl_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  Blockchain MakeChain(size_t blocks, uint64_t nonce_base = 0) {
+    Blockchain chain;
+    crypto::Schnorr scheme;
+    Xoshiro256 rng(7);
+    auto key = scheme.GenerateKeyPair(&rng);
+    for (size_t b = 0; b < blocks; ++b) {
+      Block block;
+      block.header.height = chain.Height() + 1;
+      block.header.prev_hash = chain.Tip().header.Hash();
+      block.header.timestamp_us = (b + 1) * 1000;
+      Transaction tx;
+      tx.contract = "c";
+      tx.method = "m";
+      tx.nonce = nonce_base + b;
+      tx.Sign(scheme, key, &rng);
+      block.txs.push_back(tx);
+      block.header.merkle_root = block.ComputeMerkleRoot();
+      EXPECT_TRUE(chain.Append(block).ok());
+    }
+    return chain;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, SaveLoadRoundTrip) {
+  Blockchain chain = MakeChain(5);
+  ASSERT_TRUE(SaveChain(chain, Path("chain.bin")).ok());
+  auto loaded = LoadChain(Path("chain.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Height(), 5u);
+  EXPECT_EQ(loaded->Tip().header.Hash(), chain.Tip().header.Hash());
+  EXPECT_EQ(loaded->TotalTransactions(), 5u);
+}
+
+TEST_F(StorageTest, GenesisOnlyChainRoundTrips) {
+  Blockchain chain;
+  ASSERT_TRUE(SaveChain(chain, Path("genesis.bin")).ok());
+  auto loaded = LoadChain(Path("genesis.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Height(), 0u);
+}
+
+TEST_F(StorageTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadChain(Path("nope.bin")).status().IsNotFound());
+}
+
+TEST_F(StorageTest, GarbageFileIsCorruption) {
+  std::ofstream(Path("garbage.bin")) << "definitely not a chain";
+  EXPECT_TRUE(LoadChain(Path("garbage.bin")).status().IsCorruption());
+}
+
+TEST_F(StorageTest, TruncatedFileIsRejected) {
+  Blockchain chain = MakeChain(3);
+  ASSERT_TRUE(SaveChain(chain, Path("full.bin")).ok());
+  // Copy all but the last 20 bytes.
+  std::ifstream in(Path("full.bin"), std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::ofstream out(Path("trunc.bin"), std::ios::binary);
+  out.write(data.data(), static_cast<long>(data.size() - 20));
+  out.close();
+  EXPECT_FALSE(LoadChain(Path("trunc.bin")).ok());
+}
+
+TEST_F(StorageTest, TamperedBlockIsRejected) {
+  Blockchain chain = MakeChain(3);
+  ASSERT_TRUE(SaveChain(chain, Path("chain.bin")).ok());
+  // Flip one byte in the middle of the file.
+  std::fstream file(Path("chain.bin"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(200);
+  char byte;
+  file.seekg(200);
+  file.read(&byte, 1);
+  byte ^= 0x01;
+  file.seekp(200);
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_FALSE(LoadChain(Path("chain.bin")).ok());
+}
+
+TEST_F(StorageTest, OverwriteReplacesAtomically) {
+  Blockchain small = MakeChain(2);
+  Blockchain big = MakeChain(6, /*nonce_base=*/100);
+  ASSERT_TRUE(SaveChain(small, Path("chain.bin")).ok());
+  ASSERT_TRUE(SaveChain(big, Path("chain.bin")).ok());
+  auto loaded = LoadChain(Path("chain.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Height(), 6u);
+  // No stray temp file remains.
+  EXPECT_FALSE(std::filesystem::exists(Path("chain.bin.tmp")));
+}
+
+TEST_F(StorageTest, UnsupportedVersionIsRejected) {
+  Blockchain chain = MakeChain(1);
+  ASSERT_TRUE(SaveChain(chain, Path("chain.bin")).ok());
+  std::fstream file(Path("chain.bin"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(4);  // Version field follows the 4-byte magic.
+  uint32_t bad_version = 99;
+  file.write(reinterpret_cast<const char*>(&bad_version), 4);
+  file.close();
+  EXPECT_TRUE(LoadChain(Path("chain.bin")).status().IsUnimplemented());
+}
+
+}  // namespace
+}  // namespace bcfl::chain

@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace bcfl {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResult) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenForZero) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  auto f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(8);
+  const size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i]++; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ManySubmissionsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<size_t>> futures;
+  for (size_t i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.Submit([&done] { done++; return 0; });
+    }
+  }  // Destructor joins.
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace bcfl

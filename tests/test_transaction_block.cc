@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "chain/block.h"
+#include "chain/transaction.h"
+
+namespace bcfl::chain {
+namespace {
+
+class TxFixture : public ::testing::Test {
+ protected:
+  crypto::Schnorr scheme_;
+  Xoshiro256 rng_{1};
+  crypto::SchnorrKeyPair key_ = scheme_.GenerateKeyPair(&rng_);
+
+  Transaction MakeTx(const std::string& method = "submit_update",
+                     uint64_t nonce = 1) {
+    Transaction tx;
+    tx.contract = "bcfl";
+    tx.method = method;
+    tx.payload = {1, 2, 3, 4};
+    tx.nonce = nonce;
+    tx.Sign(scheme_, key_, &rng_);
+    return tx;
+  }
+};
+
+TEST_F(TxFixture, SignSetsSenderAndVerifies) {
+  Transaction tx = MakeTx();
+  EXPECT_EQ(tx.sender, key_.public_key);
+  EXPECT_TRUE(tx.VerifySignature(scheme_));
+}
+
+TEST_F(TxFixture, TamperedFieldsBreakSignature) {
+  Transaction tx = MakeTx();
+  Transaction t1 = tx;
+  t1.method = "setup";
+  EXPECT_FALSE(t1.VerifySignature(scheme_));
+  Transaction t2 = tx;
+  t2.payload.push_back(0);
+  EXPECT_FALSE(t2.VerifySignature(scheme_));
+  Transaction t3 = tx;
+  t3.nonce++;
+  EXPECT_FALSE(t3.VerifySignature(scheme_));
+  Transaction t4 = tx;
+  t4.contract = "other";
+  EXPECT_FALSE(t4.VerifySignature(scheme_));
+}
+
+TEST_F(TxFixture, SerializeRoundTrip) {
+  Transaction tx = MakeTx();
+  auto back = Transaction::Deserialize(tx.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->contract, tx.contract);
+  EXPECT_EQ(back->method, tx.method);
+  EXPECT_EQ(back->payload, tx.payload);
+  EXPECT_EQ(back->sender, tx.sender);
+  EXPECT_EQ(back->nonce, tx.nonce);
+  EXPECT_EQ(back->Hash(), tx.Hash());
+  EXPECT_TRUE(back->VerifySignature(scheme_));
+}
+
+TEST_F(TxFixture, DeserializeRejectsTrailingBytes) {
+  Bytes wire = MakeTx().Serialize();
+  wire.push_back(0);
+  EXPECT_TRUE(Transaction::Deserialize(wire).status().IsCorruption());
+}
+
+TEST_F(TxFixture, DeserializeRejectsTruncation) {
+  Bytes wire = MakeTx().Serialize();
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(Transaction::Deserialize(wire).ok());
+}
+
+TEST_F(TxFixture, HashDistinguishesTransactions) {
+  EXPECT_NE(MakeTx("a", 1).Hash(), MakeTx("b", 1).Hash());
+  EXPECT_NE(MakeTx("a", 1).Hash(), MakeTx("a", 2).Hash());
+}
+
+TEST_F(TxFixture, BlockMerkleRootCommitsToBody) {
+  Block block;
+  block.txs = {MakeTx("m", 1), MakeTx("m", 2)};
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  EXPECT_TRUE(block.MerkleRootMatchesBody());
+  block.txs[0].nonce = 999;
+  EXPECT_FALSE(block.MerkleRootMatchesBody());
+}
+
+TEST_F(TxFixture, BlockSerializeRoundTrip) {
+  Block block;
+  block.header.height = 3;
+  block.header.prev_hash.fill(0xaa);
+  block.header.state_root.fill(0xbb);
+  block.header.timestamp_us = 123456;
+  block.header.proposer = 2;
+  block.txs = {MakeTx("m", 1), MakeTx("m", 2), MakeTx("m", 3)};
+  block.header.merkle_root = block.ComputeMerkleRoot();
+
+  auto back = Block::Deserialize(block.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->header.Hash(), block.header.Hash());
+  ASSERT_EQ(back->txs.size(), 3u);
+  EXPECT_EQ(back->txs[1].Hash(), block.txs[1].Hash());
+  EXPECT_TRUE(back->MerkleRootMatchesBody());
+}
+
+TEST_F(TxFixture, BlockDeserializeRejectsGarbage) {
+  EXPECT_FALSE(Block::Deserialize(Bytes{1, 2, 3}).ok());
+  Bytes wire = Block().Serialize();
+  wire.push_back(7);
+  EXPECT_TRUE(Block::Deserialize(wire).status().IsCorruption());
+}
+
+TEST(BlockHeaderTest, HashCoversEveryField) {
+  BlockHeader base;
+  base.height = 1;
+  auto hash = [](BlockHeader h) { return h.Hash(); };
+  BlockHeader h1 = base;
+  h1.height = 2;
+  EXPECT_NE(hash(h1), hash(base));
+  BlockHeader h2 = base;
+  h2.prev_hash[0] = 1;
+  EXPECT_NE(hash(h2), hash(base));
+  BlockHeader h3 = base;
+  h3.merkle_root[0] = 1;
+  EXPECT_NE(hash(h3), hash(base));
+  BlockHeader h4 = base;
+  h4.state_root[0] = 1;
+  EXPECT_NE(hash(h4), hash(base));
+  BlockHeader h5 = base;
+  h5.timestamp_us = 9;
+  EXPECT_NE(hash(h5), hash(base));
+  BlockHeader h6 = base;
+  h6.proposer = 9;
+  EXPECT_NE(hash(h6), hash(base));
+}
+
+TEST(GenesisTest, IsDeterministic) {
+  Block g1 = MakeGenesisBlock();
+  Block g2 = MakeGenesisBlock();
+  EXPECT_EQ(g1.header.Hash(), g2.header.Hash());
+  EXPECT_EQ(g1.header.height, 0u);
+  EXPECT_TRUE(g1.txs.empty());
+  EXPECT_TRUE(g1.MerkleRootMatchesBody());
+}
+
+}  // namespace
+}  // namespace bcfl::chain

@@ -1,0 +1,205 @@
+#include "crypto/uint256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcfl::crypto {
+namespace {
+
+TEST(UInt256Test, ZeroAndU64Construction) {
+  UInt256 zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.BitLength(), 0);
+
+  UInt256 v(0xdeadbeefULL);
+  EXPECT_FALSE(v.IsZero());
+  EXPECT_EQ(v.ToU64(), 0xdeadbeefULL);
+  EXPECT_EQ(v.BitLength(), 32);
+}
+
+TEST(UInt256Test, HexRoundTrip) {
+  auto v = UInt256::FromHex("deadbeef00112233");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(),
+            "000000000000000000000000000000000000000000000000deadbeef00112233");
+  // 65 hex digits overflow.
+  std::string too_long(65, 'f');
+  EXPECT_FALSE(UInt256::FromHex(too_long).ok());
+  // 64 f's is the maximum value and parses fine.
+  std::string max_hex(64, 'f');
+  auto max = UInt256::FromHex(max_hex);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->ToHex(), max_hex);
+}
+
+TEST(UInt256Test, FromHexRejectsBadInput) {
+  EXPECT_FALSE(UInt256::FromHex("").ok());
+  EXPECT_FALSE(UInt256::FromHex("xyz").ok());
+}
+
+TEST(UInt256Test, BytesRoundTrip) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    UInt256 v(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    Bytes bytes = v.ToBytes();
+    ASSERT_EQ(bytes.size(), 32u);
+    auto back = UInt256::FromBytes(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(UInt256Test, FromBytesRejectsWrongSize) {
+  EXPECT_FALSE(UInt256::FromBytes(Bytes(31)).ok());
+  EXPECT_FALSE(UInt256::FromBytes(Bytes(33)).ok());
+}
+
+TEST(UInt256Test, ComparisonOrdering) {
+  UInt256 small(5);
+  UInt256 big(0, 1, 0, 0);  // 2^64.
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_LE(small, small);
+  EXPECT_EQ(small, UInt256(5));
+  EXPECT_NE(small, big);
+}
+
+TEST(UInt256Test, AddCarriesAcrossLimbs) {
+  UInt256 max_limb(~0ULL);
+  bool carry = false;
+  UInt256 sum = max_limb.Add(UInt256(1), &carry);
+  EXPECT_FALSE(carry);
+  EXPECT_EQ(sum, UInt256(0, 1, 0, 0));
+}
+
+TEST(UInt256Test, AddOverflowSetsCarry) {
+  UInt256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  bool carry = false;
+  UInt256 sum = max.Add(UInt256(1), &carry);
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(sum.IsZero());
+}
+
+TEST(UInt256Test, SubBorrowsAcrossLimbs) {
+  UInt256 v(0, 1, 0, 0);  // 2^64.
+  bool borrow = false;
+  UInt256 diff = v.Sub(UInt256(1), &borrow);
+  EXPECT_FALSE(borrow);
+  EXPECT_EQ(diff, UInt256(~0ULL));
+}
+
+TEST(UInt256Test, SubUnderflowSetsBorrow) {
+  bool borrow = false;
+  UInt256 diff = UInt256(0).Sub(UInt256(1), &borrow);
+  EXPECT_TRUE(borrow);
+  EXPECT_EQ(diff, UInt256(~0ULL, ~0ULL, ~0ULL, ~0ULL));
+}
+
+class UInt256PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UInt256PropertyTest, AddSubInverse) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    UInt256 a(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    UInt256 b(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    EXPECT_EQ(a.Add(b).Sub(b), a);
+  }
+}
+
+TEST_P(UInt256PropertyTest, MulWideMatchesInt128ForSmallOperands) {
+  Xoshiro256 rng(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t a64 = rng.Next();
+    uint64_t b64 = rng.Next();
+    auto wide = MulWide(UInt256(a64), UInt256(b64));
+    unsigned __int128 expected =
+        static_cast<unsigned __int128>(a64) * b64;
+    EXPECT_EQ(wide[0], static_cast<uint64_t>(expected));
+    EXPECT_EQ(wide[1], static_cast<uint64_t>(expected >> 64));
+    for (int limb = 2; limb < 8; ++limb) EXPECT_EQ(wide[limb], 0u);
+  }
+}
+
+TEST_P(UInt256PropertyTest, ModMatchesU64Arithmetic) {
+  Xoshiro256 rng(GetParam() + 2);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t a64 = rng.Next();
+    uint64_t m64 = rng.Next() | 1;  // Avoid zero.
+    EXPECT_EQ(UInt256(a64).Mod(UInt256(m64)).ToU64(), a64 % m64);
+  }
+}
+
+TEST_P(UInt256PropertyTest, ModMulMatchesU64Arithmetic) {
+  Xoshiro256 rng(GetParam() + 3);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t m64 = (rng.Next() >> 1) | 1;
+    uint64_t a64 = rng.Next() % m64;
+    uint64_t b64 = rng.Next() % m64;
+    unsigned __int128 expected =
+        static_cast<unsigned __int128>(a64) * b64 % m64;
+    EXPECT_EQ(UInt256(a64).ModMul(UInt256(b64), UInt256(m64)).ToU64(),
+              static_cast<uint64_t>(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UInt256PropertyTest,
+                         ::testing::Values(10, 20, 30));
+
+TEST(UInt256Test, ModAddWrapsCorrectly) {
+  UInt256 m(100);
+  EXPECT_EQ(UInt256(60).ModAdd(UInt256(70), m), UInt256(30));
+  EXPECT_EQ(UInt256(10).ModAdd(UInt256(20), m), UInt256(30));
+}
+
+TEST(UInt256Test, ModSubWrapsCorrectly) {
+  UInt256 m(100);
+  EXPECT_EQ(UInt256(30).ModSub(UInt256(50), m), UInt256(80));
+  EXPECT_EQ(UInt256(50).ModSub(UInt256(30), m), UInt256(20));
+}
+
+TEST(UInt256Test, ModPowSmallKnownValues) {
+  UInt256 m(1000000007ULL);
+  // 2^10 = 1024.
+  EXPECT_EQ(UInt256(2).ModPow(UInt256(10), m), UInt256(1024));
+  // Fermat: a^(p-1) == 1 mod p for prime p.
+  EXPECT_EQ(UInt256(12345).ModPow(UInt256(1000000006ULL), m), UInt256(1));
+  // a^0 == 1.
+  EXPECT_EQ(UInt256(999).ModPow(UInt256(0), m), UInt256(1));
+}
+
+TEST(UInt256Test, ModPowHomomorphism) {
+  // g^(x+y) == g^x * g^y (mod p) over the library's default 255-bit prime.
+  UInt256 p(0xffffffffffffffedULL, ~0ULL, ~0ULL, 0x7fffffffffffffffULL);
+  UInt256 g(2);
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 10; ++i) {
+    UInt256 x(rng.Next(), rng.Next(), 0, 0);
+    UInt256 y(rng.Next(), rng.Next(), 0, 0);
+    UInt256 lhs = g.ModPow(x.Add(y), p);
+    UInt256 rhs = g.ModPow(x, p).ModMul(g.ModPow(y, p), p);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(UInt256Test, BitAccessAndLength) {
+  auto v = UInt256::FromHex("8000000000000001");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Bit(0));
+  EXPECT_TRUE(v->Bit(63));
+  EXPECT_FALSE(v->Bit(1));
+  EXPECT_EQ(v->BitLength(), 64);
+}
+
+TEST(UInt256Test, ShiftLeft1ReportsCarry) {
+  UInt256 top(0, 0, 0, 0x8000000000000000ULL);
+  EXPECT_TRUE(top.ShiftLeft1());
+  EXPECT_TRUE(top.IsZero());
+
+  UInt256 one(1);
+  EXPECT_FALSE(one.ShiftLeft1());
+  EXPECT_EQ(one, UInt256(2));
+}
+
+}  // namespace
+}  // namespace bcfl::crypto

@@ -1,0 +1,106 @@
+#include "shapley/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+
+namespace bcfl::shapley {
+namespace {
+
+ml::Dataset TestSet() {
+  data::DigitsConfig config;
+  config.num_instances = 300;
+  config.seed = 4;
+  return data::DigitsGenerator(config).Generate();
+}
+
+ml::Matrix TrainedWeights(const ml::Dataset& data, size_t epochs) {
+  ml::LogisticRegressionConfig config;
+  config.learning_rate = 0.05;
+  ml::LogisticRegression model(data.num_features(), data.num_classes(),
+                               config);
+  EXPECT_TRUE(model.TrainEpochs(data, epochs).ok());
+  return model.weights();
+}
+
+TEST(TestAccuracyUtilityTest, MatchesModelAccuracy) {
+  ml::Dataset data = TestSet();
+  ml::Matrix weights = TrainedWeights(data, 30);
+  TestAccuracyUtility utility(data);
+  auto u = utility.Evaluate(weights);
+  ASSERT_TRUE(u.ok());
+  auto model = ml::LogisticRegression::FromWeights(weights);
+  ASSERT_TRUE(model.ok());
+  auto acc = model->Accuracy(data);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*u, *acc);
+  EXPECT_GT(*u, 0.5);
+}
+
+TEST(TestAccuracyUtilityTest, UntrainedModelNearChance) {
+  ml::Dataset data = TestSet();
+  TestAccuracyUtility utility(data);
+  auto u = utility.Evaluate(ml::Matrix(65, 10));
+  ASSERT_TRUE(u.ok());
+  EXPECT_LT(*u, 0.35);
+}
+
+TEST(TestAccuracyUtilityTest, RejectsWrongShape) {
+  TestAccuracyUtility utility(TestSet());
+  EXPECT_FALSE(utility.Evaluate(ml::Matrix(10, 10)).ok());
+}
+
+TEST(NegLogLossUtilityTest, TrainedBeatsUntrained) {
+  ml::Dataset data = TestSet();
+  NegLogLossUtility utility(data);
+  auto trained = utility.Evaluate(TrainedWeights(data, 30));
+  auto untrained = utility.Evaluate(ml::Matrix(65, 10));
+  ASSERT_TRUE(trained.ok());
+  ASSERT_TRUE(untrained.ok());
+  EXPECT_GT(*trained, *untrained);  // Higher utility = lower loss.
+  EXPECT_LE(*trained, 0.0);
+}
+
+TEST(CachingUtilityTest, CachesByWeightContent) {
+  ml::Dataset data = TestSet();
+  CachingUtility cached(std::make_unique<TestAccuracyUtility>(data));
+  ml::Matrix w1 = TrainedWeights(data, 5);
+  ml::Matrix w2 = TrainedWeights(data, 10);
+
+  auto u1 = cached.Evaluate(w1);
+  ASSERT_TRUE(u1.ok());
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 0u);
+
+  auto u1_again = cached.Evaluate(w1);
+  ASSERT_TRUE(u1_again.ok());
+  EXPECT_DOUBLE_EQ(*u1_again, *u1);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+
+  ASSERT_TRUE(cached.Evaluate(w2).ok());
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(cached.cache_size(), 2u);
+
+  // A copy with identical content hits the cache.
+  ml::Matrix w1_copy = w1;
+  ASSERT_TRUE(cached.Evaluate(w1_copy).ok());
+  EXPECT_EQ(cached.hits(), 2u);
+}
+
+TEST(CachingUtilityTest, CacheAgreesWithInner) {
+  ml::Dataset data = TestSet();
+  TestAccuracyUtility inner(data);
+  CachingUtility cached(std::make_unique<TestAccuracyUtility>(data));
+  for (size_t epochs : {1u, 3u, 7u}) {
+    ml::Matrix w = TrainedWeights(data, epochs);
+    auto direct = inner.Evaluate(w);
+    auto via_cache = cached.Evaluate(w);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_cache.ok());
+    EXPECT_DOUBLE_EQ(*direct, *via_cache);
+  }
+}
+
+}  // namespace
+}  // namespace bcfl::shapley
