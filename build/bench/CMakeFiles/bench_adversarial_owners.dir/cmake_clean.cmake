@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial_owners.dir/bench_adversarial_owners.cc.o"
+  "CMakeFiles/bench_adversarial_owners.dir/bench_adversarial_owners.cc.o.d"
+  "bench_adversarial_owners"
+  "bench_adversarial_owners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial_owners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_throughput.dir/bench_chain_throughput.cc.o"
+  "CMakeFiles/bench_chain_throughput.dir/bench_chain_throughput.cc.o.d"
+  "bench_chain_throughput"
+  "bench_chain_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

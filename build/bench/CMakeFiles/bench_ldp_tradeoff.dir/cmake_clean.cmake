@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ldp_tradeoff.dir/bench_ldp_tradeoff.cc.o"
+  "CMakeFiles/bench_ldp_tradeoff.dir/bench_ldp_tradeoff.cc.o.d"
+  "bench_ldp_tradeoff"
+  "bench_ldp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

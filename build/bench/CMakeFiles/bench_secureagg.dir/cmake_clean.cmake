@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secureagg.dir/bench_secureagg.cc.o"
+  "CMakeFiles/bench_secureagg.dir/bench_secureagg.cc.o.d"
+  "bench_secureagg"
+  "bench_secureagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secureagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sv_estimators.dir/bench_sv_estimators.cc.o"
+  "CMakeFiles/bench_sv_estimators.dir/bench_sv_estimators.cc.o.d"
+  "bench_sv_estimators"
+  "bench_sv_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sv_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_leader.dir/adversarial_leader.cpp.o"
+  "CMakeFiles/adversarial_leader.dir/adversarial_leader.cpp.o.d"
+  "adversarial_leader"
+  "adversarial_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

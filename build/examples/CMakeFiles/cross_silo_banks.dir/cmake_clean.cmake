@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_silo_banks.dir/cross_silo_banks.cpp.o"
+  "CMakeFiles/cross_silo_banks.dir/cross_silo_banks.cpp.o.d"
+  "cross_silo_banks"
+  "cross_silo_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_silo_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

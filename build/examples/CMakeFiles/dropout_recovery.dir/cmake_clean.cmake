@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_recovery.dir/dropout_recovery.cpp.o"
+  "CMakeFiles/dropout_recovery.dir/dropout_recovery.cpp.o.d"
+  "dropout_recovery"
+  "dropout_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_attack.dir/leakage_attack.cpp.o"
+  "CMakeFiles/leakage_attack.dir/leakage_attack.cpp.o.d"
+  "leakage_attack"
+  "leakage_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_resolution.dir/privacy_resolution.cpp.o"
+  "CMakeFiles/privacy_resolution.dir/privacy_resolution.cpp.o.d"
+  "privacy_resolution"
+  "privacy_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cc" "src/chain/CMakeFiles/bcfl_chain.dir/block.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/block.cc.o.d"
+  "/root/repo/src/chain/blockchain.cc" "src/chain/CMakeFiles/bcfl_chain.dir/blockchain.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/blockchain.cc.o.d"
+  "/root/repo/src/chain/consensus.cc" "src/chain/CMakeFiles/bcfl_chain.dir/consensus.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/consensus.cc.o.d"
+  "/root/repo/src/chain/contract_host.cc" "src/chain/CMakeFiles/bcfl_chain.dir/contract_host.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/contract_host.cc.o.d"
+  "/root/repo/src/chain/leader.cc" "src/chain/CMakeFiles/bcfl_chain.dir/leader.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/leader.cc.o.d"
+  "/root/repo/src/chain/mempool.cc" "src/chain/CMakeFiles/bcfl_chain.dir/mempool.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/mempool.cc.o.d"
+  "/root/repo/src/chain/merkle.cc" "src/chain/CMakeFiles/bcfl_chain.dir/merkle.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/merkle.cc.o.d"
+  "/root/repo/src/chain/miner.cc" "src/chain/CMakeFiles/bcfl_chain.dir/miner.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/miner.cc.o.d"
+  "/root/repo/src/chain/state.cc" "src/chain/CMakeFiles/bcfl_chain.dir/state.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/state.cc.o.d"
+  "/root/repo/src/chain/storage.cc" "src/chain/CMakeFiles/bcfl_chain.dir/storage.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/storage.cc.o.d"
+  "/root/repo/src/chain/transaction.cc" "src/chain/CMakeFiles/bcfl_chain.dir/transaction.cc.o" "gcc" "src/chain/CMakeFiles/bcfl_chain.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bcfl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_chain.dir/block.cc.o"
+  "CMakeFiles/bcfl_chain.dir/block.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/blockchain.cc.o"
+  "CMakeFiles/bcfl_chain.dir/blockchain.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/consensus.cc.o"
+  "CMakeFiles/bcfl_chain.dir/consensus.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/contract_host.cc.o"
+  "CMakeFiles/bcfl_chain.dir/contract_host.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/leader.cc.o"
+  "CMakeFiles/bcfl_chain.dir/leader.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/mempool.cc.o"
+  "CMakeFiles/bcfl_chain.dir/mempool.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/merkle.cc.o"
+  "CMakeFiles/bcfl_chain.dir/merkle.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/miner.cc.o"
+  "CMakeFiles/bcfl_chain.dir/miner.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/state.cc.o"
+  "CMakeFiles/bcfl_chain.dir/state.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/storage.cc.o"
+  "CMakeFiles/bcfl_chain.dir/storage.cc.o.d"
+  "CMakeFiles/bcfl_chain.dir/transaction.cc.o"
+  "CMakeFiles/bcfl_chain.dir/transaction.cc.o.d"
+  "libbcfl_chain.a"
+  "libbcfl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_common.dir/bytes.cc.o"
+  "CMakeFiles/bcfl_common.dir/bytes.cc.o.d"
+  "CMakeFiles/bcfl_common.dir/logging.cc.o"
+  "CMakeFiles/bcfl_common.dir/logging.cc.o.d"
+  "CMakeFiles/bcfl_common.dir/rng.cc.o"
+  "CMakeFiles/bcfl_common.dir/rng.cc.o.d"
+  "CMakeFiles/bcfl_common.dir/sim_clock.cc.o"
+  "CMakeFiles/bcfl_common.dir/sim_clock.cc.o.d"
+  "CMakeFiles/bcfl_common.dir/status.cc.o"
+  "CMakeFiles/bcfl_common.dir/status.cc.o.d"
+  "CMakeFiles/bcfl_common.dir/thread_pool.cc.o"
+  "CMakeFiles/bcfl_common.dir/thread_pool.cc.o.d"
+  "libbcfl_common.a"
+  "libbcfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cc" "src/core/CMakeFiles/bcfl_core.dir/adversary.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/adversary.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/bcfl_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/fl_contract.cc" "src/core/CMakeFiles/bcfl_core.dir/fl_contract.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/fl_contract.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/bcfl_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/params.cc.o.d"
+  "/root/repo/src/core/reward_contract.cc" "src/core/CMakeFiles/bcfl_core.dir/reward_contract.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/reward_contract.cc.o.d"
+  "/root/repo/src/core/state_keys.cc" "src/core/CMakeFiles/bcfl_core.dir/state_keys.cc.o" "gcc" "src/core/CMakeFiles/bcfl_core.dir/state_keys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bcfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/bcfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/secureagg/CMakeFiles/bcfl_secureagg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bcfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/bcfl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapley/CMakeFiles/bcfl_shapley.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

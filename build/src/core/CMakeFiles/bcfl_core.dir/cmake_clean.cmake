@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_core.dir/adversary.cc.o"
+  "CMakeFiles/bcfl_core.dir/adversary.cc.o.d"
+  "CMakeFiles/bcfl_core.dir/coordinator.cc.o"
+  "CMakeFiles/bcfl_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/bcfl_core.dir/fl_contract.cc.o"
+  "CMakeFiles/bcfl_core.dir/fl_contract.cc.o.d"
+  "CMakeFiles/bcfl_core.dir/params.cc.o"
+  "CMakeFiles/bcfl_core.dir/params.cc.o.d"
+  "CMakeFiles/bcfl_core.dir/reward_contract.cc.o"
+  "CMakeFiles/bcfl_core.dir/reward_contract.cc.o.d"
+  "CMakeFiles/bcfl_core.dir/state_keys.cc.o"
+  "CMakeFiles/bcfl_core.dir/state_keys.cc.o.d"
+  "libbcfl_core.a"
+  "libbcfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/schnorr.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/schnorr.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/schnorr.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/shamir.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/shamir.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/shamir.cc.o.d"
+  "/root/repo/src/crypto/uint256.cc" "src/crypto/CMakeFiles/bcfl_crypto.dir/uint256.cc.o" "gcc" "src/crypto/CMakeFiles/bcfl_crypto.dir/uint256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/dh.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/hmac.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/schnorr.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/schnorr.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/sha256.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/shamir.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/shamir.cc.o.d"
+  "CMakeFiles/bcfl_crypto.dir/uint256.cc.o"
+  "CMakeFiles/bcfl_crypto.dir/uint256.cc.o.d"
+  "libbcfl_crypto.a"
+  "libbcfl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

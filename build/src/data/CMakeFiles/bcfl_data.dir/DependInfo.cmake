@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/digits.cc" "src/data/CMakeFiles/bcfl_data.dir/digits.cc.o" "gcc" "src/data/CMakeFiles/bcfl_data.dir/digits.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/data/CMakeFiles/bcfl_data.dir/noise.cc.o" "gcc" "src/data/CMakeFiles/bcfl_data.dir/noise.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/data/CMakeFiles/bcfl_data.dir/partition.cc.o" "gcc" "src/data/CMakeFiles/bcfl_data.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

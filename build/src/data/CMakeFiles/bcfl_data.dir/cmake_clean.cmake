@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_data.dir/digits.cc.o"
+  "CMakeFiles/bcfl_data.dir/digits.cc.o.d"
+  "CMakeFiles/bcfl_data.dir/noise.cc.o"
+  "CMakeFiles/bcfl_data.dir/noise.cc.o.d"
+  "CMakeFiles/bcfl_data.dir/partition.cc.o"
+  "CMakeFiles/bcfl_data.dir/partition.cc.o.d"
+  "libbcfl_data.a"
+  "libbcfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

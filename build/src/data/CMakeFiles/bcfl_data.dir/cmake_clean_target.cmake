@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcfl_data.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cc" "src/fl/CMakeFiles/bcfl_fl.dir/client.cc.o" "gcc" "src/fl/CMakeFiles/bcfl_fl.dir/client.cc.o.d"
+  "/root/repo/src/fl/fedavg.cc" "src/fl/CMakeFiles/bcfl_fl.dir/fedavg.cc.o" "gcc" "src/fl/CMakeFiles/bcfl_fl.dir/fedavg.cc.o.d"
+  "/root/repo/src/fl/robust.cc" "src/fl/CMakeFiles/bcfl_fl.dir/robust.cc.o" "gcc" "src/fl/CMakeFiles/bcfl_fl.dir/robust.cc.o.d"
+  "/root/repo/src/fl/trainer.cc" "src/fl/CMakeFiles/bcfl_fl.dir/trainer.cc.o" "gcc" "src/fl/CMakeFiles/bcfl_fl.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_fl.dir/client.cc.o"
+  "CMakeFiles/bcfl_fl.dir/client.cc.o.d"
+  "CMakeFiles/bcfl_fl.dir/fedavg.cc.o"
+  "CMakeFiles/bcfl_fl.dir/fedavg.cc.o.d"
+  "CMakeFiles/bcfl_fl.dir/robust.cc.o"
+  "CMakeFiles/bcfl_fl.dir/robust.cc.o.d"
+  "CMakeFiles/bcfl_fl.dir/trainer.cc.o"
+  "CMakeFiles/bcfl_fl.dir/trainer.cc.o.d"
+  "libbcfl_fl.a"
+  "libbcfl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_ml.dir/dataset.cc.o"
+  "CMakeFiles/bcfl_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/bcfl_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/bcfl_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/bcfl_ml.dir/matrix.cc.o"
+  "CMakeFiles/bcfl_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/bcfl_ml.dir/metrics.cc.o"
+  "CMakeFiles/bcfl_ml.dir/metrics.cc.o.d"
+  "libbcfl_ml.a"
+  "libbcfl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_net.dir/network.cc.o"
+  "CMakeFiles/bcfl_net.dir/network.cc.o.d"
+  "libbcfl_net.a"
+  "libbcfl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

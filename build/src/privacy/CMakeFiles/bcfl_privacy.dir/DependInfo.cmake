@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/ldp_fl.cc" "src/privacy/CMakeFiles/bcfl_privacy.dir/ldp_fl.cc.o" "gcc" "src/privacy/CMakeFiles/bcfl_privacy.dir/ldp_fl.cc.o.d"
+  "/root/repo/src/privacy/leakage.cc" "src/privacy/CMakeFiles/bcfl_privacy.dir/leakage.cc.o" "gcc" "src/privacy/CMakeFiles/bcfl_privacy.dir/leakage.cc.o.d"
+  "/root/repo/src/privacy/mechanisms.cc" "src/privacy/CMakeFiles/bcfl_privacy.dir/mechanisms.cc.o" "gcc" "src/privacy/CMakeFiles/bcfl_privacy.dir/mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/bcfl_fl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_privacy.dir/ldp_fl.cc.o"
+  "CMakeFiles/bcfl_privacy.dir/ldp_fl.cc.o.d"
+  "CMakeFiles/bcfl_privacy.dir/leakage.cc.o"
+  "CMakeFiles/bcfl_privacy.dir/leakage.cc.o.d"
+  "CMakeFiles/bcfl_privacy.dir/mechanisms.cc.o"
+  "CMakeFiles/bcfl_privacy.dir/mechanisms.cc.o.d"
+  "libbcfl_privacy.a"
+  "libbcfl_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secureagg/aggregator.cc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/aggregator.cc.o" "gcc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/aggregator.cc.o.d"
+  "/root/repo/src/secureagg/fixed_point.cc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/fixed_point.cc.o" "gcc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/fixed_point.cc.o.d"
+  "/root/repo/src/secureagg/mask.cc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/mask.cc.o" "gcc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/mask.cc.o.d"
+  "/root/repo/src/secureagg/participant.cc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/participant.cc.o" "gcc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/participant.cc.o.d"
+  "/root/repo/src/secureagg/session.cc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/session.cc.o" "gcc" "src/secureagg/CMakeFiles/bcfl_secureagg.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_secureagg.dir/aggregator.cc.o"
+  "CMakeFiles/bcfl_secureagg.dir/aggregator.cc.o.d"
+  "CMakeFiles/bcfl_secureagg.dir/fixed_point.cc.o"
+  "CMakeFiles/bcfl_secureagg.dir/fixed_point.cc.o.d"
+  "CMakeFiles/bcfl_secureagg.dir/mask.cc.o"
+  "CMakeFiles/bcfl_secureagg.dir/mask.cc.o.d"
+  "CMakeFiles/bcfl_secureagg.dir/participant.cc.o"
+  "CMakeFiles/bcfl_secureagg.dir/participant.cc.o.d"
+  "CMakeFiles/bcfl_secureagg.dir/session.cc.o"
+  "CMakeFiles/bcfl_secureagg.dir/session.cc.o.d"
+  "libbcfl_secureagg.a"
+  "libbcfl_secureagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_secureagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

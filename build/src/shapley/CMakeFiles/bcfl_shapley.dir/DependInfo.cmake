@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shapley/group_sv.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/group_sv.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/group_sv.cc.o.d"
+  "/root/repo/src/shapley/monte_carlo.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/shapley/native_sv.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/native_sv.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/native_sv.cc.o.d"
+  "/root/repo/src/shapley/shapley_math.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/shapley_math.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/shapley_math.cc.o.d"
+  "/root/repo/src/shapley/similarity.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/similarity.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/similarity.cc.o.d"
+  "/root/repo/src/shapley/utility.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/utility.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/bcfl_fl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_shapley.dir/group_sv.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/group_sv.cc.o.d"
+  "CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/bcfl_shapley.dir/native_sv.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/native_sv.cc.o.d"
+  "CMakeFiles/bcfl_shapley.dir/shapley_math.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/shapley_math.cc.o.d"
+  "CMakeFiles/bcfl_shapley.dir/similarity.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/similarity.cc.o.d"
+  "CMakeFiles/bcfl_shapley.dir/utility.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/utility.cc.o.d"
+  "libbcfl_shapley.a"
+  "libbcfl_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockchain.dir/test_blockchain.cc.o"
+  "CMakeFiles/test_blockchain.dir/test_blockchain.cc.o.d"
+  "test_blockchain"
+  "test_blockchain.pdb"
+  "test_blockchain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

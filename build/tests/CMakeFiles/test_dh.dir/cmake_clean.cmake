@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dh.dir/test_dh.cc.o"
+  "CMakeFiles/test_dh.dir/test_dh.cc.o.d"
+  "test_dh"
+  "test_dh.pdb"
+  "test_dh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

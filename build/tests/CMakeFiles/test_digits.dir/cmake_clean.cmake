@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digits.dir/test_digits.cc.o"
+  "CMakeFiles/test_digits.dir/test_digits.cc.o.d"
+  "test_digits"
+  "test_digits.pdb"
+  "test_digits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_contract.dir/test_fl_contract.cc.o"
+  "CMakeFiles/test_fl_contract.dir/test_fl_contract.cc.o.d"
+  "test_fl_contract"
+  "test_fl_contract.pdb"
+  "test_fl_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

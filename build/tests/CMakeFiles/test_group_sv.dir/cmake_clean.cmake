@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_sv.dir/test_group_sv.cc.o"
+  "CMakeFiles/test_group_sv.dir/test_group_sv.cc.o.d"
+  "test_group_sv"
+  "test_group_sv.pdb"
+  "test_group_sv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldp_fl.dir/test_ldp_fl.cc.o"
+  "CMakeFiles/test_ldp_fl.dir/test_ldp_fl.cc.o.d"
+  "test_ldp_fl"
+  "test_ldp_fl.pdb"
+  "test_ldp_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldp_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logreg.dir/test_logreg.cc.o"
+  "CMakeFiles/test_logreg.dir/test_logreg.cc.o.d"
+  "test_logreg"
+  "test_logreg.pdb"
+  "test_logreg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

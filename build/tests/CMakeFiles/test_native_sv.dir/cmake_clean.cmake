@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_sv.dir/test_native_sv.cc.o"
+  "CMakeFiles/test_native_sv.dir/test_native_sv.cc.o.d"
+  "test_native_sv"
+  "test_native_sv.pdb"
+  "test_native_sv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secureagg.dir/test_secureagg.cc.o"
+  "CMakeFiles/test_secureagg.dir/test_secureagg.cc.o.d"
+  "test_secureagg"
+  "test_secureagg.pdb"
+  "test_secureagg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secureagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shapley_math.dir/test_shapley_math.cc.o"
+  "CMakeFiles/test_shapley_math.dir/test_shapley_math.cc.o.d"
+  "test_shapley_math"
+  "test_shapley_math.pdb"
+  "test_shapley_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shapley_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

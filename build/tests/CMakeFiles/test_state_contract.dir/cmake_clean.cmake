@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_contract.dir/test_state_contract.cc.o"
+  "CMakeFiles/test_state_contract.dir/test_state_contract.cc.o.d"
+  "test_state_contract"
+  "test_state_contract.pdb"
+  "test_state_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transaction_block.dir/test_transaction_block.cc.o"
+  "CMakeFiles/test_transaction_block.dir/test_transaction_block.cc.o.d"
+  "test_transaction_block"
+  "test_transaction_block.pdb"
+  "test_transaction_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transaction_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uint256.dir/test_uint256.cc.o"
+  "CMakeFiles/test_uint256.dir/test_uint256.cc.o.d"
+  "test_uint256"
+  "test_uint256.pdb"
+  "test_uint256[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uint256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

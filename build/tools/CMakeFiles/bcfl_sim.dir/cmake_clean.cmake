@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_sim.dir/bcfl_sim.cc.o"
+  "CMakeFiles/bcfl_sim.dir/bcfl_sim.cc.o.d"
+  "bcfl_sim"
+  "bcfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcfl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
