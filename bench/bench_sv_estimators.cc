@@ -9,11 +9,19 @@
 //   GroupSV       — the paper's method (m = 3 and m = 9)
 //
 // Reported: utility evaluations / models trained (the cost driver),
-// wall time, and mean-centered cosine vs ground truth.
+// wall time, and mean-centered cosine vs ground truth. Rows are also
+// dumped to BENCH_sv_estimators.json for cross-PR trend tracking.
+//
+// MC/TMC go through MonteCarloShapleyFromModels, which walks each
+// permutation with the engine's CoalitionAccumulator: one matrix add
+// per prefix extension instead of an O(n) rebuild, and the linear-score
+// fast path when the utility supports it.
 
 #include <cstdio>
+#include <vector>
 
 #include "common/sim_clock.h"
+#include "json_out.h"
 #include "shapley/group_sv.h"
 #include "shapley/monte_carlo.h"
 #include "shapley/similarity.h"
@@ -32,8 +40,8 @@ std::vector<double> Centered(std::vector<double> v) {
   return v;
 }
 
-void Report(const char* name, double seconds, size_t evals,
-            const std::vector<double>& values,
+void Report(JsonWriter* json, const char* name, double seconds,
+            size_t evals, const std::vector<double>& values,
             const std::vector<double>& truth) {
   auto cosine =
       shapley::CosineSimilarity(Centered(values), Centered(truth));
@@ -43,6 +51,13 @@ void Report(const char* name, double seconds, size_t evals,
                           : "n/a",
               rank.ok() ? std::to_string(*rank).substr(0, 7).c_str()
                         : "n/a");
+  json->BeginObject();
+  json->Field("estimator", name);
+  json->Field("seconds", seconds);
+  json->Field("utility_evaluations", evals);
+  if (cosine.ok()) json->Field("cosine_centered", *cosine);
+  if (rank.ok()) json->Field("spearman", *rank);
+  json->EndObject();
 }
 
 }  // namespace
@@ -62,40 +77,38 @@ int main() {
               "evals", "cosine*", "spearman");
   PrintRule();
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "sv_estimators");
+  json.Field("sigma", kSigma);
+  json.Field("owners", n);
+  json.Field("rounds", run.per_round_locals.size());
+  json.BeginArray("estimators");
+
   // Ground truth.
   Stopwatch truth_timer;
   auto truth = workload.GroundTruth(&pool);
-  Report("native (truth)", truth_timer.ElapsedSeconds(), 1u << n,
+  Report(&json, "native (truth)", truth_timer.ElapsedSeconds(), 1u << n,
          truth.values, truth.values);
 
-  // Aggregated-coalition utility shared by MC/TMC: mean of the members'
-  // final local weights, scored on the test set (memoised internally by
-  // MonteCarloShapley).
+  // MC/TMC score aggregated coalitions: mean of the members' final local
+  // weights, scored on the test set. MonteCarloShapleyFromModels builds
+  // each mean incrementally along the permutation and memoises repeated
+  // coalitions internally.
   const auto& finals = run.per_round_locals.back();
   shapley::TestAccuracyUtility mc_utility(workload.test_set);
-  auto coalition_utility = [&](uint64_t mask) -> Result<double> {
-    std::vector<ml::Matrix> members;
-    for (size_t i = 0; i < n; ++i) {
-      if (mask & (1ULL << i)) members.push_back(finals[i]);
-    }
-    if (members.empty()) {
-      return mc_utility.Evaluate(
-          ml::Matrix(finals[0].rows(), finals[0].cols()));
-    }
-    BCFL_ASSIGN_OR_RETURN(ml::Matrix mean, ml::MeanOfMatrices(members));
-    return mc_utility.Evaluate(mean);
-  };
 
   for (size_t perms : {50u, 200u}) {
     shapley::MonteCarloConfig config;
     config.num_permutations = perms;
     config.seed = 3;
     Stopwatch timer;
-    auto mc = shapley::MonteCarloShapley(n, coalition_utility, config)
-                  .value();
+    auto mc =
+        shapley::MonteCarloShapleyFromModels(finals, &mc_utility, config)
+            .value();
     char label[32];
     std::snprintf(label, sizeof(label), "MC (%zu perms)", perms);
-    Report(label, timer.ElapsedSeconds(), mc.utility_evaluations,
+    Report(&json, label, timer.ElapsedSeconds(), mc.utility_evaluations,
            mc.values, truth.values);
   }
   {
@@ -104,27 +117,43 @@ int main() {
     config.seed = 3;
     config.truncation_tolerance = 0.01;
     Stopwatch timer;
-    auto tmc = shapley::MonteCarloShapley(n, coalition_utility, config)
-                   .value();
-    Report("TMC (200 perms)", timer.ElapsedSeconds(),
+    auto tmc =
+        shapley::MonteCarloShapleyFromModels(finals, &mc_utility, config)
+            .value();
+    Report(&json, "TMC (200 perms)", timer.ElapsedSeconds(),
            tmc.utility_evaluations, tmc.values, truth.values);
   }
 
   for (size_t m : {3u, 9u}) {
     shapley::TestAccuracyUtility utility(workload.test_set);
-    shapley::GroupShapley evaluator(n, {m, 7}, &utility);
+    shapley::GroupShapleyConfig config;
+    config.num_groups = m;
+    config.seed_e = 7;
+    config.pool = &pool;
+    shapley::GroupShapley evaluator(n, config, &utility);
     Stopwatch timer;
     auto totals =
         evaluator.AccumulateOverRounds(run.per_round_locals).value();
     char label[32];
     std::snprintf(label, sizeof(label), "GroupSV (m=%zu)", m);
-    Report(label, timer.ElapsedSeconds(),
+    Report(&json, label, timer.ElapsedSeconds(),
            run.per_round_locals.size() * (1u << m), totals, truth.values);
   }
+  json.EndArray();
+  json.EndObject();
+
   PrintRule();
   std::printf(
       "cosine* = mean-centered cosine vs the retrained ground truth.\n"
       "GroupSV is the only estimator here that works on *masked* data;\n"
       "MC/TMC need per-owner coalition models and native needs raw data.\n");
+
+  const char* out_path = "BENCH_sv_estimators.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("failed to write %s\n", out_path);
+    return 1;
+  }
   return 0;
 }

@@ -8,69 +8,246 @@
 // native SV is an order of magnitude above GroupSV at m = 9, because it
 // retrains 2^n coalition models while GroupSV only aggregates local
 // updates.
+//
+// Since the coalition-engine PR this bench also tracks the engine
+// speedup: each m is timed three ways — the seed's naive serial walk
+// (rebuild every coalition from scratch, unfused utility), the engine
+// without a pool, and the engine on a hardware-sized pool — and the
+// rows land in BENCH_table1.json for cross-PR trend tracking. The
+// engine's 1-thread and N-thread SV outputs are asserted bit-identical.
+//
+// Flags: --skip-native omits the (slow) 2^9-retraining baseline.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/sim_clock.h"
+#include "json_out.h"
 #include "shapley/group_sv.h"
+#include "shapley/shapley_math.h"
 #include "workload.h"
 
 using namespace bcfl;
 using namespace bcfl::bench;
 
-int main() {
+namespace {
+
+/// The seed implementation of GroupSV, kept verbatim as the serial
+/// baseline: per coalition, gather members, rebuild the mean from
+/// scratch (O(2^m * m) matrix adds) and score it through the unfused
+/// FromWeights + Accuracy path (re-copies weights, re-augments, builds
+/// the full probability matrix).
+Result<std::vector<double>> NaiveGroupTotals(
+    const std::vector<std::vector<ml::Matrix>>& per_round_locals,
+    size_t num_users, size_t m, uint64_t seed_e,
+    const ml::Dataset& test_set) {
+  std::vector<double> totals(num_users, 0.0);
+  for (size_t r = 0; r < per_round_locals.size(); ++r) {
+    const auto& locals = per_round_locals[r];
+    std::vector<size_t> perm = shapley::PermutationFromSeed(seed_e, r,
+                                                           num_users);
+    BCFL_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> groups,
+                          shapley::GroupUsers(perm, m));
+    std::vector<ml::Matrix> group_models;
+    group_models.reserve(m);
+    for (const auto& members : groups) {
+      std::vector<ml::Matrix> parts;
+      parts.reserve(members.size());
+      for (size_t i : members) parts.push_back(locals[i]);
+      BCFL_ASSIGN_OR_RETURN(ml::Matrix mean, ml::MeanOfMatrices(parts));
+      group_models.push_back(std::move(mean));
+    }
+
+    const uint64_t full = 1ULL << m;
+    const size_t rows = group_models[0].rows();
+    const size_t cols = group_models[0].cols();
+    std::vector<double> utilities(full);
+    for (uint64_t mask = 0; mask < full; ++mask) {
+      ml::Matrix coalition(rows, cols);
+      size_t count = 0;
+      for (size_t j = 0; j < m; ++j) {
+        if (mask & (1ULL << j)) {
+          BCFL_RETURN_IF_ERROR(coalition.AddInPlace(group_models[j]));
+          ++count;
+        }
+      }
+      if (count > 0) coalition.Scale(1.0 / static_cast<double>(count));
+      BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
+                            ml::LogisticRegression::FromWeights(coalition));
+      BCFL_ASSIGN_OR_RETURN(utilities[mask], model.Accuracy(test_set));
+    }
+    BCFL_ASSIGN_OR_RETURN(std::vector<double> values,
+                          shapley::ExactShapleyFromTable(m, utilities));
+    for (size_t j = 0; j < m; ++j) {
+      double share = values[j] / static_cast<double>(groups[j].size());
+      for (size_t i : groups[j]) totals[i] += share;
+    }
+  }
+  return totals;
+}
+
+Result<std::vector<double>> EngineGroupTotals(
+    const std::vector<std::vector<ml::Matrix>>& per_round_locals,
+    size_t num_users, size_t m, uint64_t seed_e,
+    const ml::Dataset& test_set, ThreadPool* pool) {
+  shapley::TestAccuracyUtility utility(test_set);
+  shapley::GroupShapleyConfig config;
+  config.num_groups = m;
+  config.seed_e = seed_e;
+  config.pool = pool;
+  shapley::GroupShapley evaluator(num_users, config, &utility);
+  return evaluator.AccumulateOverRounds(per_round_locals);
+}
+
+bool BitIdentical(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const uint64_t kSeedE = 7;
   const double kSigma = 1.0;
   const double kPaperGroup[] = {2, 3, 4, 7, 11, 20, 39, 77};
   const double kPaperNative = 316;
+  bool skip_native = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-native") == 0) skip_native = true;
+  }
+
+  const size_t hw_threads =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(hw_threads);
+  ThreadPool single(1);
 
   Workload workload = Workload::Make(kSigma);
   // The FL run itself is not part of the timed evaluation (the paper
   // times the contribution evaluation, which consumes recorded updates).
-  auto run = workload.trainer->Run().value();
+  auto run = workload.trainer->Run(&pool).value();
 
-  std::printf("Table I reproduction: contribution-evaluation runtime "
-              "(single-threaded)\n");
+  std::printf("Table I reproduction: contribution-evaluation runtime\n");
+  std::printf("(naive = seed serial walk; engine = coalition engine, "
+              "serial and %zu-thread)\n", hw_threads);
   PrintRule();
-  std::printf("%-12s %-10s %-14s %-14s\n", "method", "# groups", "time/s",
+  std::printf("%-8s %-9s %-11s %-11s %-11s %-9s %-12s\n", "method",
+              "# groups", "naive/s", "engine1/s", "engineN/s", "speedup",
               "paper time/s");
   PrintRule();
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "table1_runtime");
+  json.Field("sigma", kSigma);
+  json.Field("owners", Workload::kOwners);
+  json.Field("rounds", Workload::kRounds);
+  json.Field("hardware_threads", hw_threads);
+  json.BeginArray("group_sv");
+
+  double naive_total = 0, engine_total = 0;
   double group_sv_at_9 = 0;
+  bool all_bit_identical = true;
   for (size_t m = 2; m <= 9; ++m) {
-    shapley::TestAccuracyUtility utility(workload.test_set);
-    shapley::GroupShapley evaluator(Workload::kOwners, {m, kSeedE},
-                                    &utility);
-    Stopwatch timer;
-    auto totals = evaluator.AccumulateOverRounds(run.per_round_locals);
-    double elapsed = timer.ElapsedSeconds();
-    if (!totals.ok()) {
-      std::printf("GroupSV evaluation failed at m=%zu: %s\n", m,
-                  totals.status().ToString().c_str());
+    Stopwatch naive_timer;
+    auto naive = NaiveGroupTotals(run.per_round_locals, Workload::kOwners,
+                                  m, kSeedE, workload.test_set);
+    const double naive_s = naive_timer.ElapsedSeconds();
+    if (!naive.ok()) {
+      std::printf("naive GroupSV failed at m=%zu: %s\n", m,
+                  naive.status().ToString().c_str());
       return 1;
     }
-    if (m == 9) group_sv_at_9 = elapsed;
-    std::printf("%-12s %-10zu %-14.3f %-14.0f\n", "GroupSV", m, elapsed,
-                kPaperGroup[m - 2]);
-  }
 
-  // Native SV: 2^9 coalition models retrained from scratch (the paper's
-  // transparency-incompatible baseline). Single-threaded for a fair
-  // comparison with the GroupSV timing above.
-  {
+    Stopwatch serial_timer;
+    auto serial = EngineGroupTotals(run.per_round_locals, Workload::kOwners,
+                                    m, kSeedE, workload.test_set, nullptr);
+    const double serial_s = serial_timer.ElapsedSeconds();
+
+    Stopwatch parallel_timer;
+    auto parallel = EngineGroupTotals(run.per_round_locals,
+                                      Workload::kOwners, m, kSeedE,
+                                      workload.test_set, &pool);
+    const double parallel_s = parallel_timer.ElapsedSeconds();
+    if (!serial.ok() || !parallel.ok()) {
+      std::printf("engine GroupSV failed at m=%zu\n", m);
+      return 1;
+    }
+
+    // Determinism contract: 1 worker vs hardware_threads workers must be
+    // bit-for-bit identical.
+    auto one_thread = EngineGroupTotals(run.per_round_locals,
+                                        Workload::kOwners, m, kSeedE,
+                                        workload.test_set, &single);
+    const bool bit_identical = one_thread.ok() &&
+                               BitIdentical(*one_thread, *parallel) &&
+                               BitIdentical(*serial, *parallel);
+    all_bit_identical = all_bit_identical && bit_identical;
+
+    const double speedup = parallel_s > 0 ? naive_s / parallel_s : 0;
+    naive_total += naive_s;
+    engine_total += parallel_s;
+    if (m == 9) group_sv_at_9 = parallel_s;
+    std::printf("%-8s %-9zu %-11.3f %-11.3f %-11.3f %-9.2f %-12.0f%s\n",
+                "GroupSV", m, naive_s, serial_s, parallel_s, speedup,
+                kPaperGroup[m - 2], bit_identical ? "" : "  !!nondet");
+
+    json.BeginObject();
+    json.Field("m", m);
+    json.Field("naive_s", naive_s);
+    json.Field("engine_serial_s", serial_s);
+    json.Field("engine_parallel_s", parallel_s);
+    json.Field("speedup_serial", serial_s > 0 ? naive_s / serial_s : 0.0);
+    json.Field("speedup_parallel", speedup);
+    json.Field("bit_identical_across_threads", bit_identical);
+    json.Field("paper_s", kPaperGroup[m - 2]);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("group_sv_naive_total_s", naive_total);
+  json.Field("group_sv_engine_total_s", engine_total);
+  json.Field("group_sv_total_speedup",
+             engine_total > 0 ? naive_total / engine_total : 0.0);
+  json.Field("bit_identical_across_threads", all_bit_identical);
+
+  PrintRule();
+  std::printf("GroupSV m=2..9 end-to-end: naive %.3f s, engine %.3f s "
+              "(%.2fx); 1-thread vs %zu-thread outputs %s\n",
+              naive_total, engine_total,
+              engine_total > 0 ? naive_total / engine_total : 0.0,
+              hw_threads,
+              all_bit_identical ? "bit-identical" : "DIVERGED");
+
+  if (!skip_native) {
+    // Native SV: 2^9 coalition models retrained from scratch (the
+    // paper's transparency-incompatible baseline), on the same pool.
     Stopwatch timer;
-    auto truth = workload.GroundTruth(/*pool=*/nullptr,
+    auto truth = workload.GroundTruth(&pool,
                                       /*epochs=*/Workload::kRounds *
                                           Workload::kLocalEpochs);
     double elapsed = timer.ElapsedSeconds();
     (void)truth;
-    std::printf("%-12s %-10d %-14.3f %-14.0f\n", "NativeSV", 9, elapsed,
-                kPaperNative);
     PrintRule();
+    std::printf("%-8s %-9d %-11s %-11s %-11.3f %-9s %-12.0f\n", "NativeSV",
+                9, "-", "-", elapsed, "-", kPaperNative);
     std::printf(
         "Shape check: GroupSV(m=9) / NativeSV = %.3f (paper: %.3f);\n"
         "GroupSV cost roughly doubles per extra group in both columns.\n",
         group_sv_at_9 / elapsed, 77.0 / 316.0);
+    json.Field("native_sv_s", elapsed);
   }
-  return 0;
+  json.EndObject();
+
+  const char* out_path = "BENCH_table1.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("failed to write %s\n", out_path);
+    return 1;
+  }
+  return all_bit_identical ? 0 : 1;
 }

@@ -1,0 +1,90 @@
+#pragma once
+
+// Minimal JSON emitter for machine-readable bench results (BENCH_*.json):
+// just enough structure for per-row metric dumps that CI or a notebook
+// can diff across PRs, with none of the quoting corner cases the benches
+// don't need (keys and string values are plain ASCII identifiers here).
+
+#include <cstdio>
+#include <string>
+
+namespace bcfl::bench {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key) {
+    Key(key);
+    Open('[');
+  }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+  void BeginObject(const char* key) {
+    Key(key);
+    Open('{');
+  }
+
+  void Field(const char* key, double value) {
+    Key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out_ += buf;
+    need_comma_ = true;
+  }
+  void Field(const char* key, size_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+    need_comma_ = true;
+  }
+  void Field(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+    need_comma_ = true;
+  }
+  void Field(const char* key, const char* value) {
+    Key(key);
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+    need_comma_ = true;
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void MaybeComma() {
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+  }
+  void Key(const char* key) {
+    MaybeComma();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  void Open(char c) {
+    MaybeComma();
+    out_ += c;
+    need_comma_ = false;
+  }
+  void Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+
+ private:
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace bcfl::bench

@@ -234,22 +234,25 @@ bench/CMakeFiles/bench_adversarial.dir/bench_adversarial.cc.o: \
  /root/repo/src/core/fl_contract.h /root/repo/src/core/params.h \
  /root/repo/src/core/state_keys.h /root/repo/src/ml/matrix.h \
  /root/repo/src/ml/dataset.h /root/repo/src/shapley/utility.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/ml/logistic_regression.h /root/repo/src/data/digits.h \
  /root/repo/src/fl/client.h /root/repo/src/secureagg/participant.h \
  /root/repo/src/crypto/chacha20.h /root/repo/src/crypto/shamir.h \
  /root/repo/src/data/noise.h /root/repo/src/data/partition.h \
  /root/repo/src/fl/trainer.h /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
- /root/repo/src/fl/fedavg.h /root/repo/src/shapley/group_sv.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/fl/fedavg.h \
+ /root/repo/src/shapley/group_sv.h \
+ /root/repo/src/shapley/coalition_engine.h \
  /root/repo/src/shapley/similarity.h

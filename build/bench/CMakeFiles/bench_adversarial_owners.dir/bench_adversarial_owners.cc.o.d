@@ -231,6 +231,7 @@ bench/CMakeFiles/bench_adversarial_owners.dir/bench_adversarial_owners.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/fl/client.h /root/repo/src/ml/logistic_regression.h \
  /root/repo/src/fl/fedavg.h /root/repo/src/shapley/group_sv.h \
+ /root/repo/src/shapley/coalition_engine.h \
  /root/repo/src/shapley/utility.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \

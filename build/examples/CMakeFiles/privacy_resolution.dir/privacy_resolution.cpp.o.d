@@ -227,6 +227,7 @@ examples/CMakeFiles/privacy_resolution.dir/privacy_resolution.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/fl/client.h /root/repo/src/ml/logistic_regression.h \
  /root/repo/src/fl/fedavg.h /root/repo/src/shapley/group_sv.h \
+ /root/repo/src/shapley/coalition_engine.h \
  /root/repo/src/shapley/utility.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \

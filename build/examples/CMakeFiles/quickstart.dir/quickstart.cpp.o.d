@@ -234,7 +234,11 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/common/sim_clock.h /root/repo/src/core/fl_contract.h \
  /root/repo/src/core/params.h /root/repo/src/core/state_keys.h \
  /root/repo/src/ml/matrix.h /root/repo/src/ml/dataset.h \
- /root/repo/src/shapley/utility.h /root/repo/src/ml/logistic_regression.h \
- /root/repo/src/data/digits.h /root/repo/src/fl/client.h \
- /root/repo/src/secureagg/participant.h /root/repo/src/crypto/chacha20.h \
- /root/repo/src/crypto/shamir.h
+ /root/repo/src/shapley/utility.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/ml/logistic_regression.h /root/repo/src/data/digits.h \
+ /root/repo/src/fl/client.h /root/repo/src/secureagg/participant.h \
+ /root/repo/src/crypto/chacha20.h /root/repo/src/crypto/shamir.h

@@ -216,7 +216,12 @@ src/core/CMakeFiles/bcfl_core.dir/fl_contract.cc.o: \
  /root/repo/src/crypto/uint256.h /root/repo/src/core/params.h \
  /root/repo/src/core/state_keys.h /root/repo/src/ml/matrix.h \
  /root/repo/src/ml/dataset.h /root/repo/src/shapley/utility.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/ml/logistic_regression.h /usr/include/c++/12/algorithm \
@@ -229,4 +234,18 @@ src/core/CMakeFiles/bcfl_core.dir/fl_contract.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/secureagg/fixed_point.h /root/repo/src/secureagg/mask.h \
  /root/repo/src/crypto/chacha20.h /root/repo/src/secureagg/participant.h \
- /root/repo/src/crypto/shamir.h /root/repo/src/shapley/group_sv.h
+ /root/repo/src/crypto/shamir.h /root/repo/src/shapley/group_sv.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/shapley/coalition_engine.h

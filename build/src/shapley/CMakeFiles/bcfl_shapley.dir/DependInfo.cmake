@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shapley/coalition_engine.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/coalition_engine.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/coalition_engine.cc.o.d"
   "/root/repo/src/shapley/group_sv.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/group_sv.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/group_sv.cc.o.d"
   "/root/repo/src/shapley/monte_carlo.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o.d"
   "/root/repo/src/shapley/native_sv.cc" "src/shapley/CMakeFiles/bcfl_shapley.dir/native_sv.cc.o" "gcc" "src/shapley/CMakeFiles/bcfl_shapley.dir/native_sv.cc.o.d"

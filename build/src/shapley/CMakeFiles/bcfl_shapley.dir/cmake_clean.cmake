@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bcfl_shapley.dir/coalition_engine.cc.o"
+  "CMakeFiles/bcfl_shapley.dir/coalition_engine.cc.o.d"
   "CMakeFiles/bcfl_shapley.dir/group_sv.cc.o"
   "CMakeFiles/bcfl_shapley.dir/group_sv.cc.o.d"
   "CMakeFiles/bcfl_shapley.dir/monte_carlo.cc.o"

@@ -236,4 +236,5 @@ src/shapley/CMakeFiles/bcfl_shapley.dir/native_sv.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/shapley/coalition_engine.h \
  /root/repo/src/shapley/shapley_math.h

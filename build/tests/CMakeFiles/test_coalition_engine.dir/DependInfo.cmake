@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coalition_engine.cc" "tests/CMakeFiles/test_coalition_engine.dir/test_coalition_engine.cc.o" "gcc" "tests/CMakeFiles/test_coalition_engine.dir/test_coalition_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bcfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/bcfl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapley/CMakeFiles/bcfl_shapley.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/bcfl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bcfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secureagg/CMakeFiles/bcfl_secureagg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/bcfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bcfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bcfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bcfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalition_engine.dir/test_coalition_engine.cc.o"
+  "CMakeFiles/test_coalition_engine.dir/test_coalition_engine.cc.o.d"
+  "test_coalition_engine"
+  "test_coalition_engine.pdb"
+  "test_coalition_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalition_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

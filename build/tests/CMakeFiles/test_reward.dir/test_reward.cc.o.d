@@ -302,4 +302,7 @@ tests/CMakeFiles/test_reward.dir/test_reward.cc.o: \
  /root/repo/src/chain/contract_host.h /root/repo/src/core/fl_contract.h \
  /root/repo/src/core/params.h /root/repo/src/core/state_keys.h \
  /root/repo/src/ml/matrix.h /root/repo/src/ml/dataset.h \
- /root/repo/src/shapley/utility.h /root/repo/src/ml/logistic_regression.h
+ /root/repo/src/shapley/utility.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/ml/logistic_regression.h

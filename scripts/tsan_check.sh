@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under ThreadSanitizer and runs
+# the thread-pool and coalition-engine suites. These are the two places
+# real data races could hide: the chunked ParallelFor and the engine's
+# parallel utility scoring + sharded CachingUtility.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBCFL_SANITIZE=thread \
+  -DBCFL_BUILD_BENCHMARKS=OFF \
+  -DBCFL_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target test_thread_pool test_coalition_engine test_utility
+
+# halt_on_error: fail the script on the first race instead of limping on.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+"$BUILD_DIR/tests/test_thread_pool"
+"$BUILD_DIR/tests/test_coalition_engine"
+"$BUILD_DIR/tests/test_utility"
+
+echo "TSan: all clean"

@@ -37,14 +37,40 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             size_t grain) {
   if (count == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+  if (grain == 0) {
+    // ~8 chunks per worker: coarse enough that queue traffic is O(threads),
+    // fine enough that uneven per-index cost still load-balances.
+    grain = std::max<size_t>(1, count / (num_threads() * 8));
   }
-  for (auto& f : futures) f.get();
+  const size_t num_chunks = (count + grain - 1) / grain;
+  if (num_chunks <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * grain;
+    const size_t end = std::min(begin + grain, count);
+    futures.push_back(Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  // Wait for every chunk before rethrowing: abandoning outstanding chunks
+  // on the first failure would leave workers touching captured state that
+  // is about to go out of scope.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace bcfl

@@ -41,7 +41,17 @@ class ThreadPool {
   }
 
   /// Runs `fn(i)` for i in [0, count) across the pool and waits for all.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  ///
+  /// Indices are dispatched in contiguous chunks of `grain` indices per
+  /// task (grain 0 picks one automatically: enough chunks for ~8 tasks
+  /// per worker, so a 2^n-sized loop enqueues O(threads) closures
+  /// instead of 2^n). If every index fits in a single chunk the loop
+  /// runs inline on the calling thread. Exceptions thrown by `fn` are
+  /// captured per chunk: a throw ends its own chunk, but every other
+  /// chunk still runs to completion before the first captured exception
+  /// is rethrown to the caller.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   size_t grain = 0);
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -23,6 +23,7 @@ Result<FlRunResult> FederatedTrainer::RunFrom(const ml::Matrix& initial,
   if (clients_.empty()) {
     return Status::FailedPrecondition("no clients registered");
   }
+  if (pool == nullptr) pool = config_.pool;
   FlRunResult result;
   result.global_weights = initial;
   result.per_round_locals.reserve(config_.rounds);

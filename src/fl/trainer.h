@@ -15,6 +15,10 @@ struct FlConfig {
   size_t rounds = 10;  ///< Global FedAvg rounds (R in the paper).
   ml::LogisticRegressionConfig local;
   bool weighted_aggregation = false;  ///< FedAvg vs sample-weighted FedAvg.
+  /// Default worker pool for local training (null = serial). A non-null
+  /// pool passed to Run/RunFrom takes precedence, so drivers can wire
+  /// one pool through the whole pipeline via config.
+  ThreadPool* pool = nullptr;
 };
 
 /// Everything a federated run produces, kept because contribution

@@ -150,4 +150,125 @@ Result<double> LogisticRegression::LogLoss(const Dataset& data) const {
   return loss / static_cast<double>(probs.rows());
 }
 
+namespace {
+
+/// Row logits for example `i`: scratch[c] = sum_k aug(i,k) * weights(k,c).
+/// Same k-ascending accumulation order (and zero-skip) as Matrix::MatMul,
+/// so the fused kernels reproduce the unfused results bit for bit.
+inline void RowLogits(const Matrix& aug_features, size_t i,
+                      const Matrix& weights, double* scratch) {
+  const size_t classes = weights.cols();
+  std::fill(scratch, scratch + classes, 0.0);
+  const double* a_row = aug_features.Row(i);
+  for (size_t k = 0; k < aug_features.cols(); ++k) {
+    const double a = a_row[k];
+    if (a == 0.0) continue;
+    const double* w_row = weights.Row(k);
+    for (size_t c = 0; c < classes; ++c) scratch[c] += a * w_row[c];
+  }
+}
+
+/// Index of the first maximum, matching std::max_element tie-breaking.
+inline size_t ArgmaxRow(const double* row, size_t n) {
+  size_t best = 0;
+  for (size_t c = 1; c < n; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+/// -log p(label) for one score row under a softmax, with the same
+/// exp/sum/divide operation order as SoftmaxRowsInPlace + LogLoss.
+inline double RowNegLogProb(const double* row, size_t n, int label) {
+  double max_score = row[0];
+  for (size_t c = 1; c < n; ++c) max_score = std::max(max_score, row[c]);
+  double sum = 0.0;
+  double e_label = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    const double e = std::exp(row[c] - max_score);
+    sum += e;
+    if (static_cast<size_t>(label) == c) e_label = e;
+  }
+  return -std::log(std::max(e_label / sum, 1e-12));
+}
+
+Status CheckEvalShapes(size_t rows, size_t labels, size_t classes) {
+  if (rows == 0) return Status::InvalidArgument("empty dataset");
+  if (labels != rows) {
+    return Status::InvalidArgument("label count != example count");
+  }
+  if (classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> AccuracyFromAugmented(const Matrix& aug_features,
+                                     const std::vector<int>& labels,
+                                     const Matrix& weights) {
+  if (aug_features.cols() != weights.rows()) {
+    return Status::InvalidArgument(
+        "AccuracyFromAugmented: feature count mismatch");
+  }
+  BCFL_RETURN_IF_ERROR(
+      CheckEvalShapes(aug_features.rows(), labels.size(), weights.cols()));
+  const size_t classes = weights.cols();
+  std::vector<double> logits(classes);
+  size_t correct = 0;
+  for (size_t i = 0; i < aug_features.rows(); ++i) {
+    RowLogits(aug_features, i, weights, logits.data());
+    if (static_cast<int>(ArgmaxRow(logits.data(), classes)) == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(aug_features.rows());
+}
+
+Result<double> LogLossFromAugmented(const Matrix& aug_features,
+                                    const std::vector<int>& labels,
+                                    const Matrix& weights) {
+  if (aug_features.cols() != weights.rows()) {
+    return Status::InvalidArgument(
+        "LogLossFromAugmented: feature count mismatch");
+  }
+  BCFL_RETURN_IF_ERROR(
+      CheckEvalShapes(aug_features.rows(), labels.size(), weights.cols()));
+  const size_t classes = weights.cols();
+  std::vector<double> logits(classes);
+  double loss = 0.0;
+  for (size_t i = 0; i < aug_features.rows(); ++i) {
+    RowLogits(aug_features, i, weights, logits.data());
+    loss += RowNegLogProb(logits.data(), classes, labels[i]);
+  }
+  return loss / static_cast<double>(aug_features.rows());
+}
+
+Result<double> AccuracyFromScores(const Matrix& scores,
+                                  const std::vector<int>& labels) {
+  BCFL_RETURN_IF_ERROR(
+      CheckEvalShapes(scores.rows(), labels.size(), scores.cols()));
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    if (static_cast<int>(ArgmaxRow(scores.Row(i), scores.cols())) ==
+        labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.rows());
+}
+
+Result<double> LogLossFromScores(const Matrix& scores,
+                                 const std::vector<int>& labels) {
+  BCFL_RETURN_IF_ERROR(
+      CheckEvalShapes(scores.rows(), labels.size(), scores.cols()));
+  double loss = 0.0;
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    loss += RowNegLogProb(scores.Row(i), scores.cols(), labels[i]);
+  }
+  return loss / static_cast<double>(scores.rows());
+}
+
 }  // namespace bcfl::ml

@@ -47,6 +47,11 @@ class LogisticRegression {
   /// Runs exactly `epochs` epochs.
   Status TrainEpochs(const Dataset& data, size_t epochs);
 
+  /// Prepends a column of ones (bias input) to `features`. Exposed so
+  /// evaluation layers can augment a test set once and reuse it across
+  /// many models instead of re-copying it per evaluation.
+  static Matrix Augment(const Matrix& features);
+
   /// Class-probability matrix (rows sum to 1) for the given features.
   Result<Matrix> PredictProba(const Matrix& features) const;
   /// Argmax class predictions.
@@ -60,14 +65,41 @@ class LogisticRegression {
   /// One gradient-descent step; returns the pre-step loss for monitoring.
   Result<double> Step(const Matrix& aug_features, const Matrix& one_hot);
 
-  /// Prepends a column of ones (bias input) to `features`.
-  static Matrix Augment(const Matrix& features);
-
   Matrix weights_;
   LogisticRegressionConfig config_;
 };
 
 /// Numerically stable row-wise softmax (in place).
 void SoftmaxRowsInPlace(Matrix* logits);
+
+// -- fused evaluation kernels ----------------------------------------------
+// Hot-path variants used by contribution evaluation, which scores 2^m
+// coalition models against the *same* test set: the caller augments the
+// features once (`LogisticRegression::Augment`) and these kernels stream
+// row logits through a small scratch buffer instead of materialising the
+// (examples x classes) probability matrix per model. Results are exactly
+// those of the Predict/Accuracy/LogLoss member functions.
+
+/// Classification accuracy of `weights` over pre-augmented features.
+/// Softmax is monotone per row, so the argmax is taken on raw logits.
+Result<double> AccuracyFromAugmented(const Matrix& aug_features,
+                                     const std::vector<int>& labels,
+                                     const Matrix& weights);
+
+/// Mean cross-entropy loss of `weights` over pre-augmented features.
+Result<double> LogLossFromAugmented(const Matrix& aug_features,
+                                    const std::vector<int>& labels,
+                                    const Matrix& weights);
+
+/// Accuracy decided directly from a per-example score ("logit") matrix —
+/// the last stage of AccuracyFromAugmented, split out for engines that
+/// reconstruct coalition logits incrementally. Scale-invariant: any
+/// positive rescaling of a row leaves its argmax unchanged.
+Result<double> AccuracyFromScores(const Matrix& scores,
+                                  const std::vector<int>& labels);
+
+/// Mean cross-entropy loss from a score matrix (softmax over each row).
+Result<double> LogLossFromScores(const Matrix& scores,
+                                 const std::vector<int>& labels);
 
 }  // namespace bcfl::ml

@@ -37,6 +37,12 @@ void Matrix::Scale(double scalar) {
   for (double& v : data_) v *= scalar;
 }
 
+Matrix Matrix::Scaled(double scalar) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
 Status Matrix::Axpy(double scalar, const Matrix& other) {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
     return Status::InvalidArgument("Axpy: shape mismatch");
@@ -124,8 +130,11 @@ Result<Matrix> Matrix::Deserialize(ByteReader* reader) {
   uint64_t count = static_cast<uint64_t>(rows) * cols;
   // Each element occupies 8 bytes in the stream; a shape that claims
   // more elements than the remaining payload is corrupt — reject before
-  // allocating for it.
-  if (count * 8 > reader->remaining()) {
+  // allocating for it. Compare count against remaining/8 rather than
+  // count*8 against remaining: rows x cols up to (2^32-1)^2 makes
+  // count*8 wrap around uint64, which would let an adversarial header
+  // slip past the guard and drive a multi-exabyte allocation.
+  if (count > reader->remaining() / 8) {
     return Status::Corruption("matrix shape exceeds payload");
   }
   Matrix m(rows, cols);

@@ -49,6 +49,8 @@ class Matrix {
   Status SubInPlace(const Matrix& other);
   /// this *= scalar.
   void Scale(double scalar);
+  /// Returns scalar * this without mutating (fused copy + scale).
+  Matrix Scaled(double scalar) const;
   /// this += scalar * other (AXPY). Shapes must match.
   Status Axpy(double scalar, const Matrix& other);
   /// Sets every entry to zero.

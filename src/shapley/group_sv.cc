@@ -93,23 +93,15 @@ Result<GroupShapleyRound> GroupShapley::EvaluateRoundFromGroupModels(
 
   // Line 4: coalition models W_S = (1/|S|) sum_{j in S} W_j for every
   // S in the powerset of groups; utility of each. The empty coalition is
-  // the untrained (zero) model.
-  const uint64_t full = 1ULL << m;
-  const size_t rows = out.group_models[0].rows();
-  const size_t cols = out.group_models[0].cols();
-  std::vector<double> utilities(full);
-  for (uint64_t mask = 0; mask < full; ++mask) {
-    ml::Matrix coalition(rows, cols);
-    size_t count = 0;
-    for (size_t j = 0; j < m; ++j) {
-      if (mask & (1ULL << j)) {
-        BCFL_RETURN_IF_ERROR(coalition.AddInPlace(out.group_models[j]));
-        ++count;
-      }
-    }
-    if (count > 0) coalition.Scale(1.0 / static_cast<double>(count));
-    BCFL_ASSIGN_OR_RETURN(utilities[mask], utility_->Evaluate(coalition));
-  }
+  // the untrained (zero) model. The engine builds the 2^m coalition
+  // models with 2^m - 1 subset-sum additions and scores them on the
+  // configured pool.
+  CoalitionEngineConfig engine_config;
+  engine_config.pool = config_.pool;
+  CoalitionEngine engine(utility_, engine_config);
+  BCFL_ASSIGN_OR_RETURN(std::vector<double> utilities,
+                        engine.EvaluateMeanCoalitions(out.group_models));
+  out.engine_stats = engine.stats();
 
   // Lines 5-6: group Shapley values from the utility table (Eq. 1 over m
   // players).

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "ml/matrix.h"
+#include "shapley/coalition_engine.h"
 #include "shapley/utility.h"
 
 namespace bcfl::shapley {
@@ -28,12 +30,18 @@ struct GroupShapleyRound {
   std::vector<double> group_values;         ///< V_j, line 6.
   std::vector<double> user_values;          ///< v_i^r, line 7.
   ml::Matrix global_model;                  ///< W_G (size-weighted mean).
+  /// Engine counters for this round (2^m - 1 coalition-model additions,
+  /// 2^m utility evaluations); lets callers assert the cost contract.
+  CoalitionEngineStats engine_stats;
 };
 
 /// Configuration of the group-based Shapley evaluation.
 struct GroupShapleyConfig {
   size_t num_groups = 3;  ///< m; trade-off between privacy and resolution.
   uint64_t seed_e = 7;    ///< Permutation seed agreed at setup.
+  /// Worker pool for coalition utility evaluation (null = serial).
+  /// Results are bit-identical for every pool size.
+  ThreadPool* pool = nullptr;
 };
 
 /// The paper's contribution: Group Shapley (Algorithm 1).

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "shapley/coalition_engine.h"
+
 namespace bcfl::shapley {
 
 Result<MonteCarloResult> MonteCarloShapley(
@@ -49,6 +51,66 @@ Result<MonteCarloResult> MonteCarloShapley(
       size_t player = perm[pos];
       mask |= 1ULL << player;
       BCFL_ASSIGN_OR_RETURN(double cur_u, eval(mask));
+      out.values[player] += cur_u - prev_u;
+      prev_u = cur_u;
+    }
+  }
+
+  for (double& v : out.values) {
+    v /= static_cast<double>(config.num_permutations);
+  }
+  return out;
+}
+
+Result<MonteCarloResult> MonteCarloShapleyFromModels(
+    const std::vector<ml::Matrix>& player_models, UtilityFunction* utility,
+    MonteCarloConfig config) {
+  const size_t n = player_models.size();
+  if (n == 0 || n >= 64) {
+    return Status::InvalidArgument("n must be in [1, 63]");
+  }
+  if (config.num_permutations == 0) {
+    return Status::InvalidArgument("need at least one permutation");
+  }
+  BCFL_ASSIGN_OR_RETURN(
+      CoalitionAccumulator acc,
+      CoalitionAccumulator::Make(&player_models, utility));
+
+  MonteCarloResult out;
+  out.values.assign(n, 0.0);
+  Xoshiro256 rng(config.seed);
+
+  // Same memoisation as the closure-based estimator; the accumulator only
+  // saves the coalition-construction work, not repeated evaluations.
+  std::unordered_map<uint64_t, double> cache;
+  auto eval_current = [&]() -> Result<double> {
+    auto it = cache.find(acc.mask());
+    if (it != cache.end()) return it->second;
+    BCFL_ASSIGN_OR_RETURN(double u, acc.Evaluate());
+    cache.emplace(acc.mask(), u);
+    ++out.utility_evaluations;
+    return u;
+  };
+
+  BCFL_ASSIGN_OR_RETURN(double empty_u, eval_current());
+  for (size_t i = 0; i < n; ++i) {
+    BCFL_RETURN_IF_ERROR(acc.Include(i));
+  }
+  BCFL_ASSIGN_OR_RETURN(double grand_u, eval_current());
+
+  for (size_t p = 0; p < config.num_permutations; ++p) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    acc.Reset();
+    double prev_u = empty_u;
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (config.truncation_tolerance > 0.0 &&
+          std::abs(grand_u - prev_u) < config.truncation_tolerance) {
+        ++out.truncated_scans;
+        break;
+      }
+      const size_t player = perm[pos];
+      BCFL_RETURN_IF_ERROR(acc.Include(player));
+      BCFL_ASSIGN_OR_RETURN(double cur_u, eval_current());
       out.values[player] += cur_u - prev_u;
       prev_u = cur_u;
     }

@@ -5,6 +5,8 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "ml/matrix.h"
+#include "shapley/utility.h"
 
 namespace bcfl::shapley {
 
@@ -36,6 +38,16 @@ struct MonteCarloResult {
 /// `utility(mask)` must be deterministic; mask bit i = player i present.
 Result<MonteCarloResult> MonteCarloShapley(
     size_t n, const std::function<Result<double>(uint64_t)>& utility,
+    MonteCarloConfig config = {});
+
+/// Monte-Carlo SV over mean-aggregated coalition models, built on the
+/// coalition engine's incremental accumulator: each permutation step
+/// extends the running coalition with one matrix add (in score space
+/// when `utility` supports the linear fast path) instead of rebuilding
+/// the mean from scratch — the engine-backed counterpart of passing a
+/// "gather members + MeanOfMatrices + Evaluate" closure above.
+Result<MonteCarloResult> MonteCarloShapleyFromModels(
+    const std::vector<ml::Matrix>& player_models, UtilityFunction* utility,
     MonteCarloConfig config = {});
 
 }  // namespace bcfl::shapley

@@ -1,8 +1,6 @@
 #include "shapley/native_sv.h"
 
-#include <bit>
-#include <mutex>
-
+#include "shapley/coalition_engine.h"
 #include "shapley/shapley_math.h"
 
 namespace bcfl::shapley {
@@ -26,63 +24,51 @@ Result<NativeShapleyResult> NativeShapley::Compute(
   }
   const uint64_t full = 1ULL << n;
 
-  // Stage 1: one coalition model per mask.
-  std::vector<ml::Matrix> models(full);
-  std::vector<Status> statuses(full, Status::OK());
-  auto build_model = [&](uint64_t mask) {
-    std::vector<size_t> members;
-    for (size_t i = 0; i < n; ++i) {
-      if (mask & (1ULL << i)) members.push_back(i);
-    }
-    if (config_.source == CoalitionModelSource::kRetrainCentralized) {
+  CoalitionEngineConfig engine_config;
+  engine_config.pool = config_.pool;
+  CoalitionEngine engine(utility_, engine_config);
+  NativeShapleyResult result;
+
+  if (config_.source == CoalitionModelSource::kAggregateFromLocals) {
+    // Coalition models are means of the members' final local weights —
+    // exactly the engine's subset-sum construction (the empty coalition
+    // is the zero, i.e. untrained, model for zero-initialised training).
+    BCFL_ASSIGN_OR_RETURN(result.utility_table,
+                          engine.EvaluateMeanCoalitions(*final_locals));
+  } else {
+    // Stage 1: retrain one coalition model per mask. Training dominates,
+    // so dispatch with grain 1 for the best load balance; slots are
+    // index-addressed, keeping the output order-independent.
+    std::vector<ml::Matrix> models(full);
+    std::vector<Status> statuses(full, Status::OK());
+    auto build_model = [&](size_t mask) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) members.push_back(i);
+      }
       auto model = trainer_->TrainCentralized(members, config_.epochs);
       if (model.ok()) {
         models[mask] = std::move(model).value();
       } else {
         statuses[mask] = model.status();
       }
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->ParallelFor(full, build_model, /*grain=*/1);
     } else {
-      if (members.empty()) {
-        // Empty coalition: untrained model.
-        auto model = trainer_->TrainCentralized({}, 1);
-        if (model.ok()) {
-          models[mask] = std::move(model).value();
-        } else {
-          statuses[mask] = model.status();
-        }
-        return;
-      }
-      std::vector<ml::Matrix> parts;
-      parts.reserve(members.size());
-      for (size_t i : members) parts.push_back((*final_locals)[i]);
-      auto mean = ml::MeanOfMatrices(parts);
-      if (mean.ok()) {
-        models[mask] = std::move(mean).value();
-      } else {
-        statuses[mask] = mean.status();
+      for (uint64_t mask = 0; mask < full; ++mask) {
+        build_model(static_cast<size_t>(mask));
       }
     }
-  };
+    for (const Status& s : statuses) {
+      BCFL_RETURN_IF_ERROR(s);
+    }
 
-  if (config_.pool != nullptr &&
-      config_.source == CoalitionModelSource::kRetrainCentralized) {
-    config_.pool->ParallelFor(full, [&](size_t mask) {
-      build_model(static_cast<uint64_t>(mask));
-    });
-  } else {
-    for (uint64_t mask = 0; mask < full; ++mask) build_model(mask);
-  }
-  for (const Status& s : statuses) {
-    BCFL_RETURN_IF_ERROR(s);
-  }
-
-  // Stage 2: utility of every coalition model. The utility object may
-  // cache internally; evaluate serially for determinism.
-  NativeShapleyResult result;
-  result.utility_table.resize(full);
-  for (uint64_t mask = 0; mask < full; ++mask) {
-    BCFL_ASSIGN_OR_RETURN(result.utility_table[mask],
-                          utility_->Evaluate(models[mask]));
+    // Stage 2: utility of every coalition model, in parallel. Utilities
+    // are required to be thread-safe (see UtilityFunction); results land
+    // in index-addressed slots, so the table is deterministic.
+    BCFL_ASSIGN_OR_RETURN(result.utility_table,
+                          engine.EvaluateModelTable(models));
   }
 
   // Stage 3: Eq. 1.

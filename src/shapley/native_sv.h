@@ -24,7 +24,8 @@ struct NativeShapleyConfig {
   CoalitionModelSource source = CoalitionModelSource::kRetrainCentralized;
   /// Training epochs per coalition model (0 = trainer default).
   size_t epochs = 0;
-  /// Optional worker pool parallelising coalition training.
+  /// Optional worker pool parallelising coalition training and utility
+  /// evaluation. SV outputs are bit-identical for every pool size.
   ThreadPool* pool = nullptr;
 };
 

@@ -5,22 +5,78 @@
 
 namespace bcfl::shapley {
 
+namespace {
+
+/// Shape check equivalent to LogisticRegression::FromWeights +
+/// Accuracy/LogLoss: (features + 1) x classes with classes >= 2.
+Status CheckWeightShape(const ml::Matrix& weights, size_t num_features) {
+  if (weights.rows() < 2 || weights.cols() < 2) {
+    return Status::InvalidArgument(
+        "weights must be (features+1) x classes with classes >= 2");
+  }
+  if (weights.rows() != num_features + 1) {
+    return Status::InvalidArgument("weight rows != features + 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 TestAccuracyUtility::TestAccuracyUtility(ml::Dataset test_set)
-    : test_set_(std::move(test_set)) {}
+    : test_set_(std::move(test_set)),
+      augmented_(ml::LogisticRegression::Augment(test_set_.features())) {}
+
+Status TestAccuracyUtility::CheckWeights(const ml::Matrix& weights) const {
+  return CheckWeightShape(weights, test_set_.num_features());
+}
 
 Result<double> TestAccuracyUtility::Evaluate(const ml::Matrix& weights) {
-  BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
-                        ml::LogisticRegression::FromWeights(weights));
-  return model.Accuracy(test_set_);
+  BCFL_RETURN_IF_ERROR(CheckWeights(weights));
+  return ml::AccuracyFromAugmented(augmented_, test_set_.labels(), weights);
+}
+
+Result<ml::Matrix> TestAccuracyUtility::PlayerScores(
+    const ml::Matrix& weights) const {
+  BCFL_RETURN_IF_ERROR(CheckWeights(weights));
+  return augmented_.MatMul(weights);
+}
+
+Result<double> TestAccuracyUtility::EvaluateScoreSum(
+    const ml::Matrix& score_sum, size_t /*coalition_size*/) const {
+  return ml::AccuracyFromScores(score_sum, test_set_.labels());
 }
 
 NegLogLossUtility::NegLogLossUtility(ml::Dataset test_set)
-    : test_set_(std::move(test_set)) {}
+    : test_set_(std::move(test_set)),
+      augmented_(ml::LogisticRegression::Augment(test_set_.features())) {}
+
+Status NegLogLossUtility::CheckWeights(const ml::Matrix& weights) const {
+  return CheckWeightShape(weights, test_set_.num_features());
+}
 
 Result<double> NegLogLossUtility::Evaluate(const ml::Matrix& weights) {
-  BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
-                        ml::LogisticRegression::FromWeights(weights));
-  BCFL_ASSIGN_OR_RETURN(double loss, model.LogLoss(test_set_));
+  BCFL_RETURN_IF_ERROR(CheckWeights(weights));
+  BCFL_ASSIGN_OR_RETURN(
+      double loss,
+      ml::LogLossFromAugmented(augmented_, test_set_.labels(), weights));
+  return -loss;
+}
+
+Result<ml::Matrix> NegLogLossUtility::PlayerScores(
+    const ml::Matrix& weights) const {
+  BCFL_RETURN_IF_ERROR(CheckWeights(weights));
+  return augmented_.MatMul(weights);
+}
+
+Result<double> NegLogLossUtility::EvaluateScoreSum(
+    const ml::Matrix& score_sum, size_t coalition_size) const {
+  // Log-loss is not scale-invariant: rebuild the mean model's scores.
+  ml::Matrix mean_scores =
+      coalition_size > 1
+          ? score_sum.Scaled(1.0 / static_cast<double>(coalition_size))
+          : score_sum;
+  BCFL_ASSIGN_OR_RETURN(
+      double loss, ml::LogLossFromScores(mean_scores, test_set_.labels()));
   return -loss;
 }
 
@@ -32,15 +88,35 @@ Result<double> CachingUtility::Evaluate(const ml::Matrix& weights) {
   weights.Serialize(&writer);
   crypto::Digest digest = crypto::Sha256::Hash(writer.buffer());
   std::string key(digest.begin(), digest.end());
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+  // The digest is uniformly distributed; its first byte picks the shard.
+  Shard& shard = shards_[static_cast<uint8_t>(key[0]) % kNumShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++misses_;
+  // Evaluate outside the lock so concurrent misses on *different* keys
+  // don't serialise; a duplicate racing insert on the same key is benign
+  // (emplace keeps the first, values are identical).
+  misses_.fetch_add(1, std::memory_order_relaxed);
   BCFL_ASSIGN_OR_RETURN(double value, inner_->Evaluate(weights));
-  cache_.emplace(std::move(key), value);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(std::move(key), value);
+  }
   return value;
+}
+
+size_t CachingUtility::cache_size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 }  // namespace bcfl::shapley

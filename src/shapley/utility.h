@@ -1,6 +1,9 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -13,58 +16,126 @@ namespace bcfl::shapley {
 /// The utility function u(.) of cooperative game theory, evaluated on
 /// model parameters. Contribution evaluation scores coalition models;
 /// higher is better.
+///
+/// Thread-safety contract: the coalition-evaluation engine calls
+/// `Evaluate` concurrently from a thread pool, so implementations MUST
+/// be safe for concurrent `Evaluate` calls on one object. Implementations
+/// that are immutable after construction (every utility in this file
+/// builds its derived state in the constructor) satisfy this for free;
+/// stateful implementations must synchronise internally, as
+/// `CachingUtility` does.
 class UtilityFunction {
  public:
   virtual ~UtilityFunction() = default;
-  /// Scores the model given by `weights`.
+  /// Scores the model given by `weights`. Must be deterministic and
+  /// callable concurrently (see the class comment).
   virtual Result<double> Evaluate(const ml::Matrix& weights) = 0;
+};
+
+/// Optional fast-path capability for utilities whose score depends on the
+/// weights only through the per-example score matrix X_aug * W. Because
+/// that map is linear in W, the score matrix of a mean-aggregated
+/// coalition model is the (scaled) *sum* of the members' score matrices —
+/// so an engine can precompute one score matrix per player and rebuild
+/// every coalition's scores with a single matrix add each, instead of a
+/// full X * W product per coalition. Same concurrency contract as
+/// `UtilityFunction::Evaluate` for both methods.
+class LinearScoreUtility {
+ public:
+  virtual ~LinearScoreUtility() = default;
+  /// The per-example score ("logit") matrix X_aug * W for one player.
+  virtual Result<ml::Matrix> PlayerScores(const ml::Matrix& weights) const = 0;
+  /// Utility of the coalition whose member score matrices sum to
+  /// `score_sum`. `coalition_size` = |S| (0 for the empty coalition, in
+  /// which case `score_sum` is all zeros — the untrained model).
+  virtual Result<double> EvaluateScoreSum(const ml::Matrix& score_sum,
+                                          size_t coalition_size) const = 0;
 };
 
 /// The paper's utility: accuracy of the coalition model on a held-out
 /// test set (agreed upon at the off-chain setup stage and therefore
 /// evaluable deterministically by every miner).
-class TestAccuracyUtility : public UtilityFunction {
+///
+/// The bias-augmented test matrix is built once in the constructor and
+/// shared (read-only) by every evaluation, and the accuracy is computed
+/// by the fused kernel — no per-evaluation copy of the test set and no
+/// intermediate probability matrix. Immutable after construction.
+class TestAccuracyUtility : public UtilityFunction,
+                            public LinearScoreUtility {
  public:
   explicit TestAccuracyUtility(ml::Dataset test_set);
 
   Result<double> Evaluate(const ml::Matrix& weights) override;
 
+  Result<ml::Matrix> PlayerScores(const ml::Matrix& weights) const override;
+  /// Accuracy only needs the row argmax, which is invariant to the
+  /// positive 1/|S| rescaling — the raw sum is scored directly.
+  Result<double> EvaluateScoreSum(const ml::Matrix& score_sum,
+                                  size_t coalition_size) const override;
+
   const ml::Dataset& test_set() const { return test_set_; }
 
  private:
+  Status CheckWeights(const ml::Matrix& weights) const;
+
   ml::Dataset test_set_;
+  ml::Matrix augmented_;  ///< Bias-augmented features, built once.
 };
 
 /// Negative log-loss utility — smoother than accuracy, used in ablations.
-class NegLogLossUtility : public UtilityFunction {
+/// Same construction-time augmentation and fused path; immutable after
+/// construction.
+class NegLogLossUtility : public UtilityFunction, public LinearScoreUtility {
  public:
   explicit NegLogLossUtility(ml::Dataset test_set);
 
   Result<double> Evaluate(const ml::Matrix& weights) override;
 
+  Result<ml::Matrix> PlayerScores(const ml::Matrix& weights) const override;
+  Result<double> EvaluateScoreSum(const ml::Matrix& score_sum,
+                                  size_t coalition_size) const override;
+
  private:
+  Status CheckWeights(const ml::Matrix& weights) const;
+
   ml::Dataset test_set_;
+  ml::Matrix augmented_;  ///< Bias-augmented features, built once.
 };
 
 /// Memoizing decorator: caches utility values keyed by a SHA-256 of the
 /// weight bytes. Coalition enumeration evaluates many duplicate models
 /// (e.g. W_S for S and for S in another round with identical weights);
 /// the cache makes repeated sweeps cheap and is itself benchmarked.
+///
+/// Thread-safe: the map is sharded by key hash with one mutex per shard,
+/// and hit/miss counters are atomic, so pool workers evaluating disjoint
+/// coalitions rarely contend. The shard lock is NOT held across the
+/// inner evaluation; two threads racing on the same uncached key may
+/// both evaluate (both counted as misses) and the duplicate insert is
+/// dropped — values are deterministic either way. Thread-safe only if
+/// the wrapped utility is.
 class CachingUtility : public UtilityFunction {
  public:
   explicit CachingUtility(std::unique_ptr<UtilityFunction> inner);
 
   Result<double> Evaluate(const ml::Matrix& weights) override;
 
-  size_t cache_size() const { return cache_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t cache_size() const;
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, double> map;
+  };
+
   std::unique_ptr<UtilityFunction> inner_;
-  std::unordered_map<std::string, double> cache_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace bcfl::shapley

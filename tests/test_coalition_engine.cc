@@ -1,0 +1,269 @@
+#include "shapley/coalition_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "data/digits.h"
+#include "shapley/shapley_math.h"
+
+namespace bcfl::shapley {
+namespace {
+
+ml::Dataset SmallTestSet() {
+  data::DigitsConfig config;
+  config.num_instances = 200;
+  config.seed = 17;
+  return data::DigitsGenerator(config).Generate();
+}
+
+std::vector<ml::Matrix> RandomModels(size_t m, size_t rows, size_t cols,
+                                     uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<ml::Matrix> models;
+  models.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    models.push_back(ml::Matrix::Gaussian(rows, cols, 0.3, &rng));
+  }
+  return models;
+}
+
+/// Scores a model by a fixed deterministic functional of its entries —
+/// generic (non-linear-score) utility for exercising the weight-space
+/// path.
+class FrobeniusUtility : public UtilityFunction {
+ public:
+  Result<double> Evaluate(const ml::Matrix& weights) override {
+    return weights.FrobeniusNorm() + 0.25 * weights.At(0, 0);
+  }
+};
+
+/// Utility that fails on every coalition containing the poisoned value.
+class FailingUtility : public UtilityFunction {
+ public:
+  Result<double> Evaluate(const ml::Matrix& weights) override {
+    if (weights.At(0, 0) > 0.5) {
+      return Status::Internal("poisoned model");
+    }
+    return weights.At(0, 0);
+  }
+};
+
+/// The seed implementation: rebuild each coalition from scratch.
+Result<double> NaiveCoalitionUtility(const std::vector<ml::Matrix>& models,
+                                     uint64_t mask, UtilityFunction* u) {
+  ml::Matrix coalition(models[0].rows(), models[0].cols());
+  size_t count = 0;
+  for (size_t j = 0; j < models.size(); ++j) {
+    if (mask & (1ULL << j)) {
+      BCFL_RETURN_IF_ERROR(coalition.AddInPlace(models[j]));
+      ++count;
+    }
+  }
+  if (count > 0) coalition.Scale(1.0 / static_cast<double>(count));
+  return u->Evaluate(coalition);
+}
+
+TEST(CoalitionEngineTest, MatchesNaiveRebuildBitForBit) {
+  // Weight-space path: subset-sum DP accumulates members in the same
+  // ascending order as the naive rebuild, so the tables are identical.
+  auto models = RandomModels(5, 6, 4, 11);
+  FrobeniusUtility utility;
+  CoalitionEngine engine(&utility);
+  auto table = engine.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 32u);
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    auto naive = NaiveCoalitionUtility(models, mask, &utility);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ((*table)[mask], *naive) << "mask " << mask;
+  }
+  EXPECT_FALSE(engine.stats().used_linear_scores);
+}
+
+TEST(CoalitionEngineTest, ExactlyTwoToMMinusOneAdditions) {
+  FrobeniusUtility utility;
+  for (size_t m : {1u, 3u, 6u, 9u}) {
+    auto models = RandomModels(m, 4, 3, 100 + m);
+    CoalitionEngine engine(&utility);
+    ASSERT_TRUE(engine.EvaluateMeanCoalitions(models).ok());
+    EXPECT_EQ(engine.stats().matrix_additions, (1ULL << m) - 1)
+        << "m = " << m;
+    EXPECT_EQ(engine.stats().matrix_subtractions, 0u);
+    EXPECT_EQ(engine.stats().utility_evaluations, 1ULL << m);
+  }
+}
+
+TEST(CoalitionEngineTest, PoolSizeDoesNotChangeUtilityTableOrSv) {
+  // Determinism guarantee: 1 worker vs many workers (vs no pool at all)
+  // produce bit-identical utility tables and SV vectors.
+  const size_t m = 6;
+  ml::Dataset data = SmallTestSet();
+  auto models = RandomModels(m, data.num_features() + 1, 10, 21);
+  TestAccuracyUtility utility(data);
+
+  CoalitionEngine serial(&utility);
+  auto serial_table = serial.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(serial_table.ok());
+
+  for (size_t threads : {1u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    CoalitionEngineConfig config;
+    config.pool = &pool;
+    CoalitionEngine parallel(&utility, config);
+    auto parallel_table = parallel.EvaluateMeanCoalitions(models);
+    ASSERT_TRUE(parallel_table.ok());
+    ASSERT_EQ(parallel_table->size(), serial_table->size());
+    for (size_t i = 0; i < serial_table->size(); ++i) {
+      EXPECT_EQ((*parallel_table)[i], (*serial_table)[i])
+          << "threads " << threads << " mask " << i;
+    }
+    auto serial_sv = ExactShapleyFromTable(m, *serial_table);
+    auto parallel_sv = ExactShapleyFromTable(m, *parallel_table);
+    ASSERT_TRUE(serial_sv.ok());
+    ASSERT_TRUE(parallel_sv.ok());
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_EQ((*serial_sv)[i], (*parallel_sv)[i]);
+    }
+  }
+}
+
+TEST(CoalitionEngineTest, LinearScorePathAgreesWithWeightPath) {
+  // TestAccuracyUtility takes the score-sum fast path; forcing the
+  // generic path through a caching wrapper (which hides the capability)
+  // must give the same accuracies up to FP-reassociation argmax ties.
+  const size_t m = 5;
+  ml::Dataset data = SmallTestSet();
+  auto models = RandomModels(m, data.num_features() + 1, 10, 33);
+  TestAccuracyUtility linear_utility(data);
+  CachingUtility generic_utility(
+      std::make_unique<TestAccuracyUtility>(data));
+
+  CoalitionEngine linear_engine(&linear_utility);
+  CoalitionEngine generic_engine(&generic_utility);
+  auto linear_table = linear_engine.EvaluateMeanCoalitions(models);
+  auto generic_table = generic_engine.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(linear_table.ok());
+  ASSERT_TRUE(generic_table.ok());
+  EXPECT_TRUE(linear_engine.stats().used_linear_scores);
+  EXPECT_FALSE(generic_engine.stats().used_linear_scores);
+  const double tie_tolerance =
+      2.0 / static_cast<double>(data.num_examples());
+  for (size_t i = 0; i < linear_table->size(); ++i) {
+    EXPECT_NEAR((*linear_table)[i], (*generic_table)[i], tie_tolerance)
+        << "mask " << i;
+  }
+}
+
+TEST(CoalitionEngineTest, GrayCodeFallbackMatchesSubsetSum) {
+  const size_t m = 6;
+  ml::Dataset data = SmallTestSet();
+  auto models = RandomModels(m, data.num_features() + 1, 10, 5);
+  TestAccuracyUtility utility(data);
+
+  CoalitionEngine table_engine(&utility);
+  auto dp = table_engine.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_FALSE(table_engine.stats().used_gray_code);
+
+  CoalitionEngineConfig tight;
+  tight.max_table_bytes = 1;  // Force the O(1)-memory path.
+  CoalitionEngine gray_engine(&utility, tight);
+  auto gray = gray_engine.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(gray.ok());
+  EXPECT_TRUE(gray_engine.stats().used_gray_code);
+  // One add or sub per step over 2^m - 1 Gray transitions.
+  EXPECT_EQ(gray_engine.stats().matrix_additions +
+                gray_engine.stats().matrix_subtractions,
+            (1ULL << m) - 1);
+  const double tie_tolerance =
+      2.0 / static_cast<double>(data.num_examples());
+  for (size_t i = 0; i < dp->size(); ++i) {
+    EXPECT_NEAR((*gray)[i], (*dp)[i], tie_tolerance) << "mask " << i;
+  }
+}
+
+TEST(CoalitionEngineTest, PropagatesUtilityErrors) {
+  std::vector<ml::Matrix> models = {ml::Matrix(1, 1, 0.1),
+                                    ml::Matrix(1, 1, 2.0)};
+  FailingUtility utility;
+  CoalitionEngine serial(&utility);
+  EXPECT_FALSE(serial.EvaluateMeanCoalitions(models).ok());
+
+  ThreadPool pool(3);
+  CoalitionEngineConfig config;
+  config.pool = &pool;
+  CoalitionEngine parallel(&utility, config);
+  EXPECT_FALSE(parallel.EvaluateMeanCoalitions(models).ok());
+}
+
+TEST(CoalitionEngineTest, RejectsDegenerateInput) {
+  FrobeniusUtility utility;
+  CoalitionEngine engine(&utility);
+  EXPECT_FALSE(engine.EvaluateMeanCoalitions({}).ok());
+  std::vector<ml::Matrix> mismatched = {ml::Matrix(2, 2), ml::Matrix(3, 2)};
+  EXPECT_FALSE(engine.EvaluateMeanCoalitions(mismatched).ok());
+  EXPECT_FALSE(engine.EvaluateModelTable({}).ok());
+}
+
+TEST(CoalitionEngineTest, ModelTableParallelMatchesSerial) {
+  ml::Dataset data = SmallTestSet();
+  TestAccuracyUtility utility(data);
+  auto models = RandomModels(16, data.num_features() + 1, 10, 77);
+
+  CoalitionEngine serial(&utility);
+  auto serial_table = serial.EvaluateModelTable(models);
+  ASSERT_TRUE(serial_table.ok());
+
+  ThreadPool pool(4);
+  CoalitionEngineConfig config;
+  config.pool = &pool;
+  CoalitionEngine parallel(&utility, config);
+  auto parallel_table = parallel.EvaluateModelTable(models);
+  ASSERT_TRUE(parallel_table.ok());
+  for (size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ((*serial_table)[i], (*parallel_table)[i]);
+  }
+}
+
+TEST(CoalitionAccumulatorTest, IncrementalScanMatchesEngineTable) {
+  const size_t m = 4;
+  ml::Dataset data = SmallTestSet();
+  auto models = RandomModels(m, data.num_features() + 1, 10, 55);
+  TestAccuracyUtility utility(data);
+
+  CoalitionEngine engine(&utility);
+  auto table = engine.EvaluateMeanCoalitions(models);
+  ASSERT_TRUE(table.ok());
+
+  auto acc = CoalitionAccumulator::Make(&models, &utility);
+  ASSERT_TRUE(acc.ok());
+  // Grow a coalition in ascending order: every prefix must agree with
+  // the engine's table entry for the same mask (identical add order).
+  EXPECT_EQ(acc->Evaluate().value(), (*table)[0]);
+  uint64_t mask = 0;
+  for (size_t j = 0; j < m; ++j) {
+    ASSERT_TRUE(acc->Include(j).ok());
+    mask |= 1ULL << j;
+    EXPECT_EQ(acc->mask(), mask);
+    EXPECT_EQ(acc->Evaluate().value(), (*table)[mask]) << "mask " << mask;
+  }
+  // Reset returns to the empty coalition.
+  acc->Reset();
+  EXPECT_EQ(acc->count(), 0u);
+  EXPECT_EQ(acc->Evaluate().value(), (*table)[0]);
+}
+
+TEST(CoalitionAccumulatorTest, RejectsDuplicatesAndOutOfRange) {
+  auto models = RandomModels(3, 2, 2, 8);
+  FrobeniusUtility utility;
+  auto acc = CoalitionAccumulator::Make(&models, &utility);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_TRUE(acc->Include(1).ok());
+  EXPECT_FALSE(acc->Include(1).ok());
+  EXPECT_FALSE(acc->Include(3).ok());
+}
+
+}  // namespace
+}  // namespace bcfl::shapley

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
+
 #include "chain/block.h"
 #include "chain/transaction.h"
 #include "common/rng.h"
@@ -78,6 +81,29 @@ TEST_P(FuzzTest, TruncatedBlocksAlwaysRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 99, 31337));
+
+TEST(MatrixDeserializeFuzz, OverflowingShapeHeaderIsRejected) {
+  // rows * cols * 8 wraps around uint64 for these headers; the guard
+  // must compare element count against remaining/8, not count*8 against
+  // remaining, or the corrupt shape slips through and drives a
+  // multi-exabyte allocation.
+  const std::array<std::pair<uint32_t, uint32_t>, 4> shapes = {{
+      {0x80000000u, 0x80000000u},   // count = 2^62, count*8 wraps to 0.
+      {0xffffffffu, 0xffffffffu},   // count near 2^64.
+      {0x20000000u, 0x00000100u},   // count = 2^37: no wrap, but huge.
+      {0xffffffffu, 0x00000008u},   // count*8 = 2^35 + ...: huge.
+  }};
+  for (const auto& [rows, cols] : shapes) {
+    ByteWriter writer;
+    writer.WriteU32(rows);
+    writer.WriteU32(cols);
+    for (int i = 0; i < 16; ++i) writer.WriteDouble(1.0);  // Tiny payload.
+    ByteReader reader(writer.buffer());
+    auto parsed = ml::Matrix::Deserialize(&reader);
+    EXPECT_FALSE(parsed.ok())
+        << "accepted rows=" << rows << " cols=" << cols;
+  }
+}
 
 }  // namespace
 }  // namespace bcfl

@@ -34,6 +34,61 @@ TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
   bool ran = false;
   pool.ParallelFor(0, [&](size_t) { ran = true; });
   EXPECT_FALSE(ran);
+  pool.ParallelFor(0, [&](size_t) { ran = true; }, /*grain=*/64);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  // Grain that doesn't divide the count: the last chunk is a remainder.
+  const size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i]++; }, /*grain=*/7);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanCountRunsInline) {
+  ThreadPool pool(4);
+  const size_t kN = 10;
+  std::vector<int> counts(kN, 0);  // Unsynchronised: single chunk, inline.
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> on_caller{true};
+  pool.ParallelFor(
+      kN,
+      [&](size_t i) {
+        counts[i]++;
+        if (std::this_thread::get_id() != caller) on_caller = false;
+      },
+      /*grain=*/64);
+  EXPECT_TRUE(on_caller.load());
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+TEST(ThreadPoolTest, ParallelForThrowingTaskPropagatesAndFinishesRest) {
+  ThreadPool pool(4);
+  const size_t kN = 256;
+  std::vector<std::atomic<int>> visited(kN);
+  auto body = [&](size_t i) {
+    visited[i]++;
+    if (i == 10) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.ParallelFor(kN, body, /*grain=*/1), std::runtime_error);
+  // Grain 1: every other index ran despite the failing one.
+  for (size_t i = 0; i < kN; ++i) {
+    if (i != 10) {
+      EXPECT_EQ(visited[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForManyIndicesFewChunks) {
+  // 2^16 indices must not enqueue 2^16 closures; with auto grain the
+  // whole sweep completes promptly and visits everything exactly once.
+  ThreadPool pool(4);
+  const size_t kN = 1 << 16;
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(kN, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (kN - 1) * kN / 2);
 }
 
 TEST(ThreadPoolTest, ManySubmissionsAllComplete) {
