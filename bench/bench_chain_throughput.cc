@@ -10,6 +10,7 @@
 
 #include "chain/consensus.h"
 #include "common/sim_clock.h"
+#include "obs/exporter.h"
 
 namespace {
 
@@ -110,5 +111,12 @@ int main() {
               "proposal + one vote per validator), so per-block latency and\n"
               "throughput degrade with the miner count and payload size —\n"
               "the transaction-throughput bottleneck Sect. VI anticipates.\n");
+  bcfl::Status exported =
+      bcfl::obs::ExportGlobalWithPrefix("BENCH_chain_throughput");
+  if (!exported.ok()) {
+    std::printf("failed to export observability artifacts: %s\n",
+                exported.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -21,7 +21,8 @@
 #include <vector>
 
 #include "common/sim_clock.h"
-#include "json_out.h"
+#include "obs/exporter.h"
+#include "obs/json_writer.h"
 #include "shapley/group_sv.h"
 #include "shapley/monte_carlo.h"
 #include "shapley/similarity.h"
@@ -29,6 +30,7 @@
 
 using namespace bcfl;
 using namespace bcfl::bench;
+using bcfl::obs::JsonWriter;
 
 namespace {
 
@@ -153,6 +155,12 @@ int main() {
     std::printf("wrote %s\n", out_path);
   } else {
     std::printf("failed to write %s\n", out_path);
+    return 1;
+  }
+  Status exported = obs::ExportGlobalWithPrefix("BENCH_sv_estimators");
+  if (!exported.ok()) {
+    std::printf("failed to export observability artifacts: %s\n",
+                exported.ToString().c_str());
     return 1;
   }
   return 0;

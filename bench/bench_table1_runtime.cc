@@ -23,13 +23,15 @@
 #include <cstring>
 
 #include "common/sim_clock.h"
-#include "json_out.h"
+#include "obs/exporter.h"
+#include "obs/json_writer.h"
 #include "shapley/group_sv.h"
 #include "shapley/shapley_math.h"
 #include "workload.h"
 
 using namespace bcfl;
 using namespace bcfl::bench;
+using bcfl::obs::JsonWriter;
 
 namespace {
 
@@ -247,6 +249,12 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path);
   } else {
     std::printf("failed to write %s\n", out_path);
+    return 1;
+  }
+  Status exported = obs::ExportGlobalWithPrefix("BENCH_table1");
+  if (!exported.ok()) {
+    std::printf("failed to export observability artifacts: %s\n",
+                exported.ToString().c_str());
     return 1;
   }
   return all_bit_identical ? 0 : 1;

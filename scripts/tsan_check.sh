@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive targets under ThreadSanitizer and runs
-# the thread-pool and coalition-engine suites. These are the two places
-# real data races could hide: the chunked ParallelFor and the engine's
-# parallel utility scoring + sharded CachingUtility.
+# the thread-pool, coalition-engine and observability suites. These are
+# the places real data races could hide: the chunked ParallelFor, the
+# engine's parallel utility scoring + sharded CachingUtility, and the
+# sharded metrics / thread-local span machinery in src/obs.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,7 +18,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DBCFL_BUILD_EXAMPLES=OFF
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_thread_pool test_coalition_engine test_utility
+  --target test_thread_pool test_coalition_engine test_utility \
+  test_metrics test_tracer
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -25,5 +27,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_thread_pool"
 "$BUILD_DIR/tests/test_coalition_engine"
 "$BUILD_DIR/tests/test_utility"
+"$BUILD_DIR/tests/test_metrics"
+"$BUILD_DIR/tests/test_tracer"
 
 echo "TSan: all clean"

@@ -1,6 +1,8 @@
 #include "chain/consensus.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bcfl::chain {
 
@@ -120,6 +122,12 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
   // Strict majority of all miners must accept.
   result.committed = result.accept_votes * 2 > miners_.size();
   if (result.committed) {
+    static auto& committed_blocks =
+        obs::MetricsRegistry::Global().GetCounter("chain.block.committed");
+    static auto& committed_txs =
+        obs::MetricsRegistry::Global().GetCounter("chain.tx.committed");
+    committed_blocks.Add();
+    committed_txs.Add(result.num_txs);
     for (auto& miner : miners_) {
       Status st = miner->CommitBlock(proposal);
       if (!st.ok()) {
@@ -134,11 +142,21 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
 }
 
 Result<CommitResult> ConsensusEngine::RunRound() {
+  static auto& rounds =
+      obs::MetricsRegistry::Global().GetCounter("chain.consensus.rounds");
+  static auto& retries_total =
+      obs::MetricsRegistry::Global().GetCounter("chain.consensus.retries");
+  static auto& round_us = obs::MetricsRegistry::Global().GetHistogram(
+      "chain.consensus.round_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "block_commit", "chain");
+  obs::ScopedLatency latency(round_us);
+  rounds.Add();
   uint64_t height = miners_[0]->chain().Height() + 1;
   CommitResult last;
   for (uint32_t retry = 0; retry <= config_.max_retries; ++retry) {
     BCFL_ASSIGN_OR_RETURN(last, TryPropose(height, retry));
     if (last.committed) return last;
+    retries_total.Add();
     BCFL_LOG_INFO() << "proposal at height " << height << " by miner "
                     << last.leader << " rejected (" << last.reject_votes
                     << " reject votes); rotating leader";

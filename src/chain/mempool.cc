@@ -1,5 +1,7 @@
 #include "chain/mempool.h"
 
+#include "obs/metrics.h"
+
 namespace bcfl::chain {
 
 std::string Mempool::KeyOf(const Transaction& tx) {
@@ -8,10 +10,16 @@ std::string Mempool::KeyOf(const Transaction& tx) {
 }
 
 Status Mempool::Add(Transaction tx) {
+  static auto& admitted =
+      obs::MetricsRegistry::Global().GetCounter("chain.mempool.admitted");
+  static auto& duplicates = obs::MetricsRegistry::Global().GetCounter(
+      "chain.mempool.rejected_duplicate");
   std::string key = KeyOf(tx);
   if (!seen_.insert(key).second) {
+    duplicates.Add();
     return Status::AlreadyExists("transaction already in mempool");
   }
+  admitted.Add();
   pending_.push_back(std::move(tx));
   return Status::OK();
 }

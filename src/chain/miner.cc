@@ -1,11 +1,21 @@
 #include "chain/miner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bcfl::chain {
 
 Miner::Miner(uint32_t id, std::shared_ptr<const ContractHost> host)
     : id_(id), host_(std::move(host)) {}
 
 Result<Block> Miner::ProposeBlock(uint64_t timestamp_us, size_t max_txs) {
+  static auto& proposed =
+      obs::MetricsRegistry::Global().GetCounter("chain.block.proposed");
+  static auto& propose_us =
+      obs::MetricsRegistry::Global().GetHistogram("chain.propose_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "block_build", "chain");
+  obs::ScopedLatency latency(propose_us);
+  proposed.Add();
   Block block;
   block.txs = mempool_.Peek(max_txs);
   block.header.height = chain_.Height() + 1;
@@ -26,19 +36,41 @@ Result<Block> Miner::ProposeBlock(uint64_t timestamp_us, size_t max_txs) {
 }
 
 Result<bool> Miner::ValidateProposal(const Block& block) {
-  if (behavior_.always_reject) return false;
+  static auto& accepted =
+      obs::MetricsRegistry::Global().GetCounter("chain.proposal.accepted");
+  static auto& rejected =
+      obs::MetricsRegistry::Global().GetCounter("chain.proposal.rejected");
+  static auto& validate_us =
+      obs::MetricsRegistry::Global().GetHistogram("chain.validate_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "proposal_reexec", "chain");
+  obs::ScopedLatency latency(validate_us);
+  if (behavior_.always_reject) {
+    rejected.Add();
+    return false;
+  }
   Status structural = Blockchain::Validate(block, chain_.Tip());
-  if (!structural.ok()) return false;
+  if (!structural.ok()) {
+    rejected.Add();
+    return false;
+  }
 
   // Re-execute the body on a snapshot of this miner's own state — the
   // "verification protocol" of Sect. III.
   ContractState scratch = state_.Snapshot();
   auto receipts = host_->ExecuteBlock(block.txs, &scratch);
-  if (!receipts.ok()) return false;
-  return scratch.StateRoot() == block.header.state_root;
+  if (!receipts.ok()) {
+    rejected.Add();
+    return false;
+  }
+  const bool match = scratch.StateRoot() == block.header.state_root;
+  (match ? accepted : rejected).Add();
+  return match;
 }
 
 Status Miner::CommitBlock(const Block& block) {
+  static auto& commit_us =
+      obs::MetricsRegistry::Global().GetHistogram("chain.commit_us");
+  obs::ScopedLatency latency(commit_us);
   ContractState scratch = state_.Snapshot();
   BCFL_ASSIGN_OR_RETURN(std::vector<TxReceipt> receipts,
                         host_->ExecuteBlock(block.txs, &scratch));

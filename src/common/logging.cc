@@ -1,7 +1,12 @@
 #include "common/logging.h"
 
-#include <iostream>
-#include <mutex>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <thread>
 
 namespace bcfl {
 
@@ -23,22 +28,74 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& LogMutex() {
-  static std::mutex mu;
-  return mu;
+/// Parses BCFL_LOG_LEVEL ("debug".."none" or 0-4); falls back to the
+/// compiled-in default on absence or junk.
+LogLevel LevelFromEnv(LogLevel fallback) {
+  const char* env = std::getenv("BCFL_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning") return LogLevel::kWarning;
+  if (value == "error") return LogLevel::kError;
+  if (value == "none") return LogLevel::kNone;
+  if (value.size() == 1 && value[0] >= '0' && value[0] <= '4') {
+    return static_cast<LogLevel>(value[0] - '0');
+  }
+  return fallback;
+}
+
+/// "2026-08-06T12:34:56.789Z" — UTC with millisecond resolution.
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  const size_t len = std::strftime(buf, size, "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buf + len, size - len, ".%03dZ", static_cast<int>(millis));
+}
+
+/// Small stable id for the calling thread (dense, assigned on first log).
+unsigned ThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  static thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace
 
+Logger::Logger() { min_level_.store(LevelFromEnv(LogLevel::kWarning)); }
+
 Logger& Logger::Global() {
-  static Logger logger;
-  return logger;
+  static Logger* logger = new Logger();
+  return *logger;
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
-  std::lock_guard<std::mutex> lock(LogMutex());
-  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+  if (static_cast<int>(level) < static_cast<int>(min_level())) return;
+  char timestamp[40];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  std::string line;
+  line.reserve(message.size() + 64);
+  line += timestamp;
+  line += " [";
+  line += LevelName(level);
+  line += "] [tid ";
+  line += std::to_string(ThreadLogId());
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace bcfl

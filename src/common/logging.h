@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -19,21 +21,39 @@ enum class LogLevel : int {
 /// Simulation and protocol code logs through this sink so tests can raise
 /// the threshold to keep output quiet, and examples can lower it to show
 /// the protocol narrative.
+///
+/// Each line carries an ISO-8601 UTC timestamp and the emitting thread's
+/// id:
+///
+///   2026-08-06T12:34:56.789Z [INFO] [tid 3] proposal committed
+///
+/// The initial threshold comes from the BCFL_LOG_LEVEL environment
+/// variable when set ("debug", "info", "warn"/"warning", "error",
+/// "none", or a numeric 0-4); `set_min_level` overrides it at runtime.
+/// `Log` is thread-safe: the line is formatted off-lock and written to
+/// stderr as a single mutexed write, so concurrent lines never
+/// interleave.
 class Logger {
  public:
   /// Returns the process-wide logger.
   static Logger& Global();
 
   /// Messages below `level` are dropped.
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   /// Emits one line to stderr if `level` passes the threshold.
   void Log(LogLevel level, const std::string& message);
 
  private:
-  Logger() = default;
-  LogLevel min_level_ = LogLevel::kWarning;
+  Logger();
+
+  std::atomic<LogLevel> min_level_{LogLevel::kWarning};
+  std::mutex write_mu_;
 };
 
 namespace internal {

@@ -3,6 +3,8 @@
 #include "core/reward_contract.h"
 #include "data/noise.h"
 #include "data/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "secureagg/fixed_point.h"
 #include "shapley/group_sv.h"
 
@@ -146,11 +148,20 @@ Status BcflCoordinator::SubmitOwnerUpdate(
 }
 
 Result<BcflRunResult> BcflCoordinator::Run() {
+  static auto& rounds_counter =
+      obs::MetricsRegistry::Global().GetCounter("fl.rounds");
+  static auto& round_us =
+      obs::MetricsRegistry::Global().GetHistogram("fl.round_us");
+  static auto& accuracy_gauge =
+      obs::MetricsRegistry::Global().GetGauge("fl.round_accuracy");
   BcflRunResult result;
   const size_t n = config_.num_owners;
   ml::Matrix global(params_.weight_rows, params_.weight_cols);
 
   for (uint64_t round = 0; round < config_.rounds; ++round) {
+    obs::ScopedSpan round_span(obs::Tracer::Global(), "round", "fl");
+    obs::ScopedLatency round_latency(round_us);
+    rounds_counter.Add();
     // Owners derive the round's grouping locally from the agreed seed.
     std::vector<size_t> perm =
         shapley::PermutationFromSeed(config_.seed_e, round, n);
@@ -159,9 +170,12 @@ Result<BcflRunResult> BcflCoordinator::Run() {
 
     // Local training + masked submissions.
     std::vector<ml::Matrix> locals(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
-      BCFL_RETURN_IF_ERROR(SubmitOwnerUpdate(i, round, locals[i], groups));
+    {
+      obs::ScopedSpan span(obs::Tracer::Global(), "train", "fl");
+      for (uint32_t i = 0; i < n; ++i) {
+        BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
+        BCFL_RETURN_IF_ERROR(SubmitOwnerUpdate(i, round, locals[i], groups));
+      }
     }
     result.per_round_locals.push_back(std::move(locals));
 
@@ -193,9 +207,11 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     }
     result.per_round_sv.push_back(std::move(round_sv));
 
+    obs::ScopedSpan eval_span(obs::Tracer::Global(), "eval", "fl");
     BCFL_ASSIGN_OR_RETURN(ml::LogisticRegression model,
                           ml::LogisticRegression::FromWeights(global));
     BCFL_ASSIGN_OR_RETURN(double acc, model.Accuracy(test_set_));
+    accuracy_gauge.Set(acc);
     result.round_accuracies.push_back(acc);
   }
 
@@ -213,6 +229,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
   // Optional incentive phase: fund -> distribute -> per-owner claims,
   // all as on-chain transactions.
   if (config_.reward_pool > 0) {
+    obs::ScopedSpan reward_span(obs::Tracer::Global(), "reward_phase", "fl");
     chain::Transaction fund;
     fund.contract = "reward";
     fund.method = "fund";

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "crypto/dh.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "secureagg/fixed_point.h"
 #include "secureagg/mask.h"
 #include "secureagg/participant.h"
@@ -35,13 +37,25 @@ Bytes FlContract::EncodeRecover(uint64_t round, uint32_t dropped_owner,
 
 Status FlContract::Execute(const chain::Transaction& tx,
                            chain::ContractState* state) {
+  // Executions are counted per miner re-execution, not per unique tx:
+  // the same transaction runs once during proposal validation on each
+  // validator and once at commit on each replica.
   if (tx.method == "setup") {
+    static auto& setups =
+        obs::MetricsRegistry::Global().GetCounter("contract.setup_execs");
+    setups.Add();
     return ExecuteSetup(tx, state);
   }
   if (tx.method == "submit_update") {
+    static auto& submits = obs::MetricsRegistry::Global().GetCounter(
+        "contract.submit_update_execs");
+    submits.Add();
     return ExecuteSubmitUpdate(tx, state);
   }
   if (tx.method == "recover") {
+    static auto& recovers =
+        obs::MetricsRegistry::Global().GetCounter("contract.recover_execs");
+    recovers.Add();
     return ExecuteRecover(tx, state);
   }
   return Status::Unimplemented("unknown method: " + tx.method);
@@ -187,6 +201,13 @@ Status FlContract::MaybeEvaluateRound(const SetupParams& params,
 
 Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
                                  chain::ContractState* state) {
+  static auto& round_evals =
+      obs::MetricsRegistry::Global().GetCounter("contract.round_evals");
+  static auto& eval_us = obs::MetricsRegistry::Global().GetHistogram(
+      "contract.round_eval_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "round_eval", "contract");
+  obs::ScopedLatency latency(eval_us);
+  round_evals.Add();
   const size_t n = params.num_owners;
   const size_t rows = params.weight_rows;
   const size_t cols = params.weight_cols;
@@ -220,56 +241,60 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
   std::vector<std::vector<size_t>> surviving_groups(groups.size());
   std::vector<ml::Matrix> group_models;
   group_models.reserve(groups.size());
-  for (size_t j = 0; j < groups.size(); ++j) {
-    std::vector<size_t> survivors;
-    std::vector<uint32_t> dropped_members;
-    for (size_t member : groups[j]) {
-      if (dropped_keys.count(static_cast<uint32_t>(member)) > 0) {
-        dropped_members.push_back(static_cast<uint32_t>(member));
-      } else {
-        survivors.push_back(member);
-      }
-    }
-    if (survivors.empty()) {
-      return Status::FailedPrecondition(
-          "group " + std::to_string(j) + " has no survivors");
-    }
-    surviving_groups[j] = survivors;
-
-    std::vector<uint64_t> sum(rows * cols, 0);
-    for (size_t member : survivors) {
-      BCFL_ASSIGN_OR_RETURN(
-          std::vector<uint64_t> masked,
-          GetU64Vector(*state,
-                       keys::Update(round, static_cast<uint32_t>(member))));
-      for (size_t k = 0; k < sum.size(); ++k) sum[k] += masked[k];
-    }
-    // Residual-mask removal (the recovery path of Bonawitz et al.).
-    for (uint32_t u : dropped_members) {
-      for (size_t v : survivors) {
-        crypto::UInt256 shared = dh.ComputeShared(
-            dropped_keys[u], params.dh_public_keys[v]);
-        auto pair_key = secureagg::DerivePairKey(
-            shared, u, static_cast<secureagg::OwnerId>(v));
-        std::vector<uint64_t> mask =
-            secureagg::ExpandMask(pair_key, round, sum.size());
-        if (v < u) {
-          // Survivor v added +mask against the (larger-id) dropped u.
-          for (size_t k = 0; k < sum.size(); ++k) sum[k] -= mask[k];
+  {
+    obs::ScopedSpan unmask_span(obs::Tracer::Global(), "mask_round",
+                                "secureagg");
+    for (size_t j = 0; j < groups.size(); ++j) {
+      std::vector<size_t> survivors;
+      std::vector<uint32_t> dropped_members;
+      for (size_t member : groups[j]) {
+        if (dropped_keys.count(static_cast<uint32_t>(member)) > 0) {
+          dropped_members.push_back(static_cast<uint32_t>(member));
         } else {
-          for (size_t k = 0; k < sum.size(); ++k) sum[k] += mask[k];
+          survivors.push_back(member);
         }
       }
+      if (survivors.empty()) {
+        return Status::FailedPrecondition(
+            "group " + std::to_string(j) + " has no survivors");
+      }
+      surviving_groups[j] = survivors;
+  
+      std::vector<uint64_t> sum(rows * cols, 0);
+      for (size_t member : survivors) {
+        BCFL_ASSIGN_OR_RETURN(
+            std::vector<uint64_t> masked,
+            GetU64Vector(*state,
+                         keys::Update(round, static_cast<uint32_t>(member))));
+        for (size_t k = 0; k < sum.size(); ++k) sum[k] += masked[k];
+      }
+      // Residual-mask removal (the recovery path of Bonawitz et al.).
+      for (uint32_t u : dropped_members) {
+        for (size_t v : survivors) {
+          crypto::UInt256 shared = dh.ComputeShared(
+              dropped_keys[u], params.dh_public_keys[v]);
+          auto pair_key = secureagg::DerivePairKey(
+              shared, u, static_cast<secureagg::OwnerId>(v));
+          std::vector<uint64_t> mask =
+              secureagg::ExpandMask(pair_key, round, sum.size());
+          if (v < u) {
+            // Survivor v added +mask against the (larger-id) dropped u.
+            for (size_t k = 0; k < sum.size(); ++k) sum[k] -= mask[k];
+          } else {
+            for (size_t k = 0; k < sum.size(); ++k) sum[k] += mask[k];
+          }
+        }
+      }
+  
+      BCFL_ASSIGN_OR_RETURN(std::vector<double> mean,
+                            codec.DecodeMean(sum, survivors.size()));
+      ml::Matrix model(rows, cols);
+      model.mutable_data() = std::move(mean);
+      BCFL_RETURN_IF_ERROR(
+          PutMatrix(state, keys::GroupModel(round, static_cast<uint32_t>(j)),
+                    model));
+      group_models.push_back(std::move(model));
     }
-
-    BCFL_ASSIGN_OR_RETURN(std::vector<double> mean,
-                          codec.DecodeMean(sum, survivors.size()));
-    ml::Matrix model(rows, cols);
-    model.mutable_data() = std::move(mean);
-    BCFL_RETURN_IF_ERROR(
-        PutMatrix(state, keys::GroupModel(round, static_cast<uint32_t>(j)),
-                  model));
-    group_models.push_back(std::move(model));
   }
 
   // Lines 4-7 over the surviving membership: coalition models, group

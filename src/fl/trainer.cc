@@ -2,6 +2,9 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bcfl::fl {
 
 FederatedTrainer::FederatedTrainer(std::vector<FlClient> clients,
@@ -29,7 +32,15 @@ Result<FlRunResult> FederatedTrainer::RunFrom(const ml::Matrix& initial,
   result.per_round_locals.reserve(config_.rounds);
   result.per_round_globals.reserve(config_.rounds);
 
+  static auto& local_updates =
+      obs::MetricsRegistry::Global().GetCounter("fl.local_updates");
+  static auto& train_us =
+      obs::MetricsRegistry::Global().GetHistogram("fl.train_round_us");
+  static auto& aggregate_us =
+      obs::MetricsRegistry::Global().GetHistogram("fl.aggregate_us");
+
   for (size_t round = 0; round < config_.rounds; ++round) {
+    obs::ScopedSpan round_span(obs::Tracer::Global(), "fl_round", "fl");
     std::vector<ml::Matrix> locals(clients_.size());
     std::vector<Status> statuses(clients_.size(), Status::OK());
     auto train_one = [&](size_t i) {
@@ -40,15 +51,22 @@ Result<FlRunResult> FederatedTrainer::RunFrom(const ml::Matrix& initial,
         statuses[i] = update.status();
       }
     };
-    if (pool != nullptr) {
-      pool->ParallelFor(clients_.size(), train_one);
-    } else {
-      for (size_t i = 0; i < clients_.size(); ++i) train_one(i);
+    {
+      obs::ScopedSpan span(obs::Tracer::Global(), "train", "fl");
+      obs::ScopedLatency latency(train_us);
+      if (pool != nullptr) {
+        pool->ParallelFor(clients_.size(), train_one);
+      } else {
+        for (size_t i = 0; i < clients_.size(); ++i) train_one(i);
+      }
     }
+    local_updates.Add(clients_.size());
     for (const Status& s : statuses) {
       BCFL_RETURN_IF_ERROR(s);
     }
 
+    obs::ScopedSpan agg_span(obs::Tracer::Global(), "aggregate", "fl");
+    obs::ScopedLatency agg_latency(aggregate_us);
     Result<ml::Matrix> aggregated = Status::Internal("unset");
     if (config_.weighted_aggregation) {
       std::vector<size_t> counts(clients_.size());

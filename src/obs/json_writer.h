@@ -1,0 +1,136 @@
+#pragma once
+
+// Minimal JSON emitter shared by the observability exporters and the
+// machine-readable bench dumps (BENCH_*.json, metrics.json, trace.json):
+// just enough structure for nested metric documents that CI or a notebook
+// can diff across PRs. Keys are plain ASCII identifiers; string *values*
+// are escaped, so free-form span names and file paths are safe.
+
+#include <cstdio>
+#include <string>
+
+namespace bcfl::obs {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key) {
+    Key(key);
+    Open('[');
+  }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+  void BeginObject(const char* key) {
+    Key(key);
+    Open('{');
+  }
+
+  void Field(const char* key, double value) {
+    Key(key);
+    AppendNumber(value);
+    need_comma_ = true;
+  }
+  void Field(const char* key, size_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+    need_comma_ = true;
+  }
+  void Field(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+    need_comma_ = true;
+  }
+  void Field(const char* key, const char* value) {
+    Key(key);
+    AppendEscaped(value);
+    need_comma_ = true;
+  }
+  void Field(const char* key, const std::string& value) {
+    Field(key, value.c_str());
+  }
+  /// Field whose key is not a compile-time literal (metric names).
+  void Field(const std::string& key, double value) { Field(key.c_str(), value); }
+  void Field(const std::string& key, size_t value) { Field(key.c_str(), value); }
+  void BeginObject(const std::string& key) { BeginObject(key.c_str()); }
+
+  /// Bare array element (inside BeginArray/EndArray).
+  void Element(double value) {
+    MaybeComma();
+    AppendNumber(value);
+    need_comma_ = true;
+  }
+  void Element(size_t value) {
+    MaybeComma();
+    out_ += std::to_string(value);
+    need_comma_ = true;
+  }
+  void Element(const char* value) {
+    MaybeComma();
+    AppendEscaped(value);
+    need_comma_ = true;
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    return std::fclose(f) == 0 && ok;
+  }
+  bool WriteFile(const std::string& path) const {
+    return WriteFile(path.c_str());
+  }
+
+ private:
+  void MaybeComma() {
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+  }
+  void Key(const char* key) {
+    MaybeComma();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  void Open(char c) {
+    MaybeComma();
+    out_ += c;
+    need_comma_ = false;
+  }
+  void Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+  void AppendNumber(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out_ += buf;
+  }
+  void AppendEscaped(const char* value) {
+    out_ += '"';
+    for (const char* p = value; *p != '\0'; ++p) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += static_cast<char>(c);
+      } else if (c < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += static_cast<char>(c);
+      }
+    }
+    out_ += '"';
+  }
+
+ private:
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace bcfl::obs

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace bcfl::obs {
+
+/// Number of cache-line-padded cells each instrument spreads its updates
+/// over. Threads hash to a cell, so pool workers incrementing the same
+/// counter rarely touch the same line.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+/// One cache-line-padded atomic accumulator.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Stable per-thread shard index in [0, kMetricShards).
+size_t ThreadShard();
+
+/// Process-wide enable flag (relaxed loads on the hot path). Initialised
+/// from the BCFL_OBS environment variable ("off"/"0" disables) on first
+/// registry access.
+std::atomic<bool>& EnabledFlag();
+
+}  // namespace internal
+
+/// Monotonic counter, safe for concurrent Add from pool workers.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (!internal::EnabledFlag().load(std::memory_order_relaxed)) return;
+    cells_[internal::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  std::string name_;
+  std::array<internal::ShardCell, kMetricShards> cells_;
+};
+
+/// Last-write-wins double gauge (e.g. per-round accuracy).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!internal::EnabledFlag().load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative-style export, Prometheus-like).
+/// Bucket `i` counts observations <= bounds[i]; one implicit overflow
+/// bucket catches the rest. Observations are sharded the same way as
+/// counters, so concurrent Observe calls from a thread pool are cheap
+/// and TSan-clean.
+class Histogram {
+ public:
+  /// Exponential latency grid in microseconds: 1us .. 10s.
+  static const std::vector<double>& DefaultLatencyBoundsUs();
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Min() const;  ///< +inf when empty.
+  double Max() const;  ///< -inf when empty.
+  double Mean() const { return Count() == 0 ? 0.0 : Sum() / Count(); }
+  /// Linear-interpolated percentile estimate from the bucket counts;
+  /// q in [0, 1]. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  void Reset();
+
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    /// Seeded to +/-infinity so the CAS-combine needs no "first
+    /// observation" branch (which would race between shard-mates).
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;  ///< Ascending upper bounds.
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Process-wide registry of named instruments.
+///
+/// Instruments are created on first use and live for the registry's
+/// lifetime, so call sites may cache the returned reference (the hot
+/// paths resolve names once, outside their loops). Creation takes a
+/// mutex; updates are lock-free sharded atomics.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` must be ascending; empty picks the default latency grid.
+  /// The bounds of the first registration win.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Disables (or re-enables) every instrument process-wide; disabled
+  /// updates are a single relaxed load. Used to measure instrumentation
+  /// overhead (also reachable via BCFL_OBS=off).
+  static void set_enabled(bool enabled) {
+    internal::EnabledFlag().store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return internal::EnabledFlag().load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every instrument, keeping registrations (for tests/benches).
+  void Reset();
+
+  /// Serialises every instrument as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}.
+  void WriteJson(JsonWriter* json) const;
+  std::string ToJsonString() const;
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  ///< Guards the maps; instruments are stable.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII stopwatch that records elapsed wall time, in microseconds, into a
+/// histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(&histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bcfl::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "secureagg/mask.h"
 
 namespace bcfl::secureagg {
@@ -66,6 +67,12 @@ Result<std::array<uint8_t, 32>> SecureAggParticipant::PairKey(
 Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
     uint64_t round, const std::vector<OwnerId>& group_members,
     const std::vector<uint64_t>& encoded) const {
+  static auto& masked_updates = obs::MetricsRegistry::Global().GetCounter(
+      "secureagg.masked_updates");
+  static auto& mask_us =
+      obs::MetricsRegistry::Global().GetHistogram("secureagg.mask_us");
+  obs::ScopedLatency latency(mask_us);
+  masked_updates.Add();
   if (std::find(group_members.begin(), group_members.end(), id_) ==
       group_members.end()) {
     return Status::InvalidArgument("participant not in the given group");

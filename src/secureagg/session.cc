@@ -2,10 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bcfl::secureagg {
 
 Result<SecureAggSession> SecureAggSession::Create(size_t num_owners,
                                                   SessionConfig config) {
+  static auto& keygen_us =
+      obs::MetricsRegistry::Global().GetHistogram("secureagg.keygen_us");
+  static auto& agreement_us = obs::MetricsRegistry::Global().GetHistogram(
+      "secureagg.key_agreement_us");
+  static auto& share_us = obs::MetricsRegistry::Global().GetHistogram(
+      "secureagg.share_secrets_us");
+  obs::ScopedSpan setup_span(obs::Tracer::Global(), "secureagg_setup",
+                             "secureagg");
   if (num_owners < 2) {
     return Status::InvalidArgument("secure aggregation needs >= 2 owners");
   }
@@ -20,31 +31,43 @@ Result<SecureAggSession> SecureAggSession::Create(size_t num_owners,
   crypto::DiffieHellman dh;
 
   // Phase 1: key generation + broadcast.
-  session.participants_.reserve(num_owners);
-  for (size_t i = 0; i < num_owners; ++i) {
-    session.participants_.push_back(std::make_unique<SecureAggParticipant>(
-        static_cast<OwnerId>(i), dh, &rng, config.use_self_masks));
+  {
+    obs::ScopedSpan span(obs::Tracer::Global(), "keygen", "secureagg");
+    obs::ScopedLatency latency(keygen_us);
+    session.participants_.reserve(num_owners);
+    for (size_t i = 0; i < num_owners; ++i) {
+      session.participants_.push_back(std::make_unique<SecureAggParticipant>(
+          static_cast<OwnerId>(i), dh, &rng, config.use_self_masks));
+    }
   }
 
   // Phase 2: pairwise key agreement from broadcast public keys.
   std::map<OwnerId, crypto::UInt256> roster;
-  for (const auto& p : session.participants_) {
-    roster[p->id()] = p->public_key();
-  }
-  for (auto& p : session.participants_) {
-    for (const auto& [peer, pub] : roster) {
-      if (peer == p->id()) continue;
-      BCFL_RETURN_IF_ERROR(p->RegisterPeer(peer, pub));
+  {
+    obs::ScopedSpan span(obs::Tracer::Global(), "key_agreement", "secureagg");
+    obs::ScopedLatency latency(agreement_us);
+    for (const auto& p : session.participants_) {
+      roster[p->id()] = p->public_key();
+    }
+    for (auto& p : session.participants_) {
+      for (const auto& [peer, pub] : roster) {
+        if (peer == p->id()) continue;
+        BCFL_RETURN_IF_ERROR(p->RegisterPeer(peer, pub));
+      }
     }
   }
 
   // Phase 3: secret-share recovery material.
-  session.recovery_shares_.reserve(num_owners);
-  for (auto& p : session.participants_) {
-    BCFL_ASSIGN_OR_RETURN(
-        RecoveryShares shares,
-        p->ShareSecrets(session.threshold_, num_owners, &rng));
-    session.recovery_shares_.push_back(std::move(shares));
+  {
+    obs::ScopedSpan span(obs::Tracer::Global(), "share_secrets", "secureagg");
+    obs::ScopedLatency latency(share_us);
+    session.recovery_shares_.reserve(num_owners);
+    for (auto& p : session.participants_) {
+      BCFL_ASSIGN_OR_RETURN(
+          RecoveryShares shares,
+          p->ShareSecrets(session.threshold_, num_owners, &rng));
+      session.recovery_shares_.push_back(std::move(shares));
+    }
   }
 
   session.aggregator_ = std::make_unique<SecureAggregator>(
@@ -81,6 +104,15 @@ Result<std::vector<double>> SecureAggSession::AggregateGroupMean(
     uint64_t round, const std::vector<OwnerId>& group,
     const std::map<OwnerId, std::vector<uint64_t>>& submissions,
     const std::set<OwnerId>& dropped) {
+  static auto& dropouts =
+      obs::MetricsRegistry::Global().GetCounter("secureagg.dropouts");
+  static auto& unmask_us =
+      obs::MetricsRegistry::Global().GetHistogram("secureagg.unmask_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "mask_round", "secureagg");
+  obs::ScopedLatency latency(unmask_us);
+  for (OwnerId id : group) {
+    if (dropped.count(id) > 0) dropouts.Add();
+  }
   UnmaskingInfo unmask;
   for (OwnerId id : group) {
     if (dropped.count(id) > 0) {

@@ -2,9 +2,33 @@
 
 #include <bit>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bcfl::shapley {
 
 namespace {
+
+/// Folds one Evaluate* call's stats into the global registry — one batch
+/// of counter adds per call, nothing per coalition, so the engine's hot
+/// loop carries no instrumentation cost.
+void RecordEngineStats(const CoalitionEngineStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static auto& coalitions =
+      registry.GetCounter("shapley.coalitions_scored");
+  static auto& additions = registry.GetCounter("shapley.matrix_additions");
+  static auto& subtractions =
+      registry.GetCounter("shapley.matrix_subtractions");
+  static auto& dp_path = registry.GetCounter("shapley.path.subset_sum");
+  static auto& gray_path = registry.GetCounter("shapley.path.gray_code");
+  static auto& linear_path =
+      registry.GetCounter("shapley.path.linear_score");
+  coalitions.Add(stats.utility_evaluations);
+  additions.Add(stats.matrix_additions);
+  subtractions.Add(stats.matrix_subtractions);
+  (stats.used_gray_code ? gray_path : dp_path).Add();
+  if (stats.used_linear_scores) linear_path.Add();
+}
 
 Status CheckPlayerModels(const std::vector<ml::Matrix>& models) {
   if (models.empty()) {
@@ -29,6 +53,10 @@ CoalitionEngine::CoalitionEngine(UtilityFunction* utility,
 
 Result<std::vector<double>> CoalitionEngine::EvaluateMeanCoalitions(
     const std::vector<ml::Matrix>& player_models) {
+  static auto& eval_us = obs::MetricsRegistry::Global().GetHistogram(
+      "shapley.coalition_eval_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "coalition_eval", "shapley");
+  obs::ScopedLatency latency(eval_us);
   stats_ = CoalitionEngineStats{};
   const size_t m = player_models.size();
   if (m == 0 || m > 20) {
@@ -69,10 +97,12 @@ Result<std::vector<double>> CoalitionEngine::EvaluateMeanCoalitions(
   const uint64_t full = 1ULL << m;
   const size_t table_bytes = static_cast<size_t>(full) * basis[0].size() *
                              sizeof(double);
-  if (table_bytes > config_.max_table_bytes) {
-    return MeanCoalitionsGrayCode(basis, linear, linear_utility);
-  }
-  return MeanCoalitionsSubsetSum(basis, linear, linear_utility);
+  Result<std::vector<double>> result =
+      table_bytes > config_.max_table_bytes
+          ? MeanCoalitionsGrayCode(basis, linear, linear_utility)
+          : MeanCoalitionsSubsetSum(basis, linear, linear_utility);
+  if (result.ok()) RecordEngineStats(stats_);
+  return result;
 }
 
 Result<double> CoalitionEngine::ScoreCoalition(
@@ -202,6 +232,9 @@ Result<std::vector<double>> CoalitionEngine::EvaluateModelTable(
   for (const Status& s : statuses) {
     BCFL_RETURN_IF_ERROR(s);
   }
+  static auto& coalitions = obs::MetricsRegistry::Global().GetCounter(
+      "shapley.coalitions_scored");
+  coalitions.Add(models.size());
   return utilities;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/bytes.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace bcfl::shapley {
 
@@ -84,6 +85,12 @@ CachingUtility::CachingUtility(std::unique_ptr<UtilityFunction> inner)
     : inner_(std::move(inner)) {}
 
 Result<double> CachingUtility::Evaluate(const ml::Matrix& weights) {
+  // Registry handles resolved once; the per-evaluation cost is one
+  // sharded relaxed add, dwarfed by the SHA-256 keying below.
+  static auto& hit_counter =
+      obs::MetricsRegistry::Global().GetCounter("shapley.cache.hits");
+  static auto& miss_counter =
+      obs::MetricsRegistry::Global().GetCounter("shapley.cache.misses");
   ByteWriter writer;
   weights.Serialize(&writer);
   crypto::Digest digest = crypto::Sha256::Hash(writer.buffer());
@@ -95,6 +102,7 @@ Result<double> CachingUtility::Evaluate(const ml::Matrix& weights) {
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.Add();
       return it->second;
     }
   }
@@ -102,6 +110,7 @@ Result<double> CachingUtility::Evaluate(const ml::Matrix& weights) {
   // don't serialise; a duplicate racing insert on the same key is benign
   // (emplace keeps the first, values are identical).
   misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.Add();
   BCFL_ASSIGN_OR_RETURN(double value, inner_->Evaluate(weights));
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bcfl::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  EXPECT_EQ(c.name(), "test.counter");
+}
+
+TEST(CounterTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("shared");
+  Counter& b = registry.GetCounter("shared");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Value(), 7u);
+}
+
+TEST(CounterTest, ConcurrentAddsUnderThreadPool) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("concurrent");
+  ThreadPool pool(8);
+  constexpr size_t kIters = 10000;
+  pool.ParallelFor(kIters, [&](size_t) { c.Add(); }, /*grain=*/16);
+  EXPECT_EQ(c.Value(), kIters);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("acc");
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(0.5);
+  g.Set(0.875);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.875);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat", {1.0, 10.0, 100.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), std::numeric_limits<double>::infinity());
+  h.Observe(2.0);
+  h.Observe(4.0);
+  h.Observe(60.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 66.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 60.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 22.0);
+}
+
+TEST(HistogramTest, BucketAssignmentIncludingOverflow) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("buckets", {1.0, 10.0});
+  h.Observe(0.5);   // <= 1 -> bucket 0.
+  h.Observe(1.0);   // boundary is inclusive -> bucket 0.
+  h.Observe(5.0);   // bucket 1.
+  h.Observe(999.0); // overflow bucket.
+  std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(HistogramTest, PercentileOrderingIsSane) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("pct");  // Default latency grid.
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  double p50 = h.Percentile(0.5);
+  double p90 = h.Percentile(0.9);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p99, h.bounds().back());
+}
+
+TEST(HistogramTest, ConcurrentObservesUnderThreadPool) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("conc", {10.0, 100.0, 1000.0});
+  ThreadPool pool(8);
+  constexpr size_t kIters = 10000;
+  pool.ParallelFor(kIters,
+                   [&](size_t i) { h.Observe(static_cast<double>(i % 50)); },
+                   /*grain=*/16);
+  EXPECT_EQ(h.Count(), kIters);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 49.0);
+}
+
+TEST(HistogramTest, FirstRegistrationBoundsWin) {
+  MetricsRegistry registry;
+  Histogram& a = registry.GetHistogram("bounds", {1.0, 2.0});
+  Histogram& b = registry.GetHistogram("bounds", {99.0});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c");
+  Gauge& g = registry.GetGauge("g");
+  Histogram& h = registry.GetHistogram("h", {10.0});
+  c.Add(5);
+  g.Set(1.5);
+  h.Observe(3.0);
+  registry.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), std::numeric_limits<double>::infinity());
+  // Same instrument objects still answer for the names.
+  EXPECT_EQ(&registry.GetCounter("c"), &c);
+}
+
+TEST(MetricsRegistryTest, DisabledUpdatesAreDropped) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("gated");
+  Histogram& h = registry.GetHistogram("gated_h", {10.0});
+  MetricsRegistry::set_enabled(false);
+  c.Add(100);
+  h.Observe(1.0);
+  MetricsRegistry::set_enabled(true);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Count(), 0u);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("chain.blocks").Add(3);
+  registry.GetGauge("fl.acc").Set(0.75);
+  Histogram& h = registry.GetHistogram("lat_us", {10.0, 100.0});
+  h.Observe(5.0);
+  h.Observe(50.0);
+  std::string json = registry.ToJsonString();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain.blocks\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"fl.acc\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramExportOmitsMinMax) {
+  MetricsRegistry registry;
+  registry.GetHistogram("never_hit", {1.0});
+  std::string json = registry.ToJsonString();
+  EXPECT_NE(json.find("\"never_hit\""), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ScopedLatencyTest, RecordsOneObservation) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("scoped_us");
+  { ScopedLatency latency(h); }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Max(), 0.0);
+}
+
+TEST(ExporterTest, WritesBothArtifacts) {
+  MetricsRegistry registry;
+  registry.GetCounter("x").Add(2);
+  Tracer tracer;
+  { ScopedSpan span(tracer, "phase", "test"); }
+  ExportPaths paths;
+  paths.metrics_json = "test_metrics_out.json";
+  paths.trace_json = "test_trace_out.json";
+  Status st = ExportTo(registry, tracer, paths);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  std::ifstream metrics(paths.metrics_json);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream m;
+  m << metrics.rdbuf();
+  EXPECT_NE(m.str().find("\"x\":2"), std::string::npos);
+
+  std::ifstream trace(paths.trace_json);
+  ASSERT_TRUE(trace.good());
+  std::stringstream t;
+  t << trace.rdbuf();
+  EXPECT_NE(t.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(t.str().find("\"phase\""), std::string::npos);
+
+  std::remove(paths.metrics_json.c_str());
+  std::remove(paths.trace_json.c_str());
+}
+
+TEST(ExporterTest, UnwritablePathFails) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  ExportPaths paths;
+  paths.metrics_json = "/nonexistent-dir/metrics.json";
+  Status st = ExportTo(registry, tracer, paths);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace bcfl::obs

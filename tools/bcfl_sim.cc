@@ -16,6 +16,9 @@
 #include "core/adversary.h"
 #include "common/logging.h"
 #include "core/coordinator.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -23,6 +26,8 @@ struct CliOptions {
   bcfl::core::BcflConfig config;
   size_t byzantine = 0;
   bool verbose = false;
+  std::string metrics_out = "metrics.json";
+  std::string trace_out = "trace.json";
 };
 
 void PrintUsage(const char* argv0) {
@@ -37,6 +42,9 @@ void PrintUsage(const char* argv0) {
       "  --seed N        master seed (default 42)\n"
       "  --reward N      reward pool to distribute on chain (default 0)\n"
       "  --byzantine K   make the first K miners fraudulent leaders\n"
+      "  --metrics-out F metrics JSON path (default metrics.json, - skips)\n"
+      "  --trace-out F   Chrome trace JSON path (default trace.json, - "
+      "skips)\n"
       "  --verbose       INFO-level protocol logging\n"
       "  --help          this message\n",
       argv0);
@@ -94,6 +102,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--byzantine");
       if (v == nullptr) return false;
       options->byzantine = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--metrics-out") {
+      const char* v = next_value("--metrics-out");
+      if (v == nullptr) return false;
+      options->metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next_value("--trace-out");
+      if (v == nullptr) return false;
+      options->trace_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       PrintUsage(argv[0]);
@@ -126,6 +142,9 @@ int main(int argc, char** argv) {
                  coordinator.status().ToString().c_str());
     return 1;
   }
+  // Spans recorded from here on also carry simulated network time.
+  bcfl::obs::Tracer::Global().AttachSimClock(
+      &(*coordinator)->engine().network().clock());
   for (size_t m = 0; m < options.byzantine; ++m) {
     auto st = (*coordinator)
                   ->InstallMinerBehavior(
@@ -170,6 +189,27 @@ int main(int argc, char** argv) {
     std::printf("\n%zu fraudulent miner(s) were active; honest-majority "
                 "re-execution kept the results truthful.\n",
                 options.byzantine);
+  }
+
+  bcfl::obs::ExportPaths paths;
+  paths.metrics_json = options.metrics_out == "-" ? "" : options.metrics_out;
+  paths.trace_json = options.trace_out == "-" ? "" : options.trace_out;
+  bcfl::Status exported = bcfl::obs::ExportGlobal(paths);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 exported.ToString().c_str());
+    return 1;
+  }
+  if (!paths.metrics_json.empty() || !paths.trace_json.empty()) {
+    std::printf("\nobservability:");
+    if (!paths.metrics_json.empty()) {
+      std::printf(" metrics -> %s", paths.metrics_json.c_str());
+    }
+    if (!paths.trace_json.empty()) {
+      std::printf("  trace -> %s (chrome://tracing)",
+                  paths.trace_json.c_str());
+    }
+    std::printf("\n");
   }
   return 0;
 }
