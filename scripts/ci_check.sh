@@ -23,6 +23,13 @@ trap 'rm -rf "$ARTIFACT_DIR"' EXIT
   --metrics-out "$ARTIFACT_DIR/metrics.json" \
   --trace-out "$ARTIFACT_DIR/trace.json"
 
+# Kernel-equivalence smoke: bench_kernels exits non-zero unless every
+# optimized kernel (GEMM, transposed GEMM, fused softmax step, batched
+# ChaCha20, mask expansion) is bit-identical to its reference path, and
+# it drops BENCH_kernels.json in the working directory.
+BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
+(cd "$ARTIFACT_DIR" && "$BENCH_KERNELS" --quick)
+
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$ARTIFACT_DIR" "$ROUNDS" <<'EOF'
 import json
@@ -43,13 +50,24 @@ trace = json.load(open(f"{artifact_dir}/trace.json"))
 categories = {event["cat"] for event in trace["traceEvents"]}
 expected = {"chain", "secureagg", "fl", "shapley", "contract"}
 assert expected <= categories, f"missing categories: {expected - categories}"
+
+kernels = json.load(open(f"{artifact_dir}/BENCH_kernels.json"))
+assert kernels["all_equivalent"] is True, kernels["equivalence"]
+missing = {"gemm", "gemm_trans_a", "transpose", "softmax_rows",
+           "fused_step", "parallel_gemm", "chacha20_batched"} \
+    - set(kernels["equivalence"])
+assert not missing, f"missing equivalence checks: {missing}"
+assert kernels["kernel_path"] in {"reference", "scalar", "avx2"}, kernels
+
 print(f"artifacts OK: {len(counters)} counters, "
-      f"{len(trace['traceEvents'])} spans, categories {sorted(categories)}")
+      f"{len(trace['traceEvents'])} spans, categories {sorted(categories)}, "
+      f"kernel path {kernels['kernel_path']}")
 EOF
 else
   # No python3: fall back to grep-level checks so the gate still bites.
   grep -q '"fl.rounds":'"$ROUNDS" "$ARTIFACT_DIR/metrics.json"
   grep -q '"traceEvents"' "$ARTIFACT_DIR/trace.json"
+  grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_kernels.json"
   echo "artifacts OK (python3 unavailable; grep-level validation only)"
 fi
 

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive targets under ThreadSanitizer and runs
-# the thread-pool, coalition-engine and observability suites. These are
-# the places real data races could hide: the chunked ParallelFor, the
-# engine's parallel utility scoring + sharded CachingUtility, and the
+# the thread-pool, coalition-engine, kernel, secure-aggregation, native-SV
+# and observability suites. These are the places real data races could
+# hide: the chunked ParallelFor, the row-partitioned parallel GEMM, the
+# per-peer parallel mask expansion, the engine's parallel utility scoring
+# + sharded CachingUtility, parallel coalition retraining, and the
 # sharded metrics / thread-local span machinery in src/obs.
+# bench_kernels --quick also runs: it exercises every optimized kernel
+# against the reference path with a pool attached, under TSan.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,12 +18,13 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBCFL_SANITIZE=thread \
-  -DBCFL_BUILD_BENCHMARKS=OFF \
+  -DBCFL_BUILD_BENCHMARKS=ON \
   -DBCFL_BUILD_EXAMPLES=OFF
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_thread_pool test_coalition_engine test_utility \
-  test_metrics test_tracer
+  test_kernels test_secureagg test_native_sv \
+  test_metrics test_tracer bench_kernels
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -27,7 +32,16 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_thread_pool"
 "$BUILD_DIR/tests/test_coalition_engine"
 "$BUILD_DIR/tests/test_utility"
+"$BUILD_DIR/tests/test_kernels"
+"$BUILD_DIR/tests/test_secureagg"
+"$BUILD_DIR/tests/test_native_sv"
 "$BUILD_DIR/tests/test_metrics"
 "$BUILD_DIR/tests/test_tracer"
+
+# bench_kernels writes BENCH_kernels.json; keep it out of the tree.
+TSAN_TMP="$(mktemp -d)"
+trap 'rm -rf "$TSAN_TMP"' EXIT
+BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
+(cd "$TSAN_TMP" && "$BENCH_KERNELS" --quick)
 
 echo "TSan: all clean"

@@ -5,6 +5,12 @@
 
 namespace bcfl {
 
+namespace {
+thread_local bool tls_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return tls_pool_worker; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -23,6 +29,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -40,6 +47,13 @@ void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn,
                              size_t grain) {
   if (count == 0) return;
+  if (tls_pool_worker) {
+    // Nested ParallelFor: every worker may already be parked waiting on
+    // this very call's chunks, so enqueueing would deadlock. Run inline;
+    // the per-index work is identical, so results do not change.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   if (grain == 0) {
     // ~8 chunks per worker: coarse enough that queue traffic is O(threads),
     // fine enough that uneven per-index cost still load-balances.

@@ -55,6 +55,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// A ParallelFor issued from a worker runs inline on that worker
+  /// instead of enqueueing: a pool task that re-enters ParallelFor (e.g.
+  /// coalition retraining whose inner GEMM is itself row-parallel) would
+  /// otherwise block on chunks that can never be scheduled once every
+  /// worker is parked in the same wait. Kernel-layer callers also use
+  /// this to skip the parallel path entirely when already inside a task.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

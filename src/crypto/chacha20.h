@@ -29,6 +29,15 @@ class ChaCha20 {
   void Keystream(uint8_t* out, size_t size);
   Bytes Keystream(size_t size);
 
+  /// Fills `out[0..64*num_blocks)` with keystream. Byte-for-byte
+  /// equivalent to `Keystream(out, 64 * num_blocks)`, but whole blocks
+  /// are generated straight into `out` with a lane-interleaved batch of
+  /// the RFC 8439 block function (4 counters per pass, 8 with AVX2)
+  /// instead of one 64-byte block at a time. This is the fast path
+  /// behind mask expansion, where each pairwise mask consumes thousands
+  /// of blocks.
+  void FillBlocks(uint8_t* out, size_t num_blocks);
+
   /// XORs `size` bytes of keystream into `data` (encrypt == decrypt).
   void Crypt(uint8_t* data, size_t size);
 

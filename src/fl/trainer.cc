@@ -88,6 +88,9 @@ Result<FlRunResult> FederatedTrainer::RunFrom(const ml::Matrix& initial,
 
 Result<ml::Matrix> FederatedTrainer::TrainCentralized(
     const std::vector<size_t>& client_idx, size_t total_epochs) const {
+  static auto& retrains =
+      obs::MetricsRegistry::Global().GetCounter("fl.centralized_retrains");
+  retrains.Add();
   if (client_idx.empty()) {
     // The empty coalition: the untrained (zero-weight) model.
     if (clients_.empty()) {
@@ -98,13 +101,13 @@ Result<ml::Matrix> FederatedTrainer::TrainCentralized(
                                 config_.local);
     return init.weights();
   }
-  std::vector<ml::Dataset> parts;
+  std::vector<const ml::Dataset*> parts;
   parts.reserve(client_idx.size());
   for (size_t idx : client_idx) {
     if (idx >= clients_.size()) {
       return Status::OutOfRange("client index out of range");
     }
-    parts.push_back(clients_[idx].data());
+    parts.push_back(&clients_[idx].data());
   }
   BCFL_ASSIGN_OR_RETURN(ml::Dataset merged, ml::Dataset::Concatenate(parts));
   ml::LogisticRegression model(merged.num_features(), merged.num_classes(),

@@ -72,31 +72,40 @@ std::vector<size_t> Dataset::ClassCounts() const {
 }
 
 Result<Dataset> Dataset::Concatenate(const std::vector<Dataset>& parts) {
+  std::vector<const Dataset*> ptrs;
+  ptrs.reserve(parts.size());
+  for (const auto& part : parts) ptrs.push_back(&part);
+  return Concatenate(ptrs);
+}
+
+Result<Dataset> Dataset::Concatenate(const std::vector<const Dataset*>& parts) {
   if (parts.empty()) {
     return Status::InvalidArgument("concatenate of zero datasets");
   }
   size_t total = 0;
-  for (const auto& part : parts) {
-    if (part.num_features() != parts[0].num_features() ||
-        part.num_classes() != parts[0].num_classes()) {
+  for (const Dataset* part : parts) {
+    if (part->num_features() != parts[0]->num_features() ||
+        part->num_classes() != parts[0]->num_classes()) {
       return Status::InvalidArgument("dataset schemas differ");
     }
-    total += part.num_examples();
+    total += part->num_examples();
   }
-  Matrix features(total, parts[0].num_features());
+  Matrix features(total, parts[0]->num_features());
   std::vector<int> labels;
   labels.reserve(total);
   size_t row = 0;
-  for (const auto& part : parts) {
-    for (size_t i = 0; i < part.num_examples(); ++i) {
-      std::memcpy(features.Row(row), part.features().Row(i),
-                  features.cols() * sizeof(double));
-      ++row;
+  for (const Dataset* part : parts) {
+    // Rows are contiguous within a part, so the whole part copies as one
+    // block.
+    if (part->num_examples() > 0) {
+      std::memcpy(features.Row(row), part->features().Row(0),
+                  part->num_examples() * features.cols() * sizeof(double));
+      row += part->num_examples();
     }
-    labels.insert(labels.end(), part.labels().begin(), part.labels().end());
+    labels.insert(labels.end(), part->labels().begin(), part->labels().end());
   }
   return Dataset(std::move(features), std::move(labels),
-                 parts[0].num_classes());
+                 parts[0]->num_classes());
 }
 
 }  // namespace bcfl::ml

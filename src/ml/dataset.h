@@ -45,6 +45,12 @@ class Dataset {
   /// Concatenates datasets with identical schemas.
   static Result<Dataset> Concatenate(const std::vector<Dataset>& parts);
 
+  /// Concatenation over non-owning pointers: coalition retraining merges
+  /// subsets of the per-owner datasets hundreds of times, so the hot
+  /// path must not copy each part into a temporary vector first.
+  /// Pointers must be non-null.
+  static Result<Dataset> Concatenate(const std::vector<const Dataset*>& parts);
+
  private:
   Matrix features_;
   std::vector<int> labels_;

@@ -4,22 +4,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/sim_clock.h"
+#include "ml/kernels.h"
+#include "obs/metrics.h"
+
 namespace bcfl::ml {
 
 void SoftmaxRowsInPlace(Matrix* logits) {
-  for (size_t i = 0; i < logits->rows(); ++i) {
-    double* row = logits->Row(i);
-    double max_logit = row[0];
-    for (size_t j = 1; j < logits->cols(); ++j) {
-      max_logit = std::max(max_logit, row[j]);
-    }
-    double sum = 0.0;
-    for (size_t j = 0; j < logits->cols(); ++j) {
-      row[j] = std::exp(row[j] - max_logit);
-      sum += row[j];
-    }
-    for (size_t j = 0; j < logits->cols(); ++j) row[j] /= sum;
-  }
+  kernels::SoftmaxRows(logits->mutable_data().data(), logits->rows(),
+                       logits->cols());
 }
 
 LogisticRegression::LogisticRegression(size_t num_features, int num_classes,
@@ -57,32 +50,6 @@ Matrix LogisticRegression::Augment(const Matrix& features) {
   return aug;
 }
 
-Result<double> LogisticRegression::Step(const Matrix& aug_features,
-                                        const Matrix& one_hot) {
-  const double n = static_cast<double>(aug_features.rows());
-  BCFL_ASSIGN_OR_RETURN(Matrix probs, aug_features.MatMul(weights_));
-  SoftmaxRowsInPlace(&probs);
-
-  // Loss before the step (for monitoring / tests of monotone descent).
-  double loss = 0.0;
-  for (size_t i = 0; i < probs.rows(); ++i) {
-    for (size_t j = 0; j < probs.cols(); ++j) {
-      if (one_hot.At(i, j) != 0.0) {
-        loss -= std::log(std::max(probs.At(i, j), 1e-12));
-      }
-    }
-  }
-  loss /= n;
-
-  // grad = X^T (P - Y) / n + l2 * W.
-  BCFL_RETURN_IF_ERROR(probs.SubInPlace(one_hot));
-  BCFL_ASSIGN_OR_RETURN(Matrix grad, aug_features.TransposedMatMul(probs));
-  grad.Scale(1.0 / n);
-  BCFL_RETURN_IF_ERROR(grad.Axpy(config_.l2_penalty, weights_));
-  BCFL_RETURN_IF_ERROR(weights_.Axpy(-config_.learning_rate, grad));
-  return loss;
-}
-
 Status LogisticRegression::Train(const Dataset& data) {
   return TrainEpochs(data, config_.epochs);
 }
@@ -99,10 +66,31 @@ Status LogisticRegression::TrainEpochs(const Dataset& data, size_t epochs) {
     return Status::InvalidArgument("empty training set");
   }
   Matrix aug = Augment(data.features());
-  Matrix one_hot = data.OneHotLabels();
+  static auto& epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("ml.train.epochs");
+  static auto& gflops_gauge =
+      obs::MetricsRegistry::Global().GetGauge("ml.kernels.fused_step_gflops");
+  Stopwatch timer;
+  // Fused epoch kernel: logits, stable softmax, loss and the gradient
+  // are produced in one pass over `aug` per epoch — no per-epoch probs /
+  // one-hot materialisation. Bit-identical to the unfused step sequence
+  // (see kernels.h for the contract).
+  kernels::FusedStepScratch scratch;
   for (size_t e = 0; e < epochs; ++e) {
-    auto loss = Step(aug, one_hot);
-    if (!loss.ok()) return loss.status();
+    kernels::FusedSoftmaxCeStep(
+        aug.data().data(), aug.rows(), aug.cols(), data.labels().data(),
+        weights_.cols(), config_.learning_rate, config_.l2_penalty,
+        weights_.mutable_data().data(), &scratch);
+  }
+  epochs_counter.Add(epochs);
+  if (epochs > 0) {
+    // Forward + gradient GEMMs dominate: ~4*rows*cols*classes flops/epoch.
+    const double flops = 4.0 * static_cast<double>(aug.rows()) *
+                         static_cast<double>(aug.cols()) *
+                         static_cast<double>(weights_.cols()) *
+                         static_cast<double>(epochs);
+    const double s = timer.ElapsedSeconds();
+    if (s > 0) gflops_gauge.Set(flops / s * 1e-9);
   }
   return Status::OK();
 }
@@ -152,21 +140,10 @@ Result<double> LogisticRegression::LogLoss(const Dataset& data) const {
 
 namespace {
 
-/// Row logits for example `i`: scratch[c] = sum_k aug(i,k) * weights(k,c).
-/// Same k-ascending accumulation order (and zero-skip) as Matrix::MatMul,
-/// so the fused kernels reproduce the unfused results bit for bit.
-inline void RowLogits(const Matrix& aug_features, size_t i,
-                      const Matrix& weights, double* scratch) {
-  const size_t classes = weights.cols();
-  std::fill(scratch, scratch + classes, 0.0);
-  const double* a_row = aug_features.Row(i);
-  for (size_t k = 0; k < aug_features.cols(); ++k) {
-    const double a = a_row[k];
-    if (a == 0.0) continue;
-    const double* w_row = weights.Row(k);
-    for (size_t c = 0; c < classes; ++c) scratch[c] += a * w_row[c];
-  }
-}
+/// Rows per logits block in the fused evaluation kernels: big enough
+/// that the blocked GEMM reaches full throughput, small enough that the
+/// block (256 x classes doubles) stays cache-resident.
+constexpr size_t kEvalRowBlock = 256;
 
 /// Index of the first maximum, matching std::max_element tie-breaking.
 inline size_t ArgmaxRow(const double* row, size_t n) {
@@ -215,16 +192,22 @@ Result<double> AccuracyFromAugmented(const Matrix& aug_features,
   BCFL_RETURN_IF_ERROR(
       CheckEvalShapes(aug_features.rows(), labels.size(), weights.cols()));
   const size_t classes = weights.cols();
-  std::vector<double> logits(classes);
+  const size_t rows = aug_features.rows();
+  const size_t cols = aug_features.cols();
+  std::vector<double> logits(kEvalRowBlock * classes);
   size_t correct = 0;
-  for (size_t i = 0; i < aug_features.rows(); ++i) {
-    RowLogits(aug_features, i, weights, logits.data());
-    if (static_cast<int>(ArgmaxRow(logits.data(), classes)) == labels[i]) {
-      ++correct;
+  for (size_t r0 = 0; r0 < rows; r0 += kEvalRowBlock) {
+    const size_t block = std::min(kEvalRowBlock, rows - r0);
+    kernels::Gemm(aug_features.Row(r0), block, cols, weights.data().data(),
+                  classes, logits.data());
+    for (size_t i = 0; i < block; ++i) {
+      if (static_cast<int>(ArgmaxRow(logits.data() + i * classes, classes)) ==
+          labels[r0 + i]) {
+        ++correct;
+      }
     }
   }
-  return static_cast<double>(correct) /
-         static_cast<double>(aug_features.rows());
+  return static_cast<double>(correct) / static_cast<double>(rows);
 }
 
 Result<double> LogLossFromAugmented(const Matrix& aug_features,
@@ -237,13 +220,20 @@ Result<double> LogLossFromAugmented(const Matrix& aug_features,
   BCFL_RETURN_IF_ERROR(
       CheckEvalShapes(aug_features.rows(), labels.size(), weights.cols()));
   const size_t classes = weights.cols();
-  std::vector<double> logits(classes);
+  const size_t rows = aug_features.rows();
+  const size_t cols = aug_features.cols();
+  std::vector<double> logits(kEvalRowBlock * classes);
   double loss = 0.0;
-  for (size_t i = 0; i < aug_features.rows(); ++i) {
-    RowLogits(aug_features, i, weights, logits.data());
-    loss += RowNegLogProb(logits.data(), classes, labels[i]);
+  for (size_t r0 = 0; r0 < rows; r0 += kEvalRowBlock) {
+    const size_t block = std::min(kEvalRowBlock, rows - r0);
+    kernels::Gemm(aug_features.Row(r0), block, cols, weights.data().data(),
+                  classes, logits.data());
+    for (size_t i = 0; i < block; ++i) {
+      loss += RowNegLogProb(logits.data() + i * classes, classes,
+                            labels[r0 + i]);
+    }
   }
-  return loss / static_cast<double>(aug_features.rows());
+  return loss / static_cast<double>(rows);
 }
 
 Result<double> AccuracyFromScores(const Matrix& scores,

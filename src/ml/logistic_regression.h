@@ -62,9 +62,6 @@ class LogisticRegression {
   Result<double> LogLoss(const Dataset& data) const;
 
  private:
-  /// One gradient-descent step; returns the pre-step loss for monitoring.
-  Result<double> Step(const Matrix& aug_features, const Matrix& one_hot);
-
   Matrix weights_;
   LogisticRegressionConfig config_;
 };

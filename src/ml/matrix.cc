@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/kernels.h"
+
 namespace bcfl::ml {
 
 Matrix::Matrix(size_t rows, size_t cols)
@@ -68,19 +70,8 @@ Result<Matrix> Matrix::MatMul(const Matrix& other) const {
     return Status::InvalidArgument("MatMul: inner dimensions differ");
   }
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through both operands row-major.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = Row(i);
-    double* out_row = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
-      }
-    }
-  }
+  kernels::Gemm(data_.data(), rows_, cols_, other.data_.data(), other.cols_,
+                out.data_.data());
   return out;
 }
 
@@ -89,28 +80,14 @@ Result<Matrix> Matrix::TransposedMatMul(const Matrix& other) const {
     return Status::InvalidArgument("TransposedMatMul: row counts differ");
   }
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* a_row = Row(k);
-    const double* b_row = other.Row(k);
-    for (size_t i = 0; i < cols_; ++i) {
-      double a = a_row[i];
-      if (a == 0.0) continue;
-      double* out_row = out.Row(i);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
-      }
-    }
-  }
+  kernels::GemmTransA(data_.data(), rows_, cols_, other.data_.data(),
+                      other.cols_, out.data_.data());
   return out;
 }
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) {
-      out.At(j, i) = At(i, j);
-    }
-  }
+  kernels::Transpose(data_.data(), rows_, cols_, out.data_.data());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "crypto/dh.h"
 #include "secureagg/participant.h"
 
@@ -47,9 +48,17 @@ class SecureAggregator {
       const std::vector<crypto::ShamirShare>& shares, size_t threshold,
       size_t roster_size);
 
+  /// Regenerates unmasking material (self masks, dropped members'
+  /// residual pairwise masks) on `pool` (nullptr = serial). Expansions
+  /// fill index-addressed slots and are folded into the sum in roster
+  /// order, so the output stays bit-identical — and thus consensus-safe —
+  /// for any pool size.
+  void SetPool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   crypto::GroupParams params_;
   std::map<OwnerId, crypto::UInt256> public_keys_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace bcfl::secureagg

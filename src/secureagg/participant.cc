@@ -78,6 +78,14 @@ Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
     return Status::InvalidArgument("participant not in the given group");
   }
   std::vector<uint64_t> out = encoded;
+  // Validate the roster up front, then expand every peer's mask into its
+  // own slot — independent ChaCha streams, so slots can fill on the pool
+  // in any order. The combine below walks slots in group order, keeping
+  // the result bit-identical to the serial path for any pool size.
+  std::vector<OwnerId> peers;
+  std::vector<const std::array<uint8_t, 32>*> keys;
+  peers.reserve(group_members.size());
+  keys.reserve(group_members.size());
   for (OwnerId peer : group_members) {
     if (peer == id_) continue;
     auto it = pair_keys_.find(peer);
@@ -85,8 +93,21 @@ Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
       return Status::FailedPrecondition("peer key not registered: " +
                                         std::to_string(peer));
     }
-    std::vector<uint64_t> mask = ExpandMask(it->second, round, out.size());
-    if (id_ < peer) {
+    peers.push_back(peer);
+    keys.push_back(&it->second);
+  }
+  std::vector<std::vector<uint64_t>> masks(peers.size());
+  auto expand_one = [&](size_t p) {
+    masks[p] = ExpandMask(*keys[p], round, out.size());
+  };
+  if (pool_ != nullptr && peers.size() > 1) {
+    pool_->ParallelFor(peers.size(), expand_one);
+  } else {
+    for (size_t p = 0; p < peers.size(); ++p) expand_one(p);
+  }
+  for (size_t p = 0; p < peers.size(); ++p) {
+    const std::vector<uint64_t>& mask = masks[p];
+    if (id_ < peers[p]) {
       for (size_t i = 0; i < out.size(); ++i) out[i] += mask[i];
     } else {
       for (size_t i = 0; i < out.size(); ++i) out[i] -= mask[i];

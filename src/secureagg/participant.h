@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/chacha20.h"
 #include "crypto/dh.h"
 #include "crypto/shamir.h"
@@ -81,12 +82,19 @@ class SecureAggParticipant {
   /// The derived pairwise key with `peer`, for tests and recovery checks.
   Result<std::array<uint8_t, 32>> PairKey(OwnerId peer) const;
 
+  /// Expands per-peer masks on `pool` (nullptr = serial). Each expansion
+  /// lands in its own index-addressed slot and the slots are combined
+  /// sequentially in group order, so the masked vector is bit-identical
+  /// for any pool size.
+  void SetPool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   OwnerId id_;
   crypto::DiffieHellman dh_;
   crypto::DhKeyPair key_pair_;
   std::array<uint8_t, 32> self_seed_;
   bool use_self_mask_;
+  ThreadPool* pool_ = nullptr;
   std::map<OwnerId, std::array<uint8_t, 32>> pair_keys_;
 };
 

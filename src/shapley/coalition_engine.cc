@@ -209,6 +209,10 @@ Result<std::vector<double>> CoalitionEngine::MeanCoalitionsGrayCode(
 
 Result<std::vector<double>> CoalitionEngine::EvaluateModelTable(
     const std::vector<ml::Matrix>& models) {
+  static auto& eval_us = obs::MetricsRegistry::Global().GetHistogram(
+      "shapley.model_table_eval_us");
+  obs::ScopedSpan span(obs::Tracer::Global(), "model_table_eval", "shapley");
+  obs::ScopedLatency latency(eval_us);
   stats_ = CoalitionEngineStats{};
   if (models.empty()) {
     return Status::InvalidArgument("empty model table");

@@ -1,14 +1,40 @@
 #include "shapley/native_sv.h"
 
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shapley/coalition_engine.h"
 #include "shapley/shapley_math.h"
 
 namespace bcfl::shapley {
 
+namespace {
+
+/// Non-owning view of a utility, so CachingUtility (which wants
+/// ownership) can memoize a caller-owned utility without taking it over.
+class BorrowedUtility : public UtilityFunction {
+ public:
+  explicit BorrowedUtility(UtilityFunction* inner) : inner_(inner) {}
+  Result<double> Evaluate(const ml::Matrix& weights) override {
+    return inner_->Evaluate(weights);
+  }
+
+ private:
+  UtilityFunction* inner_;
+};
+
+}  // namespace
+
 NativeShapley::NativeShapley(const fl::FederatedTrainer* trainer,
                              UtilityFunction* utility,
                              NativeShapleyConfig config)
-    : trainer_(trainer), utility_(utility), config_(config) {}
+    : trainer_(trainer), utility_(utility), config_(config) {
+  if (config_.cache_utilities) {
+    cached_ = std::make_unique<CachingUtility>(
+        std::make_unique<BorrowedUtility>(utility_));
+  }
+}
 
 Result<NativeShapleyResult> NativeShapley::Compute(
     const std::vector<ml::Matrix>* final_locals) const {
@@ -26,7 +52,8 @@ Result<NativeShapleyResult> NativeShapley::Compute(
 
   CoalitionEngineConfig engine_config;
   engine_config.pool = config_.pool;
-  CoalitionEngine engine(utility_, engine_config);
+  CoalitionEngine engine(cached_ != nullptr ? cached_.get() : utility_,
+                         engine_config);
   NativeShapleyResult result;
 
   if (config_.source == CoalitionModelSource::kAggregateFromLocals) {
@@ -38,26 +65,37 @@ Result<NativeShapleyResult> NativeShapley::Compute(
   } else {
     // Stage 1: retrain one coalition model per mask. Training dominates,
     // so dispatch with grain 1 for the best load balance; slots are
-    // index-addressed, keeping the output order-independent.
+    // index-addressed and training is RNG-free, keeping the output
+    // bit-identical for any pool size.
+    static auto& retrain_us = obs::MetricsRegistry::Global().GetHistogram(
+        "shapley.native.retrain_stage_us");
+    static auto& retrains = obs::MetricsRegistry::Global().GetCounter(
+        "shapley.native.coalition_retrains");
+    retrains.Add(full);
     std::vector<ml::Matrix> models(full);
     std::vector<Status> statuses(full, Status::OK());
-    auto build_model = [&](size_t mask) {
-      std::vector<size_t> members;
-      for (size_t i = 0; i < n; ++i) {
-        if (mask & (1ULL << i)) members.push_back(i);
-      }
-      auto model = trainer_->TrainCentralized(members, config_.epochs);
-      if (model.ok()) {
-        models[mask] = std::move(model).value();
+    {
+      obs::ScopedSpan retrain_span(obs::Tracer::Global(), "coalition_retrain",
+                                   "shapley");
+      obs::ScopedLatency retrain_latency(retrain_us);
+      auto build_model = [&](size_t mask) {
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; ++i) {
+          if (mask & (1ULL << i)) members.push_back(i);
+        }
+        auto model = trainer_->TrainCentralized(members, config_.epochs);
+        if (model.ok()) {
+          models[mask] = std::move(model).value();
+        } else {
+          statuses[mask] = model.status();
+        }
+      };
+      if (config_.pool != nullptr) {
+        config_.pool->ParallelFor(full, build_model, /*grain=*/1);
       } else {
-        statuses[mask] = model.status();
-      }
-    };
-    if (config_.pool != nullptr) {
-      config_.pool->ParallelFor(full, build_model, /*grain=*/1);
-    } else {
-      for (uint64_t mask = 0; mask < full; ++mask) {
-        build_model(static_cast<size_t>(mask));
+        for (uint64_t mask = 0; mask < full; ++mask) {
+          build_model(static_cast<size_t>(mask));
+        }
       }
     }
     for (const Status& s : statuses) {

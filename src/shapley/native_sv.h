@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -25,8 +26,16 @@ struct NativeShapleyConfig {
   /// Training epochs per coalition model (0 = trainer default).
   size_t epochs = 0;
   /// Optional worker pool parallelising coalition training and utility
-  /// evaluation. SV outputs are bit-identical for every pool size.
+  /// evaluation. SV outputs are bit-identical for every pool size:
+  /// coalition training is RNG-free (zero-initialised full-batch descent
+  /// for a fixed epoch count), so each coalition model depends only on
+  /// its member set, and every parallel stage writes to index-addressed
+  /// slots — scheduling order never reaches the arithmetic.
   ThreadPool* pool = nullptr;
+  /// Wrap the utility in a CachingUtility owned by this object, so
+  /// repeated Compute calls (and duplicate coalition models within one)
+  /// skip re-evaluation. Purely a cache: values are unchanged.
+  bool cache_utilities = false;
 };
 
 /// Result of a native SV computation.
@@ -55,6 +64,9 @@ class NativeShapley {
   const fl::FederatedTrainer* trainer_;
   UtilityFunction* utility_;
   NativeShapleyConfig config_;
+  /// Set when config_.cache_utilities: memoizes `utility_` (via a
+  /// non-owning adapter) across coalitions and Compute calls.
+  std::unique_ptr<CachingUtility> cached_;
 };
 
 }  // namespace bcfl::shapley

@@ -73,6 +73,45 @@ TEST(ChaCha20Test, ChunkedKeystreamMatchesContiguous) {
   EXPECT_EQ(actual, expected);
 }
 
+// The batched block generator (FillBlocks / the whole-block fast path of
+// Keystream) must be byte-for-byte the serial RFC 8439 stream across the
+// drain / batch / tail boundaries, for every lane width the dispatcher
+// might pick.
+TEST(ChaCha20Test, FillBlocksMatchesSerialKeystream) {
+  std::array<uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  for (size_t num_blocks : {size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                            size_t{8}, size_t{16}, size_t{37}}) {
+    ChaCha20 serial(TestKey(), nonce, /*counter=*/1);
+    Bytes expected;
+    for (size_t i = 0; i < num_blocks * 64; ++i) {
+      Bytes byte = serial.Keystream(1);
+      expected.push_back(byte[0]);
+    }
+    ChaCha20 batched(TestKey(), nonce, /*counter=*/1);
+    Bytes actual(num_blocks * 64);
+    batched.FillBlocks(actual.data(), num_blocks);
+    EXPECT_EQ(actual, expected) << num_blocks << " blocks";
+  }
+}
+
+TEST(ChaCha20Test, FillBlocksAfterPartialDrainKeepsStreamPosition) {
+  std::array<uint8_t, 12> nonce{};
+  ChaCha20 serial(TestKey(), nonce);
+  Bytes expected = serial.Keystream(13 + 5 * 64 + 21);
+
+  ChaCha20 mixed(TestKey(), nonce);
+  Bytes head = mixed.Keystream(13);  // Leaves a buffered partial block.
+  Bytes blocks(5 * 64);
+  mixed.FillBlocks(blocks.data(), 5);
+  Bytes tail = mixed.Keystream(21);
+
+  Bytes actual = head;
+  actual.insert(actual.end(), blocks.begin(), blocks.end());
+  actual.insert(actual.end(), tail.begin(), tail.end());
+  EXPECT_EQ(actual, expected);
+}
+
 TEST(ChaCha20Test, DifferentNoncesDiverge) {
   std::array<uint8_t, 12> n1{}, n2{};
   n2[0] = 1;

@@ -123,7 +123,11 @@ TEST(DatasetTest, ConcatenateRejectsSchemaMismatch) {
   EXPECT_TRUE(Dataset::Concatenate({a, b}).status().IsInvalidArgument());
   Dataset c = MakeDataset(4, 3, 5, 9);
   EXPECT_TRUE(Dataset::Concatenate({a, c}).status().IsInvalidArgument());
-  EXPECT_TRUE(Dataset::Concatenate({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Dataset::Concatenate(std::vector<Dataset>{}).status().IsInvalidArgument());
+  EXPECT_TRUE(Dataset::Concatenate(std::vector<const Dataset*>{})
+                  .status()
+                  .IsInvalidArgument());
 }
 
 }  // namespace

@@ -108,6 +108,64 @@ TEST(NativeShapleyTest, ParallelMatchesSerial) {
   }
 }
 
+TEST(NativeShapleyTest, BitIdenticalForPoolSizes1_2_8) {
+  // The determinism contract: coalition retraining is RNG-free and every
+  // parallel stage writes index-addressed slots, so the SVs and the full
+  // utility table must be *bit-identical* (not just close) for any pool
+  // size, including no pool.
+  NativeShapleyConfig base_config;
+  base_config.epochs = 4;
+  Fixture serial_fixture = Fixture::Make(3, 0.5);
+  NativeShapley serial(serial_fixture.trainer.get(),
+                       serial_fixture.utility.get(), base_config);
+  auto reference = serial.Compute();
+  ASSERT_TRUE(reference.ok());
+
+  for (size_t pool_size : {size_t{1}, size_t{2}, size_t{8}}) {
+    Fixture f = Fixture::Make(3, 0.5);
+    ThreadPool pool(pool_size);
+    NativeShapleyConfig config = base_config;
+    config.pool = &pool;
+    NativeShapley shapley(f.trainer.get(), f.utility.get(), config);
+    auto result = shapley.Compute();
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->values.size(), reference->values.size());
+    for (size_t i = 0; i < reference->values.size(); ++i) {
+      EXPECT_EQ(result->values[i], reference->values[i])
+          << "SV " << i << " diverged with pool size " << pool_size;
+    }
+    ASSERT_EQ(result->utility_table.size(), reference->utility_table.size());
+    for (size_t m = 0; m < reference->utility_table.size(); ++m) {
+      EXPECT_EQ(result->utility_table[m], reference->utility_table[m])
+          << "utility of mask " << m << " diverged with pool size "
+          << pool_size;
+    }
+  }
+}
+
+TEST(NativeShapleyTest, CachedUtilityMatchesUncached) {
+  Fixture f1 = Fixture::Make(3, 0.5);
+  Fixture f2 = Fixture::Make(3, 0.5);
+  NativeShapleyConfig config;
+  config.epochs = 4;
+  NativeShapley plain(f1.trainer.get(), f1.utility.get(), config);
+  config.cache_utilities = true;
+  NativeShapley cached(f2.trainer.get(), f2.utility.get(), config);
+  auto r1 = plain.Compute();
+  auto r2 = cached.Compute();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 0; i < r1->values.size(); ++i) {
+    EXPECT_EQ(r1->values[i], r2->values[i]);
+  }
+  // Second run re-evaluates nothing it has seen; values are unchanged.
+  auto r3 = cached.Compute();
+  ASSERT_TRUE(r3.ok());
+  for (size_t i = 0; i < r1->values.size(); ++i) {
+    EXPECT_EQ(r1->values[i], r3->values[i]);
+  }
+}
+
 TEST(NativeShapleyTest, AggregateFromLocalsUsesProvidedWeights) {
   Fixture f = Fixture::Make(3, 0.0);
   auto run = f.trainer->Run();
