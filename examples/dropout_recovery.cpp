@@ -1,156 +1,72 @@
 // Dropout tolerance on chain (extension beyond the paper's
 // all-owners-online assumption, following Bonawitz et al. [7]).
 //
-// Owner 2 goes offline after everyone derived pairwise masks against
-// it; the survivors' masked submissions cannot be unmasked on their
-// own. The remaining owners reconstruct the dropped owner's DH private
-// key from its Shamir shares (distributed at setup) and post a
-// `recover` transaction; the smart contract *verifies the revealed key
-// against the dropped owner's public key*, removes the residual masks,
-// and completes the round over the survivors.
+// Owner 2 crashes in round 1 after everyone derived pairwise masks
+// against it. The coordinator's deadline detection flags the dropout,
+// the survivors pool a threshold of owner 2's Shamir shares, and a
+// `recover` transaction reveals its DH private key on chain — where the
+// smart contract verifies g^x against the published public key before
+// cancelling the residual masks. The round completes over the
+// survivors; owner 2 is retired and its contribution score frozen.
+//
+// The detailed mechanics (forged-key rejection, fail-closed reveals,
+// double-recovery idempotence) are exercised in
+// tests/test_dropout_recovery.cc; this example shows the one-line API:
+// a fault plan on the coordinator config.
 
-#include <algorithm>
 #include <cstdio>
 
-#include "chain/contract_host.h"
-#include "core/fl_contract.h"
-#include "crypto/shamir.h"
-#include "data/digits.h"
-#include "secureagg/fixed_point.h"
-#include "secureagg/participant.h"
-#include "shapley/group_sv.h"
+#include "core/coordinator.h"
 
 using namespace bcfl;
 
 int main() {
-  constexpr uint32_t kOwners = 4;
-  constexpr uint32_t kGroups = 2;
-  constexpr uint32_t kDropped = 2;
-  constexpr size_t kThreshold = 3;
+  core::BcflConfig config;
+  config.num_owners = 4;
+  config.num_miners = 3;
+  config.rounds = 3;
+  config.num_groups = 2;
+  config.digits.num_instances = 500;
+  config.local.epochs = 2;
 
-  Xoshiro256 rng(99);
-  crypto::Schnorr schnorr;
-  crypto::DiffieHellman dh;
-
-  // Setup: keys, pairwise agreement, Shamir shares of each DH private.
-  std::vector<crypto::SchnorrKeyPair> sign_keys;
-  std::vector<std::unique_ptr<secureagg::SecureAggParticipant>> owners;
-  for (uint32_t i = 0; i < kOwners; ++i) {
-    sign_keys.push_back(schnorr.GenerateKeyPair(&rng));
-    owners.push_back(std::make_unique<secureagg::SecureAggParticipant>(
-        i, dh, &rng, /*use_self_mask=*/false));
+  // The chaos DSL: owner 2 goes offline at the start of round 1.
+  auto plan = fault::FaultPlan::Parse("crash owner 2 @1");
+  if (!plan.ok()) {
+    std::printf("bad plan: %s\n", plan.status().ToString().c_str());
+    return 1;
   }
-  for (auto& p : owners) {
-    for (auto& q : owners) {
-      if (p->id() != q->id()) {
-        (void)p->RegisterPeer(q->id(), q->public_key());
-      }
+  config.fault_plan = *plan;
+
+  auto coordinator = core::BcflCoordinator::Create(config);
+  if (!coordinator.ok()) {
+    std::printf("setup failed: %s\n",
+                coordinator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("running %u rounds with fault plan:\n  %s\n", config.rounds,
+              config.fault_plan.ToString().c_str());
+
+  auto result = (*coordinator)->Run();
+  if (!result.ok()) {
+    std::printf("run failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nrecover transactions committed: %zu\n",
+              result->recover_transactions);
+  for (const auto& [owner, round] : result->retired_at) {
+    std::printf("owner %u retired in round %llu (key revealed on chain)\n",
+                owner, static_cast<unsigned long long>(round));
+  }
+  std::printf("\nper-owner contribution (SV frozen after retirement):\n");
+  for (uint32_t i = 0; i < config.num_owners; ++i) {
+    std::printf("  owner %u:", i);
+    for (uint32_t r = 0; r < config.rounds; ++r) {
+      std::printf(" %+.4f", result->per_round_sv[r][i]);
     }
+    std::printf("  total %+.4f%s\n", result->total_sv[i],
+                result->retired_at.count(i) > 0 ? "  (retired)" : "");
   }
-  auto scheme = crypto::ShamirSecretSharing::Create(kThreshold, kOwners)
-                    .value();
-  // Owner 2's recovery shares, one per roster member.
-  auto dropped_shares =
-      scheme.Split(owners[kDropped]->private_key().ToBytes(), &rng);
-
-  // On-chain side.
-  data::DigitsConfig digits;
-  digits.num_instances = 500;
-  ml::Dataset validation = data::DigitsGenerator(digits).Generate();
-  core::SetupParams params;
-  params.num_owners = kOwners;
-  params.rounds = 1;
-  params.num_groups = kGroups;
-  params.seed_e = 5;
-  params.weight_rows = 65;
-  params.weight_cols = 10;
-  for (uint32_t i = 0; i < kOwners; ++i) {
-    params.schnorr_public_keys.push_back(sign_keys[i].public_key);
-    params.dh_public_keys.push_back(owners[i]->public_key());
-  }
-  chain::ContractHost host(schnorr);
-  (void)host.Register(std::make_shared<core::FlContract>(validation));
-  chain::ContractState state;
-
-  chain::Transaction setup;
-  setup.contract = "bcfl";
-  setup.method = "setup";
-  setup.payload = params.Serialize();
-  setup.Sign(schnorr, sign_keys[0], &rng);
-  std::printf("setup committed: %s\n",
-              host.ExecuteTransaction(setup, &state)->success ? "yes"
-                                                              : "no");
-
-  // Round 0: everyone masks; owner 2 crashes before submitting.
-  auto perm = shapley::PermutationFromSeed(params.seed_e, 0, kOwners);
-  auto groups = shapley::GroupUsers(perm, kGroups).value();
-  secureagg::FixedPointCodec codec(24);
-  for (uint32_t i = 0; i < kOwners; ++i) {
-    if (i == kDropped) continue;
-    std::vector<secureagg::OwnerId> members;
-    for (const auto& group : groups) {
-      if (std::find(group.begin(), group.end(), static_cast<size_t>(i)) != group.end()) {
-        for (size_t m : group) {
-          members.push_back(static_cast<secureagg::OwnerId>(m));
-        }
-      }
-    }
-    ml::Matrix local = ml::Matrix::Gaussian(65, 10, 0.3, &rng);
-    auto masked =
-        owners[i]->MaskUpdate(0, members, codec.EncodeMatrix(local)).value();
-    chain::Transaction tx;
-    tx.contract = "bcfl";
-    tx.method = "submit_update";
-    tx.payload = core::FlContract::EncodeSubmitUpdate(0, i, masked);
-    tx.nonce = i + 1;
-    tx.Sign(schnorr, sign_keys[i], &rng);
-    std::printf("owner %u submitted: %s\n", i,
-                host.ExecuteTransaction(tx, &state)->success ? "yes" : "no");
-  }
-  std::printf("round complete without owner %u? %s\n", kDropped,
-              state.Has(core::keys::RoundComplete(0)) ? "yes" : "no");
-
-  // Recovery: three survivors pool their shares of owner 2's key.
-  std::vector<crypto::ShamirShare> revealed = {
-      dropped_shares[0], dropped_shares[1], dropped_shares[3]};
-  Bytes key_bytes = scheme.Reconstruct(revealed, 32).value();
-  crypto::UInt256 recovered_key =
-      crypto::UInt256::FromBytes(key_bytes).value();
-  std::printf("\nsurvivors reconstructed owner %u's key from %zu of %u "
-              "shares\n",
-              kDropped, revealed.size(), kOwners);
-
-  // A forged key is rejected by the contract's g^x check.
-  chain::Transaction forged;
-  forged.contract = "bcfl";
-  forged.method = "recover";
-  forged.payload =
-      core::FlContract::EncodeRecover(0, kDropped, crypto::UInt256(777));
-  forged.nonce = 50;
-  forged.Sign(schnorr, sign_keys[0], &rng);
-  auto forged_receipt = host.ExecuteTransaction(forged, &state);
-  std::printf("forged recovery accepted? %s (%s)\n",
-              forged_receipt->success ? "YES (BUG)" : "no",
-              forged_receipt->error.c_str());
-
-  // The genuine recovery completes the round.
-  chain::Transaction recover;
-  recover.contract = "bcfl";
-  recover.method = "recover";
-  recover.payload =
-      core::FlContract::EncodeRecover(0, kDropped, recovered_key);
-  recover.nonce = 51;
-  recover.Sign(schnorr, sign_keys[0], &rng);
-  auto receipt = host.ExecuteTransaction(recover, &state);
-  std::printf("genuine recovery accepted? %s\n",
-              receipt->success ? "yes" : receipt->error.c_str());
-  std::printf("round complete after recovery? %s\n",
-              state.Has(core::keys::RoundComplete(0)) ? "yes" : "no");
-
-  for (uint32_t i = 0; i < kOwners; ++i) {
-    auto sv = core::GetDouble(state, core::keys::RoundSv(0, i));
-    std::printf("  owner %u round SV: %+.4f%s\n", i, sv.ValueOr(0.0),
-                i == kDropped ? "  (dropped: scores zero)" : "");
-  }
+  std::printf("\nfinal accuracy: %.3f\n", result->round_accuracies.back());
   return 0;
 }

@@ -3,6 +3,10 @@
 # a small end-to-end bcfl_sim session and assert the observability
 # artifacts it emits are valid — metrics.json parses and carries the
 # expected per-round counters, trace.json parses as Chrome trace_event.
+# A chaos stage follows: one faulted session whose executed fault
+# schedule must land in metrics.json, then a BCFL_CHAOS_SEEDS-wide
+# random-fault sweep (default 200) in which every seed must converge —
+# bcfl_sim exits non-zero on any failed or hung round.
 #
 # Usage: scripts/ci_check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -10,6 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 ROUNDS=2
+CHAOS_SEEDS="${BCFL_CHAOS_SEEDS:-200}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -70,5 +75,45 @@ else
   grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_kernels.json"
   echo "artifacts OK (python3 unavailable; grep-level validation only)"
 fi
+
+# Chaos smoke, part 1: a hand-written fault plan (owner dropout, miner
+# crash + re-admission, slow links) must converge and export the
+# executed fault schedule into metrics.json.
+"$BUILD_DIR/tools/bcfl_sim" \
+  --owners 6 --miners 5 --rounds 4 --groups 2 --instances 600 --sigma 0 \
+  --fault-plan "crash owner 2 @1; crash miner 3 @1; recover miner 3 @3; slow miner 0 @0..2 +5000us" \
+  --metrics-out "$ARTIFACT_DIR/chaos_metrics.json" --trace-out -
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR" <<'EOF'
+import json
+import sys
+
+metrics = json.load(open(f"{sys.argv[1]}/chaos_metrics.json"))
+counters = metrics["counters"]
+assert counters["fl.dropouts_detected"] == 1, counters
+assert counters["fl.recoveries"] == 1, counters
+assert counters["chain.consensus.view_changes"] >= 1, counters
+assert counters["chain.consensus.catchups"] >= 1, counters
+
+plan = metrics["fault_plan"]
+schedule = metrics["fault_schedule"]
+assert len(plan) == 4, plan
+assert any("crash owner 2" in entry["event"] for entry in schedule), schedule
+assert any("recover" in entry["event"] for entry in schedule), schedule
+assert all("round" in entry for entry in schedule), schedule
+print(f"chaos artifacts OK: {len(schedule)} executed fault events")
+EOF
+else
+  grep -q '"fault_schedule"' "$ARTIFACT_DIR/chaos_metrics.json"
+  grep -q 'crash owner 2' "$ARTIFACT_DIR/chaos_metrics.json"
+fi
+
+# Chaos smoke, part 2: every random fault plan in the sweep must
+# converge (bcfl_sim exits non-zero on a failed or hung seed).
+"$BUILD_DIR/tools/bcfl_sim" \
+  --owners 6 --miners 5 --rounds 3 --groups 2 --instances 400 --sigma 0 \
+  --chaos-sweep "$CHAOS_SEEDS" --fault-seed 0 \
+  --metrics-out - --trace-out -
 
 echo "CI check: all green"

@@ -8,6 +8,8 @@
 # sharded metrics / thread-local span machinery in src/obs.
 # bench_kernels --quick also runs: it exercises every optimized kernel
 # against the reference path with a pool attached, under TSan.
+# test_fault and a reduced test_chaos sweep run the full faulted
+# protocol (fault injection, recovery, view changes) under TSan too.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -24,7 +26,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_thread_pool test_coalition_engine test_utility \
   test_kernels test_secureagg test_native_sv \
-  test_metrics test_tracer bench_kernels
+  test_metrics test_tracer test_fault test_chaos bench_kernels
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -37,6 +39,10 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_native_sv"
 "$BUILD_DIR/tests/test_metrics"
 "$BUILD_DIR/tests/test_tracer"
+"$BUILD_DIR/tests/test_fault"
+# Chaos under TSan: full faulted protocol runs (coordinator + consensus
+# + recovery) with a reduced sweep — TSan is ~10x slower per seed.
+BCFL_CHAOS_SEEDS="${BCFL_CHAOS_SEEDS:-2}" "$BUILD_DIR/tests/test_chaos"
 
 # bench_kernels writes BENCH_kernels.json; keep it out of the tree.
 TSAN_TMP="$(mktemp -d)"

@@ -84,10 +84,90 @@ ConsensusEngine::ConsensusEngine(size_t num_miners,
 
 Status ConsensusEngine::SubmitTransaction(const Transaction& tx) {
   for (auto& miner : miners_) {
+    // Offline miners never hear the gossip; they pick the tx's block up
+    // later through catch-up instead of the mempool.
+    if (injector_ != nullptr && injector_->MinerOffline(miner->id())) continue;
     Status st = miner->mempool().Add(tx);
     if (!st.ok() && !st.IsAlreadyExists()) return st;
   }
   return Status::OK();
+}
+
+void ConsensusEngine::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    injector_->InstallOn(&network_);
+  } else {
+    network_.set_fault_filter(nullptr);
+  }
+}
+
+size_t ConsensusEngine::CanonicalMinerIndex() const {
+  if (injector_ == nullptr) return 0;
+  size_t best = 0;
+  uint64_t best_height = 0;
+  bool found = false;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    uint32_t id = miners_[i]->id();
+    if (injector_->MinerOffline(id)) continue;
+    // Count the online miners this one can reach (itself included); only
+    // a strict-majority component can have committed the newest block.
+    size_t reachable = 0;
+    for (size_t j = 0; j < miners_.size(); ++j) {
+      uint32_t other = miners_[j]->id();
+      if (injector_->MinerOffline(other)) continue;
+      if (injector_->MinersReachable(id, other)) ++reachable;
+    }
+    if (reachable * 2 <= miners_.size()) continue;
+    uint64_t height = miners_[i]->chain().Height();
+    if (!found || height > best_height) {
+      best = i;
+      best_height = height;
+      found = true;
+    }
+  }
+  // Validated plans always keep a majority component online; fall back to
+  // miner 0 defensively if a hand-written plan does not.
+  return found ? best : 0;
+}
+
+bool ConsensusEngine::MinerParticipating(uint32_t id) const {
+  if (injector_ == nullptr) return true;
+  if (injector_->MinerOffline(id)) return false;
+  uint32_t canonical = miners_[CanonicalMinerIndex()]->id();
+  return injector_->MinersReachable(canonical, id);
+}
+
+size_t ConsensusEngine::CatchUpLaggards() {
+  if (injector_ == nullptr) return 0;
+  static auto& catchups =
+      obs::MetricsRegistry::Global().GetCounter("chain.consensus.catchups");
+  const Miner& canonical = *miners_[CanonicalMinerIndex()];
+  uint64_t tip = canonical.chain().Height();
+  size_t replayed = 0;
+  for (auto& miner : miners_) {
+    if (miner.get() == &canonical) continue;
+    if (!MinerParticipating(miner->id())) continue;
+    uint64_t behind = miner->chain().Height();
+    if (behind >= tip) continue;
+    for (uint64_t h = behind + 1; h <= tip; ++h) {
+      auto block = canonical.chain().GetBlock(h);
+      if (!block.ok()) break;
+      Status st = miner->CommitBlock(*block);
+      if (!st.ok()) {
+        BCFL_LOG_WARN() << "catch-up of miner " << miner->id() << " at height "
+                        << h << " failed: " << st.ToString();
+        break;
+      }
+      ++replayed;
+    }
+    catchups.Add();
+    injector_->RecordExecuted(
+        injector_->current_round(),
+        "miner " + std::to_string(miner->id()) + " caught up from height " +
+            std::to_string(behind) + " to " + std::to_string(tip));
+  }
+  return replayed;
 }
 
 Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
@@ -95,6 +175,27 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
   BCFL_ASSIGN_OR_RETURN(uint32_t leader_id,
                         schedule_->LeaderFor(height, retries));
   Miner& leader = *miners_[leader_id];
+
+  // A crashed, partitioned-away or stale-chained leader cannot land a
+  // majority proposal: time out on the simulated clock and hand the view
+  // to the next leader in the rotation.
+  if (injector_ != nullptr &&
+      (!MinerParticipating(leader_id) ||
+       leader.chain().Height() + 1 != height)) {
+    static auto& view_changes = obs::MetricsRegistry::Global().GetCounter(
+        "chain.consensus.view_changes");
+    view_changes.Add();
+    network_.AdvanceClock(config_.view_change_timeout_us);
+    injector_->RecordExecuted(
+        injector_->current_round(),
+        "view change past leader " + std::to_string(leader_id) +
+            " at height " + std::to_string(height));
+    CommitResult timed_out;
+    timed_out.leader = leader_id;
+    timed_out.retries_used = retries;
+    timed_out.height = height;
+    return timed_out;
+  }
 
   BCFL_ASSIGN_OR_RETURN(
       Block proposal,
@@ -129,6 +230,12 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
     committed_blocks.Add();
     committed_txs.Add(result.num_txs);
     for (auto& miner : miners_) {
+      // Offline or partitioned-away replicas missed the proposal; they
+      // re-join through catch-up once reachable again.
+      if (injector_ != nullptr &&
+          injector_->MinerUnavailable(leader_id, miner->id())) {
+        continue;
+      }
       Status st = miner->CommitBlock(proposal);
       if (!st.ok()) {
         // A replica refusing a majority-accepted block means the leader
@@ -151,7 +258,8 @@ Result<CommitResult> ConsensusEngine::RunRound() {
   obs::ScopedSpan span(obs::Tracer::Global(), "block_commit", "chain");
   obs::ScopedLatency latency(round_us);
   rounds.Add();
-  uint64_t height = miners_[0]->chain().Height() + 1;
+  CatchUpLaggards();
+  uint64_t height = CanonicalChain().Height() + 1;
   CommitResult last;
   for (uint32_t retry = 0; retry <= config_.max_retries; ++retry) {
     BCFL_ASSIGN_OR_RETURN(last, TryPropose(height, retry));
@@ -170,6 +278,9 @@ Result<std::vector<CommitResult>> ConsensusEngine::RunUntilDrained(
   for (size_t i = 0; i < max_rounds; ++i) {
     bool any_pending = false;
     for (auto& miner : miners_) {
+      // Stale txs stranded in an unreachable replica's mempool cannot be
+      // proposed and must not keep the drain spinning.
+      if (!MinerParticipating(miner->id())) continue;
       if (!miner->mempool().empty()) {
         any_pending = true;
         break;

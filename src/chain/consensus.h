@@ -6,6 +6,7 @@
 #include "chain/leader.h"
 #include "chain/miner.h"
 #include "common/result.h"
+#include "fault/injector.h"
 #include "net/network.h"
 
 namespace bcfl::chain {
@@ -15,6 +16,9 @@ struct ConsensusConfig {
   uint64_t leader_seed = 2021;
   size_t max_txs_per_block = 0;   ///< 0 = no cap.
   uint32_t max_retries = 8;       ///< Leader rotations before giving up.
+  /// Simulated time burned waiting for a crashed or unreachable leader
+  /// before rotating to the next one in the schedule.
+  uint64_t view_change_timeout_us = 50'000;
   net::NetworkConfig network;
 };
 
@@ -45,6 +49,16 @@ struct CommitResult {
 ///
 /// All proposal/vote traffic crosses `SimulatedNetwork`, so the same
 /// engine measures throughput and latency for the Ablation-B benchmark.
+///
+/// With a fault injector attached (`set_fault_injector`), the engine
+/// tolerates crashed and partitioned miners up to a minority of the
+/// roster: an offline, partitioned-away or stale-chained leader times out
+/// (simulated clock) and the view changes to the next leader in the
+/// rotation; commits only apply to reachable replicas; miners that come
+/// back online are re-admitted by replaying the canonical chain through
+/// their own `CommitBlock` before the next proposal. The strict-majority
+/// vote threshold always counts the FULL roster, so a minority partition
+/// can never commit a conflicting block.
 class ConsensusEngine {
  public:
   ConsensusEngine(size_t num_miners, std::shared_ptr<const ContractHost> host,
@@ -67,20 +81,43 @@ class ConsensusEngine {
   /// possible). Returns one result per committed block.
   Result<std::vector<CommitResult>> RunUntilDrained(size_t max_rounds = 1000);
 
-  /// The canonical committed state (all honest replicas agree; miner 0's
-  /// replica is returned).
-  const ContractState& CanonicalState() const { return miners_[0]->state(); }
-  const Blockchain& CanonicalChain() const { return miners_[0]->chain(); }
+  /// The canonical committed state: the longest chain among online,
+  /// majority-side replicas (miner 0 when no faults are injected).
+  const ContractState& CanonicalState() const {
+    return miners_[CanonicalMinerIndex()]->state();
+  }
+  const Blockchain& CanonicalChain() const {
+    return miners_[CanonicalMinerIndex()]->chain();
+  }
+
+  /// Attaches the chaos injector (not owned; may be nullptr to detach)
+  /// and installs its message filter on the miners' network.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
+  /// True when `id` is online and reachable from the canonical replica
+  /// this round. Always true without an injector.
+  bool MinerParticipating(uint32_t id) const;
 
  private:
   /// One proposal attempt at the given retry depth.
   Result<CommitResult> TryPropose(uint64_t height, uint32_t retries);
+
+  /// Index of the replica whose chain is canonical: greatest committed
+  /// height among online majority-side miners, lowest id breaking ties.
+  size_t CanonicalMinerIndex() const;
+
+  /// Replays canonical blocks into every participating replica that fell
+  /// behind (crashed or partitioned while blocks committed), re-admitting
+  /// it to consensus. Returns the number of blocks replayed.
+  size_t CatchUpLaggards();
 
   std::shared_ptr<const ContractHost> host_;
   ConsensusConfig config_;
   net::SimulatedNetwork network_;
   std::vector<std::unique_ptr<Miner>> miners_;
   std::unique_ptr<LeaderSchedule> schedule_;
+  fault::FaultInjector* injector_ = nullptr;
 
   // Per-attempt vote collection (filled by network handlers).
   struct VoteBox {

@@ -5,6 +5,7 @@
 #include "data/partition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "secureagg/aggregator.h"
 #include "secureagg/fixed_point.h"
 #include "shapley/group_sv.h"
 
@@ -56,6 +57,23 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
     }
   }
 
+  // Recovery material: each owner Shamir-shares its DH private key over
+  // the roster, so a threshold of survivors can reveal a dropped owner's
+  // key to the on-chain `recover` method (Bonawitz et al.).
+  coord->threshold_ = config.secure_agg_threshold != 0
+                          ? config.secure_agg_threshold
+                          : config.num_owners / 2 + 1;
+  if (coord->threshold_ > config.num_owners) {
+    return Status::InvalidArgument("recovery threshold exceeds owner count");
+  }
+  coord->dh_shares_.reserve(config.num_owners);
+  for (auto& p : coord->participants_) {
+    BCFL_ASSIGN_OR_RETURN(
+        secureagg::RecoveryShares shares,
+        p->ShareSecrets(coord->threshold_, config.num_owners, &rng));
+    coord->dh_shares_.push_back(std::move(shares.dh_private_shares));
+  }
+
   // --- Agreed parameters. ----------------------------------------------
   SetupParams params;
   params.num_owners = config.num_owners;
@@ -83,6 +101,18 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
       coord->host_->Register(std::make_shared<RewardContract>()));
   coord->engine_ = std::make_unique<chain::ConsensusEngine>(
       config.num_miners, coord->host_, config.consensus);
+
+  // Chaos wiring: a validated plan becomes the injector consulted by the
+  // network filter, the consensus engine and the round driver below.
+  if (!config.fault_plan.empty()) {
+    BCFL_RETURN_IF_ERROR(config.fault_plan.Validate(
+        config.num_owners, static_cast<uint32_t>(config.num_miners),
+        coord->threshold_));
+    coord->injector_ = std::make_unique<fault::FaultInjector>(
+        config.fault_plan, config.num_owners,
+        static_cast<uint32_t>(config.num_miners));
+    coord->engine_->set_fault_injector(coord->injector_.get());
+  }
 
   chain::Transaction setup_tx;
   setup_tx.contract = "bcfl";
@@ -147,6 +177,103 @@ Status BcflCoordinator::SubmitOwnerUpdate(
   return engine_->SubmitTransaction(tx);
 }
 
+Result<bool> BcflCoordinator::SubmitWithRetries(
+    uint32_t owner, uint64_t round, const ml::Matrix& local_weights,
+    const std::vector<std::vector<size_t>>& groups, uint64_t deadline_us,
+    BcflRunResult* result) {
+  static auto& retries_counter =
+      obs::MetricsRegistry::Global().GetCounter("fl.submission_retries");
+  net::SimulatedNetwork& network = engine_->mutable_network();
+  uint64_t extra = injector_ != nullptr ? injector_->OwnerExtraDelayUs(owner)
+                                        : 0;
+  if (extra > 0) network.AdvanceClock(extra);
+  uint64_t backoff = config_.submit_backoff_us;
+  for (uint32_t attempt = 0; attempt < config_.max_submit_attempts;
+       ++attempt) {
+    if (network.clock().NowMicros() > deadline_us) break;
+    if (injector_ != nullptr && injector_->DropSubmissionAttempt(owner)) {
+      retries_counter.Add();
+      result->submission_retries++;
+      network.AdvanceClock(backoff);
+      backoff *= 2;
+      continue;
+    }
+    BCFL_RETURN_IF_ERROR(
+        SubmitOwnerUpdate(owner, round, local_weights, groups));
+    return true;
+  }
+  return false;  // Deadline missed: the owner counts as dropped.
+}
+
+Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
+                                             const std::set<uint32_t>& missing,
+                                             BcflRunResult* result) {
+  if (missing.empty()) return Status::OK();
+  static auto& dropouts_detected =
+      obs::MetricsRegistry::Global().GetCounter("fl.dropouts_detected");
+  static auto& recoveries =
+      obs::MetricsRegistry::Global().GetCounter("fl.recoveries");
+  obs::ScopedSpan span(obs::Tracer::Global(), "recover_phase", "fl");
+
+  // The lowest online survivor signs the recovery transactions (any
+  // registered owner may; the reveal is collective, not one's secret).
+  uint32_t reporter = config_.num_owners;
+  for (uint32_t j = 0; j < config_.num_owners; ++j) {
+    if (missing.count(j) > 0 || retired_.count(j) > 0) continue;
+    if (injector_ != nullptr && injector_->OwnerOffline(j)) continue;
+    reporter = j;
+    break;
+  }
+  if (reporter == config_.num_owners) {
+    return Status::FailedPrecondition("no online owner left to report drops");
+  }
+
+  for (uint32_t u : missing) {
+    dropouts_detected.Add();
+    // Collect shares held by online, un-retired survivors; strictly fewer
+    // than the threshold means the recovery must fail closed — a wrong
+    // key can never be reconstructed, only no key.
+    std::vector<crypto::ShamirShare> shares;
+    for (uint32_t holder = 0; holder < config_.num_owners; ++holder) {
+      if (holder == u || missing.count(holder) > 0 ||
+          retired_.count(holder) > 0) {
+        continue;
+      }
+      if (injector_ != nullptr && injector_->OwnerOffline(holder)) continue;
+      shares.push_back(dh_shares_[u][holder]);
+      if (shares.size() == threshold_) break;
+    }
+    if (shares.size() < threshold_) {
+      return Status::FailedPrecondition(
+          "only " + std::to_string(shares.size()) + " shares of owner " +
+          std::to_string(u) + "'s key survive; threshold is " +
+          std::to_string(threshold_) + " — failing closed");
+    }
+    BCFL_ASSIGN_OR_RETURN(auto secret,
+                          secureagg::SecureAggregator::ReconstructSecret32(
+                              shares, threshold_, config_.num_owners));
+    Bytes secret_bytes(secret.begin(), secret.end());
+    BCFL_ASSIGN_OR_RETURN(crypto::UInt256 dh_key,
+                          crypto::UInt256::FromBytes(secret_bytes));
+
+    chain::Transaction tx;
+    tx.contract = "bcfl";
+    tx.method = "recover";
+    tx.payload = FlContract::EncodeRecover(round, u, dh_key);
+    tx.nonce = (round + 1) * 1000 + 500 + u;
+    tx.Sign(schnorr_, schnorr_keys_[reporter], rng_.get());
+    BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(tx));
+    recoveries.Add();
+    result->recover_transactions++;
+    retired_[u] = round;
+    if (injector_ != nullptr) {
+      injector_->RecordExecuted(round, "recovered owner " + std::to_string(u) +
+                                           "; retired from the session");
+    }
+  }
+  return Status::OK();
+}
+
 Result<BcflRunResult> BcflCoordinator::Run() {
   static auto& rounds_counter =
       obs::MetricsRegistry::Global().GetCounter("fl.rounds");
@@ -162,26 +289,51 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     obs::ScopedSpan round_span(obs::Tracer::Global(), "round", "fl");
     obs::ScopedLatency round_latency(round_us);
     rounds_counter.Add();
+    if (injector_ != nullptr) injector_->BeginRound(round);
     // Owners derive the round's grouping locally from the agreed seed.
+    // Retired owners stay in the grouping (survivors keep masking against
+    // them; the contract cancels those masks from the on-chain keys).
     std::vector<size_t> perm =
         shapley::PermutationFromSeed(config_.seed_e, round, n);
     BCFL_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> groups,
                           shapley::GroupUsers(perm, config_.num_groups));
 
-    // Local training + masked submissions.
+    // Local training + masked submissions with a per-round deadline.
+    // Owners that are retired, offline, or miss the deadline after the
+    // retry budget are collected for the recovery phase.
+    const uint64_t deadline_us =
+        engine_->mutable_network().clock().NowMicros() +
+        config_.submit_deadline_us;
     std::vector<ml::Matrix> locals(n);
+    std::set<uint32_t> missing;
     {
       obs::ScopedSpan span(obs::Tracer::Global(), "train", "fl");
       for (uint32_t i = 0; i < n; ++i) {
+        if (retired_.count(i) > 0) continue;
+        if (injector_ != nullptr && injector_->OwnerOffline(i)) {
+          missing.insert(i);
+          continue;
+        }
         BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
-        BCFL_RETURN_IF_ERROR(SubmitOwnerUpdate(i, round, locals[i], groups));
+        BCFL_ASSIGN_OR_RETURN(
+            bool submitted,
+            SubmitWithRetries(i, round, locals[i], groups, deadline_us,
+                              &result));
+        if (!submitted) missing.insert(i);
       }
     }
     result.per_round_locals.push_back(std::move(locals));
 
-    // Consensus drains the mempool; the contract evaluates the round on
-    // the block containing the last submission.
+    // Consensus drains the submissions; if owners missed the deadline the
+    // survivors then drive the on-chain Shamir recovery, which completes
+    // the round with the dropped owners scored zero.
     BCFL_ASSIGN_OR_RETURN(auto commits, engine_->RunUntilDrained());
+    BCFL_RETURN_IF_ERROR(RecoverMissingOwners(round, missing, &result));
+    if (!missing.empty()) {
+      BCFL_ASSIGN_OR_RETURN(auto recovery_commits, engine_->RunUntilDrained());
+      commits.insert(commits.end(), recovery_commits.begin(),
+                     recovery_commits.end());
+    }
     for (const auto& commit : commits) {
       if (!commit.committed) {
         return Status::Internal("consensus failed during round " +
@@ -246,6 +398,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(distribute));
 
     for (uint32_t i = 0; i < n; ++i) {
+      if (retired_.count(i) > 0) continue;  // Retired owners cannot claim.
       chain::Transaction claim;
       claim.contract = "reward";
       claim.method = "claim";
@@ -268,6 +421,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
       result.rewards[i] = ReadU64OrZero(state, RewardContract::ClaimedKey(i));
     }
   }
+  result.retired_at = retired_;
   return result;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "chain/consensus.h"
@@ -8,6 +10,8 @@
 #include "core/fl_contract.h"
 #include "core/params.h"
 #include "data/digits.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "fl/client.h"
 #include "ml/dataset.h"
 #include "secureagg/participant.h"
@@ -32,6 +36,20 @@ struct BcflConfig {
   /// coordinator triggers on-chain distribution + claims after the
   /// final round (see RewardContract).
   uint64_t reward_pool = 0;
+  /// Chaos schedule injected into the network, the consensus engine and
+  /// the round driver. Empty = fault-free run (the default). Plans must
+  /// pass `FaultPlan::Validate` for this roster and threshold.
+  fault::FaultPlan fault_plan;
+  /// Shamir threshold for the owners' recovery shares;
+  /// 0 = floor(num_owners / 2) + 1.
+  size_t secure_agg_threshold = 0;
+  /// Per-round submission deadline on the simulated clock; an owner whose
+  /// update has not landed by then is declared dropped and recovered.
+  uint64_t submit_deadline_us = 2'000'000;
+  /// Base of the exponential backoff between submission attempts.
+  uint64_t submit_backoff_us = 10'000;
+  /// Submission attempts before the coordinator gives an owner up.
+  uint32_t max_submit_attempts = 5;
 };
 
 /// Everything a full on-chain session produces.
@@ -48,6 +66,14 @@ struct BcflRunResult {
   /// On-chain reward claimed by each owner (empty when no pool was
   /// configured).
   std::vector<uint64_t> rewards;
+  /// Owners retired by on-chain recoveries: owner id -> round in which
+  /// the dropout was recovered. Their total SV is frozen from that round
+  /// on (every later round scores them 0).
+  std::map<uint32_t, uint64_t> retired_at;
+  /// Committed recover transactions across the run.
+  size_t recover_transactions = 0;
+  /// Submission attempts that were retried after a loss.
+  size_t submission_retries = 0;
 };
 
 /// Drives the full protocol of Sect. IV-B on the simulated blockchain:
@@ -77,6 +103,11 @@ class BcflCoordinator {
   /// SV-inflating leader for the adversarial experiments).
   Status InstallMinerBehavior(size_t miner_idx, chain::MinerBehavior behavior);
 
+  /// The chaos injector driving this run (nullptr for fault-free runs).
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
+  /// Shamir threshold of the distributed recovery shares.
+  size_t recovery_threshold() const { return threshold_; }
+
  private:
   BcflCoordinator() = default;
 
@@ -84,6 +115,23 @@ class BcflCoordinator {
   Status SubmitOwnerUpdate(uint32_t owner, uint64_t round,
                            const ml::Matrix& local_weights,
                            const std::vector<std::vector<size_t>>& groups);
+
+  /// Submission with deadline/retry semantics: lost attempts back off
+  /// exponentially on the simulated clock until the round deadline.
+  /// Returns false when the owner missed the deadline (a dropout).
+  Result<bool> SubmitWithRetries(uint32_t owner, uint64_t round,
+                                 const ml::Matrix& local_weights,
+                                 const std::vector<std::vector<size_t>>& groups,
+                                 uint64_t deadline_us,
+                                 BcflRunResult* result);
+
+  /// Drives the on-chain `recover` transaction for every owner in
+  /// `missing`: collects Shamir shares from online survivors (fails
+  /// closed below the threshold), reconstructs the DH private key and
+  /// submits the recovery. Successfully recovered owners are retired.
+  Status RecoverMissingOwners(uint64_t round,
+                              const std::set<uint32_t>& missing,
+                              BcflRunResult* result);
 
   BcflConfig config_;
   ml::Dataset test_set_;
@@ -95,6 +143,13 @@ class BcflCoordinator {
   std::unique_ptr<chain::ConsensusEngine> engine_;
   std::unique_ptr<Xoshiro256> rng_;
   SetupParams params_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  /// dh_shares_[owner][holder]: the Shamir share of `owner`'s DH private
+  /// key held by `holder`, distributed at setup.
+  std::vector<std::vector<crypto::ShamirShare>> dh_shares_;
+  size_t threshold_ = 0;
+  /// Owners retired by a committed recovery, with the retirement round.
+  std::map<uint32_t, uint64_t> retired_;
 };
 
 }  // namespace bcfl::core

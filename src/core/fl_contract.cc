@@ -122,6 +122,12 @@ Status FlContract::ExecuteSubmitUpdate(const chain::Transaction& tx,
     return Status::FailedPrecondition(
         "owner was already recovered as dropped this round");
   }
+  // A recovery revealed this owner's DH key on chain; its masks are
+  // public forever, so the contract never accepts its updates again.
+  if (state->Has(keys::Retired(owner))) {
+    return Status::FailedPrecondition("owner " + std::to_string(owner) +
+                                      " was retired by an earlier recovery");
+  }
   BCFL_RETURN_IF_ERROR(PutU64Vector(state, update_key, masked));
   return MaybeEvaluateRound(params, round, state);
 }
@@ -167,6 +173,9 @@ Status FlContract::ExecuteRecover(const chain::Transaction& tx,
   if (state->Has(keys::Dropped(round, dropped))) {
     return Status::AlreadyExists("owner already recovered this round");
   }
+  if (state->Has(keys::Retired(dropped))) {
+    return Status::AlreadyExists("owner already retired; its key is on chain");
+  }
 
   // Verifiability: the revealed private key must match the dropped
   // owner's DH public key broadcast at setup — g^x == pub. A forged
@@ -181,7 +190,32 @@ Status FlContract::ExecuteRecover(const chain::Transaction& tx,
         "'s public key");
   }
   state->Put(keys::Dropped(round, dropped), key_bytes);
+  // Retirement record: (round, key). Later rounds read it to count the
+  // owner as permanently accounted for and to cancel the residual masks
+  // survivors still generate against it.
+  ByteWriter retired;
+  retired.WriteU64(round);
+  retired.WriteRaw(key_bytes.data(), key_bytes.size());
+  state->Put(keys::Retired(dropped), retired.Take());
   return MaybeEvaluateRound(params, round, state);
+}
+
+Result<std::map<uint32_t, crypto::UInt256>> FlContract::RetiredBefore(
+    const chain::ContractState& state, uint64_t round) {
+  std::map<uint32_t, crypto::UInt256> retired;
+  for (const auto& key : state.KeysWithPrefix(keys::RetiredPrefix())) {
+    uint32_t owner = static_cast<uint32_t>(
+        std::stoul(key.substr(key.rfind('/') + 1)));
+    BCFL_ASSIGN_OR_RETURN(Bytes record, state.Get(key));
+    ByteReader reader(record);
+    BCFL_ASSIGN_OR_RETURN(uint64_t retired_round, reader.ReadU64());
+    BCFL_ASSIGN_OR_RETURN(Bytes key_bytes, reader.ReadRaw(32));
+    if (retired_round >= round) continue;  // Counted by this round's drops.
+    BCFL_ASSIGN_OR_RETURN(crypto::UInt256 priv,
+                          crypto::UInt256::FromBytes(key_bytes));
+    retired[owner] = priv;
+  }
+  return retired;
 }
 
 Status FlContract::MaybeEvaluateRound(const SetupParams& params,
@@ -190,7 +224,10 @@ Status FlContract::MaybeEvaluateRound(const SetupParams& params,
   size_t submitted =
       state->KeysWithPrefix(keys::UpdatePrefix(round)).size();
   size_t dropped = state->KeysWithPrefix(keys::DroppedPrefix(round)).size();
-  if (submitted + dropped < params.num_owners) {
+  // Owners retired by recoveries in earlier rounds never submit again;
+  // the contract counts them as permanently accounted for.
+  BCFL_ASSIGN_OR_RETURN(auto retired, RetiredBefore(*state, round));
+  if (submitted + dropped + retired.size() < params.num_owners) {
     return Status::OK();  // Round still in progress.
   }
   if (submitted == 0) {
@@ -215,7 +252,11 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
       static_cast<int>(params.fixed_point_bits));
   crypto::DiffieHellman dh;
 
-  // Collect the round's dropout set and the revealed keys.
+  // Collect the revealed keys of every absent member: owners recovered
+  // this round plus owners retired by earlier recoveries. Survivors mask
+  // against the full group roster (they need not even know who retired),
+  // so every absent member's residual masks are regenerated from its
+  // on-chain key and removed — the same arithmetic either way.
   std::map<uint32_t, crypto::UInt256> dropped_keys;
   for (const auto& key : state->KeysWithPrefix(keys::DroppedPrefix(round))) {
     // Key layout: "dropped/<round>/<owner>".
@@ -226,6 +267,8 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
                           crypto::UInt256::FromBytes(key_bytes));
     dropped_keys[owner] = priv;
   }
+  BCFL_ASSIGN_OR_RETURN(auto retired_keys, RetiredBefore(*state, round));
+  dropped_keys.insert(retired_keys.begin(), retired_keys.end());
 
   // Derive the deterministic grouping for this round (Algorithm 1,
   // lines 1-2) — identical on every miner.
@@ -238,7 +281,8 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
   // between survivors cancel, and each survivor<->dropped residual mask
   // is regenerated from the revealed key and removed. Decode the mean
   // over survivors as the group model.
-  std::vector<std::vector<size_t>> surviving_groups(groups.size());
+  std::vector<std::vector<size_t>> surviving_groups;
+  surviving_groups.reserve(groups.size());
   std::vector<ml::Matrix> group_models;
   group_models.reserve(groups.size());
   {
@@ -255,10 +299,11 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
         }
       }
       if (survivors.empty()) {
-        return Status::FailedPrecondition(
-            "group " + std::to_string(j) + " has no survivors");
+        // Every member dropped or retired: the group contributes no model
+        // this round and GroupSV degrades to the surviving groups.
+        continue;
       }
-      surviving_groups[j] = survivors;
+      surviving_groups.push_back(survivors);
   
       std::vector<uint64_t> sum(rows * cols, 0);
       for (size_t member : survivors) {

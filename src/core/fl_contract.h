@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "chain/contract.h"
@@ -65,7 +66,12 @@ class FlContract : public chain::SmartContract {
                              chain::ContractState* state);
   Status ExecuteRecover(const chain::Transaction& tx,
                         chain::ContractState* state);
-  /// Evaluates the round if every owner has submitted or been recovered.
+  /// Owners retired by recoveries in rounds before `round`, with their
+  /// on-chain revealed DH private keys.
+  static Result<std::map<uint32_t, crypto::UInt256>> RetiredBefore(
+      const chain::ContractState& state, uint64_t round);
+  /// Evaluates the round once every owner has submitted, been recovered
+  /// this round, or retired in an earlier one.
   Status MaybeEvaluateRound(const SetupParams& params, uint64_t round,
                             chain::ContractState* state);
   /// Runs group aggregation + GroupSV over the round's survivors.

@@ -51,6 +51,10 @@ std::string DroppedPrefix(uint64_t round) {
   return "dropped/" + Pad(round) + "/";
 }
 
+std::string Retired(uint32_t owner) { return "retired/" + Pad(owner); }
+
+std::string RetiredPrefix() { return "retired/"; }
+
 }  // namespace keys
 
 Status PutDouble(chain::ContractState* state, const std::string& key,
@@ -96,6 +100,21 @@ Result<std::vector<uint64_t>> GetU64Vector(const chain::ContractState& state,
   BCFL_ASSIGN_OR_RETURN(Bytes raw, state.Get(key));
   ByteReader reader(raw);
   return reader.ReadU64Vector();
+}
+
+Status PutU64(chain::ContractState* state, const std::string& key,
+              uint64_t value) {
+  ByteWriter writer;
+  writer.WriteU64(value);
+  state->Put(key, writer.Take());
+  return Status::OK();
+}
+
+Result<uint64_t> GetU64(const chain::ContractState& state,
+                        const std::string& key) {
+  BCFL_ASSIGN_OR_RETURN(Bytes raw, state.Get(key));
+  ByteReader reader(raw);
+  return reader.ReadU64();
 }
 
 }  // namespace bcfl::core

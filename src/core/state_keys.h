@@ -34,6 +34,12 @@ std::string RoundComplete(uint64_t round);
 std::string Dropped(uint64_t round, uint32_t owner);
 /// Prefix of all dropout records of a round.
 std::string DroppedPrefix(uint64_t round);
+/// "retired/<owner>" — permanent retirement record (retirement round +
+/// revealed DH private key). Once an owner's key is revealed by a
+/// recovery it can never safely mask again, so it is retired for good.
+std::string Retired(uint32_t owner);
+/// Prefix of all retirement records.
+std::string RetiredPrefix();
 
 }  // namespace keys
 
@@ -50,5 +56,9 @@ Status PutU64Vector(chain::ContractState* state, const std::string& key,
                     const std::vector<uint64_t>& v);
 Result<std::vector<uint64_t>> GetU64Vector(const chain::ContractState& state,
                                            const std::string& key);
+Status PutU64(chain::ContractState* state, const std::string& key,
+              uint64_t value);
+Result<uint64_t> GetU64(const chain::ContractState& state,
+                        const std::string& key);
 
 }  // namespace bcfl::core

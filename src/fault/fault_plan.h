@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace bcfl::fault {
+
+/// Which simulated process a fault event targets. Owners are FL data
+/// owners (they submit masked updates); miners are consensus nodes on the
+/// simulated P2P network.
+enum class NodeKind : uint8_t { kOwner, kMiner };
+
+/// The fault vocabulary of the chaos DSL.
+enum class FaultKind : uint8_t {
+  kCrash,       ///< Node goes offline at `round` (until a later recover).
+  kRecover,     ///< Node comes back online at `round`.
+  kSlow,        ///< Extra `delay_us` on the node's traffic in [round, end_round].
+  kDropSubmit,  ///< Owner's first `count` submission attempts at `round` are lost.
+  kDuplicate,   ///< Miner's outbound messages duplicated in [round, end_round].
+  kReorder,     ///< Miner's outbound messages jittered in [round, end_round].
+  kPartition,   ///< `members` (miners) isolated from the rest in [round, end_round].
+};
+
+/// One scheduled fault, keyed to the FL round counter; durations express
+/// simulated time through `delay_us`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  NodeKind node_kind = NodeKind::kOwner;
+  uint32_t node = 0;              ///< Target id (unused for partitions).
+  uint64_t round = 0;             ///< Activation round.
+  uint64_t end_round = 0;         ///< Inclusive last round of interval faults.
+  uint32_t count = 1;             ///< Dropped submission attempts.
+  uint64_t delay_us = 0;          ///< Extra latency for slow/reorder faults.
+  std::vector<uint32_t> members;  ///< Partition cell (miner ids).
+
+  /// One line of the DSL, e.g. "crash owner 2 @1" or
+  /// "slow miner 0 @1..3 +20000us".
+  std::string ToString() const;
+};
+
+/// Knobs of the seedable random plan generator. The generator only emits
+/// plans that `Validate` accepts, so every seed of a CI sweep converges
+/// by construction: at most `num_owners - threshold` owners ever crash
+/// (threshold share-holders always survive) and the offline-miner set
+/// (crashes plus minority partition cells) never reaches half the roster.
+struct FaultPlanOptions {
+  uint32_t num_owners = 9;
+  uint32_t num_miners = 5;
+  uint32_t rounds = 10;
+  /// Shamir recovery threshold; 0 = floor(num_owners / 2) + 1.
+  size_t shamir_threshold = 0;
+  double owner_crash_rate = 0.6;  ///< Fraction of the crash budget to spend.
+  double miner_crash_rate = 0.6;
+  double partition_rate = 0.35;   ///< Probability of one partition window.
+  double slow_rate = 0.3;         ///< Per-node probability of a slow window.
+  double drop_submit_rate = 0.25; ///< Per-owner probability of lost attempts.
+  double duplicate_rate = 0.25;   ///< Per-miner probability of duplication.
+  double reorder_rate = 0.25;     ///< Per-miner probability of reordering.
+  uint64_t max_extra_delay_us = 20'000;
+};
+
+/// A deterministic schedule of faults for one protocol run.
+///
+/// Plans come from three places: the builder API (tests), the text DSL
+/// (`Parse`, the `--fault-plan` flag of bcfl_sim) and the seedable
+/// generator (`Random`, the chaos sweeps). `FaultInjector` (injector.h)
+/// turns a plan into per-round decisions consumed by the network, the
+/// consensus engine and the coordinator.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Semicolon/newline-separated DSL document; round-trips via Parse.
+  std::string ToString() const;
+
+  /// Parses the DSL. Grammar, one event per line (or ';'-separated,
+  /// '#' comments):
+  ///   crash (owner|miner) <id> @<round>
+  ///   recover (owner|miner) <id> @<round>
+  ///   slow (owner|miner) <id> @<r>[..<r2>] +<delay>us
+  ///   drop-submit owner <id> @<round> [x<count>]
+  ///   duplicate miner <id> @<r>[..<r2>]
+  ///   reorder miner <id> @<r>[..<r2>]
+  ///   partition miners <id>,<id>,... @<r>[..<r2>]
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Deterministic random plan within the safety envelope of `options`.
+  static FaultPlan Random(uint64_t seed, const FaultPlanOptions& options);
+
+  /// Rejects plans that could make the protocol unrecoverable: more than
+  /// `num_owners - threshold` distinct owners crashing, any round where
+  /// the online miners reachable from each other fall to half the roster
+  /// or below, out-of-range ids, or inverted intervals.
+  Status Validate(uint32_t num_owners, uint32_t num_miners,
+                  size_t shamir_threshold) const;
+};
+
+}  // namespace bcfl::fault

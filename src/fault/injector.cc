@@ -1,0 +1,162 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace bcfl::fault {
+namespace {
+
+/// Deterministic per-message jitter for reorder faults: a few SplitMix64
+/// rounds over a message fingerprint, reduced to [0, 5ms). Large enough
+/// to invert delivery order against the default latency band, small
+/// enough never to look like a crash.
+uint64_t ReorderJitterUs(uint64_t fingerprint) {
+  uint64_t z = fingerprint + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return (z ^ (z >> 31)) % 5000;
+}
+
+bool ActiveAt(const FaultEvent& e, uint64_t round) {
+  return e.round <= round && round <= std::max(e.round, e.end_round);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, uint32_t num_owners,
+                             uint32_t num_miners)
+    : plan_(std::move(plan)),
+      num_owners_(num_owners),
+      num_miners_(num_miners) {}
+
+void FaultInjector::BeginRound(uint64_t round) {
+  round_ = round;
+  crashed_owners_.clear();
+  crashed_miners_.clear();
+  partition_cell_.clear();
+  slow_owners_us_.clear();
+  slow_miners_us_.clear();
+  duplicating_miners_.clear();
+  reordering_miners_.clear();
+  submit_drops_left_.clear();
+
+  // Crash/recover replay in schedule order: the latest event at or before
+  // this round decides each node's liveness.
+  for (const FaultEvent& e : plan_.events) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (e.round <= round) {
+          (e.node_kind == NodeKind::kOwner ? crashed_owners_ : crashed_miners_)
+              .insert(e.node);
+        }
+        break;
+      case FaultKind::kRecover:
+        if (e.round <= round) {
+          (e.node_kind == NodeKind::kOwner ? crashed_owners_ : crashed_miners_)
+              .erase(e.node);
+        }
+        break;
+      case FaultKind::kSlow:
+        if (ActiveAt(e, round)) {
+          auto& slow = e.node_kind == NodeKind::kOwner ? slow_owners_us_
+                                                       : slow_miners_us_;
+          slow[e.node] = std::max(slow[e.node], e.delay_us);
+        }
+        break;
+      case FaultKind::kDropSubmit:
+        if (e.round == round) submit_drops_left_[e.node] += e.count;
+        break;
+      case FaultKind::kDuplicate:
+        if (ActiveAt(e, round)) duplicating_miners_.insert(e.node);
+        break;
+      case FaultKind::kReorder:
+        if (ActiveAt(e, round)) reordering_miners_.insert(e.node);
+        break;
+      case FaultKind::kPartition:
+        if (ActiveAt(e, round)) {
+          partition_cell_.insert(e.members.begin(), e.members.end());
+        }
+        break;
+    }
+  }
+
+  // One summary entry per round keeps the executed log proportional to
+  // the plan, not to traffic volume.
+  for (const FaultEvent& e : plan_.events) {
+    if (ActiveAt(e, round) &&
+        (e.kind != FaultKind::kCrash && e.kind != FaultKind::kRecover
+             ? true
+             : e.round == round)) {
+      RecordExecuted(round, e.ToString());
+    }
+  }
+}
+
+uint64_t FaultInjector::OwnerExtraDelayUs(uint32_t owner) const {
+  auto it = slow_owners_us_.find(owner);
+  return it == slow_owners_us_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::DropSubmissionAttempt(uint32_t owner) {
+  auto it = submit_drops_left_.find(owner);
+  if (it == submit_drops_left_.end() || it->second == 0) return false;
+  --it->second;
+  RecordExecuted(round_, "dropped submission attempt of owner " +
+                             std::to_string(owner));
+  return true;
+}
+
+bool FaultInjector::MinersReachable(uint32_t a, uint32_t b) const {
+  if (partition_cell_.empty()) return true;
+  return (partition_cell_.count(a) > 0) == (partition_cell_.count(b) > 0);
+}
+
+net::FaultDecision FaultInjector::FilterMessage(const net::Message& msg) {
+  net::FaultDecision decision;
+  const uint32_t from = static_cast<uint32_t>(msg.from);
+  const uint32_t to = static_cast<uint32_t>(msg.to);
+  if (MinerOffline(from) || MinerOffline(to) || !MinersReachable(from, to)) {
+    decision.drop = true;
+    return decision;
+  }
+  auto slow_from = slow_miners_us_.find(from);
+  if (slow_from != slow_miners_us_.end()) {
+    decision.extra_delay_us += slow_from->second;
+  }
+  auto slow_to = slow_miners_us_.find(to);
+  if (slow_to != slow_miners_us_.end()) {
+    decision.extra_delay_us += slow_to->second;
+  }
+  if (duplicating_miners_.count(from) > 0) decision.duplicates = 1;
+  if (reordering_miners_.count(from) > 0) {
+    // The filter runs before a sequence number is assigned, so the
+    // fingerprint mixes the sampled delivery time with the payload size.
+    decision.extra_delay_us +=
+        ReorderJitterUs(msg.deliver_at_us ^ (msg.payload.size() << 17) ^
+                        (static_cast<uint64_t>(msg.to) << 40));
+  }
+  return decision;
+}
+
+void FaultInjector::InstallOn(net::SimulatedNetwork* network) {
+  network->set_fault_filter(
+      [this](const net::Message& msg) { return FilterMessage(msg); });
+}
+
+void FaultInjector::RecordExecuted(uint64_t round, const std::string& what) {
+  executed_.push_back({round, what});
+}
+
+std::string FaultInjector::ExecutedScheduleJson() const {
+  obs::JsonWriter writer;
+  writer.BeginArray();
+  for (const Executed& e : executed_) {
+    writer.BeginObject();
+    writer.Field("round", static_cast<size_t>(e.round));
+    writer.Field("event", e.what);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  return writer.str();
+}
+
+}  // namespace bcfl::fault

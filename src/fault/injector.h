@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "obs/json_writer.h"
+
+namespace bcfl::fault {
+
+/// Turns a `FaultPlan` into the per-round, per-message decisions the
+/// protocol layers consult:
+///
+///  - `net::SimulatedNetwork` calls `FilterMessage` (via the installed
+///    fault filter) for drop/duplicate/delay verdicts on miner traffic;
+///  - `chain::ConsensusEngine` asks which miners are offline or
+///    partitioned, to time out crashed leaders (view change) and to know
+///    which replicas fall behind and need catch-up;
+///  - `core::BcflCoordinator` asks which owners are offline and whether a
+///    submission attempt is lost, driving its deadline/retry machinery.
+///
+/// All decisions are pure functions of (plan, round, message), so a run
+/// under faults is exactly as reproducible as a clean run. The injector
+/// records every decision that fired into an executed-schedule log that
+/// bcfl_sim exports into metrics.json for triage.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, uint32_t num_owners, uint32_t num_miners);
+
+  /// Advances the injector to FL round `round` (monotone): recomputes the
+  /// crash/partition/slow sets and re-arms per-round submission drops.
+  void BeginRound(uint64_t round);
+
+  uint64_t current_round() const { return round_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Owner-side queries (coordinator). -------------------------------
+  bool OwnerOffline(uint32_t owner) const {
+    return crashed_owners_.count(owner) > 0;
+  }
+  /// Extra simulated latency an owner pays before its first attempt.
+  uint64_t OwnerExtraDelayUs(uint32_t owner) const;
+  /// True when this submission attempt is lost; consumes one drop from
+  /// the round's budget and logs it.
+  bool DropSubmissionAttempt(uint32_t owner);
+
+  // --- Miner-side queries (consensus engine). --------------------------
+  bool MinerOffline(uint32_t miner) const {
+    return crashed_miners_.count(miner) > 0;
+  }
+  /// False when a partition separates `a` and `b` this round.
+  bool MinersReachable(uint32_t a, uint32_t b) const;
+  /// Offline, or partitioned away from `from`.
+  bool MinerUnavailable(uint32_t from, uint32_t miner) const {
+    return MinerOffline(miner) || !MinersReachable(from, miner);
+  }
+
+  /// The per-message verdict bound into `net::SimulatedNetwork` via
+  /// `InstallOn`. Messages touching offline or partitioned miners drop;
+  /// slow endpoints add latency; duplicate/reorder windows fan out or
+  /// jitter the sender's traffic.
+  net::FaultDecision FilterMessage(const net::Message& msg);
+
+  /// Installs this injector's filter on `network` (miners' bus).
+  void InstallOn(net::SimulatedNetwork* network);
+
+  /// Appends a free-form entry to the executed-schedule log (protocol
+  /// layers record recoveries and view changes here too).
+  void RecordExecuted(uint64_t round, const std::string& what);
+
+  /// The executed schedule as a JSON array of {round, event} objects —
+  /// what actually fired, as opposed to what the plan scheduled.
+  std::string ExecutedScheduleJson() const;
+  size_t executed_events() const { return executed_.size(); }
+
+ private:
+  struct Executed {
+    uint64_t round;
+    std::string what;
+  };
+
+  FaultPlan plan_;
+  uint32_t num_owners_;
+  uint32_t num_miners_;
+  uint64_t round_ = 0;
+
+  std::set<uint32_t> crashed_owners_;
+  std::set<uint32_t> crashed_miners_;
+  std::set<uint32_t> partition_cell_;  ///< Minority cell this round.
+  std::map<uint32_t, uint64_t> slow_owners_us_;
+  std::map<uint32_t, uint64_t> slow_miners_us_;
+  std::set<uint32_t> duplicating_miners_;
+  std::set<uint32_t> reordering_miners_;
+  std::map<uint32_t, uint32_t> submit_drops_left_;
+
+  std::vector<Executed> executed_;
+};
+
+}  // namespace bcfl::fault

@@ -32,14 +32,33 @@ uint64_t SimulatedNetwork::SampleLatency() {
   return config_.min_latency_us + rng_.NextBounded(span + 1);
 }
 
+bool SimulatedNetwork::SampleDrop(NodeId from, NodeId to) {
+  if (config_.drop_probability <= 0.0) return false;
+  auto key = std::make_pair(from, to);
+  auto it = drop_rngs_.find(key);
+  if (it == drop_rngs_.end()) {
+    // Golden-ratio mixing of the pair keeps nearby (from, to) seeds far
+    // apart before SplitMix64 scrambles them further.
+    uint64_t pair_seed = config_.seed ^
+                         (static_cast<uint64_t>(from) * 0x9E3779B97F4A7C15ULL) ^
+                         (static_cast<uint64_t>(to) * 0xC2B2AE3D27D4EB4FULL);
+    it = drop_rngs_.emplace(key, SplitMix64(pair_seed)).first;
+  }
+  return it->second.NextDouble() < config_.drop_probability;
+}
+
+void SimulatedNetwork::Enqueue(Message msg) {
+  msg.seq = next_seq_++;
+  queue_.push(std::move(msg));
+}
+
 Status SimulatedNetwork::Send(NodeId from, NodeId to, Bytes payload) {
   if (handlers_.count(to) == 0) {
     return Status::NotFound("unknown destination node: " + std::to_string(to));
   }
   stats_.messages_sent++;
   stats_.bytes_sent += payload.size();
-  if (config_.drop_probability > 0.0 &&
-      rng_.NextDouble() < config_.drop_probability) {
+  if (SampleDrop(from, to)) {
     stats_.messages_dropped++;
     return Status::OK();  // Silently lost, like a real datagram.
   }
@@ -48,8 +67,22 @@ Status SimulatedNetwork::Send(NodeId from, NodeId to, Bytes payload) {
   msg.to = to;
   msg.payload = std::move(payload);
   msg.deliver_at_us = clock_.NowMicros() + SampleLatency();
-  msg.seq = next_seq_++;
-  queue_.push(std::move(msg));
+
+  FaultDecision decision;
+  if (fault_filter_) decision = fault_filter_(msg);
+  if (decision.drop) {
+    stats_.messages_dropped++;
+    return Status::OK();
+  }
+  msg.deliver_at_us += decision.extra_delay_us;
+  for (uint32_t copy = 0; copy < decision.duplicates; ++copy) {
+    Message dup = msg;
+    dup.deliver_at_us =
+        clock_.NowMicros() + SampleLatency() + decision.extra_delay_us;
+    stats_.messages_duplicated++;
+    Enqueue(std::move(dup));
+  }
+  Enqueue(std::move(msg));
   return Status::OK();
 }
 
@@ -69,9 +102,18 @@ size_t SimulatedNetwork::DeliverAll() {
     clock_.AdvanceTo(msg.deliver_at_us);
     auto it = handlers_.find(msg.to);
     if (it != handlers_.end()) {
+      auto [seq_it, first] = last_delivered_seq_.emplace(msg.to, msg.seq);
+      if (!first) {
+        if (msg.seq < seq_it->second) {
+          stats_.messages_reordered++;
+        } else {
+          seq_it->second = msg.seq;
+        }
+      }
       it->second(msg);
       ++delivered;
       stats_.messages_delivered++;
+      stats_.delivered_per_node[msg.to]++;
     }
   }
   return delivered;

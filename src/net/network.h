@@ -38,7 +38,21 @@ struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;
+  uint64_t messages_duplicated = 0;  ///< Extra copies injected by faults.
+  /// Messages delivered after a later-sent message already reached the
+  /// same destination (program-order inversion).
+  uint64_t messages_reordered = 0;
   uint64_t bytes_sent = 0;
+  std::map<NodeId, uint64_t> delivered_per_node;
+};
+
+/// Verdict of the fault filter for one outbound message. The filter runs
+/// after the config-level loss model, so injected faults compose with
+/// background packet loss.
+struct FaultDecision {
+  bool drop = false;           ///< Lose the message entirely.
+  uint32_t duplicates = 0;     ///< Extra copies to enqueue.
+  uint64_t extra_delay_us = 0; ///< Added to the sampled latency.
 };
 
 /// Deterministic in-process P2P message bus.
@@ -48,10 +62,13 @@ struct NetworkStats {
 /// messages in (deliver_time, seq) order with seedable random latency
 /// and optional loss, driven by a simulated clock — so every consensus
 /// run is exactly reproducible, and the chain-throughput benchmarks can
-/// vary latency/loss without wall-clock noise.
+/// vary latency/loss without wall-clock noise. A fault filter installed
+/// by the chaos harness (src/fault) can additionally drop, duplicate or
+/// delay individual messages.
 class SimulatedNetwork {
  public:
   using Handler = std::function<void(const Message&)>;
+  using FaultFilter = std::function<FaultDecision(const Message&)>;
 
   explicit SimulatedNetwork(NetworkConfig config = {});
 
@@ -65,7 +82,9 @@ class SimulatedNetwork {
   /// Queues a unicast message. Unknown destinations are an error.
   Status Send(NodeId from, NodeId to, Bytes payload);
 
-  /// Queues the payload to every node except the sender.
+  /// Queues the payload to every node except the sender. Per-destination
+  /// drop decisions come from independently seeded streams, so loss
+  /// patterns do not correlate with roster iteration order.
   Status Broadcast(NodeId from, const Bytes& payload);
 
   /// Delivers all queued messages (including ones sent by handlers during
@@ -73,11 +92,24 @@ class SimulatedNetwork {
   /// last delivery. Returns the number delivered.
   size_t DeliverAll();
 
+  /// Installs (or clears, with nullptr) the per-message fault filter.
+  void set_fault_filter(FaultFilter filter) {
+    fault_filter_ = std::move(filter);
+  }
+
+  /// Advances the simulated clock without traffic — timeouts and retry
+  /// backoff burn simulated, never wall-clock, time.
+  void AdvanceClock(uint64_t delta_us) { clock_.AdvanceMicros(delta_us); }
+
   const NetworkStats& stats() const { return stats_; }
   const SimClock& clock() const { return clock_; }
 
  private:
   uint64_t SampleLatency();
+  /// Per-(from, to) loss stream, lazily seeded from the config seed and
+  /// the pair — independent of every other pair's stream.
+  bool SampleDrop(NodeId from, NodeId to);
+  void Enqueue(Message msg);
 
   struct Ordering {
     bool operator()(const Message& a, const Message& b) const {
@@ -92,8 +124,12 @@ class SimulatedNetwork {
   Xoshiro256 rng_;
   SimClock clock_;
   std::map<NodeId, Handler> handlers_;
+  std::map<std::pair<NodeId, NodeId>, SplitMix64> drop_rngs_;
   std::priority_queue<Message, std::vector<Message>, Ordering> queue_;
   NetworkStats stats_;
+  FaultFilter fault_filter_;
+  /// Highest seq delivered per node, for reorder detection.
+  std::map<NodeId, uint64_t> last_delivered_seq_;
   uint64_t next_seq_ = 0;
 };
 

@@ -5,7 +5,7 @@ namespace bcfl::obs {
 Status ExportTo(const MetricsRegistry& registry, const Tracer& tracer,
                 const ExportPaths& paths) {
   if (!paths.metrics_json.empty() &&
-      !registry.WriteFile(paths.metrics_json)) {
+      !registry.WriteFile(paths.metrics_json, paths.metrics_extra)) {
     return Status::Internal("cannot write metrics to " + paths.metrics_json);
   }
   if (!paths.trace_json.empty() &&

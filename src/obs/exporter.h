@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "common/result.h"
@@ -14,6 +15,9 @@ struct ExportPaths {
   std::string metrics_json = "metrics.json";
   std::string trace_json = "trace.json";
   std::string trace_csv;  ///< Off by default.
+  /// Extra top-level fields spliced into metrics.json verbatim
+  /// (key -> raw JSON value), e.g. a chaos run's executed fault schedule.
+  std::map<std::string, std::string> metrics_extra;
 };
 
 /// Writes `registry`/`tracer` to the given paths. Returns the first I/O

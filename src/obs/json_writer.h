@@ -49,6 +49,17 @@ class JsonWriter {
   void Field(const char* key, const std::string& value) {
     Field(key, value.c_str());
   }
+  /// Splices `raw_json` in verbatim as the value of `key`. The caller
+  /// vouches that it is well-formed JSON (e.g. a document produced by
+  /// another JsonWriter, like the executed fault schedule).
+  void RawField(const char* key, const std::string& raw_json) {
+    Key(key);
+    out_ += raw_json;
+    need_comma_ = true;
+  }
+  void RawField(const std::string& key, const std::string& raw_json) {
+    RawField(key.c_str(), raw_json);
+  }
   /// Field whose key is not a compile-time literal (metric names).
   void Field(const std::string& key, double value) { Field(key.c_str(), value); }
   void Field(const std::string& key, size_t value) { Field(key.c_str(), value); }

@@ -205,7 +205,8 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
-void MetricsRegistry::WriteJson(JsonWriter* json) const {
+void MetricsRegistry::WriteJson(
+    JsonWriter* json, const std::map<std::string, std::string>& extra) const {
   std::lock_guard<std::mutex> lock(mu_);
   json->BeginObject();
   json->BeginObject("counters");
@@ -243,6 +244,7 @@ void MetricsRegistry::WriteJson(JsonWriter* json) const {
     json->EndObject();
   }
   json->EndObject();
+  for (const auto& [key, raw] : extra) json->RawField(key, raw);
   json->EndObject();
 }
 
@@ -252,9 +254,11 @@ std::string MetricsRegistry::ToJsonString() const {
   return json.str();
 }
 
-bool MetricsRegistry::WriteFile(const std::string& path) const {
+bool MetricsRegistry::WriteFile(
+    const std::string& path,
+    const std::map<std::string, std::string>& extra) const {
   JsonWriter json;
-  WriteJson(&json);
+  WriteJson(&json, extra);
   return json.WriteFile(path);
 }
 

@@ -165,9 +165,14 @@ class MetricsRegistry {
 
   /// Serialises every instrument as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}.
-  void WriteJson(JsonWriter* json) const;
+  /// `extra` entries are spliced into the top-level object verbatim
+  /// (key -> raw JSON value) — e.g. the executed fault schedule of a
+  /// chaos run; callers vouch the values are well-formed JSON.
+  void WriteJson(JsonWriter* json,
+                 const std::map<std::string, std::string>& extra = {}) const;
   std::string ToJsonString() const;
-  bool WriteFile(const std::string& path) const;
+  bool WriteFile(const std::string& path,
+                 const std::map<std::string, std::string>& extra = {}) const;
 
  private:
   mutable std::mutex mu_;  ///< Guards the maps; instruments are stable.

@@ -72,6 +72,10 @@ Result<SecureAggSession> SecureAggSession::Create(size_t num_owners,
 
   session.aggregator_ = std::make_unique<SecureAggregator>(
       dh.params(), std::move(roster));
+  session.dropouts_counter_ =
+      &obs::MetricsRegistry::Global().GetCounter("secureagg.dropouts");
+  session.recoveries_counter_ =
+      &obs::MetricsRegistry::Global().GetCounter("secureagg.recoveries");
   return session;
 }
 
@@ -86,7 +90,9 @@ Result<std::vector<uint64_t>> SecureAggSession::Submit(
 }
 
 Result<std::array<uint8_t, 32>> SecureAggSession::RevealSecret(
-    OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) const {
+    OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) {
+  auto cached = reveal_cache_.find({id, dh_key});
+  if (cached != reveal_cache_.end()) return cached->second;
   const RecoveryShares& all = recovery_shares_[id];
   const auto& source =
       dh_key ? all.dh_private_shares : all.self_seed_shares;
@@ -96,22 +102,28 @@ Result<std::array<uint8_t, 32>> SecureAggSession::RevealSecret(
     if (dropped.count(static_cast<OwnerId>(holder)) > 0) continue;
     available.push_back(source[holder]);
   }
-  return SecureAggregator::ReconstructSecret32(available, threshold_,
-                                               participants_.size());
+  BCFL_ASSIGN_OR_RETURN(
+      auto secret, SecureAggregator::ReconstructSecret32(
+                       available, threshold_, participants_.size()));
+  reveal_cache_.emplace(std::make_pair(id, dh_key), secret);
+  if (dh_key) recoveries_counter_->Add();
+  return secret;
 }
 
 Result<std::vector<double>> SecureAggSession::AggregateGroupMean(
     uint64_t round, const std::vector<OwnerId>& group,
     const std::map<OwnerId, std::vector<uint64_t>>& submissions,
     const std::set<OwnerId>& dropped) {
-  static auto& dropouts =
-      obs::MetricsRegistry::Global().GetCounter("secureagg.dropouts");
   static auto& unmask_us =
       obs::MetricsRegistry::Global().GetHistogram("secureagg.unmask_us");
   obs::ScopedSpan span(obs::Tracer::Global(), "mask_round", "secureagg");
   obs::ScopedLatency latency(unmask_us);
   for (OwnerId id : group) {
-    if (dropped.count(id) > 0) dropouts.Add();
+    // Unique owners, not calls: aggregating two groups (or retrying one)
+    // with the same dropout must count it once.
+    if (dropped.count(id) > 0 && counted_dropouts_.insert(id).second) {
+      dropouts_counter_->Add();
+    }
   }
   UnmaskingInfo unmask;
   for (OwnerId id : group) {

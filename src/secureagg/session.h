@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "secureagg/aggregator.h"
 #include "secureagg/fixed_point.h"
 #include "secureagg/participant.h"
@@ -58,9 +59,12 @@ class SecureAggSession {
       : config_(config), codec_(codec) {}
 
   /// Reconstructs owner `id`'s 32-byte secret from the distributed
-  /// shares, simulating the share-reveal step of the protocol.
+  /// shares, simulating the share-reveal step of the protocol. Successful
+  /// reconstructions are cached, so re-recovering the same owner (e.g. a
+  /// retried round) neither redoes the Lagrange work nor double-counts
+  /// the recovery metrics.
   Result<std::array<uint8_t, 32>> RevealSecret(
-      OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) const;
+      OwnerId id, bool dh_key, const std::set<OwnerId>& dropped);
 
   SessionConfig config_;
   FixedPointCodec codec_;
@@ -69,6 +73,17 @@ class SecureAggSession {
   std::vector<RecoveryShares> recovery_shares_;
   std::unique_ptr<SecureAggregator> aggregator_;
   size_t threshold_ = 0;
+  /// Counters resolved once at Create instead of via function-local
+  /// statics in the aggregation path: no static-init guard or registry
+  /// lock on the hot path, and the binding is per session, not pinned by
+  /// whichever call ran first in the process.
+  obs::Counter* dropouts_counter_ = nullptr;
+  obs::Counter* recoveries_counter_ = nullptr;
+  /// Cache of successful secret reconstructions, keyed by (owner, which
+  /// secret); makes double recovery idempotent.
+  std::map<std::pair<OwnerId, bool>, std::array<uint8_t, 32>> reveal_cache_;
+  /// Owners already counted by `secureagg.dropouts` (unique, not per call).
+  std::set<OwnerId> counted_dropouts_;
 };
 
 }  // namespace bcfl::secureagg

@@ -1,0 +1,125 @@
+// Chaos tests: the full protocol must converge under every random fault
+// plan the generator emits, and runs must stay bit-deterministic so any
+// failing seed reproduces exactly. BCFL_CHAOS_SEEDS overrides the sweep
+// width (CI uses the bcfl_sim --chaos-sweep stage for the long version).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/coordinator.h"
+
+namespace bcfl::core {
+namespace {
+
+BcflConfig ChaosConfig() {
+  BcflConfig config;
+  config.num_owners = 6;
+  config.num_miners = 5;
+  config.rounds = 3;
+  config.num_groups = 2;
+  config.seed = 21;
+  config.seed_e = 5;
+  config.local.epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.digits.num_instances = 300;
+  return config;
+}
+
+fault::FaultPlanOptions PlanOptions(const BcflConfig& config) {
+  fault::FaultPlanOptions options;
+  options.num_owners = config.num_owners;
+  options.num_miners = static_cast<uint32_t>(config.num_miners);
+  options.rounds = config.rounds;
+  return options;
+}
+
+size_t SweepWidth() {
+  const char* env = std::getenv("BCFL_CHAOS_SEEDS");
+  if (env != nullptr) {
+    long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return 4;
+}
+
+TEST(ChaosTest, RandomPlansConvergeWithFrozenSvInvariant) {
+  BcflConfig base = ChaosConfig();
+  fault::FaultPlanOptions options = PlanOptions(base);
+  for (uint64_t seed = 0; seed < SweepWidth(); ++seed) {
+    BcflConfig config = base;
+    config.fault_plan = fault::FaultPlan::Random(seed * 7919 + 1, options);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
+                 config.fault_plan.ToString());
+    auto coordinator = BcflCoordinator::Create(config);
+    ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+    auto result = (*coordinator)->Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // Every round committed and evaluated despite the injected faults.
+    ASSERT_EQ(result->per_round_sv.size(), base.rounds);
+    ASSERT_EQ(result->round_accuracies.size(), base.rounds);
+
+    // Frozen-SV invariant: a retired owner scores exactly zero in its
+    // retirement round and in every round after it.
+    for (const auto& [owner, retired_round] : result->retired_at) {
+      for (uint64_t round = retired_round; round < base.rounds; ++round) {
+        EXPECT_EQ(result->per_round_sv[round][owner], 0.0)
+            << "owner " << owner << " round " << round;
+      }
+    }
+
+    // The surviving replicas agree on the final state.
+    auto& engine = (*coordinator)->engine();
+    size_t canonical = engine.num_miners();
+    for (size_t m = 0; m < engine.num_miners(); ++m) {
+      if (!engine.MinerParticipating(static_cast<uint32_t>(m))) continue;
+      if (canonical == engine.num_miners()) {
+        canonical = m;
+        continue;
+      }
+      EXPECT_EQ(engine.miner(m).state().StateRoot(),
+                engine.miner(canonical).state().StateRoot())
+          << "miner " << m;
+    }
+    ASSERT_NE(canonical, engine.num_miners());  // Majority stays online.
+  }
+}
+
+TEST(ChaosTest, FaultedRunsAreDeterministic) {
+  BcflConfig config = ChaosConfig();
+  config.fault_plan =
+      fault::FaultPlan::Random(12345, PlanOptions(config));
+  auto c1 = BcflCoordinator::Create(config);
+  auto c2 = BcflCoordinator::Create(config);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  auto r1 = (*c1)->Run();
+  auto r2 = (*c2)->Run();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->total_sv, r2->total_sv);
+  EXPECT_EQ(r1->global_weights, r2->global_weights);
+  EXPECT_EQ(r1->retired_at, r2->retired_at);
+  EXPECT_EQ(r1->submission_retries, r2->submission_retries);
+  EXPECT_EQ(r1->blocks_committed, r2->blocks_committed);
+}
+
+TEST(ChaosTest, ExecutedScheduleIsExportedAsJson) {
+  BcflConfig config = ChaosConfig();
+  config.fault_plan = *fault::FaultPlan::Parse(
+      "crash owner 2 @1; crash miner 4 @1; recover miner 4 @2");
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE((*coordinator)->Run().ok());
+  fault::FaultInjector* injector = (*coordinator)->fault_injector();
+  ASSERT_NE(injector, nullptr);
+  EXPECT_GT(injector->executed_events(), 0u);
+  std::string json = injector->ExecutedScheduleJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"round\""), std::string::npos);
+  EXPECT_NE(json.find("crash owner 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcfl::core

@@ -242,6 +242,95 @@ TEST_F(ConsensusFixture, SingleMinerCommitsAlone) {
   EXPECT_EQ(result->accept_votes, 1u);
 }
 
+TEST_F(ConsensusFixture, ViewChangeRotatesPastCrashedLeader) {
+  auto engine = MakeEngine(5);
+  LeaderSchedule schedule({0, 1, 2, 3, 4}, 7);
+  uint32_t first_leader = *schedule.LeaderFor(1, 0);
+
+  auto plan = fault::FaultPlan::Parse(
+      "crash miner " + std::to_string(first_leader) + " @0");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 0, 5);
+  injector.BeginRound(0);
+  engine->set_fault_injector(&injector);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  uint64_t clock_before = engine->network().clock().NowMicros();
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_NE(result->leader, first_leader);
+  EXPECT_GT(result->retries_used, 0u);
+  // The view change burned simulated (never wall-clock) time.
+  EXPECT_GT(engine->network().clock().NowMicros() - clock_before, 50'000u);
+  // The crashed miner saw nothing; the four live replicas committed.
+  EXPECT_EQ(engine->miner(first_leader).chain().Height(), 0u);
+  for (uint32_t m = 0; m < 5; ++m) {
+    if (m == first_leader) continue;
+    EXPECT_EQ(engine->miner(m).chain().Height(), 1u);
+  }
+  engine->set_fault_injector(nullptr);
+}
+
+TEST_F(ConsensusFixture, RecoveredMinerIsReadmittedByCatchUp) {
+  auto engine = MakeEngine(5);
+  auto plan =
+      fault::FaultPlan::Parse("crash miner 4 @0; recover miner 4 @1");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 0, 5);
+  engine->set_fault_injector(&injector);
+
+  // Two blocks commit while miner 4 is down.
+  injector.BeginRound(0);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  ASSERT_TRUE(engine->RunRound().ok());
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(2)).ok());
+  ASSERT_TRUE(engine->RunRound().ok());
+  EXPECT_EQ(engine->miner(4).chain().Height(), 0u);
+  EXPECT_EQ(engine->CanonicalChain().Height(), 2u);
+
+  // Back online: the next round first replays the canonical blocks into
+  // the laggard, then it participates in the new height normally.
+  injector.BeginRound(1);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(3)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(engine->miner(4).chain().Height(), 3u);
+  crypto::Digest root = engine->miner(0).state().StateRoot();
+  for (size_t m = 1; m < 5; ++m) {
+    EXPECT_EQ(engine->miner(m).state().StateRoot(), root) << "miner " << m;
+  }
+  engine->set_fault_injector(nullptr);
+}
+
+TEST_F(ConsensusFixture, MinorityPartitionCellFallsBehindThenCatchesUp) {
+  auto engine = MakeEngine(5);
+  auto plan = fault::FaultPlan::Parse("partition miners 3,4 @0");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 0, 5);
+  engine->set_fault_injector(&injector);
+
+  injector.BeginRound(0);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  // The majority side (3 of 5) commits without the isolated cell.
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(engine->miner(3).chain().Height(), 0u);
+  EXPECT_EQ(engine->miner(4).chain().Height(), 0u);
+  EXPECT_EQ(engine->CanonicalChain().Height(), 1u);
+
+  // Partition heals at round 1: the cell is caught up with the next round.
+  injector.BeginRound(1);
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(2)).ok());
+  ASSERT_TRUE(engine->RunRound().ok());
+  for (size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(engine->miner(m).chain().Height(), 2u) << "miner " << m;
+  }
+  engine->set_fault_injector(nullptr);
+}
+
 TEST(LeaderScheduleTest, DeterministicAndInRange) {
   LeaderSchedule schedule({10, 20, 30}, 42);
   for (uint64_t h = 1; h <= 20; ++h) {

@@ -1,0 +1,262 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+
+namespace bcfl::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryEventKind) {
+  auto plan = FaultPlan::Parse(
+      "crash owner 2 @1\n"
+      "recover owner 2 @4\n"
+      "slow miner 0 @1..3 +20000us\n"
+      "drop-submit owner 1 @2 x3\n"
+      "duplicate miner 3 @0..5\n"
+      "reorder miner 2 @1..2\n"
+      "partition miners 0,1 @3..4\n"
+      "crash miner 4 @2");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events.size(), 8u);
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan->events[0].node_kind, NodeKind::kOwner);
+  EXPECT_EQ(plan->events[0].node, 2u);
+  EXPECT_EQ(plan->events[0].round, 1u);
+  EXPECT_EQ(plan->events[2].delay_us, 20000u);
+  EXPECT_EQ(plan->events[2].end_round, 3u);
+  EXPECT_EQ(plan->events[3].count, 3u);
+  EXPECT_EQ(plan->events[6].members, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(FaultPlanTest, SemicolonsAndCommentsAreAccepted) {
+  auto plan = FaultPlan::Parse(
+      "# chaos for the demo\n"
+      "crash owner 0 @1; recover owner 0 @2  # transient\n");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->events.size(), 2u);
+}
+
+TEST(FaultPlanTest, RoundTripsThroughToString) {
+  auto plan = FaultPlan::Parse(
+      "crash owner 2 @1; slow miner 0 @1..3 +500us; "
+      "drop-submit owner 1 @2 x3; partition miners 0,1 @3..4; "
+      "duplicate miner 3 @0..5; reorder miner 2 @2");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(plan->ToString(), reparsed->ToString());
+  EXPECT_EQ(plan->events.size(), reparsed->events.size());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("explode owner 1 @0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash owner 1").ok());        // No round.
+  EXPECT_FALSE(FaultPlan::Parse("crash gremlin 1 @0").ok());   // Bad kind.
+  EXPECT_FALSE(FaultPlan::Parse("partition owners 0,1 @0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash owner x @0").ok());     // Bad id.
+  EXPECT_FALSE(FaultPlan::Parse("slow miner 0 @3..1 +5us").ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsKindTargetMismatches) {
+  auto drop = FaultPlan::Parse("drop-submit miner 1 @0");
+  auto dup = FaultPlan::Parse("duplicate owner 1 @0");
+  ASSERT_TRUE(drop.ok());
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(drop->Validate(4, 3, 3).ok());
+  EXPECT_FALSE(dup->Validate(4, 3, 3).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsOutOfRangeIds) {
+  auto plan = FaultPlan::Parse("crash owner 7 @0");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate(4, 3, 3).ok());
+  EXPECT_TRUE(plan->Validate(8, 3, 3).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsCrashesBeyondShamirBudget) {
+  // 4 owners, threshold 3: at most one owner may ever crash.
+  auto one = FaultPlan::Parse("crash owner 0 @0");
+  auto two = FaultPlan::Parse("crash owner 0 @0; crash owner 1 @1");
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_TRUE(one->Validate(4, 3, 3).ok());
+  EXPECT_FALSE(two->Validate(4, 3, 3).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsMinerMajorityLoss) {
+  // 3 miners: two crashed leaves one online, below strict majority.
+  auto plan = FaultPlan::Parse("crash miner 0 @0; crash miner 1 @0");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate(4, 3, 3).ok());
+  // The same crashes are fine on a 5-miner roster.
+  EXPECT_TRUE(plan->Validate(4, 5, 3).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsEvenPartitionSplit) {
+  // 4 miners split 2/2: no majority component remains.
+  auto plan = FaultPlan::Parse("partition miners 0,1 @0");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate(4, 4, 3).ok());
+  EXPECT_TRUE(plan->Validate(4, 5, 3).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsInvertedIntervals) {
+  FaultPlan plan;
+  FaultEvent event;
+  event.kind = FaultKind::kSlow;
+  event.node_kind = NodeKind::kMiner;
+  event.node = 0;
+  event.round = 3;
+  event.end_round = 1;
+  event.delay_us = 10;
+  plan.events.push_back(event);
+  EXPECT_FALSE(plan.Validate(4, 3, 3).ok());
+}
+
+TEST(FaultPlanTest, RandomPlansAlwaysValidate) {
+  FaultPlanOptions options;  // 9 owners, 5 miners, 10 rounds.
+  const size_t threshold = options.num_owners / 2 + 1;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FaultPlan plan = FaultPlan::Random(seed, options);
+    EXPECT_TRUE(plan.Validate(options.num_owners, options.num_miners,
+                              threshold)
+                    .ok())
+        << "seed " << seed << "\n"
+        << plan.ToString();
+  }
+}
+
+TEST(FaultPlanTest, RandomIsDeterministicPerSeed) {
+  FaultPlanOptions options;
+  EXPECT_EQ(FaultPlan::Random(7, options).ToString(),
+            FaultPlan::Random(7, options).ToString());
+  // Different seeds should (essentially always) differ.
+  EXPECT_NE(FaultPlan::Random(7, options).ToString(),
+            FaultPlan::Random(8, options).ToString());
+}
+
+TEST(FaultInjectorTest, CrashAndRecoverWindowsTrackRounds) {
+  auto plan = FaultPlan::Parse(
+      "crash owner 2 @1; recover owner 2 @3; crash miner 1 @2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+
+  injector.BeginRound(0);
+  EXPECT_FALSE(injector.OwnerOffline(2));
+  EXPECT_FALSE(injector.MinerOffline(1));
+  injector.BeginRound(1);
+  EXPECT_TRUE(injector.OwnerOffline(2));
+  injector.BeginRound(2);
+  EXPECT_TRUE(injector.OwnerOffline(2));
+  EXPECT_TRUE(injector.MinerOffline(1));
+  injector.BeginRound(3);
+  EXPECT_FALSE(injector.OwnerOffline(2));  // Recovered.
+  EXPECT_TRUE(injector.MinerOffline(1));   // Never recovers.
+}
+
+TEST(FaultInjectorTest, SubmitDropBudgetIsPerRound) {
+  auto plan = FaultPlan::Parse("drop-submit owner 1 @2 x2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+
+  injector.BeginRound(1);
+  EXPECT_FALSE(injector.DropSubmissionAttempt(1));
+  injector.BeginRound(2);
+  EXPECT_TRUE(injector.DropSubmissionAttempt(1));
+  EXPECT_TRUE(injector.DropSubmissionAttempt(1));
+  EXPECT_FALSE(injector.DropSubmissionAttempt(1));  // Budget spent.
+  EXPECT_FALSE(injector.DropSubmissionAttempt(0));  // Other owners clean.
+  injector.BeginRound(3);
+  EXPECT_FALSE(injector.DropSubmissionAttempt(1));  // Not re-armed.
+}
+
+TEST(FaultInjectorTest, SlowWindowAddsOwnerDelay) {
+  auto plan = FaultPlan::Parse("slow owner 1 @1..2 +5000us");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+  injector.BeginRound(0);
+  EXPECT_EQ(injector.OwnerExtraDelayUs(1), 0u);
+  injector.BeginRound(1);
+  EXPECT_EQ(injector.OwnerExtraDelayUs(1), 5000u);
+  EXPECT_EQ(injector.OwnerExtraDelayUs(0), 0u);
+  injector.BeginRound(3);
+  EXPECT_EQ(injector.OwnerExtraDelayUs(1), 0u);
+}
+
+net::Message MinerMessage(uint32_t from, uint32_t to) {
+  net::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.payload = {1, 2, 3};
+  return msg;
+}
+
+TEST(FaultInjectorTest, FilterDropsTrafficTouchingCrashedMiners) {
+  auto plan = FaultPlan::Parse("crash miner 1 @0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 4);
+  injector.BeginRound(0);
+  EXPECT_TRUE(injector.FilterMessage(MinerMessage(1, 2)).drop);
+  EXPECT_TRUE(injector.FilterMessage(MinerMessage(2, 1)).drop);
+  EXPECT_FALSE(injector.FilterMessage(MinerMessage(0, 2)).drop);
+}
+
+TEST(FaultInjectorTest, PartitionDropsCrossCellTrafficOnly) {
+  auto plan = FaultPlan::Parse("partition miners 0,1 @0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 5);
+  injector.BeginRound(0);
+  EXPECT_FALSE(injector.FilterMessage(MinerMessage(0, 1)).drop);  // Same cell.
+  EXPECT_FALSE(injector.FilterMessage(MinerMessage(2, 3)).drop);  // Same cell.
+  EXPECT_TRUE(injector.FilterMessage(MinerMessage(0, 2)).drop);
+  EXPECT_TRUE(injector.FilterMessage(MinerMessage(3, 1)).drop);
+  EXPECT_FALSE(injector.MinersReachable(0, 4));
+  EXPECT_TRUE(injector.MinersReachable(2, 4));
+  // Window over: everything flows again.
+  injector.BeginRound(1);
+  EXPECT_FALSE(injector.FilterMessage(MinerMessage(0, 2)).drop);
+  EXPECT_TRUE(injector.MinersReachable(0, 2));
+}
+
+TEST(FaultInjectorTest, DuplicateWindowFansOutSenderTraffic) {
+  auto plan = FaultPlan::Parse("duplicate miner 0 @0..1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+  injector.BeginRound(0);
+  EXPECT_EQ(injector.FilterMessage(MinerMessage(0, 1)).duplicates, 1u);
+  EXPECT_EQ(injector.FilterMessage(MinerMessage(1, 0)).duplicates, 0u);
+  injector.BeginRound(2);
+  EXPECT_EQ(injector.FilterMessage(MinerMessage(0, 1)).duplicates, 0u);
+}
+
+TEST(FaultInjectorTest, ReorderWindowJittersDeterministically) {
+  auto plan = FaultPlan::Parse("reorder miner 0 @0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+  injector.BeginRound(0);
+  net::Message msg = MinerMessage(0, 1);
+  msg.deliver_at_us = 1234;
+  uint64_t first = injector.FilterMessage(msg).extra_delay_us;
+  EXPECT_EQ(injector.FilterMessage(msg).extra_delay_us, first);
+  // Non-reordering senders are untouched.
+  EXPECT_EQ(injector.FilterMessage(MinerMessage(1, 0)).extra_delay_us, 0u);
+}
+
+TEST(FaultInjectorTest, ExecutedScheduleRecordsWhatFired) {
+  auto plan = FaultPlan::Parse("crash owner 1 @0; recover owner 1 @2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+  injector.BeginRound(0);
+  injector.BeginRound(1);
+  injector.BeginRound(2);
+  injector.RecordExecuted(2, "owner 1 recovered on chain");
+  EXPECT_GE(injector.executed_events(), 3u);
+  std::string json = injector.ExecutedScheduleJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("owner 1 recovered on chain"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcfl::fault

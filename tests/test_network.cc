@@ -154,6 +154,115 @@ TEST(NetworkTest, ClockAdvancesMonotonically) {
   EXPECT_GT(network.clock().NowMicros(), after_first);
 }
 
+TEST(NetworkTest, FaultFilterDropsSelectedMessages) {
+  SimulatedNetwork network;
+  int received = 0;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(
+      network.RegisterNode(1, [&](const Message&) { received++; }).ok());
+  network.set_fault_filter([](const Message& m) {
+    FaultDecision decision;
+    decision.drop = m.payload.size() == 1;
+    return decision;
+  });
+  ASSERT_TRUE(network.Send(0, 1, {7}).ok());        // Dropped.
+  ASSERT_TRUE(network.Send(0, 1, {7, 8}).ok());     // Delivered.
+  network.DeliverAll();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST(NetworkTest, FaultFilterDuplicatesAreDeliveredAndCounted) {
+  SimulatedNetwork network;
+  int received = 0;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(
+      network.RegisterNode(1, [&](const Message&) { received++; }).ok());
+  network.set_fault_filter([](const Message&) {
+    FaultDecision decision;
+    decision.duplicates = 2;
+    return decision;
+  });
+  ASSERT_TRUE(network.Send(0, 1, {1}).ok());
+  network.DeliverAll();
+  EXPECT_EQ(received, 3);  // Original + two injected copies.
+  EXPECT_EQ(network.stats().messages_duplicated, 2u);
+  EXPECT_EQ(network.stats().messages_delivered, 3u);
+}
+
+TEST(NetworkTest, InjectedDelayInvertsOrderAndCountsReorders) {
+  NetworkConfig config;
+  config.min_latency_us = 100;
+  config.max_latency_us = 200;
+  SimulatedNetwork network(config);
+  std::vector<size_t> arrival_sizes;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(1,
+                                [&](const Message& m) {
+                                  arrival_sizes.push_back(m.payload.size());
+                                })
+                  .ok());
+  // The first (1-byte) message is held back far past the second.
+  network.set_fault_filter([](const Message& m) {
+    FaultDecision decision;
+    if (m.payload.size() == 1) decision.extra_delay_us = 100'000;
+    return decision;
+  });
+  ASSERT_TRUE(network.Send(0, 1, {9}).ok());
+  ASSERT_TRUE(network.Send(0, 1, {9, 9}).ok());
+  network.DeliverAll();
+  ASSERT_EQ(arrival_sizes.size(), 2u);
+  EXPECT_EQ(arrival_sizes[0], 2u);  // Later send arrives first.
+  EXPECT_EQ(network.stats().messages_reordered, 1u);
+}
+
+TEST(NetworkTest, DeliveredPerNodeTracksDestinations) {
+  SimulatedNetwork network;
+  for (NodeId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(network.RegisterNode(id, [](const Message&) {}).ok());
+  }
+  ASSERT_TRUE(network.Send(0, 1, {}).ok());
+  ASSERT_TRUE(network.Send(0, 2, {}).ok());
+  ASSERT_TRUE(network.Send(1, 2, {}).ok());
+  network.DeliverAll();
+  const auto& per_node = network.stats().delivered_per_node;
+  EXPECT_EQ(per_node.count(0), 0u);
+  EXPECT_EQ(per_node.at(1), 1u);
+  EXPECT_EQ(per_node.at(2), 2u);
+}
+
+TEST(NetworkTest, PerPairDropStreamsAreIndependent) {
+  // Same sender, two destinations: the loss patterns must differ, so
+  // broadcast loss cannot correlate with roster iteration order.
+  NetworkConfig config;
+  config.drop_probability = 0.5;
+  config.seed = 13;
+  SimulatedNetwork network(config);
+  std::vector<int> got1, got2;
+  ASSERT_TRUE(network.RegisterNode(0, [](const Message&) {}).ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(1,
+                                [&](const Message& m) {
+                                  got1.push_back(m.payload[0]);
+                                })
+                  .ok());
+  ASSERT_TRUE(network
+                  .RegisterNode(2,
+                                [&](const Message& m) {
+                                  got2.push_back(m.payload[0]);
+                                })
+                  .ok());
+  for (uint8_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(network.Send(0, 1, {i}).ok());
+    ASSERT_TRUE(network.Send(0, 2, {i}).ok());
+  }
+  network.DeliverAll();
+  EXPECT_GT(got1.size(), 30u);
+  EXPECT_GT(got2.size(), 30u);
+  EXPECT_NE(got1, got2);  // Distinct per-pair streams.
+}
+
 TEST(NetworkTest, DeterministicAcrossRuns) {
   auto run = [] {
     NetworkConfig config;

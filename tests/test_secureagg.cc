@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "secureagg/mask.h"
 
 namespace bcfl::secureagg {
@@ -285,6 +286,67 @@ TEST(SessionTest, SelfMasksRequireUnmaskingInfo) {
     }
   }
   EXPECT_NE(masked_sum, plain_sum);
+}
+
+TEST(SessionTest, DropoutAndRecoveryCountersCountUniqueOwners) {
+  auto& dropouts =
+      obs::MetricsRegistry::Global().GetCounter("secureagg.dropouts");
+  auto& recoveries =
+      obs::MetricsRegistry::Global().GetCounter("secureagg.recoveries");
+  const uint64_t dropouts_before = dropouts.Value();
+  const uint64_t recoveries_before = recoveries.Value();
+
+  SessionConfig config;
+  config.use_self_masks = true;
+  auto session = SecureAggSession::Create(5, config);
+  ASSERT_TRUE(session.ok());
+  Xoshiro256 rng(12);
+  std::vector<std::vector<double>> updates;
+  for (int i = 0; i < 5; ++i) updates.push_back(RandomUpdate(16, &rng));
+
+  std::vector<OwnerId> group = {0, 1, 2, 3, 4};
+  std::map<OwnerId, std::vector<uint64_t>> submissions;
+  for (OwnerId id : group) {
+    if (id == 3) continue;
+    auto masked = session->Submit(id, 1, group, updates[id]);
+    ASSERT_TRUE(masked.ok());
+    submissions[id] = *masked;
+  }
+  ASSERT_TRUE(session->AggregateGroupMean(1, group, submissions, {3}).ok());
+  EXPECT_EQ(dropouts.Value() - dropouts_before, 1u);
+  EXPECT_EQ(recoveries.Value() - recoveries_before, 1u);
+
+  // Double recovery: aggregating the same round again (a retry) reuses
+  // the cached reconstruction — same mean, no double-counting.
+  auto again = session->AggregateGroupMean(1, group, submissions, {3});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(dropouts.Value() - dropouts_before, 1u);
+  EXPECT_EQ(recoveries.Value() - recoveries_before, 1u);
+  auto expected = PlainMean(updates, {0, 1, 2, 4});
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*again)[i], expected[i], 1e-5);
+  }
+}
+
+TEST(SessionTest, TwoDropoutsCountTwice) {
+  auto& dropouts =
+      obs::MetricsRegistry::Global().GetCounter("secureagg.dropouts");
+  const uint64_t before = dropouts.Value();
+  SessionConfig config;
+  config.use_self_masks = true;
+  auto session = SecureAggSession::Create(6, config);
+  ASSERT_TRUE(session.ok());
+  Xoshiro256 rng(13);
+  std::vector<OwnerId> group = {0, 1, 2, 3, 4, 5};
+  std::map<OwnerId, std::vector<uint64_t>> submissions;
+  for (OwnerId id : {0u, 1u, 3u, 5u}) {
+    auto masked = session->Submit(id, 0, group, RandomUpdate(8, &rng));
+    ASSERT_TRUE(masked.ok());
+    submissions[id] = *masked;
+  }
+  ASSERT_TRUE(
+      session->AggregateGroupMean(0, group, submissions, {2, 4}).ok());
+  EXPECT_EQ(dropouts.Value() - before, 2u);
 }
 
 TEST(SessionTest, CreateRejectsDegenerateConfigs) {

@@ -7,6 +7,13 @@
 // contribution evaluation and (optionally) reward distribution, then
 // prints a session report. `--byzantine K` makes the first K miners
 // fraudulent leaders (SV inflation) to demonstrate rejection.
+//
+// Chaos testing: `--fault-plan SPEC` injects a hand-written fault DSL
+// document (see src/fault/fault_plan.h for the grammar), `--fault-seed N`
+// generates a random plan within the protocol's safety envelope, and
+// `--chaos-sweep N` runs N consecutive random-plan sessions (seeds
+// fault-seed .. fault-seed+N-1), exiting non-zero if any fails to
+// converge. The executed fault schedule is exported into metrics.json.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,7 +23,9 @@
 #include "core/adversary.h"
 #include "common/logging.h"
 #include "core/coordinator.h"
+#include "fault/fault_plan.h"
 #include "obs/exporter.h"
+#include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,6 +37,10 @@ struct CliOptions {
   bool verbose = false;
   std::string metrics_out = "metrics.json";
   std::string trace_out = "trace.json";
+  std::string fault_plan_spec;
+  uint64_t fault_seed = 0;
+  bool have_fault_seed = false;
+  size_t chaos_sweep = 0;
 };
 
 void PrintUsage(const char* argv0) {
@@ -42,6 +55,10 @@ void PrintUsage(const char* argv0) {
       "  --seed N        master seed (default 42)\n"
       "  --reward N      reward pool to distribute on chain (default 0)\n"
       "  --byzantine K   make the first K miners fraudulent leaders\n"
+      "  --fault-plan S  chaos DSL document (e.g. 'crash owner 2 @1')\n"
+      "  --fault-seed N  random fault plan within the safety envelope\n"
+      "  --chaos-sweep N run N random-plan sessions; non-zero exit on any\n"
+      "                  failed/hung round\n"
       "  --metrics-out F metrics JSON path (default metrics.json, - skips)\n"
       "  --trace-out F   Chrome trace JSON path (default trace.json, - "
       "skips)\n"
@@ -102,6 +119,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--byzantine");
       if (v == nullptr) return false;
       options->byzantine = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--fault-plan") {
+      const char* v = next_value("--fault-plan");
+      if (v == nullptr) return false;
+      options->fault_plan_spec = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next_value("--fault-seed");
+      if (v == nullptr) return false;
+      options->fault_seed = static_cast<uint64_t>(std::atoll(v));
+      options->have_fault_seed = true;
+    } else if (arg == "--chaos-sweep") {
+      const char* v = next_value("--chaos-sweep");
+      if (v == nullptr) return false;
+      options->chaos_sweep = static_cast<size_t>(std::atol(v));
     } else if (arg == "--metrics-out") {
       const char* v = next_value("--metrics-out");
       if (v == nullptr) return false;
@@ -119,6 +149,60 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
+bcfl::fault::FaultPlanOptions PlanOptionsFor(
+    const bcfl::core::BcflConfig& config) {
+  bcfl::fault::FaultPlanOptions plan_options;
+  plan_options.num_owners = config.num_owners;
+  plan_options.num_miners = static_cast<uint32_t>(config.num_miners);
+  plan_options.rounds = config.rounds;
+  plan_options.shamir_threshold = config.secure_agg_threshold;
+  return plan_options;
+}
+
+/// Random-plan convergence sweep: every seed must complete all rounds.
+/// Returns the number of failed seeds.
+size_t RunChaosSweep(const CliOptions& options) {
+  size_t failures = 0;
+  for (size_t k = 0; k < options.chaos_sweep; ++k) {
+    uint64_t seed = options.fault_seed + k;
+    bcfl::core::BcflConfig config = options.config;
+    config.fault_plan =
+        bcfl::fault::FaultPlan::Random(seed, PlanOptionsFor(config));
+    auto coordinator = bcfl::core::BcflCoordinator::Create(config);
+    if (!coordinator.ok()) {
+      std::printf("chaos seed %llu: SETUP FAILED: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  coordinator.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto result = (*coordinator)->Run();
+    if (!result.ok()) {
+      std::printf("chaos seed %llu: FAILED: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  result.status().ToString().c_str());
+      std::printf("  plan:\n%s\n", config.fault_plan.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (result->round_accuracies.size() != config.rounds) {
+      std::printf("chaos seed %llu: HUNG after %zu/%u rounds\n",
+                  static_cast<unsigned long long>(seed),
+                  result->round_accuracies.size(), config.rounds);
+      ++failures;
+      continue;
+    }
+    std::printf("chaos seed %llu: ok (%zu fault events, %zu owners retired, "
+                "%zu blocks)\n",
+                static_cast<unsigned long long>(seed),
+                config.fault_plan.events.size(), result->retired_at.size(),
+                result->blocks_committed);
+  }
+  std::printf("\nchaos sweep: %zu/%zu seeds converged\n",
+              options.chaos_sweep - failures, options.chaos_sweep);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +212,34 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) return 2;
   if (options.verbose) {
     bcfl::Logger::Global().set_min_level(bcfl::LogLevel::kInfo);
+  }
+
+  if (options.chaos_sweep > 0) {
+    std::printf("chaos sweep: %zu seeds starting at %llu (%u owners, %zu "
+                "miners, R=%u)\n",
+                options.chaos_sweep,
+                static_cast<unsigned long long>(options.fault_seed),
+                options.config.num_owners, options.config.num_miners,
+                options.config.rounds);
+    return RunChaosSweep(options) == 0 ? 0 : 1;
+  }
+
+  if (!options.fault_plan_spec.empty()) {
+    auto plan = bcfl::fault::FaultPlan::Parse(options.fault_plan_spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    options.config.fault_plan = *plan;
+  } else if (options.have_fault_seed) {
+    options.config.fault_plan = bcfl::fault::FaultPlan::Random(
+        options.fault_seed, PlanOptionsFor(options.config));
+  }
+  if (!options.config.fault_plan.empty()) {
+    std::printf("fault plan (%zu events):\n%s\n",
+                options.config.fault_plan.events.size(),
+                options.config.fault_plan.ToString().c_str());
   }
 
   std::printf("BCFL session: %u owners, %zu miners, R=%u rounds, m=%u "
@@ -190,10 +302,30 @@ int main(int argc, char** argv) {
                 "re-execution kept the results truthful.\n",
                 options.byzantine);
   }
+  if (!result->retired_at.empty()) {
+    std::printf("\ndropouts recovered on chain (SV frozen at retirement):");
+    for (const auto& [owner, round] : result->retired_at) {
+      std::printf(" owner %u @round %llu;", owner,
+                  static_cast<unsigned long long>(round));
+    }
+    std::printf("\n");
+  }
 
   bcfl::obs::ExportPaths paths;
   paths.metrics_json = options.metrics_out == "-" ? "" : options.metrics_out;
   paths.trace_json = options.trace_out == "-" ? "" : options.trace_out;
+  if (auto* injector = (*coordinator)->fault_injector(); injector != nullptr) {
+    // The *executed* schedule (what actually fired, including view
+    // changes and recoveries) plus the input plan, for triage.
+    paths.metrics_extra["fault_schedule"] = injector->ExecutedScheduleJson();
+    bcfl::obs::JsonWriter plan_json;
+    plan_json.BeginArray();
+    for (const auto& event : injector->plan().events) {
+      plan_json.Element(event.ToString().c_str());
+    }
+    plan_json.EndArray();
+    paths.metrics_extra["fault_plan"] = plan_json.str();
+  }
   bcfl::Status exported = bcfl::obs::ExportGlobal(paths);
   if (!exported.ok()) {
     std::fprintf(stderr, "export failed: %s\n",
