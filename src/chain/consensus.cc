@@ -62,7 +62,10 @@ ConsensusEngine::ConsensusEngine(size_t num_miners,
         auto height = reader.ReadU64();
         auto hash_raw = reader.ReadRaw(32);
         auto accept = reader.ReadU8();
-        if (!height.ok() || !hash_raw.ok() || !accept.ok()) return;
+        auto voter = reader.ReadU32();
+        if (!height.ok() || !hash_raw.ok() || !accept.ok() || !voter.ok()) {
+          return;
+        }
         if (!proposal_valid_) return;
         crypto::Digest hash;
         std::copy(hash_raw->begin(), hash_raw->end(), hash.begin());
@@ -70,11 +73,16 @@ ConsensusEngine::ConsensusEngine(size_t num_miners,
             hash != pending_proposal_.header.Hash()) {
           return;  // Stale vote from an earlier attempt.
         }
-        if (*accept != 0) {
-          votes_.accepts++;
-        } else {
-          votes_.rejects++;
+        // Deduplicate by voter: a duplicated message must not count a
+        // miner twice. Votes claiming this node's own id are dropped too
+        // — the proposer's accept is added implicitly at tally time.
+        if (*voter >= miners_.size() || *voter == id) return;
+        if (votes_.accept_voters.count(*voter) > 0 ||
+            votes_.reject_voters.count(*voter) > 0) {
+          return;
         }
+        (*accept != 0 ? votes_.accept_voters : votes_.reject_voters)
+            .insert(*voter);
       }
     });
     (void)st;
@@ -217,8 +225,9 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
   result.height = height;
   result.block_hash = proposal.header.Hash();
   result.num_txs = proposal.txs.size();
-  result.accept_votes = votes_.accepts + 1;  // Proposer implicitly accepts.
-  result.reject_votes = votes_.rejects;
+  // Distinct voters only; the proposer counts as an implicit accept.
+  result.accept_votes = votes_.accept_voters.size() + 1;
+  result.reject_votes = votes_.reject_voters.size();
 
   // Strict majority of all miners must accept.
   result.committed = result.accept_votes * 2 > miners_.size();

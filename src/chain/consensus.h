@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "chain/leader.h"
@@ -119,10 +120,13 @@ class ConsensusEngine {
   std::unique_ptr<LeaderSchedule> schedule_;
   fault::FaultInjector* injector_ = nullptr;
 
-  // Per-attempt vote collection (filled by network handlers).
+  // Per-attempt vote collection (filled by network handlers). Votes are
+  // keyed by the voter id carried in the payload so each roster member
+  // counts at most once — a duplicated vote message (duplicate-miner
+  // fault) cannot manufacture a strict majority.
   struct VoteBox {
-    size_t accepts = 0;
-    size_t rejects = 0;
+    std::set<uint32_t> accept_voters;
+    std::set<uint32_t> reject_voters;
   };
   VoteBox votes_;
   Block pending_proposal_;

@@ -11,6 +11,33 @@
 
 namespace bcfl::core {
 
+namespace {
+
+// Replay-nonce layout. Every transaction a sender signs must carry a
+// distinct nonce at any roster size, so the space is partitioned by
+// method instead of relying on small fixed offsets: block 0 (below the
+// per-round stride) holds the administrative transactions, and round r
+// owns [(r+1)*stride, (r+2)*stride) with one submit slot and one recover
+// slot per owner.
+constexpr uint64_t kSetupNonce = 0;
+constexpr uint64_t kFundNonce = 1;
+constexpr uint64_t kDistributeNonce = 2;
+constexpr uint64_t kClaimNonceBase = 3;
+
+uint64_t RoundNonceStride(uint64_t num_owners) {
+  return 2 * num_owners + kClaimNonceBase;
+}
+
+uint64_t SubmitNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
+  return (round + 1) * RoundNonceStride(num_owners) + owner;
+}
+
+uint64_t RecoverNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
+  return (round + 1) * RoundNonceStride(num_owners) + num_owners + owner;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
     BcflConfig config) {
   if (config.num_owners < 2) {
@@ -118,7 +145,7 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
   setup_tx.contract = "bcfl";
   setup_tx.method = "setup";
   setup_tx.payload = params.Serialize();
-  setup_tx.nonce = 0;
+  setup_tx.nonce = kSetupNonce;
   setup_tx.Sign(coord->schnorr_, coord->schnorr_keys_[0], &rng);
   BCFL_RETURN_IF_ERROR(coord->engine_->SubmitTransaction(setup_tx));
   BCFL_ASSIGN_OR_RETURN(auto commits, coord->engine_->RunUntilDrained());
@@ -172,7 +199,7 @@ Status BcflCoordinator::SubmitOwnerUpdate(
   tx.contract = "bcfl";
   tx.method = "submit_update";
   tx.payload = FlContract::EncodeSubmitUpdate(round, owner, *masked);
-  tx.nonce = (round + 1) * 1000 + owner;
+  tx.nonce = SubmitNonce(round, owner, config_.num_owners);
   tx.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
   return engine_->SubmitTransaction(tx);
 }
@@ -260,7 +287,7 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
     tx.contract = "bcfl";
     tx.method = "recover";
     tx.payload = FlContract::EncodeRecover(round, u, dh_key);
-    tx.nonce = (round + 1) * 1000 + 500 + u;
+    tx.nonce = RecoverNonce(round, u, config_.num_owners);
     tx.Sign(schnorr_, schnorr_keys_[reporter], rng_.get());
     BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(tx));
     recoveries.Add();
@@ -386,14 +413,14 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     fund.contract = "reward";
     fund.method = "fund";
     fund.payload = RewardContract::EncodeFund(config_.reward_pool);
-    fund.nonce = 1'000'000;
+    fund.nonce = kFundNonce;
     fund.Sign(schnorr_, schnorr_keys_[0], rng_.get());
     BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(fund));
 
     chain::Transaction distribute;
     distribute.contract = "reward";
     distribute.method = "distribute";
-    distribute.nonce = 1'000'001;
+    distribute.nonce = kDistributeNonce;
     distribute.Sign(schnorr_, schnorr_keys_[0], rng_.get());
     BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(distribute));
 
@@ -403,7 +430,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
       claim.contract = "reward";
       claim.method = "claim";
       claim.payload = RewardContract::EncodeClaim(i);
-      claim.nonce = 1'000'002 + i;
+      claim.nonce = kClaimNonceBase + i;
       claim.Sign(schnorr_, schnorr_keys_[i], rng_.get());
       BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(claim));
     }

@@ -34,10 +34,27 @@ Result<uint64_t> ParseNumber(const std::string& token, const char* what) {
     return Status::InvalidArgument(std::string("bad ") + what + ": '" +
                                    token + "'");
   }
-  return static_cast<uint64_t>(std::stoull(token));
+  try {
+    return static_cast<uint64_t>(std::stoull(token));
+  } catch (const std::out_of_range&) {
+    return Status::InvalidArgument(std::string("out-of-range ") + what +
+                                   ": '" + token + "'");
+  }
 }
 
 }  // namespace
+
+std::vector<const FaultEvent*> EventsByRound(
+    const std::vector<FaultEvent>& events) {
+  std::vector<const FaultEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const FaultEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->round < b->round;
+                   });
+  return ordered;
+}
 
 std::string FaultEvent::ToString() const {
   std::string out = KindName(kind);
@@ -343,16 +360,19 @@ Status FaultPlan::Validate(uint32_t num_owners, uint32_t num_miners,
   }
 
   // Per-round miner liveness: online miners in the majority connectivity
-  // cell must stay a strict majority of the full roster.
+  // cell must stay a strict majority of the full roster. Crash/recover
+  // replay must walk events in round order — the plan may list them in
+  // any order — so the latest event at or before the round decides.
+  const std::vector<const FaultEvent*> ordered = EventsByRound(events);
   for (uint64_t round = 0; round <= horizon; ++round) {
     std::set<uint32_t> offline;
-    for (const auto& event : events) {
-      if (event.node_kind != NodeKind::kMiner) continue;
-      if (event.kind == FaultKind::kCrash && event.round <= round) {
-        offline.insert(event.node);
+    for (const FaultEvent* event : ordered) {
+      if (event->node_kind != NodeKind::kMiner) continue;
+      if (event->kind == FaultKind::kCrash && event->round <= round) {
+        offline.insert(event->node);
       }
-      if (event.kind == FaultKind::kRecover && event.round <= round) {
-        offline.erase(event.node);
+      if (event->kind == FaultKind::kRecover && event->round <= round) {
+        offline.erase(event->node);
       }
     }
     std::set<uint32_t> minority;

@@ -100,4 +100,12 @@ struct FaultPlan {
                   size_t shamir_threshold) const;
 };
 
+/// The plan's events ordered by activation round (stable for ties, so
+/// same-round events keep their listing order). Crash/recover replay is
+/// "latest event at or before the round wins" — that only holds when the
+/// replay walks events chronologically, and plans from Parse or the
+/// builder API may list them in any order.
+std::vector<const FaultEvent*> EventsByRound(
+    const std::vector<FaultEvent>& events);
+
 }  // namespace bcfl::fault

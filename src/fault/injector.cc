@@ -39,9 +39,12 @@ void FaultInjector::BeginRound(uint64_t round) {
   reordering_miners_.clear();
   submit_drops_left_.clear();
 
-  // Crash/recover replay in schedule order: the latest event at or before
-  // this round decides each node's liveness.
-  for (const FaultEvent& e : plan_.events) {
+  // Crash/recover replay in round order (the plan may list events in any
+  // order): the latest event at or before this round decides each node's
+  // liveness.
+  const std::vector<const FaultEvent*> ordered = EventsByRound(plan_.events);
+  for (const FaultEvent* ep : ordered) {
+    const FaultEvent& e = *ep;
     switch (e.kind) {
       case FaultKind::kCrash:
         if (e.round <= round) {
@@ -81,7 +84,8 @@ void FaultInjector::BeginRound(uint64_t round) {
 
   // One summary entry per round keeps the executed log proportional to
   // the plan, not to traffic volume.
-  for (const FaultEvent& e : plan_.events) {
+  for (const FaultEvent* ep : ordered) {
+    const FaultEvent& e = *ep;
     if (ActiveAt(e, round) &&
         (e.kind != FaultKind::kCrash && e.kind != FaultKind::kRecover
              ? true

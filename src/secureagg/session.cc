@@ -91,17 +91,27 @@ Result<std::vector<uint64_t>> SecureAggSession::Submit(
 
 Result<std::array<uint8_t, 32>> SecureAggSession::RevealSecret(
     OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) {
-  auto cached = reveal_cache_.find({id, dh_key});
-  if (cached != reveal_cache_.end()) return cached->second;
   const RecoveryShares& all = recovery_shares_[id];
   const auto& source =
       dh_key ? all.dh_private_shares : all.self_seed_shares;
-  // Only shares held by *online* roster members can be revealed.
+  // Only shares held by *online* roster members can be revealed. The
+  // availability check runs before the cache is consulted: a reveal with
+  // fewer than `threshold_` live holders must fail closed even if an
+  // earlier call with a smaller dropout set already reconstructed the
+  // secret.
   std::vector<crypto::ShamirShare> available;
   for (size_t holder = 0; holder < participants_.size(); ++holder) {
     if (dropped.count(static_cast<OwnerId>(holder)) > 0) continue;
     available.push_back(source[holder]);
   }
+  if (available.size() < threshold_) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(available.size()) + " shares of owner " +
+        std::to_string(id) + "'s secret survive; threshold is " +
+        std::to_string(threshold_) + " — failing closed");
+  }
+  auto cached = reveal_cache_.find({id, dh_key});
+  if (cached != reveal_cache_.end()) return cached->second;
   BCFL_ASSIGN_OR_RETURN(
       auto secret, SecureAggregator::ReconstructSecret32(
                        available, threshold_, participants_.size()));

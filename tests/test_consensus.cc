@@ -272,6 +272,52 @@ TEST_F(ConsensusFixture, ViewChangeRotatesPastCrashedLeader) {
   engine->set_fault_injector(nullptr);
 }
 
+TEST_F(ConsensusFixture, DuplicatedVotesCountEachMinerOnce) {
+  // Every miner duplicates its traffic: proposals arrive twice (so
+  // validators vote twice) and each vote is delivered twice. The tally
+  // must still count five distinct voters, not nine messages.
+  auto engine = MakeEngine(5);
+  auto plan = fault::FaultPlan::Parse(
+      "duplicate miner 0 @0; duplicate miner 1 @0; duplicate miner 2 @0; "
+      "duplicate miner 3 @0; duplicate miner 4 @0");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 0, 5);
+  injector.BeginRound(0);
+  engine->set_fault_injector(&injector);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->accept_votes, 5u);
+  engine->set_fault_injector(nullptr);
+}
+
+TEST_F(ConsensusFixture, DuplicatedVoteCannotForgeMajority) {
+  // Only two of five miners are online and one duplicates its outbound
+  // vote. A doubled accept must not be mistaken for a third voter: two
+  // distinct accepts (leader + one validator) are not a strict majority
+  // of the full roster, so nothing may commit.
+  auto engine = MakeEngine(5);
+  auto plan = fault::FaultPlan::Parse(
+      "crash miner 2 @0; crash miner 3 @0; crash miner 4 @0; "
+      "duplicate miner 0 @0; duplicate miner 1 @0");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 0, 5);
+  injector.BeginRound(0);
+  engine->set_fault_injector(&injector);
+
+  ASSERT_TRUE(engine->SubmitTransaction(IncTx(1)).ok());
+  auto result = engine->RunRound();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+  EXPECT_LE(result->accept_votes, 2u);
+  for (uint32_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(engine->miner(m).chain().Height(), 0u) << "miner " << m;
+  }
+  engine->set_fault_injector(nullptr);
+}
+
 TEST_F(ConsensusFixture, RecoveredMinerIsReadmittedByCatchUp) {
   auto engine = MakeEngine(5);
   auto plan =

@@ -58,6 +58,26 @@ TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("slow miner 0 @3..1 +5us").ok());
 }
 
+TEST(FaultPlanTest, ParseRejectsOutOfRangeNumbers) {
+  // All-digit tokens past 2^64-1 must fail as InvalidArgument, not throw.
+  EXPECT_FALSE(
+      FaultPlan::Parse("crash owner 99999999999999999999 @1").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("crash owner 1 @99999999999999999999").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("slow miner 0 @1 +99999999999999999999us").ok());
+}
+
+TEST(FaultPlanTest, ValidateReplaysOutOfOrderEventsByRound) {
+  // Listing the recover before its crash must not change the semantics:
+  // miner 0 is back from round 3 on, so rounds >= 4 lose only miner 1
+  // and the plan keeps a 2/3 majority throughout.
+  auto plan = FaultPlan::Parse(
+      "recover miner 0 @3; crash miner 0 @2; crash miner 1 @4");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(4, 3, 3).ok());
+}
+
 TEST(FaultPlanTest, ValidateRejectsKindTargetMismatches) {
   auto drop = FaultPlan::Parse("drop-submit miner 1 @0");
   auto dup = FaultPlan::Parse("duplicate owner 1 @0");
@@ -153,6 +173,21 @@ TEST(FaultInjectorTest, CrashAndRecoverWindowsTrackRounds) {
   injector.BeginRound(3);
   EXPECT_FALSE(injector.OwnerOffline(2));  // Recovered.
   EXPECT_TRUE(injector.MinerOffline(1));   // Never recovers.
+}
+
+TEST(FaultInjectorTest, OutOfOrderCrashRecoverReplaysByRound) {
+  // The recover is listed first; the latest event at or before the round
+  // must still decide, so miner 0 is offline in [2, 5) and back at 5.
+  auto plan = FaultPlan::Parse("recover miner 0 @5; crash miner 0 @2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 4, 3);
+
+  injector.BeginRound(3);
+  EXPECT_TRUE(injector.MinerOffline(0));
+  injector.BeginRound(5);
+  EXPECT_FALSE(injector.MinerOffline(0));
+  injector.BeginRound(6);
+  EXPECT_FALSE(injector.MinerOffline(0));
 }
 
 TEST(FaultInjectorTest, SubmitDropBudgetIsPerRound) {

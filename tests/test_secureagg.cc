@@ -239,6 +239,37 @@ TEST(SessionTest, DropoutRecoveryRecoversGroupMean) {
   }
 }
 
+TEST(SessionTest, RecoveryFailsClosedDespiteEarlierCachedReveal) {
+  // A reveal that succeeded with a small dropout set caches the secret;
+  // a later reveal whose dropout set leaves fewer than `threshold` live
+  // share-holders must still fail closed, not answer from the cache.
+  SessionConfig config;
+  config.use_self_masks = false;
+  auto session = SecureAggSession::Create(5, config);  // threshold = 3
+  ASSERT_TRUE(session.ok());
+  Xoshiro256 rng(11);
+  std::vector<OwnerId> all = {0, 1, 2, 3, 4};
+  std::map<OwnerId, std::vector<uint64_t>> submissions;
+  for (OwnerId id : all) {
+    if (id == 3) continue;
+    auto masked = session->Submit(id, 1, all, RandomUpdate(8, &rng));
+    ASSERT_TRUE(masked.ok());
+    submissions[id] = *masked;
+  }
+  // Four share-holders survive (>= threshold): owner 3's key is revealed
+  // and cached.
+  ASSERT_TRUE(session->AggregateGroupMean(1, all, submissions, {3}).ok());
+
+  // Next round only owner 0 is still online — one share-holder is below
+  // the threshold, so recovering owner 3 again must fail.
+  std::vector<OwnerId> pair = {0, 3};
+  std::map<OwnerId, std::vector<uint64_t>> late;
+  auto masked = session->Submit(0, 2, pair, RandomUpdate(8, &rng));
+  ASSERT_TRUE(masked.ok());
+  late[0] = *masked;
+  EXPECT_FALSE(session->AggregateGroupMean(2, pair, late, {1, 2, 3, 4}).ok());
+}
+
 TEST(SessionTest, MissingRecoveryMaterialFailsLoudly) {
   // Pairwise-only session, dropped member, no recovery material -> the
   // aggregator must error rather than emit a silently corrupt sum.
