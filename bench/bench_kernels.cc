@@ -13,9 +13,11 @@
 //
 // Flags: --quick  lower repetition counts (CI smoke mode).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,6 +34,10 @@ using bcfl::obs::JsonWriter;
 namespace kernels = bcfl::ml::kernels;
 
 namespace {
+
+/// Pool width used by the parallel-determinism checks (and reported in
+/// the JSON so cross-PR diffs know what ran).
+constexpr size_t kDeterminismPoolThreads = 4;
 
 void FillRandom(std::vector<double>* v, Xoshiro256* rng) {
   for (double& x : *v) x = rng->NextDouble() * 2.0 - 1.0;
@@ -192,7 +198,7 @@ bool CheckParallelGemmDeterminism(Xoshiro256* rng) {
   std::vector<double> serial(m * n, 0.0), parallel(m * n, 1e9);
   kernels::Gemm(a.data(), m, k, b.data(), n, serial.data());
   {
-    ThreadPool pool(4);
+    ThreadPool pool(kDeterminismPoolThreads);
     kernels::SetParallelPool(&pool);
     kernels::Gemm(a.data(), m, k, b.data(), n, parallel.data());
     kernels::SetParallelPool(nullptr);
@@ -281,6 +287,9 @@ int main(int argc, char** argv) {
   json.Field("bench", "kernels");
   json.Field("quick", quick);
   json.Field("kernel_path", kernels::ActivePath());
+  json.Field("hardware_threads",
+             std::max<size_t>(1, std::thread::hardware_concurrency()));
+  json.Field("pool_threads", kDeterminismPoolThreads);
   json.BeginObject("equivalence");
   for (const NamedCheck& c : checks) json.Field(c.name, c.ok);
   json.EndObject();

@@ -17,7 +17,9 @@
 // per prefix extension instead of an O(n) rebuild, and the linear-score
 // fast path when the utility supports it.
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -85,6 +87,9 @@ int main() {
   json.Field("sigma", kSigma);
   json.Field("owners", n);
   json.Field("rounds", run.per_round_locals.size());
+  json.Field("hardware_threads",
+             std::max<size_t>(1, std::thread::hardware_concurrency()));
+  json.Field("pool_threads", pool.num_threads());
   json.BeginArray("estimators");
 
   // Ground truth.

@@ -149,6 +149,7 @@ int main(int argc, char** argv) {
   json.Field("owners", Workload::kOwners);
   json.Field("rounds", Workload::kRounds);
   json.Field("hardware_threads", hw_threads);
+  json.Field("pool_threads", pool.num_threads());
   json.BeginArray("group_sv");
 
   double naive_total = 0, engine_total = 0;

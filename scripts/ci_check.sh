@@ -35,6 +35,15 @@ trap 'rm -rf "$ARTIFACT_DIR"' EXIT
 BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
 (cd "$ARTIFACT_DIR" && "$BENCH_KERNELS" --quick)
 
+# Chain-equivalence smoke: bench_chain_throughput exits non-zero unless
+# the Montgomery Schnorr path agrees with the seed reference verifier,
+# incremental/pooled Merkle builds are bit-identical to the batch build,
+# the mempool's promoted root matches a from-scratch block root, and a
+# consensus run commits identical blocks with and without a chain pool.
+# It drops BENCH_chain.json in the working directory.
+BENCH_CHAIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_chain_throughput"
+(cd "$ARTIFACT_DIR" && "$BENCH_CHAIN" --quick)
+
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$ARTIFACT_DIR" "$ROUNDS" <<'EOF'
 import json
@@ -64,15 +73,29 @@ missing = {"gemm", "gemm_trans_a", "transpose", "softmax_rows",
 assert not missing, f"missing equivalence checks: {missing}"
 assert kernels["kernel_path"] in {"reference", "scalar", "avx2"}, kernels
 
+chain = json.load(open(f"{artifact_dir}/BENCH_chain.json"))
+assert chain["all_equivalent"] is True, chain["equivalence"]
+missing = {"schnorr_reference", "merkle_incremental_batch_parallel",
+           "mempool_promotion", "chain_pool_determinism"} \
+    - set(chain["equivalence"])
+assert not missing, f"missing chain equivalence checks: {missing}"
+assert chain["crypto_path"] in {"montgomery", "reference"}, chain
+speedup = chain["schnorr_verify"]["speedup"]
+if chain["crypto_path"] == "montgomery":
+    assert speedup >= 4.0, \
+        f"schnorr verify speedup {speedup:.2f}x below the 4x floor"
+
 print(f"artifacts OK: {len(counters)} counters, "
       f"{len(trace['traceEvents'])} spans, categories {sorted(categories)}, "
-      f"kernel path {kernels['kernel_path']}")
+      f"kernel path {kernels['kernel_path']}, "
+      f"crypto path {chain['crypto_path']} ({speedup:.0f}x verify)")
 EOF
 else
   # No python3: fall back to grep-level checks so the gate still bites.
   grep -q '"fl.rounds":'"$ROUNDS" "$ARTIFACT_DIR/metrics.json"
   grep -q '"traceEvents"' "$ARTIFACT_DIR/trace.json"
   grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_kernels.json"
+  grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_chain.json"
   echo "artifacts OK (python3 unavailable; grep-level validation only)"
 fi
 

@@ -10,6 +10,10 @@
 # against the reference path with a pool attached, under TSan.
 # test_fault and a reduced test_chaos sweep run the full faulted
 # protocol (fault injection, recovery, view changes) under TSan too.
+# Since the chain-throughput-engine PR the sweep also covers the sharded
+# signature-verify cache, the pooled Merkle/mempool builds (test_sig_cache,
+# test_merkle) and bench_chain_throughput --quick, whose pre-verification
+# fan-out and chain pool run hot under TSan.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -26,7 +30,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_thread_pool test_coalition_engine test_utility \
   test_kernels test_secureagg test_native_sv \
-  test_metrics test_tracer test_fault test_chaos bench_kernels
+  test_metrics test_tracer test_fault test_chaos \
+  test_sig_cache test_merkle bench_kernels bench_chain_throughput
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -40,14 +45,18 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_metrics"
 "$BUILD_DIR/tests/test_tracer"
 "$BUILD_DIR/tests/test_fault"
+"$BUILD_DIR/tests/test_sig_cache"
+"$BUILD_DIR/tests/test_merkle"
 # Chaos under TSan: full faulted protocol runs (coordinator + consensus
 # + recovery) with a reduced sweep — TSan is ~10x slower per seed.
 BCFL_CHAOS_SEEDS="${BCFL_CHAOS_SEEDS:-2}" "$BUILD_DIR/tests/test_chaos"
 
-# bench_kernels writes BENCH_kernels.json; keep it out of the tree.
+# The benches write BENCH_*.json; keep them out of the tree.
 TSAN_TMP="$(mktemp -d)"
 trap 'rm -rf "$TSAN_TMP"' EXIT
 BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
 (cd "$TSAN_TMP" && "$BENCH_KERNELS" --quick)
+BENCH_CHAIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_chain_throughput"
+(cd "$TSAN_TMP" && "$BENCH_CHAIN" --quick)
 
 echo "TSan: all clean"

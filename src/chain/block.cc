@@ -34,10 +34,7 @@ crypto::Digest BlockHeader::Hash() const {
 }
 
 crypto::Digest Block::ComputeMerkleRoot() const {
-  std::vector<crypto::Digest> leaves;
-  leaves.reserve(txs.size());
-  for (const auto& tx : txs) leaves.push_back(tx.Hash());
-  return MerkleTree(leaves).root();
+  return MerkleTree(HashTransactions(txs)).root();
 }
 
 bool Block::MerkleRootMatchesBody() const {

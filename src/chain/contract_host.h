@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chain/contract.h"
+#include "chain/sig_cache.h"
 #include "chain/state.h"
 #include "chain/transaction.h"
 #include "common/result.h"
@@ -40,15 +41,42 @@ class ContractHost {
   Result<TxReceipt> ExecuteTransaction(const Transaction& tx,
                                        ContractState* state) const;
 
+  /// Same, with the transaction hash already computed — block execution
+  /// hashes the whole body once through the batched SHA path instead of
+  /// re-hashing large payloads per transaction.
+  Result<TxReceipt> ExecuteTransaction(const Transaction& tx,
+                                       const crypto::Digest& tx_hash,
+                                       ContractState* state) const;
+
   /// Executes a full block body in order; returns one receipt per tx.
   Result<std::vector<TxReceipt>> ExecuteBlock(
       const std::vector<Transaction>& txs, ContractState* state) const;
 
+  /// Verifies the signatures of `txs` up front — chunked across the
+  /// chain pool when one is installed, inline otherwise — and warms the
+  /// shared verification cache so the serial re-execution loop never
+  /// pays a modexp for a signature any replica already checked.
+  /// Verdicts are not returned: execution re-asks the cache per tx, so
+  /// outcomes are bit-identical for any pool size (including none).
+  void PreVerifySignatures(const std::vector<Transaction>& txs) const;
+
   const crypto::Schnorr& scheme() const { return scheme_; }
 
+  const SigVerifyCache& sig_cache() const { return sig_cache_; }
+
  private:
+  /// Cache-first signature check; inserts on success (fail-closed).
+  bool VerifyCached(const Transaction& tx, const crypto::Digest& hash) const;
+
+  /// PreVerifySignatures with the body's hashes already computed.
+  void PreVerifySignatures(const std::vector<Transaction>& txs,
+                           const std::vector<crypto::Digest>& hashes) const;
+
   crypto::Schnorr scheme_;
   std::map<std::string, std::shared_ptr<SmartContract>> contracts_;
+  /// Mutable: the host is shared across miners as a const pointer, and
+  /// the cache is internally synchronised.
+  mutable SigVerifyCache sig_cache_;
 };
 
 }  // namespace bcfl::chain

@@ -4,6 +4,15 @@
 
 namespace bcfl::chain {
 
+namespace {
+
+std::pair<std::string, uint64_t> SenderNonceOf(const Transaction& tx) {
+  Bytes sender = tx.sender.ToBytes();
+  return {std::string(sender.begin(), sender.end()), tx.nonce};
+}
+
+}  // namespace
+
 std::string Mempool::KeyOf(const Transaction& tx) {
   crypto::Digest digest = tx.Hash();
   return std::string(digest.begin(), digest.end());
@@ -14,12 +23,25 @@ Status Mempool::Add(Transaction tx) {
       obs::MetricsRegistry::Global().GetCounter("chain.mempool.admitted");
   static auto& duplicates = obs::MetricsRegistry::Global().GetCounter(
       "chain.mempool.rejected_duplicate");
-  std::string key = KeyOf(tx);
-  if (!seen_.insert(key).second) {
+  static auto& nonce_replays = obs::MetricsRegistry::Global().GetCounter(
+      "chain.mempool.rejected_nonce");
+  crypto::Digest digest = tx.Hash();
+  std::string key(digest.begin(), digest.end());
+  if (seen_.count(key) > 0) {
     duplicates.Add();
     return Status::AlreadyExists("transaction already in mempool");
   }
+  // A different signature over the same (sender, nonce) is a replay
+  // with a fresh Schnorr nonce: same hash-set miss, same block slot.
+  // Reject it at admission rather than letting it ride to the contract.
+  if (!seen_sender_nonce_.insert(SenderNonceOf(tx)).second) {
+    nonce_replays.Add();
+    return Status::AlreadyExists("sender nonce already admitted");
+  }
+  seen_.insert(std::move(key));
   admitted.Add();
+  pending_tree_.Append(digest);
+  pending_digests_.push_back(digest);
   pending_.push_back(std::move(tx));
   return Status::OK();
 }
@@ -32,7 +54,9 @@ std::vector<Transaction> Mempool::Take(size_t max_count) {
   for (size_t i = 0; i < count; ++i) {
     out.push_back(std::move(pending_.front()));
     pending_.pop_front();
+    pending_digests_.pop_front();
   }
+  if (count > 0) RebuildPendingTree();
   return out;
 }
 
@@ -44,13 +68,28 @@ std::vector<Transaction> Mempool::Peek(size_t max_count) const {
 }
 
 void Mempool::RemoveCommitted(const std::vector<Transaction>& txs) {
-  std::set<std::string> committed;
-  for (const auto& tx : txs) committed.insert(KeyOf(tx));
+  std::set<crypto::Digest> committed;
+  std::vector<crypto::Digest> hashes = HashTransactions(txs);
+  for (const auto& digest : hashes) committed.insert(digest);
   std::deque<Transaction> kept;
-  for (auto& tx : pending_) {
-    if (committed.count(KeyOf(tx)) == 0) kept.push_back(std::move(tx));
+  std::deque<crypto::Digest> kept_digests;
+  bool changed = false;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (committed.count(pending_digests_[i]) == 0) {
+      kept.push_back(std::move(pending_[i]));
+      kept_digests.push_back(pending_digests_[i]);
+    } else {
+      changed = true;
+    }
   }
   pending_ = std::move(kept);
+  pending_digests_ = std::move(kept_digests);
+  if (changed) RebuildPendingTree();
+}
+
+void Mempool::RebuildPendingTree() {
+  pending_tree_ = MerkleTree(std::vector<crypto::Digest>(
+      pending_digests_.begin(), pending_digests_.end()));
 }
 
 }  // namespace bcfl::chain

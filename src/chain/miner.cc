@@ -22,7 +22,12 @@ Result<Block> Miner::ProposeBlock(uint64_t timestamp_us, size_t max_txs) {
   block.header.prev_hash = chain_.Tip().header.Hash();
   block.header.timestamp_us = timestamp_us;
   block.header.proposer = id_;
-  block.header.merkle_root = block.ComputeMerkleRoot();
+  // Proposing the whole pool promotes the mempool's incrementally
+  // maintained root (bit-identical to a rebuild); a partial block still
+  // hashes its own prefix.
+  block.header.merkle_root = block.txs.size() == mempool_.size()
+                                 ? mempool_.PendingRoot()
+                                 : block.ComputeMerkleRoot();
 
   ContractState scratch = state_.Snapshot();
   BCFL_ASSIGN_OR_RETURN(std::vector<TxReceipt> receipts,

@@ -1,5 +1,7 @@
 #include "chain/transaction.h"
 
+#include <map>
+
 namespace bcfl::chain {
 
 Bytes Transaction::SigningBytes() const {
@@ -60,6 +62,31 @@ Result<Transaction> Transaction::Deserialize(const Bytes& bytes) {
 
 bool Transaction::operator==(const Transaction& other) const {
   return Hash() == other.Hash();
+}
+
+std::vector<crypto::Digest> HashTransactions(
+    const std::vector<Transaction>& txs) {
+  std::vector<crypto::Digest> out(txs.size());
+  // Materialise each preimage (signing bytes || signature), then group
+  // equal lengths so the 8-lane SHA path gets full batches.
+  std::vector<Bytes> preimages(txs.size());
+  std::map<size_t, std::vector<size_t>> by_len;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    preimages[i] = txs[i].SigningBytes();
+    Bytes sig = txs[i].signature.ToBytes();
+    preimages[i].insert(preimages[i].end(), sig.begin(), sig.end());
+    by_len[preimages[i].size()].push_back(i);
+  }
+  std::vector<const uint8_t*> ptrs;
+  std::vector<crypto::Digest> group_out;
+  for (const auto& [len, indices] : by_len) {
+    ptrs.clear();
+    for (size_t i : indices) ptrs.push_back(preimages[i].data());
+    group_out.resize(indices.size());
+    crypto::Sha256Batch(ptrs.data(), len, indices.size(), group_out.data());
+    for (size_t j = 0; j < indices.size(); ++j) out[indices[j]] = group_out[j];
+  }
+  return out;
 }
 
 }  // namespace bcfl::chain

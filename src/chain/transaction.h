@@ -45,4 +45,11 @@ struct Transaction {
   bool operator==(const Transaction& other) const;
 };
 
+/// Hashes of a whole transaction list. Equal-length preimages (the
+/// common case: one workload's submissions share a payload shape) are
+/// grouped through the multi-lane Sha256Batch; per-element results are
+/// bit-identical to calling tx.Hash() in a loop.
+std::vector<crypto::Digest> HashTransactions(
+    const std::vector<Transaction>& txs);
+
 }  // namespace bcfl::chain

@@ -2,11 +2,122 @@
 
 namespace bcfl::crypto {
 
+namespace {
+
+// BCFL_CRYPTO_REFERENCE pins the schemes to the seed's
+// square-and-multiply path (mirrors BCFL_KERNEL_REFERENCE in src/ml).
+#if defined(BCFL_CRYPTO_REFERENCE)
+constexpr bool kUseFastCrypto = false;
+#else
+constexpr bool kUseFastCrypto = true;
+#endif
+
+std::string LimbKey(const UInt256& v) {
+  std::string key(32, '\0');
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = v.limb(i);
+    for (int b = 0; b < 8; ++b) {
+      key[static_cast<size_t>(i * 8 + b)] =
+          static_cast<char>(limb >> (b * 8));
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string_view CryptoActivePath() {
+  return kUseFastCrypto ? "montgomery" : "reference";
+}
+
 GroupParams GroupParams::Default() {
   // p = 2^255 - 19, little-endian limbs.
   UInt256 p(0xffffffffffffffedULL, 0xffffffffffffffffULL,
             0xffffffffffffffffULL, 0x7fffffffffffffffULL);
   return GroupParams{p, UInt256(2)};
+}
+
+GroupContext::GroupContext(const GroupParams& params) : params_(params) {
+  bool odd = params.p.Bit(0);
+  if (odd && params.p > UInt256(1)) {
+    mont_ = std::make_unique<Montgomery>(params.p);
+    g_table_ = std::make_unique<FixedBaseTable>(*mont_, params.g);
+  }
+}
+
+std::shared_ptr<const GroupContext> GroupContext::Get(
+    const GroupParams& params) {
+  // Leaked singleton registry: contexts live for the process, so raw
+  // FixedBaseTable pointers handed out under shard locks stay valid.
+  static std::mutex* mu = new std::mutex;
+  static auto* registry =
+      new std::unordered_map<std::string,
+                             std::shared_ptr<const GroupContext>>;
+  std::string key = LimbKey(params.p) + LimbKey(params.g);
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*registry)[key];
+  if (slot == nullptr) {
+    slot = std::shared_ptr<const GroupContext>(new GroupContext(params));
+  }
+  return slot;
+}
+
+UInt256 GroupContext::PowG(const UInt256& exp) const {
+  if (g_table_ == nullptr) return params_.g.ModPow(exp, params_.p);
+  return g_table_->Pow(exp);
+}
+
+UInt256 GroupContext::PowBase(const UInt256& base, const UInt256& exp) const {
+  if (mont_ == nullptr) return base.ModPow(exp, params_.p);
+  return mont_->FromMont(PowBaseMont(base, exp));
+}
+
+bool GroupContext::VerifyGsEq(const UInt256& s, const UInt256& r,
+                              const UInt256& base, const UInt256& e) const {
+  if (mont_ == nullptr) {
+    UInt256 lhs = params_.g.ModPow(s, params_.p);
+    UInt256 rhs = r.ModMul(base.ModPow(e, params_.p), params_.p);
+    return lhs == rhs;
+  }
+  UInt256 lhs = g_table_->PowMont(s);
+  UInt256 rhs = mont_->Mul(mont_->ToMont(r), PowBaseMont(base, e));
+  return lhs == rhs;
+}
+
+UInt256 GroupContext::PowBaseMont(const UInt256& base,
+                                  const UInt256& exp) const {
+  std::string key = LimbKey(base);
+  Shard& shard = shards_[base.limb(0) % kShards];
+  const FixedBaseTable* table = nullptr;
+  bool build = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      KeyEntry& entry = it->second;
+      ++entry.uses;
+      if (entry.table != nullptr) {
+        table = entry.table.get();
+      } else if (entry.uses >= 2) {
+        // Second sighting: the base is hot enough to earn a table.
+        build = true;
+      }
+    } else if (shard.entries.size() < kMaxKeysPerShard) {
+      shard.entries[key].uses = 1;
+    }
+  }
+  if (build) {
+    // Built outside the lock (~1k multiplies); a racing thread may build
+    // a duplicate, and the first install wins.
+    auto built = std::make_unique<FixedBaseTable>(*mont_, base);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    KeyEntry& entry = shard.entries[key];
+    if (entry.table == nullptr) entry.table = std::move(built);
+    table = entry.table.get();
+  }
+  // Entries are never erased, so `table` outlives the lock scope.
+  if (table != nullptr) return table->PowMont(exp);
+  return mont_->PowMont(mont_->ToMont(base.Mod(params_.p)), exp);
 }
 
 UInt256 RandomInRange(Xoshiro256* rng, const UInt256& low,
@@ -21,16 +132,22 @@ UInt256 RandomInRange(Xoshiro256* rng, const UInt256& low,
   return low.Add(sample.Mod(range));
 }
 
+DiffieHellman::DiffieHellman(GroupParams params)
+    : params_(params),
+      ctx_(kUseFastCrypto ? GroupContext::Get(params) : nullptr) {}
+
 DhKeyPair DiffieHellman::GenerateKeyPair(Xoshiro256* rng) const {
   UInt256 two(2);
   UInt256 max = params_.p.Sub(UInt256(2));
   UInt256 x = RandomInRange(rng, two, max);
-  UInt256 y = params_.g.ModPow(x, params_.p);
+  UInt256 y = ctx_ != nullptr ? ctx_->PowG(x)
+                              : params_.g.ModPow(x, params_.p);
   return DhKeyPair{x, y};
 }
 
 UInt256 DiffieHellman::ComputeShared(const UInt256& private_key,
                                      const UInt256& peer_public) const {
+  if (ctx_ != nullptr) return ctx_->PowBase(peer_public, private_key);
   return peer_public.ModPow(private_key, params_.p);
 }
 

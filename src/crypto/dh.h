@@ -1,6 +1,10 @@
 #pragma once
 
 #include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "crypto/sha256.h"
@@ -24,6 +28,72 @@ struct GroupParams {
   static GroupParams Default();
 };
 
+/// Which exponentiation path the crypto schemes compiled to:
+/// "montgomery" (fixed-base tables + CIOS) or "reference" (the seed's
+/// square-and-multiply over restoring division, selected by the
+/// BCFL_CRYPTO_REFERENCE define). Exported into bench metadata.
+std::string_view CryptoActivePath();
+
+/// Shared fast-exponentiation state for one discrete-log group: a
+/// Montgomery context for p, a fixed-base comb table for the generator
+/// g, and a bounded thread-safe cache of per-public-key tables.
+///
+/// Obtained from a process-wide registry keyed by (p, g), so every
+/// by-value copy of a Schnorr or DiffieHellman scheme built from the
+/// same parameters shares one context — each miner re-verifying a
+/// block reuses the same g-table and the same pub^e tables.
+///
+/// Groups whose modulus is even or <= 1 (never the library default) get
+/// no Montgomery state and fall back to UInt256::ModPow, bit-identical.
+class GroupContext {
+ public:
+  /// Returns the shared context for `params`, creating it on first use.
+  static std::shared_ptr<const GroupContext> Get(const GroupParams& params);
+
+  /// True when the modulus admits Montgomery arithmetic (odd, > 1).
+  bool fast() const { return mont_ != nullptr; }
+
+  /// g^exp mod p via the generator's fixed-base table.
+  UInt256 PowG(const UInt256& exp) const;
+
+  /// base^exp mod p. A base seen repeatedly (a public key verified more
+  /// than once) gets its own fixed-base table, built on second use;
+  /// otherwise a windowed Montgomery ladder. Thread-safe.
+  UInt256 PowBase(const UInt256& base, const UInt256& exp) const;
+
+  /// Schnorr verification equation g^s == r * base^e (mod p), evaluated
+  /// entirely in the Montgomery domain (equality is preserved by the
+  /// domain bijection, so no final conversions are needed).
+  bool VerifyGsEq(const UInt256& s, const UInt256& r, const UInt256& base,
+                  const UInt256& e) const;
+
+  const GroupParams& params() const { return params_; }
+
+ private:
+  explicit GroupContext(const GroupParams& params);
+
+  /// base^exp in the Montgomery domain; requires fast().
+  UInt256 PowBaseMont(const UInt256& base, const UInt256& exp) const;
+
+  struct KeyEntry {
+    uint32_t uses = 0;
+    std::unique_ptr<FixedBaseTable> table;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, KeyEntry> entries;
+  };
+  static constexpr size_t kShards = 16;
+  /// Caps table memory (~32 KiB each); past the cap new bases use the
+  /// plain windowed ladder, which is merely slower, never wrong.
+  static constexpr size_t kMaxKeysPerShard = 64;
+
+  GroupParams params_;
+  std::unique_ptr<Montgomery> mont_;
+  std::unique_ptr<FixedBaseTable> g_table_;
+  mutable std::array<Shard, kShards> shards_;
+};
+
 /// A Diffie–Hellman key pair: x and g^x mod p.
 struct DhKeyPair {
   UInt256 private_key;
@@ -37,8 +107,7 @@ struct DhKeyPair {
 /// the mask PRNG in the secure-aggregation module.
 class DiffieHellman {
  public:
-  explicit DiffieHellman(GroupParams params = GroupParams::Default())
-      : params_(params) {}
+  explicit DiffieHellman(GroupParams params = GroupParams::Default());
 
   const GroupParams& params() const { return params_; }
 
@@ -59,6 +128,7 @@ class DiffieHellman {
 
  private:
   GroupParams params_;
+  std::shared_ptr<const GroupContext> ctx_;
 };
 
 /// Samples a uniformly random value in [low, high] (inclusive) using

@@ -2,6 +2,16 @@
 
 namespace bcfl::crypto {
 
+namespace {
+
+#if defined(BCFL_CRYPTO_REFERENCE)
+constexpr bool kUseFastCrypto = false;
+#else
+constexpr bool kUseFastCrypto = true;
+#endif
+
+}  // namespace
+
 Bytes SchnorrSignature::ToBytes() const {
   Bytes out = r.ToBytes();
   Bytes s_bytes = s.ToBytes();
@@ -21,11 +31,14 @@ Result<SchnorrSignature> SchnorrSignature::FromBytes(const Bytes& bytes) {
 }
 
 Schnorr::Schnorr(GroupParams params)
-    : params_(params), order_(params.p.Sub(UInt256(1))) {}
+    : params_(params),
+      order_(params.p.Sub(UInt256(1))),
+      ctx_(kUseFastCrypto ? GroupContext::Get(params) : nullptr) {}
 
 SchnorrKeyPair Schnorr::GenerateKeyPair(Xoshiro256* rng) const {
   UInt256 x = RandomInRange(rng, UInt256(2), params_.p.Sub(UInt256(2)));
-  UInt256 y = params_.g.ModPow(x, params_.p);
+  UInt256 y = ctx_ != nullptr ? ctx_->PowG(x)
+                              : params_.g.ModPow(x, params_.p);
   return SchnorrKeyPair{x, y};
 }
 
@@ -45,7 +58,8 @@ UInt256 Schnorr::Challenge(const UInt256& r, const UInt256& public_key,
 SchnorrSignature Schnorr::Sign(const SchnorrKeyPair& key,
                                const Bytes& message, Xoshiro256* rng) const {
   UInt256 k = RandomInRange(rng, UInt256(2), params_.p.Sub(UInt256(2)));
-  UInt256 r = params_.g.ModPow(k, params_.p);
+  UInt256 r = ctx_ != nullptr ? ctx_->PowG(k)
+                              : params_.g.ModPow(k, params_.p);
   UInt256 e = Challenge(r, key.public_key, message);
   // s = k + e*x mod (p-1).
   UInt256 ex = e.ModMul(key.private_key.Mod(order_), order_);
@@ -58,9 +72,33 @@ bool Schnorr::Verify(const UInt256& public_key, const Bytes& message,
   if (sig.r.IsZero() || sig.r >= params_.p) return false;
   if (public_key.IsZero() || public_key >= params_.p) return false;
   UInt256 e = Challenge(sig.r, public_key, message);
+  if (ctx_ != nullptr) {
+    return ctx_->VerifyGsEq(sig.s, sig.r, public_key, e);
+  }
   UInt256 lhs = params_.g.ModPow(sig.s, params_.p);
   UInt256 rhs = sig.r.ModMul(public_key.ModPow(e, params_.p), params_.p);
   return lhs == rhs;
 }
+
+namespace reference {
+
+bool SchnorrVerify(const GroupParams& params, const UInt256& public_key,
+                   const Bytes& message, const SchnorrSignature& sig) {
+  if (sig.r.IsZero() || sig.r >= params.p) return false;
+  if (public_key.IsZero() || public_key >= params.p) return false;
+  UInt256 order = params.p.Sub(UInt256(1));
+  Sha256 hasher;
+  hasher.Update(sig.r.ToBytes());
+  hasher.Update(public_key.ToBytes());
+  hasher.Update(message);
+  Digest digest = hasher.Finish();
+  Bytes digest_bytes(digest.begin(), digest.end());
+  UInt256 e = UInt256::FromBytes(digest_bytes).value().Mod(order);
+  UInt256 lhs = params.g.ModPow(sig.s, params.p);
+  UInt256 rhs = sig.r.ModMul(public_key.ModPow(e, params.p), params.p);
+  return lhs == rhs;
+}
+
+}  // namespace reference
 
 }  // namespace bcfl::crypto

@@ -58,6 +58,20 @@ class Schnorr {
 
   GroupParams params_;
   UInt256 order_;  ///< p - 1, modulus for exponent arithmetic.
+  /// Shared per-group fast-exponentiation state; null under the
+  /// BCFL_CRYPTO_REFERENCE build, which pins the seed ModPow path.
+  std::shared_ptr<const GroupContext> ctx_;
 };
+
+namespace reference {
+
+/// The seed's scalar verification equation, verbatim: range checks, then
+/// g^s == R * pub^e (mod p) via square-and-multiply over restoring
+/// division. Kept callable in every build so benches can equivalence-gate
+/// the optimized path against it.
+bool SchnorrVerify(const GroupParams& params, const UInt256& public_key,
+                   const Bytes& message, const SchnorrSignature& sig);
+
+}  // namespace reference
 
 }  // namespace bcfl::crypto

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -89,5 +90,70 @@ UInt256 Reduce512(const std::array<uint64_t, 8>& value, const UInt256& m);
 
 /// Full 256x256 -> 512-bit product (schoolbook).
 std::array<uint64_t, 8> MulWide(const UInt256& a, const UInt256& b);
+
+/// Montgomery-form modular arithmetic for an odd modulus m > 1.
+///
+/// Replaces the seed's restoring-division reduction (512 shift/subtract
+/// iterations per ModMul) with word-level CIOS multiplication: a 256-bit
+/// modular multiply costs 16 64x64->128 products instead of a 512-step
+/// bit loop, and exponentiation uses a 4-bit fixed window. All results
+/// are exact modular values, so every caller is bit-identical to the
+/// ModPow/ModMul path it replaces; UInt256::ModPow itself stays as the
+/// seed-faithful reference (and the BCFL_CRYPTO_REFERENCE build keeps
+/// routing the crypto schemes through it).
+class Montgomery {
+ public:
+  /// `modulus` must be odd and > 1 (checked by assertion in debug).
+  explicit Montgomery(const UInt256& modulus);
+
+  const UInt256& modulus() const { return m_; }
+
+  /// Maps x (< 2^256, any value) into the Montgomery domain: x*R mod m.
+  UInt256 ToMont(const UInt256& x) const;
+  /// Maps a Montgomery-domain value back: a*R^-1 mod m.
+  UInt256 FromMont(const UInt256& a) const;
+  /// Product of two Montgomery-domain values (CIOS), result in domain.
+  UInt256 Mul(const UInt256& a, const UInt256& b) const;
+  /// base^exp where `base_mont` and the result are in the Montgomery
+  /// domain; 4-bit windowed left-to-right ladder.
+  UInt256 PowMont(const UInt256& base_mont, const UInt256& exp) const;
+  /// base^exp mod m, plain-domain in and out.
+  UInt256 ModExp(const UInt256& base, const UInt256& exp) const;
+
+  /// 1 in the Montgomery domain (R mod m).
+  const UInt256& OneMont() const { return r_mod_; }
+
+ private:
+  UInt256 m_;       ///< The odd modulus.
+  UInt256 r_mod_;   ///< R = 2^256 mod m.
+  UInt256 r2_;      ///< R^2 mod m (for ToMont).
+  uint64_t n0inv_;  ///< -m^-1 mod 2^64.
+};
+
+/// Precomputed fixed-base exponentiation table: for a fixed base b and
+/// odd modulus m, stores b^(j * 16^i) for every 4-bit exponent digit
+/// position i and digit value j, all in Montgomery form. b^e then costs
+/// at most 63 Montgomery multiplications and zero squarings — the shape
+/// of the Schnorr/DH hot loop, where the group generator g (and each
+/// repeatedly-seen public key) is raised to many different exponents.
+class FixedBaseTable {
+ public:
+  /// `base` is a plain-domain value (reduced mod ctx.modulus() first).
+  FixedBaseTable(const Montgomery& ctx, const UInt256& base);
+
+  /// base^exp in the Montgomery domain.
+  UInt256 PowMont(const UInt256& exp) const;
+  /// base^exp mod m, plain domain.
+  UInt256 Pow(const UInt256& exp) const;
+
+  const Montgomery& ctx() const { return ctx_; }
+
+ private:
+  static constexpr int kDigits = 64;   ///< 256 bits / 4-bit digits.
+  static constexpr int kRadix = 16;
+
+  Montgomery ctx_;  ///< Copied: the table must outlive any borrowed ctx.
+  std::vector<UInt256> table_;  ///< table_[i*16+j] = base^(j*16^i), mont.
+};
 
 }  // namespace bcfl::crypto

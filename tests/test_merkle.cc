@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "chain/sig_cache.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace bcfl::chain {
 namespace {
@@ -58,6 +60,52 @@ TEST(MerkleTest, LeafAndNodeHashesAreDomainSeparated) {
   EXPECT_NE(MerkleTree::LeafHash(a), MerkleTree::NodeHash(a, b));
 }
 
+TEST(MerkleTest, OddCountDuplicatesLastNodeBitcoinStyle) {
+  // root([a,b,c]) must be Node(Node(L(a),L(b)), Node(L(c),L(c))): the
+  // unpaired node at each level is hashed with a copy of itself.
+  crypto::Digest a = D(1), b = D(2), c = D(3);
+  MerkleTree tree({a, b, c});
+  crypto::Digest expected = MerkleTree::NodeHash(
+      MerkleTree::NodeHash(MerkleTree::LeafHash(a), MerkleTree::LeafHash(b)),
+      MerkleTree::NodeHash(MerkleTree::LeafHash(c), MerkleTree::LeafHash(c)));
+  EXPECT_EQ(tree.root(), expected);
+}
+
+TEST(MerkleTest, AppendMatchesBatchBuildAtEverySize) {
+  auto leaves = RandomLeaves(33, 77);
+  MerkleTree incremental({});
+  for (size_t n = 1; n <= leaves.size(); ++n) {
+    incremental.Append(leaves[n - 1]);
+    MerkleTree batch(std::vector<crypto::Digest>(leaves.begin(),
+                                                 leaves.begin() +
+                                                     static_cast<long>(n)));
+    ASSERT_EQ(incremental.root(), batch.root()) << "n=" << n;
+    ASSERT_EQ(incremental.num_leaves(), n);
+  }
+  // The incrementally grown tree serves valid proofs for every leaf.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto proof = incremental.Proof(i);
+    ASSERT_TRUE(proof.ok()) << "leaf " << i;
+    EXPECT_TRUE(
+        MerkleTree::VerifyProof(leaves[i], *proof, incremental.root()))
+        << "leaf " << i;
+  }
+}
+
+TEST(MerkleTest, PooledBuildIsBitIdenticalToSerial) {
+  // Large enough to cross the chunking threshold, odd to also hit the
+  // duplicate-last path, for several pool widths including 1.
+  auto leaves = RandomLeaves(1001, 78);
+  MerkleTree serial(leaves);
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    SetChainPool(&pool);
+    MerkleTree pooled(leaves);
+    SetChainPool(nullptr);
+    EXPECT_EQ(serial.root(), pooled.root()) << "threads=" << threads;
+  }
+}
+
 class MerkleProofTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(MerkleProofTest, EveryLeafProves) {
@@ -102,6 +150,29 @@ TEST(MerkleProofTest, ProofAgainstWrongRootFails) {
   auto proof = tree.Proof(2);
   ASSERT_TRUE(proof.ok());
   EXPECT_FALSE(MerkleTree::VerifyProof(leaves[2], *proof, D(0xaa)));
+}
+
+TEST(MerkleProofTest, ProofSplicedFromAnotherLeafFails) {
+  auto leaves = RandomLeaves(8, 79);
+  MerkleTree tree(leaves);
+  auto proof = tree.Proof(2);
+  ASSERT_TRUE(proof.ok());
+  // A valid proof for leaf 2 must not authenticate leaf 3.
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[3], *proof, tree.root()));
+}
+
+TEST(MerkleProofTest, InteriorNodePresentedAsLeafFails) {
+  auto leaves = RandomLeaves(4, 80);
+  MerkleTree tree(leaves);
+  // Splice attack: claim the parent of leaves 0/1 is itself a leaf and
+  // present the (otherwise valid) upper suffix of leaf 0's proof. The
+  // 0x00/0x01 domain-separation tags must make this fail.
+  crypto::Digest interior = MerkleTree::NodeHash(
+      MerkleTree::LeafHash(leaves[0]), MerkleTree::LeafHash(leaves[1]));
+  auto proof = tree.Proof(0);
+  ASSERT_TRUE(proof.ok());
+  std::vector<MerkleProofStep> upper(proof->begin() + 1, proof->end());
+  EXPECT_FALSE(MerkleTree::VerifyProof(interior, upper, tree.root()));
 }
 
 TEST(MerkleProofTest, ProofLengthIsLogarithmic) {

@@ -97,6 +97,30 @@ TEST_F(SchnorrTest, FromBytesRejectsWrongSize) {
   EXPECT_FALSE(SchnorrSignature::FromBytes(Bytes(65)).ok());
 }
 
+TEST_F(SchnorrTest, ReferenceVerifyAgreesWithOptimizedPath) {
+  // The optimized Montgomery/fixed-base path and the seed scalar path
+  // must agree on accepts AND rejects, bit for bit.
+  for (int i = 0; i < 4; ++i) {
+    SchnorrKeyPair key = scheme_.GenerateKeyPair(&rng_);
+    Bytes msg = Msg("equivalence " + std::to_string(i));
+    SchnorrSignature sig = scheme_.Sign(key, msg, &rng_);
+    EXPECT_TRUE(scheme_.Verify(key.public_key, msg, sig));
+    EXPECT_TRUE(reference::SchnorrVerify(scheme_.params(), key.public_key,
+                                         msg, sig));
+    SchnorrSignature bad = sig;
+    bad.s = bad.s.Add(UInt256(1));
+    EXPECT_EQ(scheme_.Verify(key.public_key, msg, bad),
+              reference::SchnorrVerify(scheme_.params(), key.public_key,
+                                       msg, bad));
+    EXPECT_FALSE(scheme_.Verify(key.public_key, msg, bad));
+  }
+}
+
+TEST_F(SchnorrTest, ActivePathIsNamed) {
+  std::string_view path = CryptoActivePath();
+  EXPECT_TRUE(path == "montgomery" || path == "reference") << path;
+}
+
 class SchnorrManyKeysTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SchnorrManyKeysTest, CrossVerificationMatrix) {

@@ -80,6 +80,54 @@ TEST_P(FuzzTest, TruncatedBlocksAlwaysRejected) {
   }
 }
 
+TEST_P(FuzzTest, TruncatedTransactionsAlwaysRejectedAndFullRoundTrips) {
+  Xoshiro256 rng(GetParam() + 3000);
+  chain::Transaction tx = MakeTx(&rng);
+  Bytes wire = tx.Serialize();
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(chain::Transaction::Deserialize(truncated).ok())
+        << "accepted a transaction truncated to " << cut << " bytes";
+  }
+  auto full = chain::Transaction::Deserialize(wire);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->Hash(), tx.Hash());
+}
+
+TEST_P(FuzzTest, OversizedTransactionLengthPrefixesAreRejected) {
+  Xoshiro256 rng(GetParam() + 4000);
+  chain::Transaction tx = MakeTx(&rng);
+  Bytes wire = tx.Serialize();
+  // Offsets of every u32 length prefix in the wire format: contract,
+  // method, payload, sender, then (past the u64 nonce) the signature.
+  std::vector<size_t> prefixes;
+  size_t off = 0;
+  prefixes.push_back(off);
+  off += 4 + tx.contract.size();
+  prefixes.push_back(off);
+  off += 4 + tx.method.size();
+  prefixes.push_back(off);
+  off += 4 + tx.payload.size();
+  prefixes.push_back(off);
+  off += 4 + tx.sender.ToBytes().size();
+  off += 8;  // nonce
+  prefixes.push_back(off);
+  ASSERT_LT(off + 4, wire.size());
+  // A length claiming more bytes than the buffer holds must fail fast in
+  // CheckAvailable — never drive a giant allocation or read past the end.
+  for (size_t pos : prefixes) {
+    for (uint32_t huge :
+         {0xffffffffu, 0x7fffffffu, static_cast<uint32_t>(wire.size())}) {
+      Bytes corrupted = wire;
+      for (size_t i = 0; i < 4; ++i) {
+        corrupted[pos + i] = static_cast<uint8_t>(huge >> (8 * i));
+      }
+      EXPECT_FALSE(chain::Transaction::Deserialize(corrupted).ok())
+          << "accepted length " << huge << " at offset " << pos;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 99, 31337));
 
 TEST(MatrixDeserializeFuzz, OverflowingShapeHeaderIsRejected) {

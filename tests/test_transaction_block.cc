@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "chain/block.h"
+#include "chain/mempool.h"
 #include "chain/transaction.h"
 
 namespace bcfl::chain {
@@ -108,6 +109,46 @@ TEST_F(TxFixture, BlockDeserializeRejectsGarbage) {
   Bytes wire = Block().Serialize();
   wire.push_back(7);
   EXPECT_TRUE(Block::Deserialize(wire).status().IsCorruption());
+}
+
+TEST_F(TxFixture, MempoolRejectsReSignedSenderNonceReplay) {
+  Mempool pool;
+  Transaction tx = MakeTx("submit_update", 7);
+  ASSERT_TRUE(pool.Add(tx).ok());
+  // Re-sign the same logical transaction: the fresh Schnorr nonce gives
+  // it a different hash, but it targets the same (sender, nonce) slot —
+  // admission must reject it, not let it occupy a second block slot.
+  Transaction replay = tx;
+  replay.Sign(scheme_, key_, &rng_);
+  ASSERT_NE(replay.Hash(), tx.Hash());
+  EXPECT_TRUE(pool.Add(replay).IsAlreadyExists());
+  EXPECT_EQ(pool.size(), 1u);
+  // A different nonce from the same sender is still admissible.
+  EXPECT_TRUE(pool.Add(MakeTx("submit_update", 8)).ok());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST_F(TxFixture, MempoolPendingRootTracksBatchRebuild) {
+  Mempool pool;
+  crypto::Digest zero;
+  zero.fill(0);
+  EXPECT_EQ(pool.PendingRoot(), zero);
+  std::vector<Transaction> txs;
+  for (uint64_t n = 0; n < 5; ++n) {
+    txs.push_back(MakeTx("submit_update", n));
+    ASSERT_TRUE(pool.Add(txs.back()).ok());
+    // The incrementally appended root must equal the root a block over
+    // the full pending list would compute from scratch.
+    Block block;
+    block.txs = pool.Peek(0);
+    EXPECT_EQ(pool.PendingRoot(), block.ComputeMerkleRoot())
+        << "after " << (n + 1) << " adds";
+  }
+  // Eviction falls back to a rebuild; the root must stay consistent.
+  pool.RemoveCommitted({txs[0], txs[1]});
+  Block rest;
+  rest.txs = pool.Peek(0);
+  EXPECT_EQ(pool.PendingRoot(), rest.ComputeMerkleRoot());
 }
 
 TEST(BlockHeaderTest, HashCoversEveryField) {

@@ -182,6 +182,73 @@ TEST(UInt256Test, ModPowHomomorphism) {
   }
 }
 
+TEST_P(UInt256PropertyTest, MontgomeryMulMatchesModMul) {
+  Xoshiro256 rng(GetParam() + 4);
+  for (int i = 0; i < 50; ++i) {
+    // Random odd 256-bit modulus (top limb nonzero to exercise carries).
+    UInt256 m(rng.Next() | 1, rng.Next(), rng.Next(), rng.Next() | 1);
+    Montgomery mont(m);
+    UInt256 a = UInt256(rng.Next(), rng.Next(), rng.Next(), rng.Next()).Mod(m);
+    UInt256 b = UInt256(rng.Next(), rng.Next(), rng.Next(), rng.Next()).Mod(m);
+    UInt256 expected = a.ModMul(b, m);
+    UInt256 got = mont.FromMont(
+        mont.Mul(mont.ToMont(a), mont.ToMont(b)));
+    EXPECT_EQ(got, expected) << "m=" << m.ToHex();
+  }
+}
+
+TEST_P(UInt256PropertyTest, MontgomeryModExpMatchesModPow) {
+  Xoshiro256 rng(GetParam() + 5);
+  for (int i = 0; i < 10; ++i) {
+    UInt256 m(rng.Next() | 1, rng.Next(), rng.Next(), rng.Next() | 1);
+    Montgomery mont(m);
+    UInt256 base(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    UInt256 exp(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    EXPECT_EQ(mont.ModExp(base, exp), base.ModPow(exp, m));
+  }
+}
+
+TEST_P(UInt256PropertyTest, FixedBaseTableMatchesModPow) {
+  Xoshiro256 rng(GetParam() + 6);
+  // The library's default 255-bit prime group.
+  UInt256 p(0xffffffffffffffedULL, ~0ULL, ~0ULL, 0x7fffffffffffffffULL);
+  Montgomery mont(p);
+  UInt256 base(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+  FixedBaseTable table(mont, base);
+  for (int i = 0; i < 10; ++i) {
+    UInt256 exp(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    EXPECT_EQ(table.Pow(exp), base.ModPow(exp, p));
+  }
+}
+
+TEST(UInt256Test, MontgomeryExponentEdgeCases) {
+  UInt256 p(0xffffffffffffffedULL, ~0ULL, ~0ULL, 0x7fffffffffffffffULL);
+  Montgomery mont(p);
+  UInt256 g(2);
+  FixedBaseTable table(mont, g);
+  UInt256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  // e = 0, 1, 2^256-1; base >= m reduced first.
+  EXPECT_EQ(mont.ModExp(g, UInt256(0)), UInt256(1));
+  EXPECT_EQ(table.Pow(UInt256(0)), UInt256(1));
+  EXPECT_EQ(mont.ModExp(g, UInt256(1)), UInt256(2));
+  EXPECT_EQ(table.Pow(UInt256(1)), UInt256(2));
+  EXPECT_EQ(mont.ModExp(g, max), g.ModPow(max, p));
+  EXPECT_EQ(table.Pow(max), g.ModPow(max, p));
+  UInt256 big_base = p.Add(UInt256(7));
+  EXPECT_EQ(mont.ModExp(big_base, UInt256(3)),
+            big_base.ModPow(UInt256(3), p));
+}
+
+TEST(UInt256Test, MontgomerySmallOddModulus) {
+  // 64-bit odd modulus: the CIOS carry chain degenerates but must still
+  // agree with u64 arithmetic.
+  Montgomery mont(UInt256(1000003));
+  EXPECT_EQ(mont.ModExp(UInt256(2), UInt256(20)),
+            UInt256((1u << 20) % 1000003));
+  EXPECT_EQ(mont.ModExp(UInt256(123456789), UInt256(1000002)),
+            UInt256(123456789).ModPow(UInt256(1000002), UInt256(1000003)));
+}
+
 TEST(UInt256Test, BitAccessAndLength) {
   auto v = UInt256::FromHex("8000000000000001");
   ASSERT_TRUE(v.ok());
