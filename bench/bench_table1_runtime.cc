@@ -17,7 +17,15 @@
 // engine's 1-thread and N-thread SV outputs are asserted bit-identical.
 //
 // Flags: --skip-native omits the (slow) 2^9-retraining baseline.
+// --quick runs the CI observability-overhead gate instead of the full
+// table: the m=9 engine evaluation is timed with instruments live and
+// with BCFL_OBS-style disablement (interleaved, min-of-reps), the two
+// SV outputs must stay bit-identical, and the run fails when the
+// instrumented path is more than 3% slower. Writes
+// BENCH_obs_overhead.json (the full-table BENCH_table1.json baseline
+// schema is untouched).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +33,8 @@
 #include "common/sim_clock.h"
 #include "obs/exporter.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shapley/group_sv.h"
 #include "shapley/shapley_math.h"
 #include "workload.h"
@@ -111,6 +121,83 @@ bool BitIdentical(const std::vector<double>& a,
   return true;
 }
 
+/// The --quick CI gate: per-coalition histogram/span recording on the
+/// m=9 hot path must cost < 3% wall time and must not perturb the SV
+/// numbers. Timed serially (no pool) so the comparison isn't at the
+/// mercy of scheduler jitter, interleaved on/off with min-of-reps so
+/// thermal drift hits both sides equally.
+int RunObsOverheadGate(uint64_t seed_e) {
+  constexpr size_t kGateGroups = 9;
+  constexpr int kReps = 5;
+  constexpr double kMaxOverhead = 0.03;
+
+  ThreadPool pool(std::max<size_t>(
+      1, std::thread::hardware_concurrency()));
+  Workload workload = Workload::Make(/*sigma=*/1.0, /*seed=*/42,
+                                     /*instances=*/2000);
+  auto run = workload.trainer->Run(&pool).value();
+
+  double best_on_s = HUGE_VAL;
+  double best_off_s = HUGE_VAL;
+  bool identical = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::MetricsRegistry::set_enabled(true);
+    obs::Tracer::Global().set_enabled(true);
+    Stopwatch on_timer;
+    auto with_obs = EngineGroupTotals(run.per_round_locals, Workload::kOwners,
+                                      kGateGroups, seed_e, workload.test_set,
+                                      nullptr);
+    best_on_s = std::min(best_on_s, on_timer.ElapsedSeconds());
+
+    obs::MetricsRegistry::set_enabled(false);
+    obs::Tracer::Global().set_enabled(false);
+    Stopwatch off_timer;
+    auto without_obs = EngineGroupTotals(run.per_round_locals,
+                                         Workload::kOwners, kGateGroups,
+                                         seed_e, workload.test_set, nullptr);
+    best_off_s = std::min(best_off_s, off_timer.ElapsedSeconds());
+    obs::MetricsRegistry::set_enabled(true);
+    obs::Tracer::Global().set_enabled(true);
+
+    if (!with_obs.ok() || !without_obs.ok()) {
+      std::printf("obs-overhead gate: evaluation failed at m=%zu\n",
+                  kGateGroups);
+      return 1;
+    }
+    identical = identical && BitIdentical(*with_obs, *without_obs);
+  }
+
+  const double overhead =
+      best_off_s > 0 ? best_on_s / best_off_s - 1.0 : 0.0;
+  const bool within_budget = overhead < kMaxOverhead;
+  std::printf("obs-overhead gate (m=%zu, min of %d reps): "
+              "on %.4f s, off %.4f s, overhead %+.2f%% (budget %.0f%%) — "
+              "%s; SV outputs %s\n",
+              kGateGroups, kReps, best_on_s, best_off_s, overhead * 100.0,
+              kMaxOverhead * 100.0, within_budget ? "ok" : "OVER BUDGET",
+              identical ? "bit-identical" : "DIVERGED");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "table1_obs_overhead");
+  json.Field("m", kGateGroups);
+  json.Field("reps", static_cast<size_t>(kReps));
+  json.Field("obs_on_s", best_on_s);
+  json.Field("obs_off_s", best_off_s);
+  json.Field("overhead_frac", overhead);
+  json.Field("overhead_budget_frac", kMaxOverhead);
+  json.Field("obs_overhead_ok", within_budget);
+  json.Field("sv_identical_with_obs_off", identical);
+  json.EndObject();
+  const char* out_path = "BENCH_obs_overhead.json";
+  if (!json.WriteFile(out_path)) {
+    std::printf("failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return within_budget && identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,9 +206,12 @@ int main(int argc, char** argv) {
   const double kPaperGroup[] = {2, 3, 4, 7, 11, 20, 39, 77};
   const double kPaperNative = 316;
   bool skip_native = false;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skip-native") == 0) skip_native = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
+  if (quick) return RunObsOverheadGate(kSeedE);
 
   const size_t hw_threads =
       std::max<size_t>(1, std::thread::hardware_concurrency());

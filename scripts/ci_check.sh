@@ -3,10 +3,15 @@
 # a small end-to-end bcfl_sim session and assert the observability
 # artifacts it emits are valid — metrics.json parses and carries the
 # expected per-round counters, trace.json parses as Chrome trace_event.
+# A telemetry stage gates the fresh quick chain bench against the
+# committed BENCH_chain.json baseline with tools/bench_diff (and proves
+# the gate bites on an injected 2x regression), then runs the
+# bench_table1_runtime --quick obs-overhead gate (<3%, bit-identical SV).
 # A chaos stage follows: one faulted session whose executed fault
 # schedule must land in metrics.json, then a BCFL_CHAOS_SEEDS-wide
 # random-fault sweep (default 200) in which every seed must converge —
-# bcfl_sim exits non-zero on any failed or hung round.
+# bcfl_sim exits non-zero on any failed or hung round — while writing a
+# per-round JSONL protocol ledger that must parse end to end.
 #
 # Usage: scripts/ci_check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -23,10 +28,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # End-to-end smoke: a tiny session must finish and export artifacts.
 ARTIFACT_DIR="$(mktemp -d)"
 trap 'rm -rf "$ARTIFACT_DIR"' EXIT
+# --metrics-port 0 exercises the Prometheus exporter's bind/serve/stop
+# path on an ephemeral port; --ledger-out adds the per-round ledger.
 "$BUILD_DIR/tools/bcfl_sim" \
   --owners 6 --miners 3 --rounds "$ROUNDS" --groups 3 --instances 800 \
+  --metrics-port 0 \
   --metrics-out "$ARTIFACT_DIR/metrics.json" \
-  --trace-out "$ARTIFACT_DIR/trace.json"
+  --trace-out "$ARTIFACT_DIR/trace.json" \
+  --ledger-out "$ARTIFACT_DIR/ledger.jsonl"
 
 # Kernel-equivalence smoke: bench_kernels exits non-zero unless every
 # optimized kernel (GEMM, transposed GEMM, fused softmax step, batched
@@ -60,6 +69,18 @@ assert counters["shapley.coalitions_scored"] > 0, counters
 assert "fl.round_accuracy" in metrics["gauges"], metrics["gauges"]
 assert metrics["histograms"]["chain.consensus.round_us"]["count"] > 0
 
+ledger = [json.loads(line)
+          for line in open(f"{artifact_dir}/ledger.jsonl") if line.strip()]
+assert len(ledger) == rounds, f"{len(ledger)} ledger records, want {rounds}"
+for record in ledger:
+    for phase in ("train", "tx_admission", "secureagg_mask", "consensus",
+                  "sv_eval"):
+        assert record["phase_us"][phase] >= 0, record["phase_us"]
+    assert len(record["sv"]) == 6, record["sv"]
+    assert len(record["sv_volatility"]) == 6, record["sv_volatility"]
+    assert 0.0 <= record["sig_cache_hit_rate"] <= 1.0, record
+assert ledger[-1]["round"] == rounds - 1, ledger[-1]
+
 trace = json.load(open(f"{artifact_dir}/trace.json"))
 categories = {event["cat"] for event in trace["traceEvents"]}
 expected = {"chain", "secureagg", "fl", "shapley", "contract"}
@@ -87,6 +108,7 @@ if chain["crypto_path"] == "montgomery":
 
 print(f"artifacts OK: {len(counters)} counters, "
       f"{len(trace['traceEvents'])} spans, categories {sorted(categories)}, "
+      f"{len(ledger)} ledger records, "
       f"kernel path {kernels['kernel_path']}, "
       f"crypto path {chain['crypto_path']} ({speedup:.0f}x verify)")
 EOF
@@ -94,10 +116,55 @@ else
   # No python3: fall back to grep-level checks so the gate still bites.
   grep -q '"fl.rounds":'"$ROUNDS" "$ARTIFACT_DIR/metrics.json"
   grep -q '"traceEvents"' "$ARTIFACT_DIR/trace.json"
+  grep -q '"phase_us"' "$ARTIFACT_DIR/ledger.jsonl"
   grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_kernels.json"
   grep -q '"all_equivalent":true' "$ARTIFACT_DIR/BENCH_chain.json"
   echo "artifacts OK (python3 unavailable; grep-level validation only)"
 fi
+
+# Telemetry gate, part 1: the fresh quick chain bench must not regress
+# against the committed baseline. Only robust metrics gate here — the
+# equivalence booleans (exact) and the Schnorr verify speedup with a
+# generous tolerance, since quick reps on shared CI hardware are noisy.
+BENCH_DIFF="$(cd "$BUILD_DIR" && pwd)/tools/bench_diff"
+"$BENCH_DIFF" \
+  --baseline BENCH_chain.json \
+  --candidate "$ARTIFACT_DIR/BENCH_chain.json" \
+  --metrics equivalence,all_equivalent,schnorr_verify.speedup \
+  --tolerance schnorr_verify.speedup=0.95 \
+  --out "$ARTIFACT_DIR/bench_diff_chain.json"
+
+# Telemetry gate, part 2: the gate must bite. A doctored baseline copy
+# with the verify speedup halved and an equivalence bit flipped has to
+# make bench_diff exit non-zero, or the regression gate is decorative.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR" <<'EOF'
+import json
+import sys
+
+bench = json.load(open("BENCH_chain.json"))
+bench["schnorr_verify"]["speedup"] /= 2.0
+bench["all_equivalent"] = False
+json.dump(bench, open(f"{sys.argv[1]}/BENCH_chain_regressed.json", "w"))
+EOF
+  if "$BENCH_DIFF" \
+      --baseline BENCH_chain.json \
+      --candidate "$ARTIFACT_DIR/BENCH_chain_regressed.json" \
+      --metrics equivalence,all_equivalent,schnorr_verify.speedup \
+      --tolerance schnorr_verify.speedup=0.25 \
+      --quiet --out "$ARTIFACT_DIR/bench_diff_regressed.json"; then
+    echo "bench_diff failed to flag an injected 2x regression" >&2
+    exit 1
+  fi
+  echo "bench_diff gate bites: injected 2x regression flagged"
+fi
+
+# Telemetry gate, part 3: observability must be effectively free.
+# bench_table1_runtime --quick interleaves obs-on/obs-off Shapley
+# evaluations (m=9, serial engine) and exits non-zero if the histogram
+# overhead exceeds 3% or the SV outputs are not bit-identical.
+BENCH_TABLE1="$(cd "$BUILD_DIR" && pwd)/bench/bench_table1_runtime"
+(cd "$ARTIFACT_DIR" && "$BENCH_TABLE1" --quick)
 
 # Chaos smoke, part 1: a hand-written fault plan (owner dropout, miner
 # crash + re-admission, slow links) must converge and export the
@@ -133,10 +200,38 @@ else
 fi
 
 # Chaos smoke, part 2: every random fault plan in the sweep must
-# converge (bcfl_sim exits non-zero on a failed or hung seed).
+# converge (bcfl_sim exits non-zero on a failed or hung seed). The
+# sweep writes one shared protocol ledger covering every seed's rounds.
 "$BUILD_DIR/tools/bcfl_sim" \
   --owners 6 --miners 5 --rounds 3 --groups 2 --instances 400 --sigma 0 \
   --chaos-sweep "$CHAOS_SEEDS" --fault-seed 0 \
-  --metrics-out - --trace-out -
+  --metrics-out - --trace-out - \
+  --ledger-out "$ARTIFACT_DIR/chaos_ledger.jsonl"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR" "$CHAOS_SEEDS" <<'EOF'
+import json
+import sys
+
+artifact_dir, seeds = sys.argv[1], int(sys.argv[2])
+records = [json.loads(line)
+           for line in open(f"{artifact_dir}/chaos_ledger.jsonl")
+           if line.strip()]
+assert len(records) == 3 * seeds, \
+    f"{len(records)} chaos ledger records, want {3 * seeds}"
+for record in records:
+    assert record["phase_us"]["consensus"] >= 0, record
+    assert len(record["sv"]) == 6, record
+faulted = sum(1 for r in records if r["fault_events"])
+dropped = sum(len(r["dropouts"]) for r in records)
+if seeds >= 50:
+    # A wide random sweep must actually exercise the fault machinery.
+    assert faulted > 0 and dropped > 0, (faulted, dropped)
+print(f"chaos ledger OK: {len(records)} records, {faulted} faulted "
+      f"rounds, {dropped} dropouts")
+EOF
+else
+  grep -q '"phase_us"' "$ARTIFACT_DIR/chaos_ledger.jsonl"
+fi
 
 echo "CI check: all green"

@@ -14,6 +14,9 @@
 # signature-verify cache, the pooled Merkle/mempool builds (test_sig_cache,
 # test_merkle) and bench_chain_throughput --quick, whose pre-verification
 # fan-out and chain pool run hot under TSan.
+# Since the telemetry-plane PR it also covers the HTTP exporter (scrape
+# threads racing a live coordinator round) and the round ledger's
+# coordinator wiring, plus the snapshot-vs-Reset stress in test_metrics.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -30,7 +33,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_thread_pool test_coalition_engine test_utility \
   test_kernels test_secureagg test_native_sv \
-  test_metrics test_tracer test_fault test_chaos \
+  test_metrics test_tracer test_http_exporter test_round_ledger \
+  test_fault test_chaos \
   test_sig_cache test_merkle bench_kernels bench_chain_throughput
 
 # halt_on_error: fail the script on the first race instead of limping on.
@@ -44,6 +48,8 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_native_sv"
 "$BUILD_DIR/tests/test_metrics"
 "$BUILD_DIR/tests/test_tracer"
+"$BUILD_DIR/tests/test_http_exporter"
+"$BUILD_DIR/tests/test_round_ledger"
 "$BUILD_DIR/tests/test_fault"
 "$BUILD_DIR/tests/test_sig_cache"
 "$BUILD_DIR/tests/test_merkle"

@@ -1,5 +1,8 @@
 #include "core/coordinator.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/reward_contract.h"
 #include "data/noise.h"
 #include "data/partition.h"
@@ -35,6 +38,21 @@ uint64_t SubmitNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
 uint64_t RecoverNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
   return (round + 1) * RoundNonceStride(num_owners) + num_owners + owner;
 }
+
+/// Wall-clock stopwatch for the ledger's phase attribution (the
+/// simulated clock tracks protocol time; operators watch wall time).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -312,11 +330,37 @@ Result<BcflRunResult> BcflCoordinator::Run() {
   const size_t n = config_.num_owners;
   ml::Matrix global(params_.weight_rows, params_.weight_cols);
 
+  // Ledger probes: the phase latencies a round ledgers are per-round
+  // deltas of the same live instruments the exposition endpoint serves,
+  // so a ledger line and a concurrent /metrics scrape tell one story.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& mask_us_hist = registry.GetHistogram("secureagg.mask_us");
+  obs::Histogram& sv_eval_us_hist =
+      registry.GetHistogram("contract.round_eval_us");
+  obs::Counter& sig_hits = registry.GetCounter("chain.sigcache.hits");
+  obs::Counter& sig_misses = registry.GetCounter("chain.sigcache.misses");
+  // Held back for the final round when a reward phase follows, so the
+  // reward latency lands on that round's (still one-per-round) record.
+  obs::RoundRecord pending_final_record;
+  bool have_pending_final_record = false;
+
   for (uint64_t round = 0; round < config_.rounds; ++round) {
     obs::ScopedSpan round_span(obs::Tracer::Global(), "round", "fl");
     obs::ScopedLatency round_latency(round_us);
     rounds_counter.Add();
     if (injector_ != nullptr) injector_->BeginRound(round);
+    const double mask_us0 = mask_us_hist.Sum();
+    const double sv_eval_us0 = sv_eval_us_hist.Sum();
+    const uint64_t sig_hits0 = sig_hits.Value();
+    const uint64_t sig_misses0 = sig_misses.Value();
+    const size_t fault_log0 =
+        injector_ != nullptr ? injector_->executed_log().size() : 0;
+    const size_t blocks0 = result.blocks_committed;
+    const size_t txs0 = result.total_transactions;
+    double train_wall_us = 0.0;
+    double submit_wall_us = 0.0;
+    double consensus_wall_us = 0.0;
+    double recover_wall_us = 0.0;
     // Owners derive the round's grouping locally from the agreed seed.
     // Retired owners stay in the grouping (survivors keep masking against
     // them; the contract cancels those masks from the on-chain keys).
@@ -341,11 +385,15 @@ Result<BcflRunResult> BcflCoordinator::Run() {
           missing.insert(i);
           continue;
         }
+        WallTimer train_timer;
         BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
+        train_wall_us += train_timer.ElapsedUs();
+        WallTimer submit_timer;
         BCFL_ASSIGN_OR_RETURN(
             bool submitted,
             SubmitWithRetries(i, round, locals[i], groups, deadline_us,
                               &result));
+        submit_wall_us += submit_timer.ElapsedUs();
         if (!submitted) missing.insert(i);
       }
     }
@@ -354,13 +402,17 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     // Consensus drains the submissions; if owners missed the deadline the
     // survivors then drive the on-chain Shamir recovery, which completes
     // the round with the dropped owners scored zero.
+    WallTimer consensus_timer;
     BCFL_ASSIGN_OR_RETURN(auto commits, engine_->RunUntilDrained());
+    consensus_wall_us = consensus_timer.ElapsedUs();
+    WallTimer recover_timer;
     BCFL_RETURN_IF_ERROR(RecoverMissingOwners(round, missing, &result));
     if (!missing.empty()) {
       BCFL_ASSIGN_OR_RETURN(auto recovery_commits, engine_->RunUntilDrained());
       commits.insert(commits.end(), recovery_commits.begin(),
                      recovery_commits.end());
     }
+    recover_wall_us = recover_timer.ElapsedUs();
     for (const auto& commit : commits) {
       if (!commit.committed) {
         return Status::Internal("consensus failed during round " +
@@ -392,6 +444,54 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     BCFL_ASSIGN_OR_RETURN(double acc, model.Accuracy(test_set_));
     accuracy_gauge.Set(acc);
     result.round_accuracies.push_back(acc);
+
+    if (ledger_ != nullptr) {
+      obs::RoundRecord record;
+      record.round = round;
+      // Masking and SV evaluation run inside the submit and consensus
+      // walls; attribute them via instrument deltas and subtract the
+      // mask share out of the admission wall.
+      const double mask_us = mask_us_hist.Sum() - mask_us0;
+      const double sv_eval_us = sv_eval_us_hist.Sum() - sv_eval_us0;
+      record.phase_us["train"] = train_wall_us;
+      record.phase_us["tx_admission"] =
+          std::max(0.0, submit_wall_us - mask_us);
+      record.phase_us["secureagg_mask"] = mask_us;
+      record.phase_us["consensus"] = consensus_wall_us;
+      if (!missing.empty()) {
+        record.phase_us["secureagg_recover"] = recover_wall_us;
+      }
+      record.phase_us["sv_eval"] = sv_eval_us;
+      const uint64_t hits = sig_hits.Value() - sig_hits0;
+      const uint64_t misses = sig_misses.Value() - sig_misses0;
+      record.sig_cache_lookups = hits + misses;
+      record.sig_cache_hit_rate =
+          record.sig_cache_lookups > 0
+              ? static_cast<double>(hits) /
+                    static_cast<double>(record.sig_cache_lookups)
+              : 0.0;
+      if (injector_ != nullptr) {
+        const auto& log = injector_->executed_log();
+        for (size_t k = fault_log0; k < log.size(); ++k) {
+          record.fault_events.push_back(
+              "round " + std::to_string(log[k].round) + ": " + log[k].what);
+        }
+      }
+      record.dropouts.assign(missing.begin(), missing.end());
+      for (const auto& [owner, retired_round] : retired_) {
+        if (retired_round == round) record.recovered.push_back(owner);
+      }
+      record.sv = result.per_round_sv.back();
+      record.accuracy = acc;
+      record.blocks_committed = result.blocks_committed - blocks0;
+      record.transactions = result.total_transactions - txs0;
+      if (round + 1 == config_.rounds && config_.reward_pool > 0) {
+        pending_final_record = std::move(record);
+        have_pending_final_record = true;
+      } else {
+        BCFL_RETURN_IF_ERROR(ledger_->Append(record));
+      }
+    }
   }
 
   // Final totals from the canonical state: v_i = sum_r v_i^r.
@@ -409,6 +509,9 @@ Result<BcflRunResult> BcflCoordinator::Run() {
   // all as on-chain transactions.
   if (config_.reward_pool > 0) {
     obs::ScopedSpan reward_span(obs::Tracer::Global(), "reward_phase", "fl");
+    WallTimer reward_timer;
+    const size_t reward_blocks0 = result.blocks_committed;
+    const size_t reward_txs0 = result.total_transactions;
     chain::Transaction fund;
     fund.contract = "reward";
     fund.method = "fund";
@@ -447,6 +550,16 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     for (uint32_t i = 0; i < n; ++i) {
       result.rewards[i] = ReadU64OrZero(state, RewardContract::ClaimedKey(i));
     }
+    if (have_pending_final_record) {
+      pending_final_record.phase_us["reward"] = reward_timer.ElapsedUs();
+      pending_final_record.blocks_committed +=
+          result.blocks_committed - reward_blocks0;
+      pending_final_record.transactions +=
+          result.total_transactions - reward_txs0;
+    }
+  }
+  if (have_pending_final_record) {
+    BCFL_RETURN_IF_ERROR(ledger_->Append(pending_final_record));
   }
   result.retired_at = retired_;
   return result;

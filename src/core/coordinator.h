@@ -14,6 +14,7 @@
 #include "fault/injector.h"
 #include "fl/client.h"
 #include "ml/dataset.h"
+#include "obs/round_ledger.h"
 #include "secureagg/participant.h"
 
 namespace bcfl::core {
@@ -108,6 +109,13 @@ class BcflCoordinator {
   /// Shamir threshold of the distributed recovery shares.
   size_t recovery_threshold() const { return threshold_; }
 
+  /// Attaches an opened protocol ledger: Run() then appends one
+  /// structured record per FL round (phase latencies, sig-cache hit
+  /// rate, fault events, dropouts/recoveries, the round's SV vector with
+  /// rolling volatility). Non-owning; the ledger must outlive Run().
+  /// nullptr (the default) disables ledger emission.
+  void set_round_ledger(obs::RoundLedger* ledger) { ledger_ = ledger; }
+
  private:
   BcflCoordinator() = default;
 
@@ -150,6 +158,7 @@ class BcflCoordinator {
   size_t threshold_ = 0;
   /// Owners retired by a committed recovery, with the retirement round.
   std::map<uint32_t, uint64_t> retired_;
+  obs::RoundLedger* ledger_ = nullptr;
 };
 
 }  // namespace bcfl::core

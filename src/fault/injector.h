@@ -72,16 +72,21 @@ class FaultInjector {
   /// layers record recoveries and view changes here too).
   void RecordExecuted(uint64_t round, const std::string& what);
 
-  /// The executed schedule as a JSON array of {round, event} objects —
-  /// what actually fired, as opposed to what the plan scheduled.
-  std::string ExecutedScheduleJson() const;
-  size_t executed_events() const { return executed_.size(); }
-
- private:
+  /// One executed-schedule entry: what fired, in which FL round.
   struct Executed {
     uint64_t round;
     std::string what;
   };
+
+  /// The executed schedule as a JSON array of {round, event} objects —
+  /// what actually fired, as opposed to what the plan scheduled.
+  std::string ExecutedScheduleJson() const;
+  size_t executed_events() const { return executed_.size(); }
+  /// Append-only executed log; the round ledger slices it per round by
+  /// remembering its size at round start.
+  const std::vector<Executed>& executed_log() const { return executed_; }
+
+ private:
 
   FaultPlan plan_;
   uint32_t num_owners_;

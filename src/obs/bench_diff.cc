@@ -1,0 +1,212 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_writer.h"
+
+namespace bcfl::obs {
+
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Flattened numeric/bool leaves of a bench document, in document order.
+struct Leaf {
+  std::string path;
+  bool is_bool = false;
+  bool bool_value = false;
+  double number = 0.0;
+};
+
+void Flatten(const JsonValue& value, const std::string& prefix,
+             std::vector<Leaf>* out) {
+  switch (value.type) {
+    case JsonValue::Type::kNumber:
+      out->push_back({prefix, false, false, value.number});
+      break;
+    case JsonValue::Type::kBool:
+      out->push_back({prefix, true, value.bool_value, 0.0});
+      break;
+    case JsonValue::Type::kObject:
+      for (const auto& [key, child] : value.object) {
+        Flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case JsonValue::Type::kArray:
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        Flatten(value.array[i], prefix + "." + std::to_string(i), out);
+      }
+      break;
+    default:
+      break;  // Strings and nulls carry no comparable metric.
+  }
+}
+
+const Leaf* FindLeaf(const std::vector<Leaf>& leaves,
+                     const std::string& path) {
+  for (const Leaf& leaf : leaves) {
+    if (leaf.path == path) return &leaf;
+  }
+  return nullptr;
+}
+
+bool MatchesAny(const std::string& path,
+                const std::vector<std::string>& needles) {
+  return std::any_of(needles.begin(), needles.end(),
+                     [&](const std::string& n) { return Contains(path, n); });
+}
+
+double ToleranceFor(const std::string& path, const BenchDiffOptions& opts) {
+  size_t best_len = 0;
+  double tolerance = opts.default_tolerance;
+  for (const auto& [key, value] : opts.tolerance_overrides) {
+    if (Contains(path, key) && key.size() >= best_len) {
+      best_len = key.size();
+      tolerance = value;
+    }
+  }
+  return tolerance;
+}
+
+}  // namespace
+
+MetricDirection InferDirection(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  const std::string leaf =
+      dot == std::string::npos ? path : path.substr(dot + 1);
+  // Throughput-style names first: "tx_per_s" ends with "_s" but is a
+  // rate, so the higher-is-better patterns must win the tie.
+  if (Contains(leaf, "per_s") || Contains(leaf, "speedup") ||
+      Contains(leaf, "gflops") || Contains(leaf, "hit_rate") ||
+      Contains(leaf, "accuracy") || Contains(leaf, "spearman") ||
+      Contains(leaf, "cosine")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  if (EndsWith(leaf, "_s") || EndsWith(leaf, "_us") ||
+      EndsWith(leaf, "_ms") || EndsWith(leaf, "_ns") ||
+      Contains(leaf, "seconds") || Contains(leaf, "overhead") ||
+      Contains(leaf, "ms_per_block")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  return MetricDirection::kUnknown;
+}
+
+BenchDiffResult DiffBench(const JsonValue& baseline,
+                          const JsonValue& candidate,
+                          const BenchDiffOptions& options) {
+  std::vector<Leaf> baseline_leaves;
+  std::vector<Leaf> candidate_leaves;
+  Flatten(baseline, "", &baseline_leaves);
+  Flatten(candidate, "", &candidate_leaves);
+
+  BenchDiffResult result;
+  for (const Leaf& base : baseline_leaves) {
+    if (!options.metric_filters.empty() &&
+        !MatchesAny(base.path, options.metric_filters)) {
+      continue;
+    }
+    if (MatchesAny(base.path, options.ignored)) continue;
+
+    MetricVerdict verdict;
+    verdict.path = base.path;
+    const Leaf* cand = FindLeaf(candidate_leaves, base.path);
+    if (cand == nullptr || cand->is_bool != base.is_bool) {
+      verdict.baseline = base.is_bool ? (base.bool_value ? 1 : 0) : base.number;
+      verdict.status = "missing";
+      result.missing++;
+      result.ok = false;
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+
+    if (base.is_bool) {
+      verdict.baseline = base.bool_value ? 1 : 0;
+      verdict.candidate = cand->bool_value ? 1 : 0;
+      if (base.bool_value && !cand->bool_value) {
+        // A passing invariant (equivalence check, bit-identity flag)
+        // flipped to false: always a regression, tolerance-free.
+        verdict.status = "flag_regression";
+        result.regressions++;
+        result.ok = false;
+      } else {
+        verdict.status = "ok";
+      }
+      result.checked++;
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+
+    verdict.baseline = base.number;
+    verdict.candidate = cand->number;
+    const MetricDirection direction = InferDirection(base.path);
+    if (direction == MetricDirection::kUnknown || base.number == 0.0 ||
+        !std::isfinite(base.number) || !std::isfinite(cand->number)) {
+      verdict.status = "info";
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+    verdict.tolerance = ToleranceFor(base.path, options);
+    result.checked++;
+    const double ratio = cand->number / base.number;
+    if (direction == MetricDirection::kLowerIsBetter) {
+      if (ratio > 1.0 + verdict.tolerance) {
+        verdict.status = "regression";
+      } else if (ratio < 1.0 - verdict.tolerance) {
+        verdict.status = "improvement";
+      } else {
+        verdict.status = "ok";
+      }
+    } else {
+      if (ratio < 1.0 - verdict.tolerance) {
+        verdict.status = "regression";
+      } else if (ratio > 1.0 + verdict.tolerance) {
+        verdict.status = "improvement";
+      } else {
+        verdict.status = "ok";
+      }
+    }
+    if (verdict.status == "regression") {
+      result.regressions++;
+      result.ok = false;
+    }
+    result.verdicts.push_back(std::move(verdict));
+  }
+  return result;
+}
+
+std::string BenchDiffResult::ToJson(const std::string& baseline_path,
+                                    const std::string& candidate_path) const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("baseline", baseline_path);
+  json.Field("candidate", candidate_path);
+  json.Field("ok", ok);
+  json.Field("checked", checked);
+  json.Field("regressions", regressions);
+  json.Field("missing", missing);
+  json.BeginArray("metrics");
+  for (const MetricVerdict& verdict : verdicts) {
+    json.BeginObject();
+    json.Field("path", verdict.path);
+    json.Field("status", verdict.status);
+    json.Field("baseline", verdict.baseline);
+    json.Field("candidate", verdict.candidate);
+    if (verdict.status != "info" && verdict.status != "missing") {
+      json.Field("tolerance", verdict.tolerance);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace bcfl::obs

@@ -1,0 +1,77 @@
+#pragma once
+
+// Bench-regression gate: diffs two machine-readable bench documents
+// (BENCH_*.json) metric by metric. Documents are flattened to
+// dot-separated paths ("schnorr_verify.speedup", "group_sv.7.
+// engine_parallel_s"); each numeric leaf is compared under a relative
+// tolerance with the regression *direction* inferred from its name
+// (seconds-like metrics regress upward, throughput-like downward;
+// metrics with no inferable direction are reported but never fail the
+// gate). Boolean leaves are treated as invariants: true in the baseline
+// must stay true. A baseline metric missing from the candidate is a
+// failure — a silently vanished metric is how regressions hide.
+//
+// tools/bench_diff.cc wraps this in a CLI; scripts/ci_check.sh runs it
+// against the committed baselines.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.h"
+
+namespace bcfl::obs {
+
+enum class MetricDirection {
+  kLowerIsBetter,   ///< Latencies, runtimes, overheads.
+  kHigherIsBetter,  ///< Throughput, speedups, accuracies, hit rates.
+  kUnknown,         ///< Configuration echoes, counts — informational.
+};
+
+/// Name-based direction heuristic, applied to the last path segment.
+MetricDirection InferDirection(const std::string& path);
+
+struct BenchDiffOptions {
+  /// Relative tolerance applied when no override matches: a lower-is-
+  /// better metric fails when candidate > baseline * (1 + tolerance),
+  /// a higher-is-better one when candidate < baseline * (1 - tolerance).
+  double default_tolerance = 0.25;
+  /// Per-metric overrides; the longest key that is a substring of the
+  /// flattened path wins.
+  std::map<std::string, double> tolerance_overrides;
+  /// When non-empty, only paths containing one of these substrings are
+  /// checked (everything else is skipped entirely).
+  std::vector<std::string> metric_filters;
+  /// Paths containing one of these substrings are never checked.
+  std::vector<std::string> ignored;
+};
+
+struct MetricVerdict {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double tolerance = 0.0;
+  /// "ok" | "regression" | "improvement" | "missing" | "flag_regression"
+  /// | "info".
+  std::string status;
+};
+
+struct BenchDiffResult {
+  bool ok = true;
+  size_t checked = 0;      ///< Direction-checked numeric + flag metrics.
+  size_t regressions = 0;  ///< Includes flag regressions.
+  size_t missing = 0;
+  std::vector<MetricVerdict> verdicts;  ///< Document order.
+
+  /// Machine-readable verdict document.
+  std::string ToJson(const std::string& baseline_path,
+                     const std::string& candidate_path) const;
+};
+
+/// Diffs `candidate` against `baseline` (both parsed bench documents).
+BenchDiffResult DiffBench(const JsonValue& baseline,
+                          const JsonValue& candidate,
+                          const BenchDiffOptions& options);
+
+}  // namespace bcfl::obs

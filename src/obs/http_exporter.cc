@@ -1,0 +1,248 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace bcfl::obs {
+
+namespace {
+
+/// Prometheus sample values: full double precision, with the text
+/// format's spellings for the non-finite values JSON cannot carry.
+void AppendSampleValue(std::string* out, double value) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+  } else if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    *out += buf;
+  }
+}
+
+/// `le` label values: trimmed %g so bounds read as "100" / "2e+06".
+std::string BoundLabel(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+void AppendHistogram(std::string* out,
+                     const MetricsSnapshot::HistogramSnapshot& h) {
+  const std::string name = PrometheusName(h.name);
+  *out += "# TYPE " + name + " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += h.bucket_counts[i];
+    *out += name + "_bucket{le=\"" + BoundLabel(h.bounds[i]) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  cumulative += h.bucket_counts.empty() ? 0 : h.bucket_counts.back();
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  *out += name + "_sum ";
+  AppendSampleValue(out, h.sum);
+  *out += "\n";
+  *out += name + "_count " + std::to_string(h.count) + "\n";
+  // In-process quantile estimates as a companion gauge family, so p50/
+  // p90/p99 are scrape-readable without server-side histogram_quantile().
+  *out += "# TYPE " + name + "_quantile gauge\n";
+  const struct { const char* q; double v; } quantiles[] = {
+      {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+  for (const auto& [q, v] : quantiles) {
+    *out += name + "_quantile{q=\"" + q + "\"} ";
+    AppendSampleValue(out, h.count > 0 ? v : 0.0);
+    *out += "\n";
+  }
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer went away; a scrape retry is harmless.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "bcfl_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendSampleValue(&out, value);
+    out += "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    AppendHistogram(&out, histogram);
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Snapshot());
+}
+
+Status HttpExporter::Start(uint16_t port) {
+  if (running()) return Status::AlreadyExists("exporter already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int bind_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::ResourceExhausted("cannot bind metrics port " +
+                               std::to_string(port) + ": " +
+                               std::strerror(bind_errno));
+  }
+  if (::listen(listen_fd_, /*backlog=*/16) != 0) {
+    const int listen_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen(): ") +
+                            std::strerror(listen_errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("pipe(): ") + std::strerror(errno));
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll() so the loop observes running_ == false.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  port_ = 0;
+}
+
+void HttpExporter::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/250);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check running_.
+    if (fds[1].revents != 0) return;  // Stop() woke us.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  // One short read is enough for the request line of a scrape; a split
+  // first line (unlikely for "GET /metrics") just earns a 400 and the
+  // scraper retries.
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string request(buf);
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t method_end = line.find(' ');
+  const size_t path_end = line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos) {
+    WriteAll(fd, HttpResponse("400 Bad Request", "text/plain",
+                              "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, method_end);
+  std::string path = line.substr(method_end + 1, path_end - method_end - 1);
+  if (const size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse("405 Method Not Allowed", "text/plain",
+                              "only GET is supported\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(
+                     "200 OK",
+                     "text/plain; version=0.0.4; charset=utf-8",
+                     PrometheusText(*registry_)));
+  } else if (path == "/healthz") {
+    WriteAll(fd, HttpResponse("200 OK", "text/plain", "ok\n"));
+  } else {
+    WriteAll(fd, HttpResponse("404 Not Found", "text/plain",
+                              "try /metrics or /healthz\n"));
+  }
+}
+
+}  // namespace bcfl::obs

@@ -1,0 +1,87 @@
+#pragma once
+
+// Embedded Prometheus exposition endpoint: a blocking accept loop on one
+// dedicated thread serving GET /metrics (text format 0.0.4 rendered from
+// a MetricsRegistry snapshot) and GET /healthz. This is the "live" half
+// of the telemetry plane — metrics.json is the post-hoc record, /metrics
+// is what an operator points a Prometheus scraper (or curl) at while a
+// long chaos sweep is still running.
+//
+//   bcfl::obs::HttpExporter exporter;
+//   auto st = exporter.Start(9464);          // 0 picks an ephemeral port
+//   ... run the session; scrape localhost:<exporter.port()>/metrics ...
+//   exporter.Stop();                         // also runs at destruction
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace bcfl::obs {
+
+/// Renders a snapshot as Prometheus text exposition format 0.0.4.
+///
+/// Instrument names are sanitised (every non [a-zA-Z0-9_:] byte becomes
+/// '_') and prefixed "bcfl_". Counters and gauges are one sample each;
+/// histograms expose cumulative `_bucket{le="..."}` series (terminated
+/// by le="+Inf"), `_sum`, `_count`, and — because the repo's quantile
+/// estimator runs in-process — companion `_quantile{q="0.5|0.9|0.99"}`
+/// gauges so p50/p90/p99 are readable straight off a curl without a
+/// Prometheus server doing histogram_quantile().
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Snapshot-and-render convenience used by the endpoint itself.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// Sanitised, prefixed Prometheus name for one instrument ("fl.round_us"
+/// -> "bcfl_fl_round_us"). Exposed for the golden-output tests.
+std::string PrometheusName(const std::string& name);
+
+/// The endpoint. Start binds + listens + spawns the serving thread;
+/// Stop (idempotent, also run by the destructor) wakes the accept loop
+/// and joins it. One exporter serves one registry; requests are handled
+/// serially — a scrape is a snapshot plus a small write, so there is
+/// nothing to overlap.
+class HttpExporter {
+ public:
+  explicit HttpExporter(
+      const MetricsRegistry* registry = &MetricsRegistry::Global())
+      : registry_(registry) {}
+  ~HttpExporter() { Stop(); }
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = kernel-assigned, see port()) and starts
+  /// serving. Fails with the bind/listen errno in the message — a port
+  /// already in use reports as such and leaves the exporter stopped.
+  Status Start(uint16_t port);
+
+  /// Wakes and joins the serving thread, closes the socket. Safe to call
+  /// twice or without a successful Start.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually-bound port (resolves port 0 requests).
+  uint16_t port() const { return port_; }
+  /// Total requests answered (any path), for tests.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< Stop() writes to unblock poll().
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace bcfl::obs

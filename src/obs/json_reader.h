@@ -1,0 +1,51 @@
+#pragma once
+
+// Minimal JSON parser, the read half of src/obs/json_writer.h: just
+// enough to load the machine-readable artifacts this repo emits
+// (BENCH_*.json, metrics.json, the round ledger) back into C++ — the
+// bench-regression gate diffs two such documents, and the round-trip
+// tests parse what JsonWriter wrote. Standard JSON is accepted (RFC
+// 8259 value grammar); numbers are held as double, which is exact for
+// every value JsonWriter can produce.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bcfl::obs {
+
+/// One parsed JSON value. Object member order is preserved so a diff
+/// report lists metrics in document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Nesting is capped at 128 levels so a
+/// fuzzed input cannot blow the stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Reads and parses a whole file; errors carry the path.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace bcfl::obs

@@ -4,8 +4,12 @@
 // machine-readable bench dumps (BENCH_*.json, metrics.json, trace.json):
 // just enough structure for nested metric documents that CI or a notebook
 // can diff across PRs. Keys are plain ASCII identifiers; string *values*
-// are escaped, so free-form span names and file paths are safe.
+// are escaped (including control characters below 0x20), so free-form
+// span names and file paths are safe, and non-finite numbers degrade to
+// null so the document always parses. src/obs/json_reader.h parses
+// everything this writer can emit (round-trip tested).
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -117,6 +121,12 @@ class JsonWriter {
     need_comma_ = true;
   }
   void AppendNumber(double value) {
+    // JSON has no NaN/Inf tokens; a poisoned metric must not poison the
+    // whole document, so non-finite values degrade to null.
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6f", value);
     out_ += buf;

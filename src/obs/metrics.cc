@@ -198,6 +198,70 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *it->second;
 }
 
+namespace {
+
+/// Linear-interpolated percentile over an already-materialised bucket
+/// vector (same estimator as Histogram::Percentile, but computed from a
+/// snapshot so every quantile of one scrape agrees with its buckets).
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets,
+                             uint64_t total, double max_value, double q) {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = i < bounds.size() ? bounds[i] : max_value;
+      const double fraction = (target - static_cast<double>(cumulative)) /
+                              static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max_value;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.bucket_counts = histogram->BucketCounts();
+    // Re-derive the count from the captured buckets: the live count cell
+    // is updated by a separate relaxed op, so using it here could
+    // disagree with the buckets of this same snapshot.
+    for (uint64_t c : h.bucket_counts) h.count += c;
+    h.sum = histogram->Sum();
+    if (h.count > 0) {
+      h.min = histogram->Min();
+      h.max = histogram->Max();
+      h.p50 = PercentileFromBuckets(h.bounds, h.bucket_counts, h.count,
+                                    h.max, 0.50);
+      h.p90 = PercentileFromBuckets(h.bounds, h.bucket_counts, h.count,
+                                    h.max, 0.90);
+      h.p99 = PercentileFromBuckets(h.bounds, h.bucket_counts, h.count,
+                                    h.max, 0.99);
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

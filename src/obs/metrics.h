@@ -129,12 +129,49 @@ class Histogram {
   std::array<Shard, kMetricShards> shards_;
 };
 
+/// Point-in-time copy of every instrument, safe to render (JSON,
+/// Prometheus text) without holding the registry lock. Quantiles are
+/// pre-estimated so exposition endpoints serve them without touching
+/// live shards again.
+struct MetricsSnapshot {
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;          ///< Ascending upper bounds.
+    std::vector<uint64_t> bucket_counts; ///< bounds.size() + 1 (overflow).
+    uint64_t count = 0;                  ///< Sum of bucket_counts.
+    double sum = 0.0;
+    double min = 0.0;  ///< Only meaningful when count > 0.
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<HistogramSnapshot> histograms;  ///< Sorted by name.
+};
+
 /// Process-wide registry of named instruments.
 ///
 /// Instruments are created on first use and live for the registry's
 /// lifetime, so call sites may cache the returned reference (the hot
 /// paths resolve names once, outside their loops). Creation takes a
 /// mutex; updates are lock-free sharded atomics.
+///
+/// Memory-order contract (all shard cells use relaxed atomics):
+///  - `Add`/`Observe`/`Set` concurrent with `Snapshot`/`WriteJson` are
+///    data-race-free; a snapshot may or may not include deltas that were
+///    in flight when it started (eventual consistency), and because a
+///    histogram updates its count, sum and bucket cells with separate
+///    relaxed operations, one snapshot can transiently observe
+///    `count != sum(bucket_counts)`. Snapshot() therefore re-derives
+///    `count` from the bucket cells so each snapshot is self-consistent.
+///  - `Reset` concurrent with `Add`/`Observe` is safe but racy by
+///    design: an update that interleaves with the per-cell zeroing may
+///    survive the reset or be lost with it (never torn). Quiesce writers
+///    first when an exact zero matters; tests and benches do.
+///  - No update is ever lost absent a Reset: relaxed fetch_add on the
+///    sharded cells is atomic, and Value()/Snapshot() sum every cell.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -161,7 +198,13 @@ class MetricsRegistry {
   }
 
   /// Zeroes every instrument, keeping registrations (for tests/benches).
+  /// See the class comment for the contract under concurrent updates.
   void Reset();
+
+  /// Copies every instrument's current state (see the memory-order
+  /// contract above). This is what the HTTP exposition endpoint and the
+  /// JSON exporter render, so one scrape touches each live cell once.
+  MetricsSnapshot Snapshot() const;
 
   /// Serialises every instrument as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}.

@@ -1,0 +1,114 @@
+#include "obs/round_ledger.h"
+
+#include <cmath>
+
+#include "obs/json_writer.h"
+
+namespace bcfl::obs {
+
+std::vector<double> RollingSvVolatility(
+    const std::vector<std::vector<double>>& sv_history, size_t window) {
+  if (sv_history.empty()) return {};
+  const size_t owners = sv_history.back().size();
+  const size_t have = sv_history.size();
+  const size_t use = window == 0 ? have : std::min(window, have);
+  std::vector<double> volatility(owners, 0.0);
+  if (use < 2) return volatility;
+  for (size_t i = 0; i < owners; ++i) {
+    double mean = 0.0;
+    size_t n = 0;
+    for (size_t r = have - use; r < have; ++r) {
+      if (i >= sv_history[r].size()) continue;  // Roster grew? Skip.
+      mean += sv_history[r][i];
+      ++n;
+    }
+    if (n < 2) continue;
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t r = have - use; r < have; ++r) {
+      if (i >= sv_history[r].size()) continue;
+      const double d = sv_history[r][i] - mean;
+      ss += d * d;
+    }
+    volatility[i] = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return volatility;
+}
+
+RoundLedger::~RoundLedger() { Close(); }
+
+Status RoundLedger::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open round ledger: " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status RoundLedger::Append(const RoundRecord& record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("round ledger is not open");
+  }
+  sv_history_.push_back(record.sv);
+  last_volatility_ = RollingSvVolatility(sv_history_, volatility_window_);
+  double volatility_mean = 0.0;
+  for (double v : last_volatility_) volatility_mean += v;
+  if (!last_volatility_.empty()) {
+    volatility_mean /= static_cast<double>(last_volatility_.size());
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("round", static_cast<size_t>(record.round));
+  json.BeginObject("phase_us");
+  for (const auto& [phase, us] : record.phase_us) json.Field(phase, us);
+  json.EndObject();
+  json.Field("sig_cache_hit_rate", record.sig_cache_hit_rate);
+  json.Field("sig_cache_lookups",
+             static_cast<size_t>(record.sig_cache_lookups));
+  json.BeginArray("fault_events");
+  for (const auto& event : record.fault_events) {
+    json.Element(event.c_str());
+  }
+  json.EndArray();
+  json.BeginArray("dropouts");
+  for (uint32_t owner : record.dropouts) {
+    json.Element(static_cast<size_t>(owner));
+  }
+  json.EndArray();
+  json.BeginArray("recovered");
+  for (uint32_t owner : record.recovered) {
+    json.Element(static_cast<size_t>(owner));
+  }
+  json.EndArray();
+  json.BeginArray("sv");
+  for (double v : record.sv) json.Element(v);
+  json.EndArray();
+  json.BeginArray("sv_volatility");
+  for (double v : last_volatility_) json.Element(v);
+  json.EndArray();
+  json.Field("sv_volatility_mean", volatility_mean);
+  json.Field("accuracy", record.accuracy);
+  json.Field("blocks_committed",
+             static_cast<size_t>(record.blocks_committed));
+  json.Field("transactions", static_cast<size_t>(record.transactions));
+  json.EndObject();
+
+  const std::string& line = json.str();
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    return Status::Internal("short write to round ledger: " + path_);
+  }
+  return Status::OK();
+}
+
+void RoundLedger::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace bcfl::obs

@@ -46,7 +46,13 @@ int64_t SteadyNowNs() {
 }  // namespace
 
 Tracer& Tracer::Global() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    // Global spans double as live phase-latency histograms (scraped by
+    // the HTTP exposition endpoint); standalone tracers opt in.
+    t->AttachMetrics(&MetricsRegistry::Global());
+    return t;
+  }();
   return *tracer;
 }
 
@@ -116,6 +122,13 @@ void Tracer::EndSpan(uint64_t token) {
           sim != nullptr ? sim->NowMicros() : span.sim_start_us;
       record.sim_duration_us =
           sim_now > span.sim_start_us ? sim_now - span.sim_start_us : 0;
+    }
+    if (MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
+        metrics != nullptr) {
+      metrics
+          ->GetHistogram("span." + record.category + "." + record.name +
+                         "_us")
+          .Observe(static_cast<double>(record.duration_ns) / 1000.0);
     }
     std::lock_guard<std::mutex> lock(mu_);
     completed_.push_back(std::move(record));

@@ -12,6 +12,8 @@
 
 namespace bcfl::obs {
 
+class MetricsRegistry;
+
 /// One completed span. Times are recorded against two clocks: the
 /// steady_clock (real time, ns since the tracer epoch) always, and the
 /// attached SimClock (simulated time, us) when one is present — so a
@@ -61,6 +63,17 @@ class Tracer {
     sim_clock_.store(clock, std::memory_order_release);
   }
 
+  /// Attaches a metrics registry: every span close then also records its
+  /// wall duration into the `span.<category>.<name>_us` histogram of
+  /// that registry, so phase latencies get live quantiles (and Prometheus
+  /// exposition) without a second set of stopwatches at the call sites.
+  /// nullptr detaches; the global tracer ships attached to the global
+  /// registry. Spans mark phases, not per-element work, so the name
+  /// lookup on close is off every hot path.
+  void AttachMetrics(MetricsRegistry* registry) {
+    metrics_.store(registry, std::memory_order_release);
+  }
+
   /// Opens a span; returns an opaque token (0 when disabled). Spans on
   /// one thread must close in LIFO order — prefer ScopedSpan.
   uint64_t BeginSpan(std::string name, std::string category);
@@ -88,6 +101,7 @@ class Tracer {
 
   std::atomic<bool> enabled_;
   std::atomic<const SimClock*> sim_clock_{nullptr};
+  std::atomic<MetricsRegistry*> metrics_{nullptr};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> epoch_ns_;        ///< steady_clock ns at epoch.
   std::atomic<uint64_t> generation_{0};  ///< Bumped by Reset.

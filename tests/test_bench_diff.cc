@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "obs/json_reader.h"
+
+namespace bcfl::obs {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : JsonValue{};
+}
+
+const MetricVerdict* VerdictFor(const BenchDiffResult& result,
+                                const std::string& path) {
+  for (const MetricVerdict& v : result.verdicts) {
+    if (v.path == path) return &v;
+  }
+  return nullptr;
+}
+
+TEST(InferDirectionTest, NameHeuristics) {
+  EXPECT_EQ(InferDirection("group_sv.3.naive_s"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(InferDirection("mask_us"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(InferDirection("overhead_frac"),
+            MetricDirection::kLowerIsBetter);
+  // Throughput names win over the "_s" time suffix.
+  EXPECT_EQ(InferDirection("pipeline.tx_per_s"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(InferDirection("schnorr_verify.speedup"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(InferDirection("sigcache.hit_rate"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(InferDirection("round_accuracy"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(InferDirection("owners"), MetricDirection::kUnknown);
+  EXPECT_EQ(InferDirection("bench"), MetricDirection::kUnknown);
+}
+
+TEST(BenchDiffTest, RegressionImprovementAndOk) {
+  const JsonValue baseline = Parse(
+      R"({"slow_s": 1.0, "fast_s": 1.0, "steady_s": 1.0, "tx_per_s": 100.0})");
+  const JsonValue candidate = Parse(
+      R"({"slow_s": 2.0, "fast_s": 0.5, "steady_s": 1.1, "tx_per_s": 50.0})");
+  BenchDiffOptions options;
+  options.default_tolerance = 0.25;
+  const BenchDiffResult result = DiffBench(baseline, candidate, options);
+
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.checked, 4u);
+  EXPECT_EQ(result.regressions, 2u);  // slow_s doubled, tx_per_s halved.
+  EXPECT_EQ(result.missing, 0u);
+  EXPECT_EQ(VerdictFor(result, "slow_s")->status, "regression");
+  EXPECT_EQ(VerdictFor(result, "fast_s")->status, "improvement");
+  EXPECT_EQ(VerdictFor(result, "steady_s")->status, "ok");
+  EXPECT_EQ(VerdictFor(result, "tx_per_s")->status, "regression");
+}
+
+TEST(BenchDiffTest, WithinToleranceEverywherePasses) {
+  const JsonValue baseline =
+      Parse(R"({"a_s": 1.0, "speedup": 4.0, "flag": true})");
+  const JsonValue candidate =
+      Parse(R"({"a_s": 1.2, "speedup": 3.5, "flag": true})");
+  const BenchDiffResult result =
+      DiffBench(baseline, candidate, BenchDiffOptions{});
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.checked, 3u);
+}
+
+TEST(BenchDiffTest, MissingBaselineMetricFails) {
+  const JsonValue baseline = Parse(R"({"kept_s": 1.0, "dropped_s": 1.0})");
+  const JsonValue candidate = Parse(R"({"kept_s": 1.0})");
+  const BenchDiffResult result =
+      DiffBench(baseline, candidate, BenchDiffOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.missing, 1u);
+  EXPECT_EQ(VerdictFor(result, "dropped_s")->status, "missing");
+  // Type flips count as missing too: baseline bool, candidate number.
+  const JsonValue flipped = Parse(R"({"kept_s": true, "dropped_s": 1.0})");
+  EXPECT_EQ(DiffBench(flipped, candidate, BenchDiffOptions{}).missing, 2u);
+}
+
+TEST(BenchDiffTest, BooleanInvariants) {
+  const JsonValue baseline =
+      Parse(R"({"all_equivalent": true, "was_false": false})");
+  const JsonValue broken =
+      Parse(R"({"all_equivalent": false, "was_false": true})");
+  const BenchDiffResult result =
+      DiffBench(baseline, broken, BenchDiffOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_EQ(VerdictFor(result, "all_equivalent")->status,
+            "flag_regression");
+  // false -> true is not a regression.
+  EXPECT_EQ(VerdictFor(result, "was_false")->status, "ok");
+}
+
+TEST(BenchDiffTest, NestedArraysFlattenToIndexedPaths) {
+  const JsonValue baseline =
+      Parse(R"({"group_sv": [{"m": 2, "engine_parallel_s": 1.0},
+                             {"m": 3, "engine_parallel_s": 2.0}]})");
+  const JsonValue candidate =
+      Parse(R"({"group_sv": [{"m": 2, "engine_parallel_s": 1.0},
+                             {"m": 3, "engine_parallel_s": 8.0}]})");
+  const BenchDiffResult result =
+      DiffBench(baseline, candidate, BenchDiffOptions{});
+  EXPECT_FALSE(result.ok);
+  const MetricVerdict* v =
+      VerdictFor(result, "group_sv.1.engine_parallel_s");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->status, "regression");
+  // "m" has no direction: informational, never gates.
+  EXPECT_EQ(VerdictFor(result, "group_sv.0.m")->status, "info");
+}
+
+TEST(BenchDiffTest, ToleranceOverridesLongestSubstringWins) {
+  const JsonValue baseline = Parse(R"({"sv": {"eval_us": 100.0}})");
+  const JsonValue candidate = Parse(R"({"sv": {"eval_us": 160.0}})");
+  BenchDiffOptions options;
+  options.default_tolerance = 0.25;
+  options.tolerance_overrides["eval_us"] = 0.5;
+  options.tolerance_overrides["sv.eval_us"] = 0.7;
+  const BenchDiffResult result = DiffBench(baseline, candidate, options);
+  EXPECT_TRUE(result.ok);  // +60% is inside the 0.7 override.
+  EXPECT_DOUBLE_EQ(VerdictFor(result, "sv.eval_us")->tolerance, 0.7);
+}
+
+TEST(BenchDiffTest, FiltersAndIgnores) {
+  const JsonValue baseline = Parse(R"({"a_s": 1.0, "b_s": 1.0})");
+  const JsonValue candidate = Parse(R"({"a_s": 9.0, "b_s": 9.0})");
+  BenchDiffOptions only_b;
+  only_b.metric_filters = {"b_s"};
+  BenchDiffResult result = DiffBench(baseline, candidate, only_b);
+  EXPECT_EQ(result.checked, 1u);
+  EXPECT_EQ(VerdictFor(result, "a_s"), nullptr);
+
+  BenchDiffOptions ignore_both;
+  ignore_both.ignored = {"a_s", "b_s"};
+  result = DiffBench(baseline, candidate, ignore_both);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.checked, 0u);
+}
+
+TEST(BenchDiffTest, VerdictJsonRoundTrips) {
+  const JsonValue baseline = Parse(R"({"a_s": 1.0, "gone_s": 1.0})");
+  const JsonValue candidate = Parse(R"({"a_s": 3.0})");
+  const BenchDiffResult result =
+      DiffBench(baseline, candidate, BenchDiffOptions{});
+  const std::string doc = result.ToJson("base.json", "cand.json");
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << doc;
+  EXPECT_EQ(parsed->Find("baseline")->string, "base.json");
+  EXPECT_FALSE(parsed->Find("ok")->bool_value);
+  EXPECT_DOUBLE_EQ(parsed->Find("regressions")->number, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("missing")->number, 1.0);
+  EXPECT_EQ(parsed->Find("metrics")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bcfl::obs

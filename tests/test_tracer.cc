@@ -6,6 +6,7 @@
 
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace bcfl::obs {
@@ -170,6 +171,34 @@ TEST(TracerTest, ConcurrentSpansUnderThreadPool) {
 
 TEST(GlobalTracerTest, IsASingleton) {
   EXPECT_EQ(&Tracer::Global(), &Tracer::Global());
+}
+
+TEST(TracerMetricsSinkTest, ClosedSpansFeedCategoryHistograms) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  tracer.AttachMetrics(&registry);
+  { ScopedSpan span(tracer, "mask_round", "secureagg"); }
+  { ScopedSpan span(tracer, "mask_round", "secureagg"); }
+  { ScopedSpan span(tracer, "commit", "chain"); }
+  Histogram& mask = registry.GetHistogram("span.secureagg.mask_round_us");
+  Histogram& commit = registry.GetHistogram("span.chain.commit_us");
+  EXPECT_EQ(mask.Count(), 2u);
+  EXPECT_EQ(commit.Count(), 1u);
+  EXPECT_GE(mask.Sum(), 0.0);
+
+  // Detaching stops the flow; the trace buffer still records.
+  tracer.AttachMetrics(nullptr);
+  { ScopedSpan span(tracer, "commit", "chain"); }
+  EXPECT_EQ(commit.Count(), 1u);
+  EXPECT_EQ(tracer.size(), 4u);
+}
+
+TEST(TracerMetricsSinkTest, GlobalTracerIsAttachedToGlobalRegistry) {
+  const std::string name = "span.test.global_sink_probe_us";
+  Histogram& h = MetricsRegistry::Global().GetHistogram(name);
+  const uint64_t before = h.Count();
+  { ScopedSpan span(Tracer::Global(), "global_sink_probe", "test"); }
+  EXPECT_EQ(h.Count(), before + 1);
 }
 
 }  // namespace

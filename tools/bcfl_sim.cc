@@ -25,8 +25,10 @@
 #include "core/coordinator.h"
 #include "fault/fault_plan.h"
 #include "obs/exporter.h"
+#include "obs/http_exporter.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/round_ledger.h"
 #include "obs/trace.h"
 
 namespace {
@@ -41,6 +43,9 @@ struct CliOptions {
   uint64_t fault_seed = 0;
   bool have_fault_seed = false;
   size_t chaos_sweep = 0;
+  int metrics_port = -1;  ///< -1 = no HTTP endpoint; 0 = ephemeral port.
+  std::string ledger_out;
+  bool obs_off = false;
 };
 
 void PrintUsage(const char* argv0) {
@@ -62,6 +67,11 @@ void PrintUsage(const char* argv0) {
       "  --metrics-out F metrics JSON path (default metrics.json, - skips)\n"
       "  --trace-out F   Chrome trace JSON path (default trace.json, - "
       "skips)\n"
+      "  --metrics-port P serve Prometheus text on http://127.0.0.1:P/metrics\n"
+      "                  while the session runs (0 picks an ephemeral port)\n"
+      "  --ledger-out F  per-round protocol ledger JSONL path\n"
+      "  --obs MODE      on|off: off disables metrics + tracing for this\n"
+      "                  process (same as BCFL_OBS=off)\n"
       "  --verbose       INFO-level protocol logging\n"
       "  --help          this message\n",
       argv0);
@@ -132,6 +142,36 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--chaos-sweep");
       if (v == nullptr) return false;
       options->chaos_sweep = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--metrics-port") {
+      const char* v = next_value("--metrics-port");
+      if (v == nullptr) return false;
+      int port = std::atoi(v);
+      if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be in [0, 65535]\n");
+        return false;
+      }
+      options->metrics_port = port;
+    } else if (arg == "--ledger-out") {
+      const char* v = next_value("--ledger-out");
+      if (v == nullptr) return false;
+      options->ledger_out = v;
+    } else if (arg == "--obs" || arg.rfind("--obs=", 0) == 0) {
+      std::string mode;
+      if (arg == "--obs") {
+        const char* v = next_value("--obs");
+        if (v == nullptr) return false;
+        mode = v;
+      } else {
+        mode = arg.substr(std::strlen("--obs="));
+      }
+      if (mode == "off" || mode == "0") {
+        options->obs_off = true;
+      } else if (mode == "on" || mode == "1") {
+        options->obs_off = false;
+      } else {
+        std::fprintf(stderr, "--obs takes on|off, got '%s'\n", mode.c_str());
+        return false;
+      }
     } else if (arg == "--metrics-out") {
       const char* v = next_value("--metrics-out");
       if (v == nullptr) return false;
@@ -160,8 +200,10 @@ bcfl::fault::FaultPlanOptions PlanOptionsFor(
 }
 
 /// Random-plan convergence sweep: every seed must complete all rounds.
-/// Returns the number of failed seeds.
-size_t RunChaosSweep(const CliOptions& options) {
+/// Returns the number of failed seeds. When a ledger is attached, every
+/// session appends its per-round records to the same JSONL stream.
+size_t RunChaosSweep(const CliOptions& options,
+                     bcfl::obs::RoundLedger* ledger) {
   size_t failures = 0;
   for (size_t k = 0; k < options.chaos_sweep; ++k) {
     uint64_t seed = options.fault_seed + k;
@@ -176,6 +218,7 @@ size_t RunChaosSweep(const CliOptions& options) {
       ++failures;
       continue;
     }
+    (*coordinator)->set_round_ledger(ledger);
     auto result = (*coordinator)->Run();
     if (!result.ok()) {
       std::printf("chaos seed %llu: FAILED: %s\n",
@@ -213,6 +256,48 @@ int main(int argc, char** argv) {
   if (options.verbose) {
     bcfl::Logger::Global().set_min_level(bcfl::LogLevel::kInfo);
   }
+  if (options.obs_off) {
+    bcfl::obs::MetricsRegistry::set_enabled(false);
+    bcfl::obs::Tracer::Global().set_enabled(false);
+  }
+
+  // Live sinks first, so a scrape or a tail works from round 0 on.
+  bcfl::obs::HttpExporter http_exporter;
+  if (options.metrics_port >= 0) {
+    bcfl::Status started =
+        http_exporter.Start(static_cast<uint16_t>(options.metrics_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "--metrics-port: %s\n",
+                   started.ToString().c_str());
+      return 2;
+    }
+  }
+  bcfl::obs::RoundLedger ledger;
+  if (!options.ledger_out.empty()) {
+    bcfl::Status opened = ledger.Open(options.ledger_out);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--ledger-out: %s\n", opened.ToString().c_str());
+      return 2;
+    }
+  }
+  bcfl::obs::RoundLedger* ledger_ptr = ledger.is_open() ? &ledger : nullptr;
+
+  std::printf("obs sinks: %s", options.obs_off ? "off" : "on");
+  if (!options.obs_off) {
+    if (options.metrics_out != "-") {
+      std::printf("  metrics -> %s", options.metrics_out.c_str());
+    }
+    if (options.trace_out != "-") {
+      std::printf("  trace -> %s", options.trace_out.c_str());
+    }
+  }
+  if (http_exporter.running()) {
+    std::printf("  http -> http://127.0.0.1:%u/metrics", http_exporter.port());
+  }
+  if (ledger.is_open()) {
+    std::printf("  ledger -> %s", ledger.path().c_str());
+  }
+  std::printf("\n");
 
   if (options.chaos_sweep > 0) {
     std::printf("chaos sweep: %zu seeds starting at %llu (%u owners, %zu "
@@ -221,7 +306,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(options.fault_seed),
                 options.config.num_owners, options.config.num_miners,
                 options.config.rounds);
-    return RunChaosSweep(options) == 0 ? 0 : 1;
+    return RunChaosSweep(options, ledger_ptr) == 0 ? 0 : 1;
   }
 
   if (!options.fault_plan_spec.empty()) {
@@ -257,6 +342,7 @@ int main(int argc, char** argv) {
   // Spans recorded from here on also carry simulated network time.
   bcfl::obs::Tracer::Global().AttachSimClock(
       &(*coordinator)->engine().network().clock());
+  (*coordinator)->set_round_ledger(ledger_ptr);
   for (size_t m = 0; m < options.byzantine; ++m) {
     auto st = (*coordinator)
                   ->InstallMinerBehavior(
