@@ -7,6 +7,11 @@
 # committed BENCH_chain.json baseline with tools/bench_diff (and proves
 # the gate bites on an injected 2x regression), then runs the
 # bench_table1_runtime --quick obs-overhead gate (<3%, bit-identical SV).
+# A round-engine stage runs bench_e2e_rounds --quick: the parallel
+# round engine must be bit-identical to the serial reference (pool-size
+# invariant, faults included) and its batched Shamir recovery must match
+# the per-secret reference; the fresh numbers are gated against the
+# committed BENCH_e2e.json baseline with tools/bench_diff.
 # A chaos stage follows: one faulted session whose executed fault
 # schedule must land in metrics.json, then a BCFL_CHAOS_SEEDS-wide
 # random-fault sweep (default 200) in which every seed must converge —
@@ -53,6 +58,14 @@ BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
 BENCH_CHAIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_chain_throughput"
 (cd "$ARTIFACT_DIR" && "$BENCH_CHAIN" --quick)
 
+# Round-engine equivalence smoke: bench_e2e_rounds exits non-zero unless
+# the parallel engine's chain content is bit-identical to the serial
+# reference (for pool sizes 1 and N, clean and faulted) and the batched
+# Shamir recovery matches the per-secret reference. It drops
+# BENCH_e2e.json in the working directory.
+BENCH_E2E="$(cd "$BUILD_DIR" && pwd)/bench/bench_e2e_rounds"
+(cd "$ARTIFACT_DIR" && "$BENCH_E2E" --quick)
+
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$ARTIFACT_DIR" "$ROUNDS" <<'EOF'
 import json
@@ -74,7 +87,8 @@ ledger = [json.loads(line)
 assert len(ledger) == rounds, f"{len(ledger)} ledger records, want {rounds}"
 for record in ledger:
     for phase in ("train", "tx_admission", "secureagg_mask", "consensus",
-                  "sv_eval"):
+                  "sv_eval", "owner_fanout"):
+        # owner_fanout: bcfl_sim defaults to the parallel round engine.
         assert record["phase_us"][phase] >= 0, record["phase_us"]
     assert len(record["sv"]) == 6, record["sv"]
     assert len(record["sv_volatility"]) == 6, record["sv_volatility"]
@@ -106,6 +120,22 @@ if chain["crypto_path"] == "montgomery":
     assert speedup >= 4.0, \
         f"schnorr verify speedup {speedup:.2f}x below the 4x floor"
 
+e2e = json.load(open(f"{artifact_dir}/BENCH_e2e.json"))
+assert e2e["all_equivalent"] is True, e2e["equivalence"]
+missing = {"serial_parallel_identical", "pool_size_invariant",
+           "faulted_identical", "shamir_batch_reference"} \
+    - set(e2e["equivalence"])
+assert not missing, f"missing e2e equivalence checks: {missing}"
+e2e_speedup = e2e["parallel"]["speedup"]
+if e2e["pool_threads"] >= 4:
+    # The >= 2x floor only applies where the cores exist to deliver it
+    # (bench_e2e_rounds itself exits non-zero in that case too).
+    assert e2e_speedup >= 2.0, \
+        f"round-engine speedup {e2e_speedup:.2f}x below the 2x floor"
+# bcfl_sim must report which engine ran (default: parallel).
+assert metrics["round_engine"] == "parallel", metrics["round_engine"]
+assert metrics["round_engine_pool_threads"] >= 1, metrics
+
 print(f"artifacts OK: {len(counters)} counters, "
       f"{len(trace['traceEvents'])} spans, categories {sorted(categories)}, "
       f"{len(ledger)} ledger records, "
@@ -133,6 +163,19 @@ BENCH_DIFF="$(cd "$BUILD_DIR" && pwd)/tools/bench_diff"
   --metrics equivalence,all_equivalent,schnorr_verify.speedup \
   --tolerance schnorr_verify.speedup=0.95 \
   --out "$ARTIFACT_DIR/bench_diff_chain.json"
+
+# Round-engine gate: the fresh quick e2e bench must not regress against
+# the committed BENCH_e2e.json baseline. The equivalence booleans gate
+# exactly; the serial-vs-parallel and batched-Shamir speedups gate with
+# a generous tolerance — both are wall-clock ratios and quick reps on
+# shared CI hardware are noisy.
+"$BENCH_DIFF" \
+  --baseline BENCH_e2e.json \
+  --candidate "$ARTIFACT_DIR/BENCH_e2e.json" \
+  --metrics equivalence,all_equivalent,parallel.speedup,shamir_recover.speedup \
+  --tolerance parallel.speedup=0.5 \
+  --tolerance shamir_recover.speedup=0.5 \
+  --out "$ARTIFACT_DIR/bench_diff_e2e.json"
 
 # Telemetry gate, part 2: the gate must bite. A doctored baseline copy
 # with the verify speedup halved and an equivalence bit flipped has to

@@ -17,6 +17,11 @@
 # Since the telemetry-plane PR it also covers the HTTP exporter (scrape
 # threads racing a live coordinator round) and the round ledger's
 # coordinator wiring, plus the snapshot-vs-Reset stress in test_metrics.
+# Since the parallel-round-engine PR it also covers the owner fan-out
+# (test_round_engine: concurrent train/mask/payload against the
+# allocation-free ParallelFor), the batched Shamir recovery under a pool
+# (test_shamir, test_dropout_recovery) and bench_e2e_rounds --quick,
+# whose serial-vs-parallel sessions run the whole protocol both ways.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -35,7 +40,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   test_kernels test_secureagg test_native_sv \
   test_metrics test_tracer test_http_exporter test_round_ledger \
   test_fault test_chaos \
-  test_sig_cache test_merkle bench_kernels bench_chain_throughput
+  test_round_engine test_shamir test_dropout_recovery \
+  test_sig_cache test_merkle bench_kernels bench_chain_throughput \
+  bench_e2e_rounds
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -51,6 +58,9 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_http_exporter"
 "$BUILD_DIR/tests/test_round_ledger"
 "$BUILD_DIR/tests/test_fault"
+"$BUILD_DIR/tests/test_round_engine"
+"$BUILD_DIR/tests/test_shamir"
+"$BUILD_DIR/tests/test_dropout_recovery"
 "$BUILD_DIR/tests/test_sig_cache"
 "$BUILD_DIR/tests/test_merkle"
 # Chaos under TSan: full faulted protocol runs (coordinator + consensus
@@ -64,5 +74,7 @@ BENCH_KERNELS="$(cd "$BUILD_DIR" && pwd)/bench/bench_kernels"
 (cd "$TSAN_TMP" && "$BENCH_KERNELS" --quick)
 BENCH_CHAIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_chain_throughput"
 (cd "$TSAN_TMP" && "$BENCH_CHAIN" --quick)
+BENCH_E2E="$(cd "$BUILD_DIR" && pwd)/bench/bench_e2e_rounds"
+(cd "$TSAN_TMP" && "$BENCH_E2E" --quick)
 
 echo "TSan: all clean"

@@ -7,9 +7,45 @@ namespace bcfl {
 
 namespace {
 thread_local bool tls_pool_worker = false;
+
+/// Shared state for one ParallelFor call, living on the caller's stack.
+/// Completion is signalled under `mutex` (not after unlocking) because the
+/// caller destroys the context as soon as `remaining` hits zero.
+struct ParallelForCtx {
+  const std::function<void(size_t)>* fn;
+  size_t count;
+  size_t grain;
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t remaining;
+  std::exception_ptr error;
+  size_t error_chunk;
+};
+
+void RunParallelForChunk(ParallelForCtx* ctx, size_t c) {
+  const size_t begin = c * ctx->grain;
+  const size_t end = std::min(begin + ctx->grain, ctx->count);
+  std::exception_ptr error;
+  try {
+    for (size_t i = begin; i < end; ++i) (*ctx->fn)(i);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(ctx->mutex);
+  if (error && c < ctx->error_chunk) {
+    ctx->error = std::move(error);
+    ctx->error_chunk = c;
+  }
+  if (--ctx->remaining == 0) ctx->done.notify_one();
+}
 }  // namespace
 
 bool ThreadPool::InWorkerThread() { return tls_pool_worker; }
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -64,27 +100,29 @@ void ThreadPool::ParallelFor(size_t count,
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_chunks);
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t begin = c * grain;
-    const size_t end = std::min(begin + grain, count);
-    futures.push_back(Submit([&fn, begin, end] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    }));
-  }
-  // Wait for every chunk before rethrowing: abandoning outstanding chunks
-  // on the first failure would leave workers touching captured state that
-  // is about to go out of scope.
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  // One stack context shared by every chunk; the per-chunk closures are a
+  // {context pointer, chunk index} pair small enough for std::function's
+  // inline storage, so the whole dispatch allocates nothing per chunk.
+  ParallelForCtx ctx;
+  ctx.fn = &fn;
+  ctx.count = count;
+  ctx.grain = grain;
+  ctx.remaining = num_chunks;
+  ctx.error_chunk = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      tasks_.emplace([pctx = &ctx, c] { RunParallelForChunk(pctx, c); });
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+  // Wait for every chunk before rethrowing: abandoning outstanding chunks
+  // on the first failure would leave workers touching the stack context
+  // that is about to go out of scope. The rethrown error is always the
+  // lowest-indexed failing chunk's, independent of completion order.
+  std::unique_lock<std::mutex> lock(ctx.mutex);
+  ctx.done.wait(lock, [&ctx] { return ctx.remaining == 0; });
+  if (ctx.error) std::rethrow_exception(ctx.error);
 }
 
 }  // namespace bcfl

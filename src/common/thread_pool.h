@@ -48,12 +48,23 @@ class ThreadPool {
   /// instead of 2^n). If every index fits in a single chunk the loop
   /// runs inline on the calling thread. Exceptions thrown by `fn` are
   /// captured per chunk: a throw ends its own chunk, but every other
-  /// chunk still runs to completion before the first captured exception
-  /// is rethrown to the caller.
+  /// chunk still runs to completion before the exception from the
+  /// lowest-indexed failing chunk is rethrown to the caller (the same
+  /// error a serial loop would surface first).
+  ///
+  /// The dispatch itself is allocation-free per chunk: chunks share one
+  /// stack-allocated context, the per-chunk closures (context pointer +
+  /// chunk index) fit std::function's small-buffer storage, and all
+  /// chunks are enqueued under a single lock acquisition. The round
+  /// engine calls this once per owner fan-out on the protocol hot path.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                    size_t grain = 0);
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// Worker count to use when the caller does not specify one:
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t DefaultThreads();
 
   /// True when the calling thread is a worker of *any* ThreadPool.
   /// A ParallelFor issued from a worker runs inline on that worker

@@ -170,6 +170,24 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
   if (commits.empty() || !commits.back().committed) {
     return Status::Internal("setup transaction failed to commit");
   }
+
+  // --- Round engine: pool + fan-out machinery (parallel mode only). ----
+  coord->engine_mode_ = ResolveRoundEngineMode(config.round_engine);
+  if (coord->engine_mode_ == RoundEngineMode::kParallel) {
+    const size_t threads = config.pool_threads != 0
+                               ? config.pool_threads
+                               : ThreadPool::DefaultThreads();
+    coord->pool_ = std::make_unique<ThreadPool>(threads);
+    RoundEngine::Deps deps;
+    deps.clients = &coord->clients_;
+    deps.participants = &coord->participants_;
+    deps.injector = coord->injector_.get();
+    deps.retired = &coord->retired_;
+    deps.fixed_point_bits = static_cast<int>(config.fixed_point_bits);
+    deps.session_seed = config.seed;
+    coord->round_engine_ =
+        std::make_unique<RoundEngine>(deps, coord->pool_.get());
+  }
   return coord;
 }
 
@@ -250,6 +268,38 @@ Result<bool> BcflCoordinator::SubmitWithRetries(
   return false;  // Deadline missed: the owner counts as dropped.
 }
 
+Result<bool> BcflCoordinator::SubmitPreparedWithRetries(
+    uint32_t owner, uint64_t round, const Bytes& payload, uint64_t deadline_us,
+    BcflRunResult* result) {
+  static auto& retries_counter =
+      obs::MetricsRegistry::Global().GetCounter("fl.submission_retries");
+  net::SimulatedNetwork& network = engine_->mutable_network();
+  uint64_t extra = injector_ != nullptr ? injector_->OwnerExtraDelayUs(owner)
+                                        : 0;
+  if (extra > 0) network.AdvanceClock(extra);
+  uint64_t backoff = config_.submit_backoff_us;
+  for (uint32_t attempt = 0; attempt < config_.max_submit_attempts;
+       ++attempt) {
+    if (network.clock().NowMicros() > deadline_us) break;
+    if (injector_ != nullptr && injector_->DropSubmissionAttempt(owner)) {
+      retries_counter.Add();
+      result->submission_retries++;
+      network.AdvanceClock(backoff);
+      backoff *= 2;
+      continue;
+    }
+    chain::Transaction tx;
+    tx.contract = "bcfl";
+    tx.method = "submit_update";
+    tx.payload = payload;
+    tx.nonce = SubmitNonce(round, owner, config_.num_owners);
+    tx.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
+    BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(tx));
+    return true;
+  }
+  return false;  // Deadline missed: the owner counts as dropped.
+}
+
 Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
                                              const std::set<uint32_t>& missing,
                                              BcflRunResult* result) {
@@ -273,11 +323,18 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
     return Status::FailedPrecondition("no online owner left to report drops");
   }
 
-  for (uint32_t u : missing) {
+  // Collect every missing owner's shares first. The surviving holder set
+  // — online, un-retired, not itself missing — is the same for all of
+  // them, so the whole batch reconstructs off one Lagrange basis
+  // (ShamirSecretSharing::ReconstructBatch), with per-owner share
+  // verification fanned across the pool when one is attached.
+  std::vector<uint32_t> targets(missing.begin(), missing.end());
+  std::vector<std::vector<crypto::ShamirShare>> share_sets;
+  share_sets.reserve(targets.size());
+  for (uint32_t u : targets) {
     dropouts_detected.Add();
-    // Collect shares held by online, un-retired survivors; strictly fewer
-    // than the threshold means the recovery must fail closed — a wrong
-    // key can never be reconstructed, only no key.
+    // Strictly fewer shares than the threshold means the recovery must
+    // fail closed — a wrong key can never be reconstructed, only no key.
     std::vector<crypto::ShamirShare> shares;
     for (uint32_t holder = 0; holder < config_.num_owners; ++holder) {
       if (holder == u || missing.count(holder) > 0 ||
@@ -294,10 +351,18 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
           std::to_string(u) + "'s key survive; threshold is " +
           std::to_string(threshold_) + " — failing closed");
     }
-    BCFL_ASSIGN_OR_RETURN(auto secret,
-                          secureagg::SecureAggregator::ReconstructSecret32(
-                              shares, threshold_, config_.num_owners));
-    Bytes secret_bytes(secret.begin(), secret.end());
+    share_sets.push_back(std::move(shares));
+  }
+  BCFL_ASSIGN_OR_RETURN(auto secrets,
+                        secureagg::SecureAggregator::ReconstructSecrets32(
+                            share_sets, threshold_, config_.num_owners,
+                            pool_.get()));
+
+  // Replay the recovery transactions in ascending owner order — the same
+  // signing (RNG) and submission sequence as recovering one at a time.
+  for (size_t k = 0; k < targets.size(); ++k) {
+    const uint32_t u = targets[k];
+    Bytes secret_bytes(secrets[k].begin(), secrets[k].end());
     BCFL_ASSIGN_OR_RETURN(crypto::UInt256 dh_key,
                           crypto::UInt256::FromBytes(secret_bytes));
 
@@ -375,9 +440,50 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     const uint64_t deadline_us =
         engine_->mutable_network().clock().NowMicros() +
         config_.submit_deadline_us;
-    std::vector<ml::Matrix> locals(n);
     std::set<uint32_t> missing;
-    {
+    double fanout_wall_us = 0.0;
+    if (engine_mode_ == RoundEngineMode::kParallel) {
+      // Parallel path: fan the per-owner work (train, encode, mask,
+      // payload) across the pool, then replay submissions in canonical
+      // owner order on this thread. Training and masking touch neither
+      // the simulated clock nor the session RNG, so the replayed
+      // protocol-event sequence — clock advances, injector drop draws,
+      // signing nonces, chain submissions — is exactly the serial one.
+      obs::ScopedSpan span(obs::Tracer::Global(), "train", "fl");
+      RoundEngineStats stats;
+      BCFL_RETURN_IF_ERROR(round_engine_->PrepareOwners(
+          round, global, groups, &round_scratch_, &stats));
+      fanout_wall_us = stats.fanout_wall_us;
+      train_wall_us = stats.train_us_total;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (retired_.count(i) > 0) continue;
+        if (injector_ != nullptr && injector_->OwnerOffline(i)) {
+          missing.insert(i);
+          continue;
+        }
+        WallTimer submit_timer;
+        BCFL_ASSIGN_OR_RETURN(
+            bool submitted,
+            SubmitPreparedWithRetries(i, round,
+                                      round_scratch_.slots[i].payload,
+                                      deadline_us, &result));
+        submit_wall_us += submit_timer.ElapsedUs();
+        if (!submitted) missing.insert(i);
+      }
+      if (config_.keep_local_models) {
+        std::vector<ml::Matrix> locals(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          if (round_scratch_.slots[i].active) {
+            locals[i] = std::move(round_scratch_.slots[i].local);
+          }
+        }
+        result.per_round_locals.push_back(std::move(locals));
+      }
+    } else {
+      // Serial reference path: the seed-faithful interleaved loop (train
+      // owner i, submit owner i, then owner i+1), kept verbatim as the
+      // escape hatch the parallel engine is equivalence-tested against.
+      std::vector<ml::Matrix> locals(n);
       obs::ScopedSpan span(obs::Tracer::Global(), "train", "fl");
       for (uint32_t i = 0; i < n; ++i) {
         if (retired_.count(i) > 0) continue;
@@ -396,8 +502,10 @@ Result<BcflRunResult> BcflCoordinator::Run() {
         submit_wall_us += submit_timer.ElapsedUs();
         if (!submitted) missing.insert(i);
       }
+      if (config_.keep_local_models) {
+        result.per_round_locals.push_back(std::move(locals));
+      }
     }
-    result.per_round_locals.push_back(std::move(locals));
 
     // Consensus drains the submissions; if owners missed the deadline the
     // survivors then drive the on-chain Shamir recovery, which completes
@@ -448,14 +556,23 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     if (ledger_ != nullptr) {
       obs::RoundRecord record;
       record.round = round;
-      // Masking and SV evaluation run inside the submit and consensus
-      // walls; attribute them via instrument deltas and subtract the
-      // mask share out of the admission wall.
+      // Masking and SV evaluation run inside other phases' walls;
+      // attribute them via instrument deltas. Serially, masking happens
+      // inside the submit wall (subtract it out); in parallel mode it
+      // happens inside the fan-out, whose barrier-to-barrier wall — the
+      // max-over-workers critical path — lands on the parallel-only
+      // `owner_fanout` key while `train` keeps the aggregate per-owner
+      // sum the serial path has always reported.
       const double mask_us = mask_us_hist.Sum() - mask_us0;
       const double sv_eval_us = sv_eval_us_hist.Sum() - sv_eval_us0;
       record.phase_us["train"] = train_wall_us;
-      record.phase_us["tx_admission"] =
-          std::max(0.0, submit_wall_us - mask_us);
+      if (engine_mode_ == RoundEngineMode::kParallel) {
+        record.phase_us["tx_admission"] = submit_wall_us;
+        record.phase_us["owner_fanout"] = fanout_wall_us;
+      } else {
+        record.phase_us["tx_admission"] =
+            std::max(0.0, submit_wall_us - mask_us);
+      }
       record.phase_us["secureagg_mask"] = mask_us;
       record.phase_us["consensus"] = consensus_wall_us;
       if (!missing.empty()) {

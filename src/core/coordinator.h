@@ -7,8 +7,10 @@
 
 #include "chain/consensus.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/fl_contract.h"
 #include "core/params.h"
+#include "core/round_engine.h"
 #include "data/digits.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
@@ -51,6 +53,20 @@ struct BcflConfig {
   uint64_t submit_backoff_us = 10'000;
   /// Submission attempts before the coordinator gives an owner up.
   uint32_t max_submit_attempts = 5;
+  /// How the per-owner phase of each round executes. kParallel fans
+  /// train/mask/payload work across a thread pool and replays submissions
+  /// in canonical owner order — bit-identical to kSerial for any pool
+  /// size. Overridable at runtime with BCFL_ROUND_REFERENCE=1 (forces
+  /// serial, no rebuild).
+  RoundEngineMode round_engine = RoundEngineMode::kParallel;
+  /// Worker threads for the round engine's fan-out; 0 = one per hardware
+  /// thread. Ignored in serial mode.
+  size_t pool_threads = 0;
+  /// Retain every owner's full local model per round in
+  /// `BcflRunResult::per_round_locals`. Off by default: retention costs
+  /// O(rounds * owners * model) memory and only experiments comparing
+  /// against off-chain baselines need it.
+  bool keep_local_models = false;
 };
 
 /// Everything a full on-chain session produces.
@@ -60,7 +76,8 @@ struct BcflRunResult {
   std::vector<std::vector<double>> per_round_sv; ///< [round][owner].
   std::vector<double> round_accuracies;          ///< Global model test accuracy.
   /// Owner-side record of local weights (each owner knows its own) —
-  /// used by experiments to compare against off-chain baselines.
+  /// used by experiments to compare against off-chain baselines. Only
+  /// populated when `BcflConfig::keep_local_models` is set.
   std::vector<std::vector<ml::Matrix>> per_round_locals;
   size_t blocks_committed = 0;
   size_t total_transactions = 0;
@@ -108,6 +125,13 @@ class BcflCoordinator {
   fault::FaultInjector* fault_injector() { return injector_.get(); }
   /// Shamir threshold of the distributed recovery shares.
   size_t recovery_threshold() const { return threshold_; }
+  /// The round-engine mode actually in effect (config +
+  /// BCFL_ROUND_REFERENCE override, resolved at Create).
+  RoundEngineMode round_engine_mode() const { return engine_mode_; }
+  /// Pool threads in use (1 in serial mode / no pool).
+  size_t pool_threads_in_use() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
 
   /// Attaches an opened protocol ledger: Run() then appends one
   /// structured record per FL round (phase latencies, sig-cache hit
@@ -132,6 +156,16 @@ class BcflCoordinator {
                                  const std::vector<std::vector<size_t>>& groups,
                                  uint64_t deadline_us,
                                  BcflRunResult* result);
+
+  /// Replay half of the parallel path: same deadline/retry/backoff state
+  /// machine as SubmitWithRetries, but the masked payload was prebuilt by
+  /// the round engine — only signing (which consumes the session RNG) and
+  /// submission happen here, on the coordinator thread, so the clock and
+  /// RNG sequences match the serial path exactly.
+  Result<bool> SubmitPreparedWithRetries(uint32_t owner, uint64_t round,
+                                         const Bytes& payload,
+                                         uint64_t deadline_us,
+                                         BcflRunResult* result);
 
   /// Drives the on-chain `recover` transaction for every owner in
   /// `missing`: collects Shamir shares from online survivors (fails
@@ -159,6 +193,12 @@ class BcflCoordinator {
   /// Owners retired by a committed recovery, with the retirement round.
   std::map<uint32_t, uint64_t> retired_;
   obs::RoundLedger* ledger_ = nullptr;
+  /// Round-engine state (parallel mode): the pool, the engine fanning
+  /// owner work across it, and the reusable per-round scratch arena.
+  RoundEngineMode engine_mode_ = RoundEngineMode::kParallel;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<RoundEngine> round_engine_;
+  RoundScratch round_scratch_;
 };
 
 }  // namespace bcfl::core

@@ -1,0 +1,137 @@
+#include "core/round_engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/sim_clock.h"
+#include "core/fl_contract.h"
+#include "secureagg/fixed_point.h"
+
+namespace bcfl::core {
+
+const char* RoundEngineModeName(RoundEngineMode mode) {
+  return mode == RoundEngineMode::kSerial ? "serial" : "parallel";
+}
+
+RoundEngineMode ResolveRoundEngineMode(RoundEngineMode configured) {
+  const char* env = std::getenv("BCFL_ROUND_REFERENCE");
+  if (env != nullptr && std::strlen(env) > 0 && std::strcmp(env, "0") != 0) {
+    return RoundEngineMode::kSerial;
+  }
+  return configured;
+}
+
+void RoundScratch::Reset(size_t num_owners) {
+  if (slots.size() != num_owners) slots.resize(num_owners);
+  for (OwnerRoundSlot& slot : slots) {
+    slot.active = false;
+    slot.group_members.clear();
+    slot.status = Status::OK();
+    slot.train_us = 0.0;
+    slot.prepare_us = 0.0;
+    // local/encoded/masked/payload/mask_scratch keep their storage; every
+    // active phase overwrites them before they are read again.
+  }
+}
+
+namespace {
+
+/// Seed of owner `i`'s round stream: a SplitMix64 walk over (session
+/// seed, round, owner), so streams are decorrelated across all three
+/// axes and reproducible from the config alone.
+uint64_t DeriveStreamSeed(uint64_t session_seed, uint64_t round,
+                          uint32_t owner) {
+  SplitMix64 mix(session_seed ^ 0x9e3779b97f4a7c15ULL);
+  uint64_t a = mix.Next() ^ round;
+  SplitMix64 mix2(a);
+  return mix2.Next() ^ (static_cast<uint64_t>(owner) + 1);
+}
+
+}  // namespace
+
+Status RoundEngine::PrepareOwners(uint64_t round, const ml::Matrix& global,
+                                  const std::vector<std::vector<size_t>>& groups,
+                                  RoundScratch* scratch,
+                                  RoundEngineStats* stats) {
+  const size_t n = deps_.clients->size();
+  scratch->Reset(n);
+  *stats = RoundEngineStats{};
+
+  // Participation, grouping and stream seeding are decided here on the
+  // coordinator thread: the injector's per-round sets were computed by
+  // BeginRound (also coordinator thread) and are immutable during the
+  // round, so these const reads are ordered-before the fan-out below.
+  std::vector<uint32_t> active;
+  active.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (deps_.retired != nullptr && deps_.retired->count(i) > 0) continue;
+    if (deps_.injector != nullptr && deps_.injector->OwnerOffline(i)) continue;
+    OwnerRoundSlot& slot = scratch->slots[i];
+    for (const auto& group : groups) {
+      if (std::find(group.begin(), group.end(), i) != group.end()) {
+        for (size_t member : group) {
+          slot.group_members.push_back(
+              static_cast<secureagg::OwnerId>(member));
+        }
+        break;
+      }
+    }
+    if (slot.group_members.empty()) {
+      return Status::Internal("owner missing from grouping");
+    }
+    slot.active = true;
+    slot.stream = Xoshiro256(DeriveStreamSeed(deps_.session_seed, round, i));
+    active.push_back(i);
+  }
+
+  const secureagg::FixedPointCodec codec(deps_.fixed_point_bits);
+  Stopwatch fanout_timer;
+  // One owner per task (grain 1): training dominates and owner costs are
+  // uneven (different partition sizes, different group fan-ins), so fine
+  // chunks load-balance. Worker k writes only slot active[k] — disjoint
+  // slots, no shared mutable state, no locks.
+  auto prepare_one = [&](size_t k) {
+    const uint32_t i = active[k];
+    OwnerRoundSlot& slot = scratch->slots[i];
+    Stopwatch train_timer;
+    auto local = (*deps_.clients)[i].LocalUpdate(global);
+    if (!local.ok()) {
+      slot.status = local.status();
+      return;
+    }
+    slot.local = std::move(local).value();
+    slot.train_us = train_timer.ElapsedSeconds() * 1e6;
+    Stopwatch prepare_timer;
+    codec.EncodeMatrixInto(slot.local, &slot.encoded);
+    Status masked = (*deps_.participants)[i]->MaskUpdateInto(
+        round, slot.group_members, slot.encoded, &slot.mask_scratch,
+        &slot.masked);
+    if (!masked.ok()) {
+      slot.status = masked;
+      return;
+    }
+    slot.payload = FlContract::EncodeSubmitUpdate(round, i, slot.masked);
+    slot.prepare_us = prepare_timer.ElapsedSeconds() * 1e6;
+  };
+  if (pool_ != nullptr && active.size() > 1) {
+    pool_->ParallelFor(active.size(), prepare_one, /*grain=*/1);
+  } else {
+    for (size_t k = 0; k < active.size(); ++k) prepare_one(k);
+  }
+  stats->fanout_wall_us = fanout_timer.ElapsedSeconds() * 1e6;
+
+  // Surface the lowest-indexed owner's error — what a serial loop would
+  // hit first — and fold the per-owner walls into the ledger stats.
+  for (uint32_t i : active) {
+    const OwnerRoundSlot& slot = scratch->slots[i];
+    if (!slot.status.ok()) return slot.status;
+    stats->train_us_total += slot.train_us;
+    stats->train_us_max = std::max(stats->train_us_max, slot.train_us);
+    stats->prepare_us_total += slot.prepare_us;
+    stats->prepare_us_max = std::max(stats->prepare_us_max, slot.prepare_us);
+  }
+  return Status::OK();
+}
+
+}  // namespace bcfl::core

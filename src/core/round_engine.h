@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "fault/injector.h"
+#include "fl/client.h"
+#include "ml/matrix.h"
+#include "secureagg/participant.h"
+
+namespace bcfl::core {
+
+/// How the coordinator executes the per-owner phase of a round.
+enum class RoundEngineMode {
+  /// The seed-faithful interleaved loop: train owner i, submit owner i,
+  /// then owner i+1 — kept verbatim as the reference path, mirroring
+  /// `reference::` in the kernel and crypto layers.
+  kSerial,
+  /// Fan owner work (train, encode, mask, payload) across the thread
+  /// pool, then replay submissions in canonical owner order. Bit-identical
+  /// to kSerial for any pool size (see DESIGN.md §13).
+  kParallel,
+};
+
+/// "serial" / "parallel" — for flags, logs and metrics.json.
+const char* RoundEngineModeName(RoundEngineMode mode);
+
+/// Applies the `BCFL_ROUND_REFERENCE` escape hatch: when the environment
+/// variable is set to anything but "" or "0", the configured mode is
+/// overridden to kSerial (same convention as BCFL_KERNEL_REFERENCE /
+/// BCFL_CRYPTO_REFERENCE, but at runtime — no rebuild needed).
+RoundEngineMode ResolveRoundEngineMode(RoundEngineMode configured);
+
+/// Per-owner slot of the round scratch: everything one owner's phase work
+/// produces, plus the buffers it reuses round over round. Slots are
+/// index-addressed — worker k only ever touches slot `active[k]` — which
+/// is what makes the fan-out race-free without any locking.
+struct OwnerRoundSlot {
+  /// True when the owner trains this round (online, not retired).
+  bool active = false;
+  ml::Matrix local;                      ///< Trained local weights.
+  std::vector<uint64_t> encoded;         ///< Fixed-point encoding.
+  std::vector<uint64_t> masked;          ///< Pairwise-masked update.
+  Bytes payload;                         ///< Serialized submit_update body.
+  std::vector<secureagg::OwnerId> group_members;
+  secureagg::MaskScratch mask_scratch;   ///< Mask buffers, reused.
+  /// Per-owner SplitMix64-derived RNG stream. No phase consumes
+  /// randomness today (training is deterministic full-batch GD and
+  /// signing stays on the coordinator thread), but the stream is seeded
+  /// per (session, round, owner) so a future stochastic trainer draws
+  /// from isolated streams instead of racing a shared generator.
+  Xoshiro256 stream{0};
+  Status status = Status::OK();
+  double train_us = 0.0;                 ///< Wall time of LocalUpdate.
+  double prepare_us = 0.0;               ///< Wall of encode+mask+payload.
+};
+
+/// Reusable arena for the per-owner fan-out. `Reset` clears per-round
+/// state but keeps every buffer's capacity, so from the second round on
+/// the fan-out allocates nothing beyond what training itself needs.
+struct RoundScratch {
+  std::vector<OwnerRoundSlot> slots;
+  void Reset(size_t num_owners);
+};
+
+/// Wall-time attribution of one fan-out, for the round ledger: totals are
+/// the aggregate work (what the serial path's per-phase walls measured);
+/// maxima approximate the critical path; `fanout_wall_us` is the actual
+/// barrier-to-barrier wall time (max over workers plus scheduling).
+struct RoundEngineStats {
+  double fanout_wall_us = 0.0;
+  double train_us_total = 0.0;
+  double train_us_max = 0.0;
+  double prepare_us_total = 0.0;
+  double prepare_us_max = 0.0;
+};
+
+/// The parallel half of the coordinator's round loop: fans per-owner
+/// local training, fixed-point encoding, pairwise mask expansion and
+/// payload serialization across the shared ThreadPool. Everything that
+/// orders protocol state — simulated-clock advances, injector drop
+/// draws, transaction signing (which consumes the session RNG) and chain
+/// submission — stays on the coordinator thread, replayed in canonical
+/// owner order. Since training and masking touch neither the clock nor
+/// the session RNG, the replayed sequence of protocol events is exactly
+/// the serial path's, which is the determinism argument (DESIGN.md §13).
+class RoundEngine {
+ public:
+  /// Non-owning references into the coordinator. `injector` (nullable) is
+  /// only read via const queries; `BeginRound` must have run on the
+  /// coordinator thread before `PrepareOwners` (see fault/injector.h for
+  /// the thread-safety contract).
+  struct Deps {
+    std::vector<fl::FlClient>* clients = nullptr;
+    std::vector<std::unique_ptr<secureagg::SecureAggParticipant>>*
+        participants = nullptr;
+    const fault::FaultInjector* injector = nullptr;
+    const std::map<uint32_t, uint64_t>* retired = nullptr;
+    int fixed_point_bits = 24;
+    uint64_t session_seed = 0;
+  };
+
+  /// `pool` may be nullptr (everything runs inline — useful for tests
+  /// that want the parallel code path without threads).
+  RoundEngine(Deps deps, ThreadPool* pool) : deps_(deps), pool_(pool) {}
+
+  /// Trains, encodes, masks and serializes every participating owner's
+  /// update for `round` into `scratch` (grain 1: one owner per pool
+  /// task). Offline/retired owners get inactive slots; the caller decides
+  /// dropouts during replay. On a per-owner failure the lowest-indexed
+  /// owner's error is returned — the same error a serial loop would
+  /// surface first.
+  Status PrepareOwners(uint64_t round, const ml::Matrix& global,
+                       const std::vector<std::vector<size_t>>& groups,
+                       RoundScratch* scratch, RoundEngineStats* stats);
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  Deps deps_;
+  ThreadPool* pool_;
+};
+
+}  // namespace bcfl::core

@@ -27,6 +27,17 @@ namespace bcfl::fault {
 /// under faults is exactly as reproducible as a clean run. The injector
 /// records every decision that fired into an executed-schedule log that
 /// bcfl_sim exports into metrics.json for triage.
+///
+/// Thread-safety contract (round engine): `BeginRound` runs on the
+/// coordinator thread and the per-round sets it computes are immutable
+/// until the next `BeginRound`, so the const queries (`OwnerOffline`,
+/// `MinerOffline`, `OwnerExtraDelayUs`, `MinersReachable`) are safe to
+/// call from pool workers during the owner fan-out — the fan-out is
+/// ordered-after BeginRound by the ParallelFor dispatch. The mutating
+/// calls (`DropSubmissionAttempt`, which consumes the round's drop
+/// budget, `FilterMessage`, `RecordExecuted`) must stay on the
+/// coordinator thread; the round engine keeps them in the canonical-order
+/// replay, never in workers.
 class FaultInjector {
  public:
   FaultInjector(FaultPlan plan, uint32_t num_owners, uint32_t num_miners);

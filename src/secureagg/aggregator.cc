@@ -138,4 +138,21 @@ Result<std::array<uint8_t, 32>> SecureAggregator::ReconstructSecret32(
   return out;
 }
 
+Result<std::vector<std::array<uint8_t, 32>>>
+SecureAggregator::ReconstructSecrets32(
+    const std::vector<std::vector<crypto::ShamirShare>>& share_sets,
+    size_t threshold, size_t roster_size, ThreadPool* pool) {
+  BCFL_ASSIGN_OR_RETURN(
+      crypto::ShamirSecretSharing scheme,
+      crypto::ShamirSecretSharing::Create(threshold, roster_size));
+  std::vector<size_t> sizes(share_sets.size(), 32);
+  BCFL_ASSIGN_OR_RETURN(std::vector<Bytes> secrets,
+                        scheme.ReconstructBatch(share_sets, sizes, pool));
+  std::vector<std::array<uint8_t, 32>> out(secrets.size());
+  for (size_t k = 0; k < secrets.size(); ++k) {
+    std::copy(secrets[k].begin(), secrets[k].end(), out[k].begin());
+  }
+  return out;
+}
+
 }  // namespace bcfl::secureagg

@@ -48,6 +48,17 @@ class SecureAggregator {
       const std::vector<crypto::ShamirShare>& shares, size_t threshold,
       size_t roster_size);
 
+  /// Batch companion of `ReconstructSecret32`: reconstructs one 32-byte
+  /// secret per share-set in a single call. A recovery round reveals every
+  /// missing owner's secret from the *same* surviving holder set, so the
+  /// Lagrange basis is computed once for the whole batch and the per-set
+  /// share verification/evaluation runs on `pool` (nullptr = serial).
+  /// Output k corresponds to share_sets[k]; bit-identical to calling
+  /// ReconstructSecret32 per set, for any pool size.
+  static Result<std::vector<std::array<uint8_t, 32>>> ReconstructSecrets32(
+      const std::vector<std::vector<crypto::ShamirShare>>& share_sets,
+      size_t threshold, size_t roster_size, ThreadPool* pool = nullptr);
+
   /// Regenerates unmasking material (self masks, dropped members'
   /// residual pairwise masks) on `pool` (nullptr = serial). Expansions
   /// fill index-addressed slots and are folded into the sum in roster

@@ -38,6 +38,13 @@ std::vector<uint64_t> FixedPointCodec::EncodeMatrix(const ml::Matrix& m) const {
   return EncodeVector(m.data());
 }
 
+void FixedPointCodec::EncodeMatrixInto(const ml::Matrix& m,
+                                       std::vector<uint64_t>* out) const {
+  const std::vector<double>& values = m.data();
+  out->resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) (*out)[i] = Encode(values[i]);
+}
+
 Result<ml::Matrix> FixedPointCodec::DecodeMatrix(
     const std::vector<uint64_t>& ring, size_t rows, size_t cols) const {
   if (ring.size() != rows * cols) {

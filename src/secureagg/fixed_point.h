@@ -36,6 +36,9 @@ class FixedPointCodec {
 
   /// Flattens and encodes a matrix.
   std::vector<uint64_t> EncodeMatrix(const ml::Matrix& m) const;
+  /// EncodeMatrix into a caller-owned buffer (resized, capacity kept) —
+  /// the round engine re-encodes every round into the same scratch slot.
+  void EncodeMatrixInto(const ml::Matrix& m, std::vector<uint64_t>* out) const;
   /// Decodes into a matrix of the given shape; size must match.
   Result<ml::Matrix> DecodeMatrix(const std::vector<uint64_t>& ring,
                                   size_t rows, size_t cols) const;

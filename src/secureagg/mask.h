@@ -26,4 +26,15 @@ std::vector<uint64_t> ExpandSelfMask(
     const std::array<uint8_t, crypto::ChaCha20::kKeySize>& self_seed,
     uint64_t round, size_t length);
 
+/// Allocation-reusing variants: `out` is resized to `length` (keeping its
+/// capacity across rounds) and overwritten. Same keystream, bit-identical
+/// to the returning forms — these exist so the round engine's per-owner
+/// scratch can mask every round without reallocating mask buffers.
+void ExpandMaskInto(
+    const std::array<uint8_t, crypto::ChaCha20::kKeySize>& pair_key,
+    uint64_t round, size_t length, std::vector<uint64_t>* out);
+void ExpandSelfMaskInto(
+    const std::array<uint8_t, crypto::ChaCha20::kKeySize>& self_seed,
+    uint64_t round, size_t length, std::vector<uint64_t>* out);
+
 }  // namespace bcfl::secureagg

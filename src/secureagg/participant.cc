@@ -67,6 +67,17 @@ Result<std::array<uint8_t, 32>> SecureAggParticipant::PairKey(
 Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
     uint64_t round, const std::vector<OwnerId>& group_members,
     const std::vector<uint64_t>& encoded) const {
+  MaskScratch scratch;
+  std::vector<uint64_t> out;
+  Status status = MaskUpdateInto(round, group_members, encoded, &scratch, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Status SecureAggParticipant::MaskUpdateInto(
+    uint64_t round, const std::vector<OwnerId>& group_members,
+    const std::vector<uint64_t>& encoded, MaskScratch* scratch,
+    std::vector<uint64_t>* out) const {
   static auto& masked_updates = obs::MetricsRegistry::Global().GetCounter(
       "secureagg.masked_updates");
   static auto& mask_us =
@@ -77,15 +88,15 @@ Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
       group_members.end()) {
     return Status::InvalidArgument("participant not in the given group");
   }
-  std::vector<uint64_t> out = encoded;
+  *out = encoded;
   // Validate the roster up front, then expand every peer's mask into its
   // own slot — independent ChaCha streams, so slots can fill on the pool
   // in any order. The combine below walks slots in group order, keeping
   // the result bit-identical to the serial path for any pool size.
-  std::vector<OwnerId> peers;
-  std::vector<const std::array<uint8_t, 32>*> keys;
-  peers.reserve(group_members.size());
-  keys.reserve(group_members.size());
+  scratch->peers.clear();
+  scratch->keys.clear();
+  scratch->peers.reserve(group_members.size());
+  scratch->keys.reserve(group_members.size());
   for (OwnerId peer : group_members) {
     if (peer == id_) continue;
     auto it = pair_keys_.find(peer);
@@ -93,31 +104,32 @@ Result<std::vector<uint64_t>> SecureAggParticipant::MaskUpdate(
       return Status::FailedPrecondition("peer key not registered: " +
                                         std::to_string(peer));
     }
-    peers.push_back(peer);
-    keys.push_back(&it->second);
+    scratch->peers.push_back(peer);
+    scratch->keys.push_back(&it->second);
   }
-  std::vector<std::vector<uint64_t>> masks(peers.size());
+  const size_t num_peers = scratch->peers.size();
+  if (scratch->masks.size() < num_peers) scratch->masks.resize(num_peers);
   auto expand_one = [&](size_t p) {
-    masks[p] = ExpandMask(*keys[p], round, out.size());
+    ExpandMaskInto(*scratch->keys[p], round, out->size(), &scratch->masks[p]);
   };
-  if (pool_ != nullptr && peers.size() > 1) {
-    pool_->ParallelFor(peers.size(), expand_one);
+  if (pool_ != nullptr && num_peers > 1 && !ThreadPool::InWorkerThread()) {
+    pool_->ParallelFor(num_peers, expand_one);
   } else {
-    for (size_t p = 0; p < peers.size(); ++p) expand_one(p);
+    for (size_t p = 0; p < num_peers; ++p) expand_one(p);
   }
-  for (size_t p = 0; p < peers.size(); ++p) {
-    const std::vector<uint64_t>& mask = masks[p];
-    if (id_ < peers[p]) {
-      for (size_t i = 0; i < out.size(); ++i) out[i] += mask[i];
+  for (size_t p = 0; p < num_peers; ++p) {
+    const std::vector<uint64_t>& mask = scratch->masks[p];
+    if (id_ < scratch->peers[p]) {
+      for (size_t i = 0; i < out->size(); ++i) (*out)[i] += mask[i];
     } else {
-      for (size_t i = 0; i < out.size(); ++i) out[i] -= mask[i];
+      for (size_t i = 0; i < out->size(); ++i) (*out)[i] -= mask[i];
     }
   }
   if (use_self_mask_) {
-    std::vector<uint64_t> self = ExpandSelfMask(self_seed_, round, out.size());
-    for (size_t i = 0; i < out.size(); ++i) out[i] += self[i];
+    ExpandSelfMaskInto(self_seed_, round, out->size(), &scratch->self_mask);
+    for (size_t i = 0; i < out->size(); ++i) (*out)[i] += scratch->self_mask[i];
   }
-  return out;
+  return Status::OK();
 }
 
 Result<RecoveryShares> SecureAggParticipant::ShareSecrets(

@@ -28,6 +28,17 @@ struct RecoveryShares {
   std::vector<crypto::ShamirShare> self_seed_shares;
 };
 
+/// Reusable buffers for `MaskUpdateInto`: per-peer mask slots, the roster
+/// snapshot, and the self-mask expansion. After the first round every
+/// buffer is at capacity, so masking allocates nothing. One scratch per
+/// owner — not shareable across concurrent calls.
+struct MaskScratch {
+  std::vector<OwnerId> peers;
+  std::vector<const std::array<uint8_t, 32>*> keys;
+  std::vector<std::vector<uint64_t>> masks;
+  std::vector<uint64_t> self_mask;
+};
+
 /// Client-side state of the secure-aggregation protocol.
 ///
 /// Lifecycle per the paper's Sect. IV-A-1:
@@ -66,6 +77,19 @@ class SecureAggParticipant {
   Result<std::vector<uint64_t>> MaskUpdate(
       uint64_t round, const std::vector<OwnerId>& group_members,
       const std::vector<uint64_t>& encoded) const;
+
+  /// MaskUpdate writing through caller-owned scratch: the masked vector
+  /// lands in `*out` and all intermediate buffers live in `*scratch`
+  /// (resized on first use, reused afterwards). Bit-identical to
+  /// MaskUpdate. Const + per-owner scratch means distinct owners can mask
+  /// concurrently from pool workers: this object's only mutable state
+  /// under the call is `*scratch`/`*out`, and `pair_keys_` is read-only
+  /// after registration.
+  Status MaskUpdateInto(uint64_t round,
+                        const std::vector<OwnerId>& group_members,
+                        const std::vector<uint64_t>& encoded,
+                        MaskScratch* scratch,
+                        std::vector<uint64_t>* out) const;
 
   /// Splits the recovery secrets into `roster_size` shares with the given
   /// threshold. Called once at setup; shares are distributed to the

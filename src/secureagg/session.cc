@@ -89,35 +89,61 @@ Result<std::vector<uint64_t>> SecureAggSession::Submit(
   return participants_[owner]->MaskUpdate(round, group, encoded);
 }
 
-Result<std::array<uint8_t, 32>> SecureAggSession::RevealSecret(
-    OwnerId id, bool dh_key, const std::set<OwnerId>& dropped) {
-  const RecoveryShares& all = recovery_shares_[id];
-  const auto& source =
-      dh_key ? all.dh_private_shares : all.self_seed_shares;
-  // Only shares held by *online* roster members can be revealed. The
-  // availability check runs before the cache is consulted: a reveal with
-  // fewer than `threshold_` live holders must fail closed even if an
-  // earlier call with a smaller dropout set already reconstructed the
-  // secret.
-  std::vector<crypto::ShamirShare> available;
+Result<std::vector<std::array<uint8_t, 32>>> SecureAggSession::RevealSecrets(
+    const std::vector<RevealJob>& jobs, const std::set<OwnerId>& dropped) {
+  std::vector<std::array<uint8_t, 32>> out(jobs.size());
+  // Only shares held by *online* roster members can be revealed, and
+  // which holders are online is a property of `dropped` alone — computed
+  // once for the whole batch. The availability check runs before the
+  // cache is consulted: a reveal with fewer than `threshold_` live
+  // holders must fail closed even if an earlier call with a smaller
+  // dropout set already reconstructed the secret.
+  std::vector<size_t> holders;
+  holders.reserve(participants_.size());
   for (size_t holder = 0; holder < participants_.size(); ++holder) {
     if (dropped.count(static_cast<OwnerId>(holder)) > 0) continue;
-    available.push_back(source[holder]);
+    holders.push_back(holder);
   }
-  if (available.size() < threshold_) {
-    return Status::FailedPrecondition(
-        "only " + std::to_string(available.size()) + " shares of owner " +
-        std::to_string(id) + "'s secret survive; threshold is " +
-        std::to_string(threshold_) + " — failing closed");
+  std::vector<size_t> pending;
+  std::vector<std::vector<crypto::ShamirShare>> share_sets;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const RevealJob& job = jobs[j];
+    if (holders.size() < threshold_) {
+      return Status::FailedPrecondition(
+          "only " + std::to_string(holders.size()) + " shares of owner " +
+          std::to_string(job.id) + "'s secret survive; threshold is " +
+          std::to_string(threshold_) + " — failing closed");
+    }
+    auto cached = reveal_cache_.find({job.id, job.dh_key});
+    if (cached != reveal_cache_.end()) {
+      out[j] = cached->second;
+      continue;
+    }
+    const RecoveryShares& all = recovery_shares_[job.id];
+    const auto& source =
+        job.dh_key ? all.dh_private_shares : all.self_seed_shares;
+    std::vector<crypto::ShamirShare> available;
+    available.reserve(holders.size());
+    for (size_t holder : holders) available.push_back(source[holder]);
+    pending.push_back(j);
+    share_sets.push_back(std::move(available));
   }
-  auto cached = reveal_cache_.find({id, dh_key});
-  if (cached != reveal_cache_.end()) return cached->second;
-  BCFL_ASSIGN_OR_RETURN(
-      auto secret, SecureAggregator::ReconstructSecret32(
-                       available, threshold_, participants_.size()));
-  reveal_cache_.emplace(std::make_pair(id, dh_key), secret);
-  if (dh_key) recoveries_counter_->Add();
-  return secret;
+  if (!pending.empty()) {
+    // Every pending set shares its x-coordinates (the surviving holder
+    // indices), so the batch reconstructs them all off one Lagrange
+    // basis. Errors surface for the lowest job index, like a serial loop.
+    BCFL_ASSIGN_OR_RETURN(
+        auto secrets,
+        SecureAggregator::ReconstructSecrets32(share_sets, threshold_,
+                                               participants_.size(), pool_));
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const RevealJob& job = jobs[pending[k]];
+      out[pending[k]] = secrets[k];
+      reveal_cache_.emplace(std::make_pair(job.id, job.dh_key), secrets[k]);
+      if (job.dh_key) recoveries_counter_->Add();
+    }
+  }
+  return out;
 }
 
 Result<std::vector<double>> SecureAggSession::AggregateGroupMean(
@@ -136,18 +162,24 @@ Result<std::vector<double>> SecureAggSession::AggregateGroupMean(
     }
   }
   UnmaskingInfo unmask;
+  std::vector<RevealJob> jobs;
+  jobs.reserve(group.size());
   for (OwnerId id : group) {
     if (dropped.count(id) > 0) {
-      auto key_bytes = RevealSecret(id, /*dh_key=*/true, dropped);
-      if (!key_bytes.ok()) return key_bytes.status();
-      Bytes as_bytes(key_bytes->begin(), key_bytes->end());
+      jobs.push_back({id, /*dh_key=*/true});
+    } else if (config_.use_self_masks) {
+      jobs.push_back({id, /*dh_key=*/false});
+    }
+  }
+  BCFL_ASSIGN_OR_RETURN(auto secrets, RevealSecrets(jobs, dropped));
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].dh_key) {
+      Bytes as_bytes(secrets[j].begin(), secrets[j].end());
       BCFL_ASSIGN_OR_RETURN(crypto::UInt256 key,
                             crypto::UInt256::FromBytes(as_bytes));
-      unmask.dropped_private_keys[id] = key;
-    } else if (config_.use_self_masks) {
-      auto seed = RevealSecret(id, /*dh_key=*/false, dropped);
-      if (!seed.ok()) return seed.status();
-      unmask.survivor_self_seeds[id] = *seed;
+      unmask.dropped_private_keys[jobs[j].id] = key;
+    } else {
+      unmask.survivor_self_seeds[jobs[j].id] = secrets[j];
     }
   }
 

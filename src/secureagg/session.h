@@ -54,17 +54,32 @@ class SecureAggSession {
   /// Direct access for advanced protocols and tests.
   SecureAggParticipant& participant(OwnerId id) { return *participants_[id]; }
 
+  /// Runs mask regeneration (aggregator) and batched share reveals on
+  /// `pool` (nullptr = serial). Results are bit-identical either way.
+  void SetPool(ThreadPool* pool) {
+    pool_ = pool;
+    if (aggregator_) aggregator_->SetPool(pool);
+  }
+
  private:
   SecureAggSession(SessionConfig config, FixedPointCodec codec)
       : config_(config), codec_(codec) {}
 
-  /// Reconstructs owner `id`'s 32-byte secret from the distributed
-  /// shares, simulating the share-reveal step of the protocol. Successful
-  /// reconstructions are cached, so re-recovering the same owner (e.g. a
-  /// retried round) neither redoes the Lagrange work nor double-counts
-  /// the recovery metrics.
-  Result<std::array<uint8_t, 32>> RevealSecret(
-      OwnerId id, bool dh_key, const std::set<OwnerId>& dropped);
+  struct RevealJob {
+    OwnerId id;
+    bool dh_key;
+  };
+
+  /// Reconstructs the listed owners' 32-byte secrets from the distributed
+  /// shares, simulating the share-reveal step of the protocol — batched:
+  /// the surviving holder set is a property of `dropped` alone, so the
+  /// availability check and the Lagrange basis are shared by every job in
+  /// the call. Successful reconstructions are cached, so re-recovering
+  /// the same owner (e.g. a retried round) neither redoes the Lagrange
+  /// work nor double-counts the recovery metrics; the availability check
+  /// still runs before the cache is consulted (fail-closed).
+  Result<std::vector<std::array<uint8_t, 32>>> RevealSecrets(
+      const std::vector<RevealJob>& jobs, const std::set<OwnerId>& dropped);
 
   SessionConfig config_;
   FixedPointCodec codec_;
@@ -73,6 +88,7 @@ class SecureAggSession {
   std::vector<RecoveryShares> recovery_shares_;
   std::unique_ptr<SecureAggregator> aggregator_;
   size_t threshold_ = 0;
+  ThreadPool* pool_ = nullptr;
   /// Counters resolved once at Create instead of via function-local
   /// statics in the aggregation path: no static-init guard or registry
   /// lock on the hot path, and the binding is per session, not pinned by

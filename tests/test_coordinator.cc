@@ -38,7 +38,9 @@ TEST(CoordinatorTest, CreateRejectsDegenerateConfigs) {
 }
 
 TEST(CoordinatorTest, EndToEndRunProducesConsistentResults) {
-  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  BcflConfig config = SmallConfig();
+  config.keep_local_models = true;
+  auto coordinator = BcflCoordinator::Create(config);
   ASSERT_TRUE(coordinator.ok());
   auto result = (*coordinator)->Run();
   ASSERT_TRUE(result.ok());
@@ -65,7 +67,9 @@ TEST(CoordinatorTest, EndToEndRunProducesConsistentResults) {
 }
 
 TEST(CoordinatorTest, OnChainGroupSvMatchesOffChainReference) {
-  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  BcflConfig config = SmallConfig();
+  config.keep_local_models = true;
+  auto coordinator = BcflCoordinator::Create(config);
   ASSERT_TRUE(coordinator.ok());
   auto result = (*coordinator)->Run();
   ASSERT_TRUE(result.ok());
@@ -83,6 +87,16 @@ TEST(CoordinatorTest, OnChainGroupSvMatchesOffChainReference) {
           << "round " << round << " owner " << i;
     }
   }
+}
+
+TEST(CoordinatorTest, LocalModelRetentionIsOptIn) {
+  // keep_local_models defaults off: the per-round local weights are an
+  // experiment-only retention that costs O(rounds * owners * model).
+  auto coordinator = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->per_round_locals.empty());
 }
 
 TEST(CoordinatorTest, AllMinersConvergeToSameState) {

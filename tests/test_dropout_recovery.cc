@@ -139,6 +139,39 @@ TEST(DropoutRecoveryTest, UnsafeCrashPlanIsRejectedAtSetup) {
   EXPECT_FALSE(BcflCoordinator::Create(config).ok());
 }
 
+TEST(DropoutRecoveryTest, FaultedRunIsEngineModeInvariant) {
+  // The parallel round engine must not change what lands on chain, even
+  // when the round hits the full dropout/recovery machinery: crashes,
+  // eaten submissions, retirement, SV freezes.
+  BcflConfig config = FaultableConfig();
+  config.fault_plan = *fault::FaultPlan::Parse(
+      "crash owner 2 @1; drop-submit owner 1 @2 x2");
+  config.round_engine = RoundEngineMode::kSerial;
+  auto serial_coord = BcflCoordinator::Create(config);
+  ASSERT_TRUE(serial_coord.ok());
+  auto serial = (*serial_coord)->Run();
+  ASSERT_TRUE(serial.ok());
+
+  config.round_engine = RoundEngineMode::kParallel;
+  config.pool_threads = 3;
+  auto parallel_coord = BcflCoordinator::Create(config);
+  ASSERT_TRUE(parallel_coord.ok());
+  auto parallel = (*parallel_coord)->Run();
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(serial->total_sv, parallel->total_sv);
+  EXPECT_EQ(serial->per_round_sv, parallel->per_round_sv);
+  EXPECT_EQ(serial->global_weights, parallel->global_weights);
+  EXPECT_EQ(serial->round_accuracies, parallel->round_accuracies);
+  EXPECT_EQ(serial->retired_at, parallel->retired_at);
+  EXPECT_EQ(serial->recover_transactions, parallel->recover_transactions);
+  EXPECT_EQ(serial->submission_retries, parallel->submission_retries);
+  EXPECT_EQ(serial->blocks_committed, parallel->blocks_committed);
+  EXPECT_EQ(serial->total_transactions, parallel->total_transactions);
+  EXPECT_EQ((*serial_coord)->engine().CanonicalChain().Tip().header.Hash(),
+            (*parallel_coord)->engine().CanonicalChain().Tip().header.Hash());
+}
+
 // --- Contract-level recovery semantics (the old example's scenario). ---
 
 class RecoverContractTest : public ::testing::Test {

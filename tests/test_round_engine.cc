@@ -1,0 +1,243 @@
+// The parallel round engine's contract: bit-identical chain content,
+// SV values and ledger counters for any pool size, a working serial
+// escape hatch, and a scratch arena that really is reusable.
+
+#include "core/round_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "obs/json_reader.h"
+#include "obs/round_ledger.h"
+
+namespace bcfl::core {
+namespace {
+
+BcflConfig EngineConfig() {
+  BcflConfig config;
+  config.num_owners = 4;
+  config.num_miners = 3;
+  config.rounds = 2;
+  config.num_groups = 2;
+  config.seed = 21;
+  config.seed_e = 5;
+  config.sigma = 0.0;
+  config.local.epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.digits.num_instances = 400;
+  return config;
+}
+
+Result<BcflRunResult> RunWith(BcflConfig config, crypto::Digest* tip_hash) {
+  auto coordinator = BcflCoordinator::Create(config);
+  if (!coordinator.ok()) return coordinator.status();
+  auto result = (*coordinator)->Run();
+  if (result.ok() && tip_hash != nullptr) {
+    *tip_hash = (*coordinator)->engine().CanonicalChain().Tip().header.Hash();
+  }
+  return result;
+}
+
+TEST(RoundEngineTest, ModeNames) {
+  EXPECT_STREQ(RoundEngineModeName(RoundEngineMode::kSerial), "serial");
+  EXPECT_STREQ(RoundEngineModeName(RoundEngineMode::kParallel), "parallel");
+}
+
+TEST(RoundEngineTest, ReferenceEnvForcesSerial) {
+  unsetenv("BCFL_ROUND_REFERENCE");
+  EXPECT_EQ(ResolveRoundEngineMode(RoundEngineMode::kParallel),
+            RoundEngineMode::kParallel);
+  setenv("BCFL_ROUND_REFERENCE", "0", 1);
+  EXPECT_EQ(ResolveRoundEngineMode(RoundEngineMode::kParallel),
+            RoundEngineMode::kParallel);
+  setenv("BCFL_ROUND_REFERENCE", "", 1);
+  EXPECT_EQ(ResolveRoundEngineMode(RoundEngineMode::kParallel),
+            RoundEngineMode::kParallel);
+  setenv("BCFL_ROUND_REFERENCE", "1", 1);
+  EXPECT_EQ(ResolveRoundEngineMode(RoundEngineMode::kParallel),
+            RoundEngineMode::kSerial);
+  EXPECT_EQ(ResolveRoundEngineMode(RoundEngineMode::kSerial),
+            RoundEngineMode::kSerial);
+  unsetenv("BCFL_ROUND_REFERENCE");
+}
+
+TEST(RoundEngineTest, ReferenceEnvAppliesAtCreate) {
+  setenv("BCFL_ROUND_REFERENCE", "1", 1);
+  auto coordinator = BcflCoordinator::Create(EngineConfig());
+  unsetenv("BCFL_ROUND_REFERENCE");
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_EQ((*coordinator)->round_engine_mode(), RoundEngineMode::kSerial);
+  EXPECT_EQ((*coordinator)->pool_threads_in_use(), 1u);
+  // And the overridden run still works end to end.
+  EXPECT_TRUE((*coordinator)->Run().ok());
+}
+
+TEST(RoundEngineTest, ScratchResetKeepsBufferStorage) {
+  RoundScratch scratch;
+  scratch.Reset(3);
+  ASSERT_EQ(scratch.slots.size(), 3u);
+  scratch.slots[1].active = true;
+  scratch.slots[1].encoded.assign(650, 7);
+  scratch.slots[1].masked.assign(650, 9);
+  scratch.slots[1].payload.assign(5000, 1);
+  scratch.slots[1].group_members = {0, 1};
+  scratch.slots[1].train_us = 123.0;
+  const size_t encoded_cap = scratch.slots[1].encoded.capacity();
+  const size_t masked_cap = scratch.slots[1].masked.capacity();
+  const size_t payload_cap = scratch.slots[1].payload.capacity();
+  const uint64_t* encoded_data = scratch.slots[1].encoded.data();
+
+  scratch.Reset(3);
+  // Per-round state cleared...
+  EXPECT_FALSE(scratch.slots[1].active);
+  EXPECT_TRUE(scratch.slots[1].group_members.empty());
+  EXPECT_EQ(scratch.slots[1].train_us, 0.0);
+  // ...but the buffers keep their storage: no churn from round 2 on.
+  EXPECT_GE(scratch.slots[1].encoded.capacity(), encoded_cap);
+  EXPECT_GE(scratch.slots[1].masked.capacity(), masked_cap);
+  EXPECT_GE(scratch.slots[1].payload.capacity(), payload_cap);
+  EXPECT_EQ(scratch.slots[1].encoded.data(), encoded_data);
+}
+
+TEST(RoundEngineTest, ChainContentIsPoolSizeInvariant) {
+  // The tentpole guarantee: serial and parallel-at-any-pool-size runs
+  // produce the same SV values, the same global model and the same
+  // canonical chain, block for block.
+  BcflConfig config = EngineConfig();
+  config.round_engine = RoundEngineMode::kSerial;
+  crypto::Digest serial_tip;
+  auto serial = RunWith(config, &serial_tip);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    BcflConfig parallel_config = EngineConfig();
+    parallel_config.round_engine = RoundEngineMode::kParallel;
+    parallel_config.pool_threads = threads;
+    crypto::Digest parallel_tip;
+    auto parallel = RunWith(parallel_config, &parallel_tip);
+    ASSERT_TRUE(parallel.ok()) << "pool_threads=" << threads;
+    EXPECT_EQ(serial->total_sv, parallel->total_sv)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial->per_round_sv, parallel->per_round_sv)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial->global_weights, parallel->global_weights)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial->round_accuracies, parallel->round_accuracies)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial->blocks_committed, parallel->blocks_committed)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial->total_transactions, parallel->total_transactions)
+        << "pool_threads=" << threads;
+    EXPECT_EQ(serial_tip, parallel_tip) << "pool_threads=" << threads;
+  }
+}
+
+std::vector<obs::JsonValue> ReadLedger(const std::string& path) {
+  std::vector<obs::JsonValue> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto value = obs::ParseJson(line);
+    EXPECT_TRUE(value.ok()) << line;
+    if (value.ok()) records.push_back(std::move(value).value());
+  }
+  return records;
+}
+
+Result<BcflRunResult> RunWithLedger(BcflConfig config,
+                                    const std::string& ledger_path) {
+  auto coordinator = BcflCoordinator::Create(config);
+  if (!coordinator.ok()) return coordinator.status();
+  obs::RoundLedger ledger;
+  BCFL_RETURN_IF_ERROR(ledger.Open(ledger_path));
+  (*coordinator)->set_round_ledger(&ledger);
+  return (*coordinator)->Run();
+}
+
+TEST(RoundEngineTest, LedgerCountersArePoolSizeInvariant) {
+  // Phase *timings* differ by construction (the parallel ledger carries
+  // the extra owner_fanout wall); every protocol-visible counter — the
+  // SV vector, dropouts, recoveries, fault events, sig-cache lookups,
+  // blocks, transactions — must not.
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string serial_path = (dir / "bcfl_re_ledger_serial.jsonl").string();
+  const std::string parallel_path =
+      (dir / "bcfl_re_ledger_parallel.jsonl").string();
+
+  BcflConfig config = EngineConfig();
+  config.rounds = 3;
+  config.fault_plan = *fault::FaultPlan::Parse("crash owner 2 @1");
+  config.round_engine = RoundEngineMode::kSerial;
+  ASSERT_TRUE(RunWithLedger(config, serial_path).ok());
+  config.round_engine = RoundEngineMode::kParallel;
+  config.pool_threads = 4;
+  ASSERT_TRUE(RunWithLedger(config, parallel_path).ok());
+
+  auto serial = ReadLedger(serial_path);
+  auto parallel = ReadLedger(parallel_path);
+  std::filesystem::remove(serial_path);
+  std::filesystem::remove(parallel_path);
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+
+  auto render = [](const obs::JsonValue& v) {
+    std::ostringstream out;
+    out.precision(17);
+    if (v.is_number()) {
+      out << v.number;
+    } else if (v.is_string()) {
+      out << v.string;
+    } else if (v.is_array()) {
+      for (const auto& e : v.array) {
+        out << (e.is_number() ? std::to_string(e.number) : e.string) << ",";
+      }
+    }
+    return out.str();
+  };
+  for (size_t r = 0; r < 3; ++r) {
+    for (const char* key : {"round", "sv", "dropouts", "recovered",
+                            "fault_events", "sig_cache_lookups", "accuracy",
+                            "blocks_committed", "transactions"}) {
+      const auto* lhs = serial[r].Find(key);
+      const auto* rhs = parallel[r].Find(key);
+      ASSERT_NE(lhs, nullptr) << key;
+      ASSERT_NE(rhs, nullptr) << key;
+      EXPECT_EQ(render(*lhs), render(*rhs)) << "round " << r << " " << key;
+    }
+    // Both modes report the aggregate train wall under the same key; the
+    // fan-out wall is a parallel-only addition.
+    const auto* serial_phases = serial[r].Find("phase_us");
+    const auto* parallel_phases = parallel[r].Find("phase_us");
+    ASSERT_NE(serial_phases, nullptr);
+    ASSERT_NE(parallel_phases, nullptr);
+    EXPECT_NE(serial_phases->Find("train"), nullptr);
+    EXPECT_NE(parallel_phases->Find("train"), nullptr);
+    EXPECT_EQ(serial_phases->Find("owner_fanout"), nullptr);
+    EXPECT_NE(parallel_phases->Find("owner_fanout"), nullptr);
+  }
+}
+
+TEST(RoundEngineTest, DefaultConfigUsesParallelEngine) {
+  unsetenv("BCFL_ROUND_REFERENCE");
+  BcflConfig config = EngineConfig();
+  config.pool_threads = 2;
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_EQ((*coordinator)->round_engine_mode(), RoundEngineMode::kParallel);
+  EXPECT_EQ((*coordinator)->pool_threads_in_use(), 2u);
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  // Local-model retention stays opt-in on the parallel path too.
+  EXPECT_TRUE(result->per_round_locals.empty());
+}
+
+}  // namespace
+}  // namespace bcfl::core

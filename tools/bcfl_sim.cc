@@ -60,6 +60,10 @@ void PrintUsage(const char* argv0) {
       "  --seed N        master seed (default 42)\n"
       "  --reward N      reward pool to distribute on chain (default 0)\n"
       "  --byzantine K   make the first K miners fraudulent leaders\n"
+      "  --round-engine M serial|parallel round execution (default parallel;\n"
+      "                  bit-identical results either way, see DESIGN.md §13;\n"
+      "                  BCFL_ROUND_REFERENCE=1 also forces serial)\n"
+      "  --pool-threads N round-engine worker threads (default: hardware)\n"
       "  --fault-plan S  chaos DSL document (e.g. 'crash owner 2 @1')\n"
       "  --fault-seed N  random fault plan within the safety envelope\n"
       "  --chaos-sweep N run N random-plan sessions; non-zero exit on any\n"
@@ -129,6 +133,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--byzantine");
       if (v == nullptr) return false;
       options->byzantine = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--round-engine") {
+      const char* v = next_value("--round-engine");
+      if (v == nullptr) return false;
+      std::string mode = v;
+      if (mode == "serial") {
+        options->config.round_engine = bcfl::core::RoundEngineMode::kSerial;
+      } else if (mode == "parallel") {
+        options->config.round_engine = bcfl::core::RoundEngineMode::kParallel;
+      } else {
+        std::fprintf(stderr, "--round-engine takes serial|parallel, got '%s'\n",
+                     mode.c_str());
+        return false;
+      }
+    } else if (arg == "--pool-threads") {
+      const char* v = next_value("--pool-threads");
+      if (v == nullptr) return false;
+      options->config.pool_threads = static_cast<size_t>(std::atol(v));
     } else if (arg == "--fault-plan") {
       const char* v = next_value("--fault-plan");
       if (v == nullptr) return false;
@@ -339,6 +360,10 @@ int main(int argc, char** argv) {
                  coordinator.status().ToString().c_str());
     return 1;
   }
+  std::printf("round engine: %s (%zu pool threads)\n",
+              bcfl::core::RoundEngineModeName(
+                  (*coordinator)->round_engine_mode()),
+              (*coordinator)->pool_threads_in_use());
   // Spans recorded from here on also carry simulated network time.
   bcfl::obs::Tracer::Global().AttachSimClock(
       &(*coordinator)->engine().network().clock());
@@ -400,6 +425,15 @@ int main(int argc, char** argv) {
   bcfl::obs::ExportPaths paths;
   paths.metrics_json = options.metrics_out == "-" ? "" : options.metrics_out;
   paths.trace_json = options.trace_out == "-" ? "" : options.trace_out;
+  // The active round-execution path, next to CryptoActivePath()-style
+  // reporting: which engine actually ran (config + BCFL_ROUND_REFERENCE)
+  // and how wide its pool was.
+  paths.metrics_extra["round_engine"] =
+      std::string("\"") +
+      bcfl::core::RoundEngineModeName((*coordinator)->round_engine_mode()) +
+      "\"";
+  paths.metrics_extra["round_engine_pool_threads"] =
+      std::to_string((*coordinator)->pool_threads_in_use());
   if (auto* injector = (*coordinator)->fault_injector(); injector != nullptr) {
     // The *executed* schedule (what actually fired, including view
     // changes and recoveries) plus the input plan, for triage.
