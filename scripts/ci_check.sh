@@ -17,6 +17,12 @@
 # random-fault sweep (default 200) in which every seed must converge —
 # bcfl_sim exits non-zero on any failed or hung round — while writing a
 # per-round JSONL protocol ledger that must parse end to end.
+# A byzantine stage closes it out: hand-written plans covering every
+# misbehavior kind (forged recovery share, equivocating submit, poisoned
+# update) must produce exactly the expected on-chain slash schedule with
+# the offender's reward burned, and a BCFL_CHAOS_SEEDS-wide byzantine-mix
+# sweep must converge on every seed while the shared ledger records the
+# slashes and accusations.
 #
 # Usage: scripts/ci_check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -275,6 +281,82 @@ print(f"chaos ledger OK: {len(records)} records, {faulted} faulted "
 EOF
 else
   grep -q '"phase_us"' "$ARTIFACT_DIR/chaos_ledger.jsonl"
+fi
+
+# Byzantine smoke, part 1: hand-written misbehavior plans must produce
+# exactly the asserted slash schedule. Session A: a forged recovery
+# share is attributed via its Feldman commitment while a genuine crash
+# is recovered in the same round. Session B: an equivocating submitter
+# and a (masked) poisoned update caught by the norm gate. Both sessions
+# must retire the offenders and burn their pending reward.
+"$BUILD_DIR/tools/bcfl_sim" \
+  --owners 6 --miners 5 --rounds 3 --groups 2 --instances 400 --sigma 0 \
+  --norm-bound 5 --reward 1000000 \
+  --fault-plan "crash owner 1 @1; bad-share owner 3 @1" \
+  --metrics-out "$ARTIFACT_DIR/byz_badshare_metrics.json" --trace-out -
+"$BUILD_DIR/tools/bcfl_sim" \
+  --owners 6 --miners 5 --rounds 3 --groups 2 --instances 400 --sigma 0 \
+  --norm-bound 5 --reward 1000000 \
+  --fault-plan "equivocate-submit owner 2 @1; poison-update owner 4 @2 *50" \
+  --metrics-out "$ARTIFACT_DIR/byz_mixed_metrics.json" --trace-out -
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR" <<'EOF'
+import json
+import sys
+
+artifact_dir = sys.argv[1]
+
+bad = json.load(open(f"{artifact_dir}/byz_badshare_metrics.json"))
+assert bad["slashed_at"] == {"3": 1}, bad["slashed_at"]
+assert bad["slash_transactions"] == 1, bad["slash_transactions"]
+assert bad["reward_burned"] > 0, bad["reward_burned"]
+
+mixed = json.load(open(f"{artifact_dir}/byz_mixed_metrics.json"))
+assert mixed["slashed_at"] == {"2": 1, "4": 2}, mixed["slashed_at"]
+assert mixed["slash_transactions"] == 2, mixed["slash_transactions"]
+assert mixed["reward_burned"] > 0, mixed["reward_burned"]
+print("byzantine slash schedules OK: "
+      f"bad-share {bad['slashed_at']}, mixed {mixed['slashed_at']}")
+EOF
+else
+  grep -q '"slashed_at":{"3":1}' "$ARTIFACT_DIR/byz_badshare_metrics.json"
+  grep -q '"slash_transactions":2' "$ARTIFACT_DIR/byz_mixed_metrics.json"
+fi
+
+# Byzantine smoke, part 2: every random byzantine-mix plan in the sweep
+# must converge (a slashed offender degrades the round to the honest
+# survivors instead of stalling it), and the shared ledger must record
+# the convictions a wide sweep is guaranteed to produce.
+"$BUILD_DIR/tools/bcfl_sim" \
+  --owners 6 --miners 5 --rounds 3 --groups 2 --instances 400 --sigma 0 \
+  --norm-bound 5 \
+  --chaos-sweep "$CHAOS_SEEDS" --chaos-byzantine 0.4 --fault-seed 0 \
+  --metrics-out - --trace-out - \
+  --ledger-out "$ARTIFACT_DIR/byz_ledger.jsonl"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR" "$CHAOS_SEEDS" <<'EOF'
+import json
+import sys
+
+artifact_dir, seeds = sys.argv[1], int(sys.argv[2])
+records = [json.loads(line)
+           for line in open(f"{artifact_dir}/byz_ledger.jsonl")
+           if line.strip()]
+assert len(records) == 3 * seeds, \
+    f"{len(records)} byzantine ledger records, want {3 * seeds}"
+slashes = sum(len(r["slashed"]) for r in records)
+accusations = sum(r["accusations"] for r in records)
+assert accusations >= slashes, (accusations, slashes)
+if seeds >= 50:
+    # A wide byzantine sweep must actually convict someone.
+    assert slashes > 0, "no slashes across the byzantine sweep"
+print(f"byzantine ledger OK: {len(records)} records, {slashes} slashes, "
+      f"{accusations} accusations")
+EOF
+else
+  grep -q '"slashed"' "$ARTIFACT_DIR/byz_ledger.jsonl"
 fi
 
 echo "CI check: all green"

@@ -22,6 +22,10 @@
 # allocation-free ParallelFor), the batched Shamir recovery under a pool
 # (test_shamir, test_dropout_recovery) and bench_e2e_rounds --quick,
 # whose serial-vs-parallel sessions run the whole protocol both ways.
+# Since the byzantine-hardening PR it also covers the Feldman share
+# verification (test_vss, batched ModPow under a pool) and the full
+# accusation/slashing path on both round engines (test_byzantine), where
+# slash transactions race the parallel owner fan-out.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -40,9 +44,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   test_kernels test_secureagg test_native_sv \
   test_metrics test_tracer test_http_exporter test_round_ledger \
   test_fault test_chaos \
-  test_round_engine test_shamir test_dropout_recovery \
-  test_sig_cache test_merkle bench_kernels bench_chain_throughput \
-  bench_e2e_rounds
+  test_round_engine test_shamir test_vss test_dropout_recovery \
+  test_byzantine test_sig_cache test_merkle bench_kernels \
+  bench_chain_throughput bench_e2e_rounds
 
 # halt_on_error: fail the script on the first race instead of limping on.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -60,7 +64,12 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR/tests/test_fault"
 "$BUILD_DIR/tests/test_round_engine"
 "$BUILD_DIR/tests/test_shamir"
+"$BUILD_DIR/tests/test_vss"
 "$BUILD_DIR/tests/test_dropout_recovery"
+# Byzantine coordinator rounds under TSan: slash transactions landing
+# during recovery while the parallel engine's owner fan-out is hot.
+"$BUILD_DIR/tests/test_byzantine" \
+  --gtest_filter='Engines/SlashEqualsCrashTest.BadShareForgerDuringRecovery/Parallel:ByzantineTest.MixedByzantinePlanIsEngineModeInvariant'
 "$BUILD_DIR/tests/test_sig_cache"
 "$BUILD_DIR/tests/test_merkle"
 # Chaos under TSan: full faulted protocol runs (coordinator + consensus

@@ -35,4 +35,26 @@ chain::MinerBehavior MakeAlwaysRejectBehavior() {
   return behavior;
 }
 
+chain::MinerBehavior MakeBogusSlashBehavior(uint32_t victim_owner,
+                                            uint64_t round) {
+  chain::MinerBehavior behavior;
+  behavior.tamper_state = [victim_owner, round](chain::ContractState* state) {
+    // The records a real conviction would write — minus any evidence that
+    // re-verifies. The revealed "key" is zero bytes: honest re-execution
+    // never produces these entries, so the roots diverge.
+    const Bytes zero_key(32, 0);
+    state->Delete(keys::Update(round, victim_owner));
+    state->Put(keys::Dropped(round, victim_owner), zero_key);
+    ByteWriter retired;
+    retired.WriteU64(round);
+    retired.WriteRaw(zero_key.data(), zero_key.size());
+    state->Put(keys::Retired(victim_owner), retired.Take());
+    ByteWriter slashed;
+    slashed.WriteU64(round);
+    slashed.WriteU8(3);  // Claims a norm violation nobody can re-verify.
+    state->Put(keys::Slashed(victim_owner), slashed.Take());
+  };
+  return behavior;
+}
+
 }  // namespace bcfl::core

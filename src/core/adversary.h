@@ -27,4 +27,14 @@ chain::MinerBehavior MakeSvSuppressionBehavior(uint32_t victim_owner);
 /// validity. Consensus tolerates a minority of these.
 chain::MinerBehavior MakeAlwaysRejectBehavior();
 
+/// A leader that accepts a bogus slash (PR 9): it writes the conviction
+/// records — `slashed/`, `retired/`, a `dropped/` entry for `round` —
+/// against `victim_owner` directly into its post-execution state, as if
+/// evidence that every honest miner would reject had verified. Honest
+/// validators re-execute the block without the fabricated conviction,
+/// reach a different state root and vote reject, so the honest owner is
+/// never slashed on the committed chain.
+chain::MinerBehavior MakeBogusSlashBehavior(uint32_t victim_owner,
+                                            uint64_t round);
+
 }  // namespace bcfl::core

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/reward_contract.h"
+#include "core/slash_contract.h"
 #include "data/noise.h"
 #include "data/partition.h"
 #include "obs/metrics.h"
@@ -20,15 +21,15 @@ namespace {
 // distinct nonce at any roster size, so the space is partitioned by
 // method instead of relying on small fixed offsets: block 0 (below the
 // per-round stride) holds the administrative transactions, and round r
-// owns [(r+1)*stride, (r+2)*stride) with one submit slot and one recover
-// slot per owner.
+// owns [(r+1)*stride, (r+2)*stride) with one submit slot, one recover
+// slot and one slash slot per owner.
 constexpr uint64_t kSetupNonce = 0;
 constexpr uint64_t kFundNonce = 1;
 constexpr uint64_t kDistributeNonce = 2;
 constexpr uint64_t kClaimNonceBase = 3;
 
 uint64_t RoundNonceStride(uint64_t num_owners) {
-  return 2 * num_owners + kClaimNonceBase;
+  return 3 * num_owners + kClaimNonceBase;
 }
 
 uint64_t SubmitNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
@@ -37,6 +38,11 @@ uint64_t SubmitNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
 
 uint64_t RecoverNonce(uint64_t round, uint32_t owner, uint64_t num_owners) {
   return (round + 1) * RoundNonceStride(num_owners) + num_owners + owner;
+}
+
+uint64_t SlashNonce(uint64_t round, uint32_t offender, uint64_t num_owners) {
+  return (round + 1) * RoundNonceStride(num_owners) + 2 * num_owners +
+         offender;
 }
 
 /// Wall-clock stopwatch for the ledger's phase attribution (the
@@ -112,11 +118,13 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
     return Status::InvalidArgument("recovery threshold exceeds owner count");
   }
   coord->dh_shares_.reserve(config.num_owners);
+  coord->dh_commitments_.reserve(config.num_owners);
   for (auto& p : coord->participants_) {
     BCFL_ASSIGN_OR_RETURN(
         secureagg::RecoveryShares shares,
         p->ShareSecrets(coord->threshold_, config.num_owners, &rng));
     coord->dh_shares_.push_back(std::move(shares.dh_private_shares));
+    coord->dh_commitments_.push_back(std::move(shares.dh_commitment));
   }
 
   // --- Agreed parameters. ----------------------------------------------
@@ -134,16 +142,23 @@ Result<std::unique_ptr<BcflCoordinator>> BcflCoordinator::Create(
     params.schnorr_public_keys.push_back(
         coord->schnorr_keys_[i].public_key);
     params.dh_public_keys.push_back(coord->participants_[i]->public_key());
+    params.vss_commitments.push_back(coord->dh_commitments_[i].Serialize());
   }
+  // The agreed byzantine-hardening knobs ride in the setup transaction so
+  // every miner verifies slash evidence against the same parameters.
+  params.shamir_threshold = static_cast<uint32_t>(coord->threshold_);
+  params.update_norm_bound = config.update_norm_bound;
   BCFL_RETURN_IF_ERROR(params.Validate());
   coord->params_ = params;
 
   // --- Chain: contract host, consensus engine, setup transaction. ------
   coord->host_ = std::make_shared<chain::ContractHost>(coord->schnorr_);
-  BCFL_RETURN_IF_ERROR(coord->host_->Register(
-      std::make_shared<FlContract>(coord->test_set_)));
+  auto fl_contract = std::make_shared<FlContract>(coord->test_set_);
+  BCFL_RETURN_IF_ERROR(coord->host_->Register(fl_contract));
   BCFL_RETURN_IF_ERROR(
       coord->host_->Register(std::make_shared<RewardContract>()));
+  BCFL_RETURN_IF_ERROR(
+      coord->host_->Register(std::make_shared<SlashContract>(fl_contract)));
   coord->engine_ = std::make_unique<chain::ConsensusEngine>(
       config.num_miners, coord->host_, config.consensus);
 
@@ -207,7 +222,7 @@ Status BcflCoordinator::InstallMinerBehavior(size_t miner_idx,
   return Status::OK();
 }
 
-Status BcflCoordinator::SubmitOwnerUpdate(
+Result<Bytes> BcflCoordinator::BuildSubmitPayload(
     uint32_t owner, uint64_t round, const ml::Matrix& local_weights,
     const std::vector<std::vector<size_t>>& groups) {
   // Locate the owner's group for this round.
@@ -226,18 +241,96 @@ Status BcflCoordinator::SubmitOwnerUpdate(
 
   secureagg::FixedPointCodec codec(
       static_cast<int>(config_.fixed_point_bits));
-  std::vector<uint64_t> encoded = codec.EncodeMatrix(local_weights);
+  // Byzantine perturbations (PR 9) — the same pure helpers the parallel
+  // fan-out applies, so both engines produce identical submissions.
+  const double poison =
+      injector_ != nullptr ? injector_->OwnerPoisonMagnitude(owner) : 0.0;
+  std::vector<uint64_t> encoded =
+      poison != 0.0
+          ? codec.EncodeMatrix(byzantine::PoisonedWeights(local_weights,
+                                                          poison))
+          : codec.EncodeMatrix(local_weights);
   auto masked =
       participants_[owner]->MaskUpdate(round, group_members, encoded);
   if (!masked.ok()) return masked.status();
+  if (injector_ != nullptr && injector_->OwnerInconsistentMask(owner)) {
+    byzantine::CorruptMaskedUpdate(round, owner, &*masked);
+  }
+  return FlContract::EncodeSubmitUpdate(round, owner, *masked);
+}
 
+Status BcflCoordinator::SubmitOwnerUpdate(
+    uint32_t owner, uint64_t round, const ml::Matrix& local_weights,
+    const std::vector<std::vector<size_t>>& groups) {
+  BCFL_ASSIGN_OR_RETURN(
+      Bytes payload, BuildSubmitPayload(owner, round, local_weights, groups));
   chain::Transaction tx;
   tx.contract = "bcfl";
   tx.method = "submit_update";
-  tx.payload = FlContract::EncodeSubmitUpdate(round, owner, *masked);
+  tx.payload = std::move(payload);
   tx.nonce = SubmitNonce(round, owner, config_.num_owners);
   tx.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
   return engine_->SubmitTransaction(tx);
+}
+
+Result<uint32_t> BcflCoordinator::FindReporter(uint32_t excluding) const {
+  for (uint32_t j = 0; j < config_.num_owners; ++j) {
+    if (j == excluding || retired_.count(j) > 0) continue;
+    if (injector_ != nullptr && injector_->OwnerOffline(j)) continue;
+    return j;
+  }
+  return Status::FailedPrecondition("no online owner left to accuse");
+}
+
+Status BcflCoordinator::SubmitSlash(uint64_t round, uint32_t offender,
+                                    uint32_t reporter, const Bytes& payload,
+                                    const char* what, BcflRunResult* result) {
+  static auto& slashes =
+      obs::MetricsRegistry::Global().GetCounter("fl.slashes");
+  chain::Transaction tx;
+  tx.contract = "slash";
+  tx.method = "slash";
+  tx.payload = payload;
+  tx.nonce = SlashNonce(round, offender, config_.num_owners);
+  tx.Sign(schnorr_, schnorr_keys_[reporter], rng_.get());
+  BCFL_RETURN_IF_ERROR(engine_->SubmitTransaction(tx));
+  slashes.Add();
+  result->slash_transactions++;
+  result->slashed_at[offender] = round;
+  // A conviction retires the offender exactly like a recovery: its key is
+  // public now, so it can never safely mask again.
+  retired_[offender] = round;
+  if (injector_ != nullptr) {
+    injector_->RecordExecuted(round, "slashed owner " +
+                                         std::to_string(offender) + " (" +
+                                         what + "); retired, reward burned");
+  }
+  return Status::OK();
+}
+
+Status BcflCoordinator::SlashEquivocator(uint32_t owner, uint64_t round,
+                                         const Bytes& payload,
+                                         BcflRunResult* result) {
+  // The owner signed two well-formed submissions for the same round slot;
+  // either alone would be valid, together they convict. The second is a
+  // tampered twin of the first (one masked word flipped) — any two
+  // differing payloads equivocate.
+  chain::Transaction first;
+  first.contract = "bcfl";
+  first.method = "submit_update";
+  first.payload = payload;
+  first.nonce = SubmitNonce(round, owner, config_.num_owners);
+  first.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
+
+  chain::Transaction second = first;
+  second.payload.back() ^= 1;
+  second.Sign(schnorr_, schnorr_keys_[owner], rng_.get());
+
+  BCFL_ASSIGN_OR_RETURN(uint32_t reporter, FindReporter(owner));
+  const Bytes evidence = SlashContract::EncodeEquivocation(
+      round, owner, participants_[owner]->private_key(), first, second);
+  return SubmitSlash(round, owner, reporter, evidence, "equivocation",
+                     result);
 }
 
 Result<bool> BcflCoordinator::SubmitWithRetries(
@@ -328,6 +421,21 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
   // them, so the whole batch reconstructs off one Lagrange basis
   // (ShamirSecretSharing::ReconstructBatch), with per-owner share
   // verification fanned across the pool when one is attached.
+  //
+  // VSS (PR 9): every revealed share is Feldman-verified against the
+  // dealer's setup commitment before it may enter the reconstruction. A
+  // share that fails is skipped — the next surviving holder serves, so
+  // the accepted holder sequence is exactly the one a run where the
+  // forger had crashed would use — and the forger is accused below with
+  // the signed forged share as on-chain evidence.
+  BCFL_ASSIGN_OR_RETURN(
+      const crypto::ShamirSecretSharing scheme,
+      crypto::ShamirSecretSharing::Create(threshold_, config_.num_owners));
+  struct BadShare {
+    uint32_t dealer;
+    crypto::ShamirShare share;
+  };
+  std::map<uint32_t, BadShare> forgers;  // First forged reveal per holder.
   std::vector<uint32_t> targets(missing.begin(), missing.end());
   std::vector<std::vector<crypto::ShamirShare>> share_sets;
   share_sets.reserve(targets.size());
@@ -342,13 +450,27 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
         continue;
       }
       if (injector_ != nullptr && injector_->OwnerOffline(holder)) continue;
-      shares.push_back(dh_shares_[u][holder]);
+      crypto::ShamirShare share = dh_shares_[u][holder];
+      if (injector_ != nullptr && injector_->OwnerForgesShare(holder)) {
+        // The byzantine holder reveals a perturbed share (still in-field,
+        // still in its own slot — only verifiable against the dealer's
+        // commitment, not by inspection).
+        for (uint64_t& value : share.values) {
+          value = crypto::ShamirSecretSharing::FieldAdd(value, 1);
+        }
+      }
+      if (!dh_commitments_[u].empty() &&
+          !scheme.VerifyShare(share, dh_commitments_[u])) {
+        forgers.emplace(holder, BadShare{u, std::move(share)});
+        continue;
+      }
+      shares.push_back(std::move(share));
       if (shares.size() == threshold_) break;
     }
     if (shares.size() < threshold_) {
       return Status::FailedPrecondition(
-          "only " + std::to_string(shares.size()) + " shares of owner " +
-          std::to_string(u) + "'s key survive; threshold is " +
+          "only " + std::to_string(shares.size()) + " verifiable shares of " +
+          "owner " + std::to_string(u) + "'s key survive; threshold is " +
           std::to_string(threshold_) + " — failing closed");
     }
     share_sets.push_back(std::move(shares));
@@ -357,6 +479,26 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
                         secureagg::SecureAggregator::ReconstructSecrets32(
                             share_sets, threshold_, config_.num_owners,
                             pool_.get()));
+
+  // Accusations first: each forger signed its reveal (a holder
+  // authenticates the share it hands over), which is exactly what pins
+  // the forgery on it — the slash contract re-verifies the signature and
+  // re-runs the failing Feldman check on every miner. Slash transactions
+  // go in ahead of the recoveries so the conviction (which strikes the
+  // forger's submitted update) executes before the recovery that would
+  // otherwise complete the round with the forger still counted.
+  for (auto& [forger, bad] : forgers) {
+    if (retired_.count(forger) > 0) continue;  // Already convicted.
+    const crypto::SchnorrSignature reveal_sig = schnorr_.Sign(
+        schnorr_keys_[forger],
+        SlashContract::BadShareMessage(round, bad.dealer, bad.share),
+        rng_.get());
+    const Bytes evidence = SlashContract::EncodeBadShare(
+        round, forger, participants_[forger]->private_key(), bad.dealer,
+        bad.share, reveal_sig);
+    BCFL_RETURN_IF_ERROR(
+        SubmitSlash(round, forger, reporter, evidence, "bad share", result));
+  }
 
   // Replay the recovery transactions in ascending owner order — the same
   // signing (RNG) and submission sequence as recovering one at a time.
@@ -379,6 +521,51 @@ Status BcflCoordinator::RecoverMissingOwners(uint64_t round,
     if (injector_ != nullptr) {
       injector_->RecordExecuted(round, "recovered owner " + std::to_string(u) +
                                            "; retired from the session");
+    }
+  }
+  return Status::OK();
+}
+
+Status BcflCoordinator::AuditFlaggedGroups(uint64_t round,
+                                           BcflRunResult* result) {
+  static auto& audits =
+      obs::MetricsRegistry::Global().GetCounter("fl.norm_audits");
+  const chain::ContractState& state = engine_->CanonicalState();
+  const auto flagged = state.KeysWithPrefix(keys::FlaggedPrefix(round));
+  if (flagged.empty()) return Status::OK();
+  audits.Add();
+  obs::ScopedSpan span(obs::Tracer::Global(), "norm_audit", "fl");
+
+  std::vector<size_t> perm = shapley::PermutationFromSeed(
+      config_.seed_e, round, config_.num_owners);
+  BCFL_ASSIGN_OR_RETURN(std::vector<std::vector<size_t>> groups,
+                        shapley::GroupUsers(perm, config_.num_groups));
+  for (const auto& key : flagged) {
+    // Key layout: "flagged/<round>/<group>".
+    const uint32_t group_index = static_cast<uint32_t>(
+        std::stoul(key.substr(key.rfind('/') + 1)));
+    if (group_index >= groups.size()) {
+      return Status::Internal("flag marker for unknown group");
+    }
+    // Audit each submitter of the flagged group: unmask its on-chain
+    // submission and measure (the driver models the mask-opening audit —
+    // an honest member proves innocence by opening its own masks, while
+    // the offender's refusal triggers the threshold reveal of its key).
+    for (size_t member : groups[group_index]) {
+      const uint32_t suspect = static_cast<uint32_t>(member);
+      if (retired_.count(suspect) > 0) continue;
+      if (!state.Has(keys::Update(round, suspect))) continue;
+      BCFL_ASSIGN_OR_RETURN(
+          double norm,
+          SlashContract::UnmaskedUpdateNorm(
+              params_, round, suspect,
+              participants_[suspect]->private_key(), state));
+      if (norm <= config_.update_norm_bound) continue;
+      BCFL_ASSIGN_OR_RETURN(uint32_t reporter, FindReporter(suspect));
+      const Bytes evidence = SlashContract::EncodeNormViolation(
+          round, suspect, participants_[suspect]->private_key());
+      BCFL_RETURN_IF_ERROR(SubmitSlash(round, suspect, reporter, evidence,
+                                       "norm violation", result));
     }
   }
   return Status::OK();
@@ -422,6 +609,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
         injector_ != nullptr ? injector_->executed_log().size() : 0;
     const size_t blocks0 = result.blocks_committed;
     const size_t txs0 = result.total_transactions;
+    const size_t slash_txs0 = result.slash_transactions;
     double train_wall_us = 0.0;
     double submit_wall_us = 0.0;
     double consensus_wall_us = 0.0;
@@ -461,6 +649,18 @@ Result<BcflRunResult> BcflCoordinator::Run() {
           missing.insert(i);
           continue;
         }
+        // Equivocation is caught at admission (PR 9): the owner produced
+        // two conflicting signed submissions, so neither is admitted and
+        // the accusation carries both — the owner never lands an update,
+        // exactly like a crash, and needs no recovery (the slash reveals
+        // its key).
+        if (injector_ != nullptr && injector_->OwnerEquivocates(i)) {
+          WallTimer submit_timer;
+          BCFL_RETURN_IF_ERROR(SlashEquivocator(
+              i, round, round_scratch_.slots[i].payload, &result));
+          submit_wall_us += submit_timer.ElapsedUs();
+          continue;
+        }
         WallTimer submit_timer;
         BCFL_ASSIGN_OR_RETURN(
             bool submitted,
@@ -494,6 +694,15 @@ Result<BcflRunResult> BcflCoordinator::Run() {
         WallTimer train_timer;
         BCFL_ASSIGN_OR_RETURN(locals[i], clients_[i].LocalUpdate(global));
         train_wall_us += train_timer.ElapsedUs();
+        // Equivocation at admission — see the parallel path above.
+        if (injector_ != nullptr && injector_->OwnerEquivocates(i)) {
+          WallTimer submit_timer;
+          BCFL_ASSIGN_OR_RETURN(
+              Bytes payload, BuildSubmitPayload(i, round, locals[i], groups));
+          BCFL_RETURN_IF_ERROR(SlashEquivocator(i, round, payload, &result));
+          submit_wall_us += submit_timer.ElapsedUs();
+          continue;
+        }
         WallTimer submit_timer;
         BCFL_ASSIGN_OR_RETURN(
             bool submitted,
@@ -521,6 +730,23 @@ Result<BcflRunResult> BcflCoordinator::Run() {
                      recovery_commits.end());
     }
     recover_wall_us = recover_timer.ElapsedUs();
+    // Norm-gate audit (PR 9): a round held open by `flagged/` markers
+    // means some group's decoded aggregate broke the agreed bound. The
+    // audit convicts the violating submitters; their slashes convert them
+    // into this round's dropouts and the re-evaluation completes clean.
+    double audit_wall_us = 0.0;
+    if (config_.update_norm_bound > 0 &&
+        !engine_->CanonicalState().Has(keys::RoundComplete(round))) {
+      WallTimer audit_timer;
+      const size_t slashes_before = result.slash_transactions;
+      BCFL_RETURN_IF_ERROR(AuditFlaggedGroups(round, &result));
+      if (result.slash_transactions > slashes_before) {
+        BCFL_ASSIGN_OR_RETURN(auto audit_commits, engine_->RunUntilDrained());
+        commits.insert(commits.end(), audit_commits.begin(),
+                       audit_commits.end());
+      }
+      audit_wall_us = audit_timer.ElapsedUs();
+    }
     for (const auto& commit : commits) {
       if (!commit.committed) {
         return Status::Internal("consensus failed during round " +
@@ -594,9 +820,18 @@ Result<BcflRunResult> BcflCoordinator::Run() {
               "round " + std::to_string(log[k].round) + ": " + log[k].what);
         }
       }
+      if (audit_wall_us > 0.0) {
+        record.phase_us["norm_audit"] = audit_wall_us;
+      }
       record.dropouts.assign(missing.begin(), missing.end());
       for (const auto& [owner, retired_round] : retired_) {
-        if (retired_round == round) record.recovered.push_back(owner);
+        if (retired_round == round && result.slashed_at.count(owner) == 0) {
+          record.recovered.push_back(owner);
+        }
+      }
+      record.accusations = result.slash_transactions - slash_txs0;
+      for (const auto& [owner, slash_round] : result.slashed_at) {
+        if (slash_round == round) record.slashed.push_back(owner);
       }
       record.sv = result.per_round_sv.back();
       record.accuracy = acc;
@@ -667,6 +902,7 @@ Result<BcflRunResult> BcflCoordinator::Run() {
     for (uint32_t i = 0; i < n; ++i) {
       result.rewards[i] = ReadU64OrZero(state, RewardContract::ClaimedKey(i));
     }
+    result.reward_burned = ReadU64OrZero(state, RewardContract::BurnedKey());
     if (have_pending_final_record) {
       pending_final_record.phase_us["reward"] = reward_timer.ElapsedUs();
       pending_final_record.blocks_committed +=

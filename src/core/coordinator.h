@@ -46,6 +46,11 @@ struct BcflConfig {
   /// Shamir threshold for the owners' recovery shares;
   /// 0 = floor(num_owners / 2) + 1.
   size_t secure_agg_threshold = 0;
+  /// L2 norm bound on decoded group aggregates, agreed at setup (PR 9).
+  /// When positive, the contract's norm gate holds a round open whenever
+  /// a group's decoded model exceeds the bound, and the coordinator's
+  /// audit slashes the violating owner. 0 disables the gate.
+  double update_norm_bound = 0.0;
   /// Per-round submission deadline on the simulated clock; an owner whose
   /// update has not landed by then is declared dropped and recovered.
   uint64_t submit_deadline_us = 2'000'000;
@@ -92,6 +97,14 @@ struct BcflRunResult {
   size_t recover_transactions = 0;
   /// Submission attempts that were retried after a loss.
   size_t submission_retries = 0;
+  /// Owners convicted by an on-chain slash: owner id -> conviction round.
+  /// Slashed owners also appear in `retired_at` (a conviction retires).
+  std::map<uint32_t, uint64_t> slashed_at;
+  /// Committed slash transactions across the run.
+  size_t slash_transactions = 0;
+  /// Reward units burned at distribution because their owner was slashed
+  /// (0 when no pool was configured or nobody was slashed).
+  uint64_t reward_burned = 0;
 };
 
 /// Drives the full protocol of Sect. IV-B on the simulated blockchain:
@@ -171,9 +184,45 @@ class BcflCoordinator {
   /// `missing`: collects Shamir shares from online survivors (fails
   /// closed below the threshold), reconstructs the DH private key and
   /// submits the recovery. Successfully recovered owners are retired.
+  /// Every revealed share is Feldman-verified against the dealer's setup
+  /// commitment first; a share that fails is skipped (the next holder
+  /// serves) and its sender is slashed with the forged share + its reveal
+  /// signature as on-chain evidence (PR 9).
   Status RecoverMissingOwners(uint64_t round,
                               const std::set<uint32_t>& missing,
                               BcflRunResult* result);
+
+  /// Builds (but does not submit) one owner's masked submit_update
+  /// payload, byzantine perturbations included — the serial twin of the
+  /// round engine's per-slot preparation.
+  Result<Bytes> BuildSubmitPayload(
+      uint32_t owner, uint64_t round, const ml::Matrix& local_weights,
+      const std::vector<std::vector<size_t>>& groups);
+
+  /// Lowest online, un-retired owner other than `excluding` — the party
+  /// that signs accusation transactions (any registered owner may; the
+  /// evidence, not the sender, carries the conviction).
+  Result<uint32_t> FindReporter(uint32_t excluding) const;
+
+  /// Signs and submits one slash transaction, retires the offender
+  /// locally and records the conviction in `result`.
+  Status SubmitSlash(uint64_t round, uint32_t offender, uint32_t reporter,
+                     const Bytes& payload, const char* what,
+                     BcflRunResult* result);
+
+  /// Equivocation handling at submission time: signs the two conflicting
+  /// submit_update transactions the owner produced (the second a
+  /// tampered twin of `payload`), submits *neither* as an update and
+  /// accuses with both as evidence instead — so the offender never lands
+  /// an update and the round degrades exactly as if it had crashed.
+  Status SlashEquivocator(uint32_t owner, uint64_t round,
+                          const Bytes& payload, BcflRunResult* result);
+
+  /// Norm-gate audit: scans the round's `flagged/` markers, unmasks each
+  /// flagged group's submitters off-chain (modelling the per-member
+  /// mask-opening audit; the simulation reveals via the driver) and
+  /// submits a norm-violation slash for every member over the bound.
+  Status AuditFlaggedGroups(uint64_t round, BcflRunResult* result);
 
   BcflConfig config_;
   ml::Dataset test_set_;
@@ -189,6 +238,10 @@ class BcflCoordinator {
   /// dh_shares_[owner][holder]: the Shamir share of `owner`'s DH private
   /// key held by `holder`, distributed at setup.
   std::vector<std::vector<crypto::ShamirShare>> dh_shares_;
+  /// Feldman commitment to each owner's DH-key sharing polynomial,
+  /// published in the setup params (PR 9). Recovery verifies every
+  /// revealed share against these before combining it.
+  std::vector<crypto::VssCommitment> dh_commitments_;
   size_t threshold_ = 0;
   /// Owners retired by a committed recovery, with the retirement round.
   std::map<uint32_t, uint64_t> retired_;

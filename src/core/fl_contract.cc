@@ -1,6 +1,7 @@
 #include "core/fl_contract.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "crypto/dh.h"
 #include "obs/metrics.h"
@@ -218,16 +219,42 @@ Result<std::map<uint32_t, crypto::UInt256>> FlContract::RetiredBefore(
   return retired;
 }
 
+Status FlContract::EvaluateIfComplete(uint64_t round,
+                                      chain::ContractState* state) {
+  auto params_bytes = state->Get(keys::SetupParams());
+  if (!params_bytes.ok()) {
+    return Status::FailedPrecondition("setup has not run");
+  }
+  BCFL_ASSIGN_OR_RETURN(SetupParams params,
+                        SetupParams::Deserialize(*params_bytes));
+  if (round >= params.rounds) {
+    return Status::InvalidArgument("round beyond the agreed horizon");
+  }
+  return MaybeEvaluateRound(params, round, state);
+}
+
 Status FlContract::MaybeEvaluateRound(const SetupParams& params,
                                       uint64_t round,
                                       chain::ContractState* state) {
-  size_t submitted =
-      state->KeysWithPrefix(keys::UpdatePrefix(round)).size();
-  size_t dropped = state->KeysWithPrefix(keys::DroppedPrefix(round)).size();
-  // Owners retired by recoveries in earlier rounds never submit again;
-  // the contract counts them as permanently accounted for.
+  if (state->Has(keys::RoundComplete(round))) {
+    return Status::OK();  // Already evaluated.
+  }
+  // Per-owner union membership rather than summed set sizes (PR 9): a
+  // slash both deletes a submitted update and writes a dropout record in
+  // one transaction, so counting the sets independently could transiently
+  // double-count an owner; membership is exact under any interleaving.
   BCFL_ASSIGN_OR_RETURN(auto retired, RetiredBefore(*state, round));
-  if (submitted + dropped + retired.size() < params.num_owners) {
+  size_t accounted = 0;
+  size_t submitted = 0;
+  for (uint32_t i = 0; i < params.num_owners; ++i) {
+    const bool has_update = state->Has(keys::Update(round, i));
+    if (has_update) ++submitted;
+    if (has_update || state->Has(keys::Dropped(round, i)) ||
+        retired.count(i) > 0) {
+      ++accounted;
+    }
+  }
+  if (accounted < params.num_owners) {
     return Status::OK();  // Round still in progress.
   }
   if (submitted == 0) {
@@ -280,11 +307,17 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
   // Line 3: within-group ring sums over the *survivors*; pairwise masks
   // between survivors cancel, and each survivor<->dropped residual mask
   // is regenerated from the revealed key and removed. Decode the mean
-  // over survivors as the group model.
-  std::vector<std::vector<size_t>> surviving_groups;
-  surviving_groups.reserve(groups.size());
-  std::vector<ml::Matrix> group_models;
-  group_models.reserve(groups.size());
+  // over survivors as the group model. Models are held in memory until
+  // the norm gate below passes: a flagged evaluation must leave the state
+  // exactly as it found it (plus the flag markers), or the eventual clean
+  // evaluation would diverge from a run where the offender just crashed.
+  struct PendingGroup {
+    uint32_t index;
+    std::vector<size_t> survivors;
+    ml::Matrix model;
+  };
+  std::vector<PendingGroup> pending;
+  pending.reserve(groups.size());
   {
     obs::ScopedSpan unmask_span(obs::Tracer::Global(), "mask_round",
                                 "secureagg");
@@ -303,8 +336,7 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
         // this round and GroupSV degrades to the surviving groups.
         continue;
       }
-      surviving_groups.push_back(survivors);
-  
+
       std::vector<uint64_t> sum(rows * cols, 0);
       for (size_t member : survivors) {
         BCFL_ASSIGN_OR_RETURN(
@@ -330,16 +362,50 @@ Status FlContract::EvaluateRound(const SetupParams& params, uint64_t round,
           }
         }
       }
-  
+
       BCFL_ASSIGN_OR_RETURN(std::vector<double> mean,
                             codec.DecodeMean(sum, survivors.size()));
       ml::Matrix model(rows, cols);
       model.mutable_data() = std::move(mean);
-      BCFL_RETURN_IF_ERROR(
-          PutMatrix(state, keys::GroupModel(round, static_cast<uint32_t>(j)),
-                    model));
-      group_models.push_back(std::move(model));
+      pending.push_back(
+          {static_cast<uint32_t>(j), std::move(survivors), std::move(model)});
     }
+  }
+
+  // Norm gate (PR 9): a poisoned or mask-inconsistent submission survives
+  // masking arithmetically, but it drags its group's decoded aggregate
+  // far outside the honest envelope. Groups over the bound are flagged on
+  // chain and the round is *held open* — no models, SVs or completion
+  // marker are written — until an audit slashes the offender, at which
+  // point the re-evaluation below runs clean over the survivors.
+  if (params.update_norm_bound > 0.0) {
+    bool any_flagged = false;
+    for (const auto& group : pending) {
+      double norm_sq = 0.0;
+      for (double v : group.model.data()) norm_sq += v * v;
+      const double norm = std::sqrt(norm_sq);
+      if (norm > params.update_norm_bound) {
+        BCFL_RETURN_IF_ERROR(
+            PutDouble(state, keys::Flagged(round, group.index), norm));
+        any_flagged = true;
+      }
+    }
+    if (any_flagged) return Status::OK();
+  }
+  // Clean evaluation: flags from a pre-slash attempt are removed so the
+  // final state matches a run where the offender simply crashed.
+  for (const auto& key : state->KeysWithPrefix(keys::FlaggedPrefix(round))) {
+    state->Delete(key);
+  }
+  std::vector<std::vector<size_t>> surviving_groups;
+  surviving_groups.reserve(pending.size());
+  std::vector<ml::Matrix> group_models;
+  group_models.reserve(pending.size());
+  for (auto& group : pending) {
+    BCFL_RETURN_IF_ERROR(PutMatrix(
+        state, keys::GroupModel(round, group.index), group.model));
+    surviving_groups.push_back(std::move(group.survivors));
+    group_models.push_back(std::move(group.model));
   }
 
   // Lines 4-7 over the surviving membership: coalition models, group

@@ -59,6 +59,12 @@ class FlContract : public chain::SmartContract {
   static Bytes EncodeRecover(uint64_t round, uint32_t dropped_owner,
                              const crypto::UInt256& dh_private_key);
 
+  /// Re-runs the round-completeness check against current state. Public
+  /// so the SlashContract can trigger the (deterministic) evaluation
+  /// after a conviction converts an offender into a dropout — the exact
+  /// hook submit_update and recover use internally.
+  Status EvaluateIfComplete(uint64_t round, chain::ContractState* state);
+
  private:
   Status ExecuteSetup(const chain::Transaction& tx,
                       chain::ContractState* state);

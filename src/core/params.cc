@@ -19,6 +19,12 @@ Bytes SetupParams::Serialize() const {
   for (const auto& key : dh_public_keys) {
     writer.WriteRaw(key.ToBytes().data(), 32);
   }
+  writer.WriteU32(shamir_threshold);
+  writer.WriteDouble(update_norm_bound);
+  writer.WriteU32(static_cast<uint32_t>(vss_commitments.size()));
+  for (const auto& commitment : vss_commitments) {
+    writer.WriteBytes(commitment);
+  }
   return writer.Take();
 }
 
@@ -53,6 +59,17 @@ Result<SetupParams> SetupParams::Deserialize(const Bytes& bytes) {
     BCFL_ASSIGN_OR_RETURN(crypto::UInt256 key, crypto::UInt256::FromBytes(raw));
     params.dh_public_keys.push_back(key);
   }
+  BCFL_ASSIGN_OR_RETURN(params.shamir_threshold, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(params.update_norm_bound, reader.ReadDouble());
+  BCFL_ASSIGN_OR_RETURN(uint32_t vss_count, reader.ReadU32());
+  if (static_cast<uint64_t>(vss_count) * 8 > reader.remaining()) {
+    return Status::Corruption("vss commitment count exceeds payload");
+  }
+  params.vss_commitments.reserve(vss_count);
+  for (uint32_t i = 0; i < vss_count; ++i) {
+    BCFL_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes());
+    params.vss_commitments.push_back(std::move(raw));
+  }
   if (!reader.exhausted()) {
     return Status::Corruption("trailing bytes after setup params");
   }
@@ -80,6 +97,16 @@ Status SetupParams::Validate() const {
       dh_public_keys.size() != num_owners) {
     return Status::InvalidArgument(
         "key roster size does not match num_owners");
+  }
+  if (shamir_threshold > num_owners) {
+    return Status::InvalidArgument("shamir_threshold exceeds num_owners");
+  }
+  if (update_norm_bound < 0.0) {
+    return Status::InvalidArgument("update_norm_bound must be >= 0");
+  }
+  if (!vss_commitments.empty() && vss_commitments.size() != num_owners) {
+    return Status::InvalidArgument(
+        "vss commitment roster size does not match num_owners");
   }
   return Status::OK();
 }

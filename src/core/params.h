@@ -23,9 +23,23 @@ struct SetupParams {
   uint32_t weight_rows = 65;   ///< Model shape: (features + 1).
   uint32_t weight_cols = 10;   ///< Classes.
 
+  /// Shamir recovery threshold the owners agreed on; 0 = floor(n/2) + 1.
+  /// Published so every miner can verify revealed shares against the VSS
+  /// commitments with the right polynomial degree.
+  uint32_t shamir_threshold = 0;
+  /// L2 norm gate on decoded group aggregates (PR 9): a group model whose
+  /// norm exceeds the bound is flagged instead of evaluated, pending an
+  /// audit + slash. 0 disables the gate.
+  double update_norm_bound = 0.0;
+
   /// Broadcast key material, indexed by owner id.
   std::vector<crypto::UInt256> schnorr_public_keys;
   std::vector<crypto::UInt256> dh_public_keys;
+  /// Per-owner serialized `crypto::VssCommitment` to the owner's DH-key
+  /// sharing polynomial (PR 9). Published with the setup transaction so
+  /// every miner can re-verify a revealed share — and convict the holder
+  /// of a forged one. Empty = VSS checks off (pre-PR-9 behavior).
+  std::vector<Bytes> vss_commitments;
 
   Bytes Serialize() const;
   static Result<SetupParams> Deserialize(const Bytes& bytes);

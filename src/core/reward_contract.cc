@@ -137,6 +137,21 @@ Status RewardContract::ExecuteDistribute(chain::ContractState* state) {
     }
   }
 
+  // Slashing forfeits the pending reward (PR 9): a convicted owner's
+  // proportional allocation is moved to the burn sink, not redistributed
+  // — honest owners' payouts are exactly what they would have been had
+  // the offender stayed honest with the same scores.
+  uint64_t burned = 0;
+  for (uint32_t i = 0; i < params.num_owners; ++i) {
+    if (state->Has(keys::Slashed(i))) {
+      burned += allocations[i];
+      allocations[i] = 0;
+    }
+  }
+  if (burned > 0) {
+    WriteU64(state, BurnedKey(), burned);
+  }
+
   for (uint32_t i = 0; i < params.num_owners; ++i) {
     WriteU64(state, AllocationKey(i), allocations[i]);
   }

@@ -25,8 +25,15 @@ namespace bcfl::core {
 ///                  allocation to the claimed ledger. Double claims
 ///                  fail.
 ///
+/// Slashed owners (a `slashed/<owner>` conviction record on chain) have
+/// their allocation *burned* at distribution: it is moved to the
+/// "reward/burned" sink instead of their claimable balance, so
+/// misbehavior forfeits the pending reward without inflating anyone
+/// else's share (PR 9).
+///
 /// State keys: "reward/pool", "reward/distributed",
-/// "reward/allocation/<owner>", "reward/claimed/<owner>".
+/// "reward/allocation/<owner>", "reward/claimed/<owner>",
+/// "reward/burned".
 class RewardContract : public chain::SmartContract {
  public:
   std::string name() const override { return "reward"; }
@@ -42,6 +49,7 @@ class RewardContract : public chain::SmartContract {
   static std::string DistributedKey() { return "reward/distributed"; }
   static std::string AllocationKey(uint32_t owner);
   static std::string ClaimedKey(uint32_t owner);
+  static std::string BurnedKey() { return "reward/burned"; }
 
  private:
   Status ExecuteFund(const chain::Transaction& tx,

@@ -22,6 +22,23 @@ RoundEngineMode ResolveRoundEngineMode(RoundEngineMode configured) {
   return configured;
 }
 
+namespace byzantine {
+
+ml::Matrix PoisonedWeights(const ml::Matrix& local, double magnitude) {
+  return local.Scaled(magnitude);
+}
+
+void CorruptMaskedUpdate(uint64_t round, uint32_t owner,
+                         std::vector<uint64_t>* masked) {
+  // Seeded from (round, owner) only: the corruption an owner submits is a
+  // property of the owner's misbehavior, not of which engine ran it.
+  SplitMix64 stream(((round + 1) * 0x9e3779b97f4a7c15ULL) ^
+                    ((static_cast<uint64_t>(owner) << 32) | 0xbadc0deULL));
+  for (uint64_t& word : *masked) word += stream.Next();
+}
+
+}  // namespace byzantine
+
 void RoundScratch::Reset(size_t num_owners) {
   if (slots.size() != num_owners) slots.resize(num_owners);
   for (OwnerRoundSlot& slot : slots) {
@@ -103,13 +120,29 @@ Status RoundEngine::PrepareOwners(uint64_t round, const ml::Matrix& global,
     slot.local = std::move(local).value();
     slot.train_us = train_timer.ElapsedSeconds() * 1e6;
     Stopwatch prepare_timer;
-    codec.EncodeMatrixInto(slot.local, &slot.encoded);
+    // Byzantine perturbations (PR 9): a poisoning owner encodes scaled
+    // weights (slot.local stays the honest model, matching what the
+    // serial path records in per_round_locals); an inconsistent-mask
+    // owner corrupts the masked vector after honest masking. Injector
+    // queries are const per-round sets — safe from workers.
+    const double poison =
+        deps_.injector != nullptr ? deps_.injector->OwnerPoisonMagnitude(i)
+                                  : 0.0;
+    if (poison != 0.0) {
+      codec.EncodeMatrixInto(byzantine::PoisonedWeights(slot.local, poison),
+                             &slot.encoded);
+    } else {
+      codec.EncodeMatrixInto(slot.local, &slot.encoded);
+    }
     Status masked = (*deps_.participants)[i]->MaskUpdateInto(
         round, slot.group_members, slot.encoded, &slot.mask_scratch,
         &slot.masked);
     if (!masked.ok()) {
       slot.status = masked;
       return;
+    }
+    if (deps_.injector != nullptr && deps_.injector->OwnerInconsistentMask(i)) {
+      byzantine::CorruptMaskedUpdate(round, i, &slot.masked);
     }
     slot.payload = FlContract::EncodeSubmitUpdate(round, i, slot.masked);
     slot.prepare_us = prepare_timer.ElapsedSeconds() * 1e6;

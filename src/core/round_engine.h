@@ -31,6 +31,25 @@ enum class RoundEngineMode {
 /// "serial" / "parallel" — for flags, logs and metrics.json.
 const char* RoundEngineModeName(RoundEngineMode mode);
 
+/// Byzantine update perturbations (PR 9), shared by the serial submit
+/// path and the parallel fan-out so the two engines stay bit-identical
+/// under every fault plan. Both are pure functions of their arguments.
+namespace byzantine {
+
+/// The weights a poisoning owner actually encodes: its honest local
+/// update scaled by `magnitude` (the `poison-update *m` DSL knob).
+ml::Matrix PoisonedWeights(const ml::Matrix& local, double magnitude);
+
+/// An inconsistent-mask owner's submission: the honestly masked vector
+/// plus a deterministic per-(round, owner) SplitMix64 garbage stream.
+/// The garbage never cancels against any peer's mask, so the group's
+/// decoded aggregate lands far outside the honest envelope and the
+/// contract's norm gate flags it.
+void CorruptMaskedUpdate(uint64_t round, uint32_t owner,
+                         std::vector<uint64_t>* masked);
+
+}  // namespace byzantine
+
 /// Applies the `BCFL_ROUND_REFERENCE` escape hatch: when the environment
 /// variable is set to anything but "" or "0", the configured mode is
 /// overridden to kSerial (same convention as BCFL_KERNEL_REFERENCE /

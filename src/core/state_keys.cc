@@ -55,6 +55,18 @@ std::string Retired(uint32_t owner) { return "retired/" + Pad(owner); }
 
 std::string RetiredPrefix() { return "retired/"; }
 
+std::string Slashed(uint32_t owner) { return "slashed/" + Pad(owner); }
+
+std::string SlashedPrefix() { return "slashed/"; }
+
+std::string Flagged(uint64_t round, uint32_t group) {
+  return "flagged/" + Pad(round) + "/" + Pad(group);
+}
+
+std::string FlaggedPrefix(uint64_t round) {
+  return "flagged/" + Pad(round) + "/";
+}
+
 }  // namespace keys
 
 Status PutDouble(chain::ContractState* state, const std::string& key,

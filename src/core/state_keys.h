@@ -40,6 +40,18 @@ std::string DroppedPrefix(uint64_t round);
 std::string Retired(uint32_t owner);
 /// Prefix of all retirement records.
 std::string RetiredPrefix();
+/// "slashed/<owner>" — byzantine conviction record (slash round + evidence
+/// kind). Written by the SlashContract alongside the dropout/retirement
+/// records; the reward distribution burns the owner's allocation.
+std::string Slashed(uint32_t owner);
+/// Prefix of all slash records.
+std::string SlashedPrefix();
+/// "flagged/<round>/<group>" — norm-gate marker: the group's decoded
+/// aggregate exceeded `update_norm_bound`, so evaluation is withheld
+/// until an audit slashes the offender. Deleted by the clean evaluation.
+std::string Flagged(uint64_t round, uint32_t group);
+/// Prefix of all norm-gate markers of a round.
+std::string FlaggedPrefix(uint64_t round);
 
 }  // namespace keys
 

@@ -85,11 +85,37 @@ Bytes ShamirSecretSharing::Unpack(const std::vector<uint64_t>& elements,
 
 std::vector<ShamirShare> ShamirSecretSharing::Split(const Bytes& secret,
                                                     Xoshiro256* rng) const {
+  return SplitVerifiable(secret, rng, nullptr);
+}
+
+GroupParams ShamirSecretSharing::VssGroup() {
+  // P = 52 * (2^61 - 1) + 1 = 0x6_7FFF_FFFF_FFFF_FFCD, g = 2^52.
+  return GroupParams{UInt256(0x7FFFFFFFFFFFFFCDull, 6, 0, 0),
+                     UInt256(1ULL << 52)};
+}
+
+namespace {
+
+/// Process-wide Montgomery context for the commitment group; the registry
+/// in GroupContext::Get deduplicates, the static local skips its lock.
+const GroupContext& VssContext() {
+  static const std::shared_ptr<const GroupContext> ctx =
+      GroupContext::Get(ShamirSecretSharing::VssGroup());
+  return *ctx;
+}
+
+}  // namespace
+
+std::vector<ShamirShare> ShamirSecretSharing::SplitVerifiable(
+    const Bytes& secret, Xoshiro256* rng, VssCommitment* commitment) const {
   std::vector<uint64_t> chunks = Pack(secret);
   std::vector<ShamirShare> shares(num_shares_);
   for (size_t s = 0; s < num_shares_; ++s) {
     shares[s].x = static_cast<uint64_t>(s + 1);
     shares[s].values.resize(chunks.size());
+  }
+  if (commitment != nullptr) {
+    commitment->rows.assign(chunks.size(), {});
   }
   // One random polynomial of degree threshold-1 per chunk, constant term
   // = the chunk value.
@@ -108,8 +134,104 @@ std::vector<ShamirShare> ShamirSecretSharing::Split(const Bytes& secret,
       }
       shares[s].values[c] = y;
     }
+    if (commitment != nullptr) {
+      auto& row = commitment->rows[c];
+      row.reserve(threshold_);
+      for (size_t d = 0; d < threshold_; ++d) {
+        row.push_back(VssContext().PowG(UInt256(coeffs[d])));
+      }
+    }
   }
   return shares;
+}
+
+bool ShamirSecretSharing::VerifyShare(const ShamirShare& share,
+                                      const VssCommitment& commitment) const {
+  if (share.x == 0 || share.x >= kPrime) return false;
+  if (commitment.rows.size() != share.values.size()) return false;
+  const GroupContext& ctx = VssContext();
+  const UInt256& p = ctx.params().p;
+  // x^d mod kPrime, shared by every chunk of this share.
+  std::vector<uint64_t> exps(threshold_);
+  exps[0] = 1;
+  for (size_t d = 1; d < threshold_; ++d) {
+    exps[d] = FieldMul(exps[d - 1], share.x % kPrime);
+  }
+  for (size_t c = 0; c < commitment.rows.size(); ++c) {
+    const auto& row = commitment.rows[c];
+    if (row.size() != threshold_) return false;
+    const uint64_t y = share.values[c];
+    if (y >= kPrime) return false;
+    UInt256 acc = row[0].Mod(p);  // exps[0] == 1.
+    for (size_t d = 1; d < threshold_; ++d) {
+      acc = acc.ModMul(ctx.PowBase(row[d], UInt256(exps[d])), p);
+    }
+    if (ctx.PowG(UInt256(y)) != acc) return false;
+  }
+  return true;
+}
+
+bool ShamirSecretSharing::VerifyShareReference(
+    const ShamirShare& share, const VssCommitment& commitment) const {
+  if (share.x == 0 || share.x >= kPrime) return false;
+  if (commitment.rows.size() != share.values.size()) return false;
+  const GroupParams group = VssGroup();
+  for (size_t c = 0; c < commitment.rows.size(); ++c) {
+    const auto& row = commitment.rows[c];
+    if (row.size() != threshold_) return false;
+    const uint64_t y = share.values[c];
+    if (y >= kPrime) return false;
+    uint64_t exp = 1;
+    UInt256 acc(1);
+    for (size_t d = 0; d < threshold_; ++d) {
+      acc = acc.ModMul(row[d].Mod(group.p).ModPow(UInt256(exp), group.p),
+                       group.p);
+      exp = FieldMul(exp, share.x % kPrime);
+    }
+    if (group.g.ModPow(UInt256(y), group.p) != acc) return false;
+  }
+  return true;
+}
+
+Bytes VssCommitment::Serialize() const {
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(rows.size()));
+  writer.WriteU32(rows.empty() ? 0 : static_cast<uint32_t>(rows[0].size()));
+  for (const auto& row : rows) {
+    for (const auto& point : row) {
+      const Bytes raw = point.ToBytes();
+      writer.WriteRaw(raw.data(), raw.size());
+    }
+  }
+  return std::move(writer).Take();
+}
+
+Result<VssCommitment> VssCommitment::Deserialize(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  uint32_t num_rows = 0, num_cols = 0;
+  BCFL_ASSIGN_OR_RETURN(num_rows, reader.ReadU32());
+  BCFL_ASSIGN_OR_RETURN(num_cols, reader.ReadU32());
+  if (num_rows != 0 && num_cols == 0) {
+    return Status::InvalidArgument("vss commitment with empty rows");
+  }
+  const UInt256 p = ShamirSecretSharing::VssGroup().p;
+  VssCommitment out;
+  out.rows.assign(num_rows, {});
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    out.rows[r].reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      BCFL_ASSIGN_OR_RETURN(Bytes raw, reader.ReadRaw(32));
+      BCFL_ASSIGN_OR_RETURN(UInt256 point, UInt256::FromBytes(raw));
+      if (point.IsZero() || point >= p) {
+        return Status::InvalidArgument("vss commitment element out of group");
+      }
+      out.rows[r].push_back(point);
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after vss commitment");
+  }
+  return out;
 }
 
 Result<ShamirSecretSharing::LagrangeBasis> ShamirSecretSharing::PrepareBasis(

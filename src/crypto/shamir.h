@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "crypto/dh.h"
 
 namespace bcfl {
 class ThreadPool;
@@ -17,6 +18,28 @@ namespace bcfl::crypto {
 struct ShamirShare {
   uint64_t x;                    ///< Evaluation point (participant index, >= 1).
   std::vector<uint64_t> values;  ///< One field element per secret chunk.
+};
+
+/// Feldman commitment to the sharing polynomials of one Split call:
+/// `rows[c][d] = g^{coeff_c[d]} mod P` for secret chunk `c` and polynomial
+/// degree `d` (d = 0 commits the chunk itself). Published alongside the
+/// shares, it lets any holder check its own share — and any verifier check
+/// a *revealed* share — without learning the secret: the discrete logs of
+/// the row entries are hidden, but `g^y == prod_d rows[c][d]^(x^d)` holds
+/// exactly when `y` is the dealer's polynomial evaluated at `x`.
+struct VssCommitment {
+  std::vector<std::vector<UInt256>> rows;
+
+  bool empty() const { return rows.empty(); }
+
+  /// Canonical wire format: row/column counts then 32-byte group elements.
+  Bytes Serialize() const;
+  /// Rejects truncated input, ragged rows and out-of-group elements.
+  static Result<VssCommitment> Deserialize(const Bytes& bytes);
+
+  bool operator==(const VssCommitment& other) const {
+    return rows == other.rows;
+  }
 };
 
 /// Shamir secret sharing over GF(p) with p = 2^61 - 1 (Mersenne prime).
@@ -44,6 +67,38 @@ class ShamirSecretSharing {
 
   /// Splits `secret` (arbitrary bytes) into `num_shares()` shares.
   std::vector<ShamirShare> Split(const Bytes& secret, Xoshiro256* rng) const;
+
+  /// The Feldman commitment group: P = 52 * (2^61 - 1) + 1 (a 67-bit
+  /// prime) with generator g = 2^52. Because g = 2^52 = h^52 with h = 2
+  /// and g != 1, the order of g divides (P-1)/52 = 2^61 - 1 — the Shamir
+  /// field modulus, itself prime — so ord(g) is *exactly* kPrime and
+  /// exponent arithmetic mod kPrime agrees with group exponentiation.
+  /// (The DH group 2^255 - 19 cannot be reused: its generator order is
+  /// unrelated to kPrime, so polynomial identities would not transfer.)
+  static GroupParams VssGroup();
+
+  /// Split plus a Feldman commitment to every chunk polynomial. Consumes
+  /// the *identical* RNG stream as Split — commitments are derived from
+  /// the same coefficients, no extra randomness — so a seeded protocol
+  /// run produces bit-identical shares whichever entry point it uses.
+  std::vector<ShamirShare> SplitVerifiable(const Bytes& secret,
+                                           Xoshiro256* rng,
+                                           VssCommitment* commitment) const;
+
+  /// True iff `share` is consistent with `commitment`: for every chunk c,
+  /// g^{y_c} == prod_d rows[c][d]^{x^d} (mod P). Structural mismatches
+  /// (x = 0 or out of field, value out of field, chunk-count mismatch,
+  /// coefficient count != threshold()) return false rather than erroring:
+  /// a malformed share is exactly as damning as a forged one. Batch path:
+  /// the exponents x^d are computed once and the commitment entries go
+  /// through the Montgomery GroupContext's cached fixed-base tables.
+  bool VerifyShare(const ShamirShare& share,
+                   const VssCommitment& commitment) const;
+
+  /// Seed-faithful verification via plain UInt256::ModPow — the reference
+  /// the Montgomery batch path is regression-tested against.
+  bool VerifyShareReference(const ShamirShare& share,
+                            const VssCommitment& commitment) const;
 
   /// Lagrange-at-zero basis for one fixed, ordered set of share
   /// x-coordinates. The basis depends only on the coordinates, not on the

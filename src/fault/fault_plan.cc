@@ -17,8 +17,45 @@ const char* KindName(FaultKind kind) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kBadShare: return "bad-share";
+    case FaultKind::kInconsistentMask: return "inconsistent-mask";
+    case FaultKind::kEquivocateSubmit: return "equivocate-submit";
+    case FaultKind::kPoisonUpdate: return "poison-update";
   }
   return "?";
+}
+
+bool IsByzantine(FaultKind kind) {
+  return kind == FaultKind::kBadShare || kind == FaultKind::kInconsistentMask ||
+         kind == FaultKind::kEquivocateSubmit ||
+         kind == FaultKind::kPoisonUpdate;
+}
+
+/// Shortest decimal that round-trips through ParseMagnitude, e.g. "50",
+/// "1.5" — std::to_string's fixed six decimals would not re-parse cleanly.
+std::string MagnitudeString(double magnitude) {
+  std::ostringstream out;
+  out << magnitude;
+  return out.str();
+}
+
+Result<double> ParseMagnitude(const std::string& token) {
+  bool dot = false;
+  bool digit = false;
+  for (char c : token) {
+    if (c == '.') {
+      if (dot) return Status::InvalidArgument("bad magnitude: '" + token + "'");
+      dot = true;
+    } else if (c >= '0' && c <= '9') {
+      digit = true;
+    } else {
+      return Status::InvalidArgument("bad magnitude: '" + token + "'");
+    }
+  }
+  if (!digit) {
+    return Status::InvalidArgument("bad magnitude: '" + token + "'");
+  }
+  return std::stod(token);
 }
 
 std::string RangeString(uint64_t round, uint64_t end_round) {
@@ -76,6 +113,9 @@ std::string FaultEvent::ToString() const {
   if (kind == FaultKind::kSlow) {
     out += " +" + std::to_string(delay_us) + "us";
   }
+  if (kind == FaultKind::kPoisonUpdate) {
+    out += " *" + MagnitudeString(magnitude);
+  }
   return out;
 }
 
@@ -115,6 +155,12 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
     else if (kind == "duplicate") event.kind = FaultKind::kDuplicate;
     else if (kind == "reorder") event.kind = FaultKind::kReorder;
     else if (kind == "partition") event.kind = FaultKind::kPartition;
+    else if (kind == "bad-share") event.kind = FaultKind::kBadShare;
+    else if (kind == "inconsistent-mask")
+      event.kind = FaultKind::kInconsistentMask;
+    else if (kind == "equivocate-submit")
+      event.kind = FaultKind::kEquivocateSubmit;
+    else if (kind == "poison-update") event.kind = FaultKind::kPoisonUpdate;
     else return Status::InvalidArgument("unknown fault kind: '" + kind + "'");
 
     size_t next = 2;
@@ -174,10 +220,17 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
           value.erase(value.size() - 2);
         }
         BCFL_ASSIGN_OR_RETURN(event.delay_us, ParseNumber(value, "delay"));
+      } else if (extra[0] == '*') {
+        BCFL_ASSIGN_OR_RETURN(event.magnitude,
+                              ParseMagnitude(extra.substr(1)));
       } else {
         return Status::InvalidArgument("unexpected token '" + extra +
                                        "' in: '" + line + "'");
       }
+    }
+    if (event.kind == FaultKind::kPoisonUpdate && event.magnitude == 0.0) {
+      return Status::InvalidArgument("poison-update needs *<magnitude>: '" +
+                                     line + "'");
     }
     plan.events.push_back(std::move(event));
   }
@@ -206,6 +259,7 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanOptions& options) {
   for (uint32_t i = 0; i < n; ++i) owners[i] = i;
   rng.Shuffle(&owners);
   size_t owner_crashes = 0;
+  std::vector<bool> slot_crashed(owner_budget, false);
   for (size_t i = 0; i < owner_budget; ++i) {
     if (rng.NextDouble() >= options.owner_crash_rate) continue;
     FaultEvent crash;
@@ -214,6 +268,7 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanOptions& options) {
     crash.node = owners[i];
     crash.round = crash.end_round = random_round();
     plan.events.push_back(crash);
+    slot_crashed[i] = true;
     ++owner_crashes;
   }
 
@@ -304,6 +359,37 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanOptions& options) {
       plan.events.push_back(reorder);
     }
   }
+  // Byzantine owners (PR 9), drawn strictly after every crash/noise draw
+  // so plans from pre-existing seeds replay bit-identically (the extra
+  // draws only happen when the rate is enabled, and then only at the tail
+  // of the stream). Byzantine owners come from the unused slots of the
+  // shuffled crash budget: a misbehaving owner is slashed and permanently
+  // retired, so |crashed ∪ byzantine| never exceeds the recovery budget
+  // and every reveal keeps its threshold of honest holders.
+  if (options.byzantine_rate > 0.0) {
+    for (size_t i = 0; i < owner_budget; ++i) {
+      if (slot_crashed[i]) continue;
+      if (rng.NextDouble() >= options.byzantine_rate) continue;
+      FaultEvent evil;
+      evil.node_kind = NodeKind::kOwner;
+      evil.node = owners[i];
+      evil.round = evil.end_round = random_round();
+      switch (rng.NextBounded(4)) {
+        case 0:
+          // Forged reveals only fire when some other owner needs recovery
+          // that round; otherwise the event is a harmless no-op.
+          evil.kind = FaultKind::kBadShare;
+          break;
+        case 1: evil.kind = FaultKind::kEquivocateSubmit; break;
+        case 2:
+          evil.kind = FaultKind::kPoisonUpdate;
+          evil.magnitude = options.poison_magnitude;
+          break;
+        default: evil.kind = FaultKind::kInconsistentMask; break;
+      }
+      plan.events.push_back(evil);
+    }
+  }
   (void)owner_crashes;
   return plan;
 }
@@ -313,7 +399,7 @@ Status FaultPlan::Validate(uint32_t num_owners, uint32_t num_miners,
   const size_t threshold =
       shamir_threshold != 0 ? shamir_threshold : num_owners / 2 + 1;
   uint64_t horizon = 0;
-  std::set<uint32_t> crashed_owners;
+  std::set<uint32_t> unavailable_owners;
   for (const auto& event : events) {
     horizon = std::max(horizon, event.end_round);
     if (event.end_round < event.round) {
@@ -344,16 +430,28 @@ Status FaultPlan::Validate(uint32_t num_owners, uint32_t num_miners,
       return Status::InvalidArgument(std::string(KindName(event.kind)) +
                                      " targets miners only");
     }
-    if (event.kind == FaultKind::kCrash &&
+    if (IsByzantine(event.kind)) {
+      if (event.node_kind != NodeKind::kOwner) {
+        return Status::InvalidArgument(std::string(KindName(event.kind)) +
+                                       " targets owners only");
+      }
+      if (event.kind == FaultKind::kPoisonUpdate && event.magnitude <= 1.0) {
+        return Status::InvalidArgument(
+            "poison-update needs a magnitude > 1: " + event.ToString());
+      }
+    }
+    if ((event.kind == FaultKind::kCrash || IsByzantine(event.kind)) &&
         event.node_kind == NodeKind::kOwner) {
-      crashed_owners.insert(event.node);
+      unavailable_owners.insert(event.node);
     }
   }
-  // An owner that misses a round deadline is retired for good, so the
-  // distinct-crash count is the right budget regardless of recover events.
-  if (crashed_owners.size() + threshold > num_owners) {
+  // An owner that misses a round deadline is retired for good, and so is
+  // a slashed byzantine owner — both permanently stop answering reveals.
+  // The *union* of distinct crashed and byzantine owners is therefore the
+  // right budget regardless of recover events.
+  if (unavailable_owners.size() + threshold > num_owners) {
     return Status::FailedPrecondition(
-        "plan crashes " + std::to_string(crashed_owners.size()) +
+        "plan crashes or corrupts " + std::to_string(unavailable_owners.size()) +
         " owners but only " + std::to_string(num_owners - threshold) +
         " may drop before Shamir recovery (t=" + std::to_string(threshold) +
         ") fails closed");

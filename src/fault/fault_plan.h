@@ -14,7 +14,11 @@ namespace bcfl::fault {
 /// simulated P2P network.
 enum class NodeKind : uint8_t { kOwner, kMiner };
 
-/// The fault vocabulary of the chaos DSL.
+/// The fault vocabulary of the chaos DSL. The first seven kinds are
+/// crash/omission faults (PR 4); the last four are *byzantine* kinds
+/// (PR 9) — the owner actively lies rather than merely going silent, and
+/// the protocol answers with detection + on-chain slashing instead of
+/// recovery alone.
 enum class FaultKind : uint8_t {
   kCrash,       ///< Node goes offline at `round` (until a later recover).
   kRecover,     ///< Node comes back online at `round`.
@@ -23,6 +27,10 @@ enum class FaultKind : uint8_t {
   kDuplicate,   ///< Miner's outbound messages duplicated in [round, end_round].
   kReorder,     ///< Miner's outbound messages jittered in [round, end_round].
   kPartition,   ///< `members` (miners) isolated from the rest in [round, end_round].
+  kBadShare,         ///< Owner forges the Shamir shares it reveals in [round, end_round].
+  kInconsistentMask, ///< Owner's masked submission is not its masked update.
+  kEquivocateSubmit, ///< Owner signs two conflicting submissions at `round`.
+  kPoisonUpdate,     ///< Owner scales its local update by `magnitude`.
 };
 
 /// One scheduled fault, keyed to the FL round counter; durations express
@@ -35,10 +43,11 @@ struct FaultEvent {
   uint64_t end_round = 0;         ///< Inclusive last round of interval faults.
   uint32_t count = 1;             ///< Dropped submission attempts.
   uint64_t delay_us = 0;          ///< Extra latency for slow/reorder faults.
+  double magnitude = 0.0;         ///< Poison scale factor (required, > 1).
   std::vector<uint32_t> members;  ///< Partition cell (miner ids).
 
-  /// One line of the DSL, e.g. "crash owner 2 @1" or
-  /// "slow miner 0 @1..3 +20000us".
+  /// One line of the DSL, e.g. "crash owner 2 @1",
+  /// "slow miner 0 @1..3 +20000us" or "poison-update owner 1 @2 *50".
   std::string ToString() const;
 };
 
@@ -61,6 +70,13 @@ struct FaultPlanOptions {
   double duplicate_rate = 0.25;   ///< Per-miner probability of duplication.
   double reorder_rate = 0.25;     ///< Per-miner probability of reordering.
   uint64_t max_extra_delay_us = 20'000;
+  /// Byzantine envelope (PR 9). The rate defaults to 0 and the byzantine
+  /// draws happen strictly *after* every crash/noise draw, so plans from
+  /// pre-existing seeds replay bit-identically. Byzantine owners are
+  /// slashed and permanently retired like crashed ones, so they spend the
+  /// same owner budget: |crashed ∪ byzantine| <= num_owners - threshold.
+  double byzantine_rate = 0.0;    ///< Per-budget-slot misbehavior probability.
+  double poison_magnitude = 50.0; ///< Scale factor for poison-update draws.
 };
 
 /// A deterministic schedule of faults for one protocol run.
@@ -87,15 +103,22 @@ struct FaultPlan {
   ///   duplicate miner <id> @<r>[..<r2>]
   ///   reorder miner <id> @<r>[..<r2>]
   ///   partition miners <id>,<id>,... @<r>[..<r2>]
+  ///   bad-share owner <id> @<r>[..<r2>]
+  ///   inconsistent-mask owner <id> @<round>
+  ///   equivocate-submit owner <id> @<round>
+  ///   poison-update owner <id> @<round> *<magnitude>
   static Result<FaultPlan> Parse(const std::string& spec);
 
   /// Deterministic random plan within the safety envelope of `options`.
   static FaultPlan Random(uint64_t seed, const FaultPlanOptions& options);
 
   /// Rejects plans that could make the protocol unrecoverable: more than
-  /// `num_owners - threshold` distinct owners crashing, any round where
-  /// the online miners reachable from each other fall to half the roster
-  /// or below, out-of-range ids, or inverted intervals.
+  /// `num_owners - threshold` distinct owners crashing *or misbehaving*
+  /// (byzantine owners get slashed and retired, so they spend the same
+  /// budget), any round where the online miners reachable from each other
+  /// fall to half the roster or below, out-of-range ids, inverted
+  /// intervals, byzantine events aimed at miners, or a poison-update
+  /// without a magnitude > 1.
   Status Validate(uint32_t num_owners, uint32_t num_miners,
                   size_t shamir_threshold) const;
 };

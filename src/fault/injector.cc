@@ -38,6 +38,10 @@ void FaultInjector::BeginRound(uint64_t round) {
   duplicating_miners_.clear();
   reordering_miners_.clear();
   submit_drops_left_.clear();
+  forging_owners_.clear();
+  equivocating_owners_.clear();
+  inconsistent_owners_.clear();
+  poison_magnitudes_.clear();
 
   // Crash/recover replay in round order (the plan may list events in any
   // order): the latest event at or before this round decides each node's
@@ -77,6 +81,21 @@ void FaultInjector::BeginRound(uint64_t round) {
       case FaultKind::kPartition:
         if (ActiveAt(e, round)) {
           partition_cell_.insert(e.members.begin(), e.members.end());
+        }
+        break;
+      case FaultKind::kBadShare:
+        if (ActiveAt(e, round)) forging_owners_.insert(e.node);
+        break;
+      case FaultKind::kEquivocateSubmit:
+        if (ActiveAt(e, round)) equivocating_owners_.insert(e.node);
+        break;
+      case FaultKind::kInconsistentMask:
+        if (ActiveAt(e, round)) inconsistent_owners_.insert(e.node);
+        break;
+      case FaultKind::kPoisonUpdate:
+        if (ActiveAt(e, round)) {
+          double& mag = poison_magnitudes_[e.node];
+          mag = std::max(mag, e.magnitude);
         }
         break;
     }

@@ -59,6 +59,28 @@ class FaultInjector {
   /// the round's budget and logs it.
   bool DropSubmissionAttempt(uint32_t owner);
 
+  // --- Byzantine queries (coordinator; PR 9). --------------------------
+  // Per-round sets computed by BeginRound like the crash sets, so these
+  // const queries share the thread-safety contract above: safe from pool
+  // workers during the owner fan-out.
+  /// Owner forges the Shamir shares it reveals this round.
+  bool OwnerForgesShare(uint32_t owner) const {
+    return forging_owners_.count(owner) > 0;
+  }
+  /// Owner signs two conflicting submissions this round.
+  bool OwnerEquivocates(uint32_t owner) const {
+    return equivocating_owners_.count(owner) > 0;
+  }
+  /// Owner submits a masked vector that is not its masked update.
+  bool OwnerInconsistentMask(uint32_t owner) const {
+    return inconsistent_owners_.count(owner) > 0;
+  }
+  /// Scale factor of the owner's poisoned update this round (0 = honest).
+  double OwnerPoisonMagnitude(uint32_t owner) const {
+    auto it = poison_magnitudes_.find(owner);
+    return it == poison_magnitudes_.end() ? 0.0 : it->second;
+  }
+
   // --- Miner-side queries (consensus engine). --------------------------
   bool MinerOffline(uint32_t miner) const {
     return crashed_miners_.count(miner) > 0;
@@ -112,6 +134,10 @@ class FaultInjector {
   std::set<uint32_t> duplicating_miners_;
   std::set<uint32_t> reordering_miners_;
   std::map<uint32_t, uint32_t> submit_drops_left_;
+  std::set<uint32_t> forging_owners_;
+  std::set<uint32_t> equivocating_owners_;
+  std::set<uint32_t> inconsistent_owners_;
+  std::map<uint32_t, double> poison_magnitudes_;
 
   std::vector<Executed> executed_;
 };

@@ -83,6 +83,12 @@ Status RoundLedger::Append(const RoundRecord& record) {
     json.Element(static_cast<size_t>(owner));
   }
   json.EndArray();
+  json.BeginArray("slashed");
+  for (uint32_t owner : record.slashed) {
+    json.Element(static_cast<size_t>(owner));
+  }
+  json.EndArray();
+  json.Field("accusations", static_cast<size_t>(record.accusations));
   json.BeginArray("sv");
   for (double v : record.sv) json.Element(v);
   json.EndArray();

@@ -38,6 +38,10 @@ struct RoundRecord {
   std::vector<uint32_t> dropouts;
   /// Owners retired by an on-chain recovery committed this round.
   std::vector<uint32_t> recovered;
+  /// Owners convicted by an on-chain slash committed this round (PR 9).
+  std::vector<uint32_t> slashed;
+  /// Accusation (slash) transactions submitted this round.
+  uint64_t accusations = 0;
   /// The round's on-chain per-owner SV vector v_i^r.
   std::vector<double> sv;
   double accuracy = 0.0;

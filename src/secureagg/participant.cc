@@ -138,9 +138,14 @@ Result<RecoveryShares> SecureAggParticipant::ShareSecrets(
       crypto::ShamirSecretSharing scheme,
       crypto::ShamirSecretSharing::Create(threshold, roster_size));
   RecoveryShares out;
-  out.dh_private_shares = scheme.Split(key_pair_.private_key.ToBytes(), rng);
+  // SplitVerifiable draws the exact RNG stream Split draws; the Feldman
+  // commitments are derived from the same coefficients, so seeded runs
+  // are bit-identical to the pre-VSS protocol.
+  out.dh_private_shares = scheme.SplitVerifiable(
+      key_pair_.private_key.ToBytes(), rng, &out.dh_commitment);
   Bytes seed_bytes(self_seed_.begin(), self_seed_.end());
-  out.self_seed_shares = scheme.Split(seed_bytes, rng);
+  out.self_seed_shares =
+      scheme.SplitVerifiable(seed_bytes, rng, &out.self_seed_commitment);
   return out;
 }
 

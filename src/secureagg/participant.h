@@ -26,6 +26,12 @@ using OwnerId = uint32_t;
 struct RecoveryShares {
   std::vector<crypto::ShamirShare> dh_private_shares;
   std::vector<crypto::ShamirShare> self_seed_shares;
+  /// Feldman commitments to the two sharing polynomials (PR 9). Published
+  /// with the setup transaction so a revealed share can be verified — and
+  /// a forged one attributed to its holder — by anyone. Empty when the
+  /// dealer used the plain (pre-VSS) path.
+  crypto::VssCommitment dh_commitment;
+  crypto::VssCommitment self_seed_commitment;
 };
 
 /// Reusable buffers for `MaskUpdateInto`: per-peer mask slots, the roster

@@ -106,6 +106,9 @@ Result<std::vector<std::array<uint8_t, 32>>> SecureAggSession::RevealSecrets(
   }
   std::vector<size_t> pending;
   std::vector<std::vector<crypto::ShamirShare>> share_sets;
+  BCFL_ASSIGN_OR_RETURN(
+      const crypto::ShamirSecretSharing scheme,
+      crypto::ShamirSecretSharing::Create(threshold_, participants_.size()));
   for (size_t j = 0; j < jobs.size(); ++j) {
     const RevealJob& job = jobs[j];
     if (holders.size() < threshold_) {
@@ -122,9 +125,28 @@ Result<std::vector<std::array<uint8_t, 32>>> SecureAggSession::RevealSecrets(
     const RecoveryShares& all = recovery_shares_[job.id];
     const auto& source =
         job.dh_key ? all.dh_private_shares : all.self_seed_shares;
+    const crypto::VssCommitment& commitment =
+        job.dh_key ? all.dh_commitment : all.self_seed_commitment;
+    // Feldman check (PR 9): a holder revealing a share that is not on the
+    // dealer's committed polynomial is caught *here*, before the forgery
+    // can poison Lagrange interpolation; the reveal proceeds over the
+    // remaining honest holders and fails closed below the threshold.
     std::vector<crypto::ShamirShare> available;
     available.reserve(holders.size());
-    for (size_t holder : holders) available.push_back(source[holder]);
+    for (size_t holder : holders) {
+      if (!commitment.empty() &&
+          !scheme.VerifyShare(source[holder], commitment)) {
+        continue;
+      }
+      available.push_back(source[holder]);
+    }
+    if (available.size() < threshold_) {
+      return Status::FailedPrecondition(
+          "only " + std::to_string(available.size()) +
+          " verifiable shares of owner " + std::to_string(job.id) +
+          "'s secret survive; threshold is " + std::to_string(threshold_) +
+          " — failing closed");
+    }
     pending.push_back(j);
     share_sets.push_back(std::move(available));
   }

@@ -76,6 +76,35 @@ TEST(AdversaryTest, MinorityGriefersDoNotChangeOutcome) {
   EXPECT_EQ(attacked_result->total_sv, honest_result->total_sv);
 }
 
+TEST(AdversaryTest, BogusSlashByFraudulentLeaderIsRejected) {
+  // Baseline honest run: nobody misbehaves, nobody is slashed.
+  auto honest = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(honest.ok());
+  auto honest_result = (*honest)->Run();
+  ASSERT_TRUE(honest_result.ok());
+
+  // One leader fabricates a conviction of honest owner 2 (PR 9): it
+  // writes the slash/retire/drop records into its proposed state with no
+  // verifiable evidence behind them. Honest validators re-execute the
+  // block, never produce those records, and reject the proposal — the
+  // committed chain keeps owner 2 unslashed with identical results.
+  auto attacked = BcflCoordinator::Create(SmallConfig());
+  ASSERT_TRUE(attacked.ok());
+  ASSERT_TRUE((*attacked)
+                  ->InstallMinerBehavior(0, MakeBogusSlashBehavior(2, 0))
+                  .ok());
+  auto attacked_result = (*attacked)->Run();
+  ASSERT_TRUE(attacked_result.ok());
+
+  EXPECT_EQ(attacked_result->total_sv, honest_result->total_sv);
+  EXPECT_TRUE(attacked_result->slashed_at.empty());
+  EXPECT_TRUE(attacked_result->retired_at.empty());
+  auto& engine = (*attacked)->engine();
+  EXPECT_FALSE(engine.CanonicalState().Has(keys::Slashed(2)));
+  EXPECT_FALSE(engine.CanonicalState().Has(keys::Retired(2)));
+  EXPECT_TRUE(engine.CanonicalState().Has(keys::RoundComplete(0)));
+}
+
 TEST(AdversaryTest, InstallBehaviorValidatesMinerIndex) {
   auto coordinator = BcflCoordinator::Create(SmallConfig());
   ASSERT_TRUE(coordinator.ok());

@@ -1,0 +1,219 @@
+// Byzantine participant hardening, end to end (PR 9): forged shares,
+// equivocation, poisoned updates and inconsistent masks are detected,
+// slashed on chain, and degrade the round exactly as a crash of the same
+// owner would — on both round engines.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/state_keys.h"
+#include "fault/fault_plan.h"
+
+namespace bcfl::core {
+namespace {
+
+/// Six owners so one crash plus one byzantine offender still leaves a
+/// Shamir quorum (t = n/2 + 1 = 4).
+BcflConfig ByzantineConfig() {
+  BcflConfig config;
+  config.num_owners = 6;
+  config.num_miners = 3;
+  config.rounds = 3;
+  config.num_groups = 2;
+  config.seed = 21;
+  config.seed_e = 5;
+  config.sigma = 0.0;
+  config.local.epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.digits.num_instances = 400;
+  config.update_norm_bound = 5.0;
+  return config;
+}
+
+Result<BcflRunResult> RunPlan(BcflConfig config, const std::string& plan,
+                              RoundEngineMode mode) {
+  config.fault_plan = *fault::FaultPlan::Parse(plan);
+  config.round_engine = mode;
+  if (mode == RoundEngineMode::kParallel) config.pool_threads = 3;
+  auto coordinator = BcflCoordinator::Create(config);
+  if (!coordinator.ok()) return coordinator.status();
+  return (*coordinator)->Run();
+}
+
+/// The PR's acceptance invariant: a slashed byzantine owner leaves the
+/// round's aggregate, SV vector and retirement roster bit-identical to a
+/// run where that owner simply crashed.
+void ExpectSlashEqualsCrash(const BcflConfig& config,
+                            const std::string& byzantine_plan,
+                            const std::string& crash_plan,
+                            RoundEngineMode mode) {
+  auto byz = RunPlan(config, byzantine_plan, mode);
+  ASSERT_TRUE(byz.ok()) << byz.status().ToString();
+  auto crash = RunPlan(config, crash_plan, mode);
+  ASSERT_TRUE(crash.ok()) << crash.status().ToString();
+  EXPECT_EQ(byz->per_round_sv, crash->per_round_sv);
+  EXPECT_EQ(byz->total_sv, crash->total_sv);
+  EXPECT_EQ(byz->global_weights, crash->global_weights);
+  EXPECT_EQ(byz->round_accuracies, crash->round_accuracies);
+  EXPECT_EQ(byz->retired_at, crash->retired_at);
+  EXPECT_TRUE(crash->slashed_at.empty());
+  EXPECT_FALSE(byz->slashed_at.empty());
+}
+
+class SlashEqualsCrashTest
+    : public ::testing::TestWithParam<RoundEngineMode> {};
+
+TEST_P(SlashEqualsCrashTest, BadShareForgerDuringRecovery) {
+  // Owner 1 crashes; during its recovery owner 3 reveals a forged share,
+  // is convicted on chain, and the round degrades exactly as if owner 3
+  // had crashed alongside owner 1.
+  BcflConfig config = ByzantineConfig();
+  ExpectSlashEqualsCrash(config, "crash owner 1 @1; bad-share owner 3 @1",
+                         "crash owner 1 @1; crash owner 3 @1", GetParam());
+  auto byz = RunPlan(config, "crash owner 1 @1; bad-share owner 3 @1",
+                     GetParam());
+  ASSERT_TRUE(byz.ok());
+  ASSERT_EQ(byz->slashed_at.size(), 1u);
+  EXPECT_EQ(byz->slashed_at.at(3), 1u);
+  EXPECT_EQ(byz->slash_transactions, 1u);
+  EXPECT_EQ(byz->retired_at.at(3), 1u);
+}
+
+TEST_P(SlashEqualsCrashTest, EquivocatingSubmitter) {
+  ExpectSlashEqualsCrash(ByzantineConfig(), "equivocate-submit owner 2 @1",
+                         "crash owner 2 @1", GetParam());
+}
+
+TEST_P(SlashEqualsCrashTest, PoisonedUpdateCaughtByNormGate) {
+  // Honest masking hides the poison from inspection; the norm gate on the
+  // decoded aggregate flags the group and the audit convicts the poisoner.
+  ExpectSlashEqualsCrash(ByzantineConfig(), "poison-update owner 4 @2 *50",
+                         "crash owner 4 @2", GetParam());
+}
+
+TEST_P(SlashEqualsCrashTest, InconsistentMaskCaughtByNormGate) {
+  // Garbage masks never cancel, so the decoded group aggregate explodes;
+  // the audit unmasks the members and convicts the inconsistent one.
+  ExpectSlashEqualsCrash(ByzantineConfig(), "inconsistent-mask owner 0 @1",
+                         "crash owner 0 @1", GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SlashEqualsCrashTest,
+                         ::testing::Values(RoundEngineMode::kSerial,
+                                           RoundEngineMode::kParallel),
+                         [](const auto& info) {
+                           return info.param == RoundEngineMode::kSerial
+                                      ? "Serial"
+                                      : "Parallel";
+                         });
+
+TEST(ByzantineTest, SlashIsCommittedOnChainByEveryMiner) {
+  BcflConfig config = ByzantineConfig();
+  config.fault_plan =
+      *fault::FaultPlan::Parse("crash owner 1 @1; bad-share owner 3 @1");
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+
+  // The conviction and its crash-equivalent records are canonical state,
+  // agreed by every miner's replica.
+  auto& engine = (*coordinator)->engine();
+  EXPECT_TRUE(engine.CanonicalState().Has(keys::Slashed(3)));
+  EXPECT_TRUE(engine.CanonicalState().Has(keys::Retired(3)));
+  EXPECT_TRUE(engine.CanonicalState().Has(keys::Dropped(1, 3)));
+  EXPECT_FALSE(engine.CanonicalState().Has(keys::Update(1, 3)));
+  auto root = engine.miner(0).state().StateRoot();
+  for (size_t m = 1; m < engine.num_miners(); ++m) {
+    EXPECT_EQ(engine.miner(m).state().StateRoot(), root);
+  }
+}
+
+TEST(ByzantineTest, SlashedOwnerRewardIsBurnedNotRedistributed) {
+  BcflConfig config = ByzantineConfig();
+  config.reward_pool = 1'000'000;
+  config.fault_plan =
+      *fault::FaultPlan::Parse("crash owner 1 @1; bad-share owner 3 @1");
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(result->rewards.size(), 6u);
+  EXPECT_EQ(result->rewards[3], 0u);  // Forfeited.
+  EXPECT_GT(result->reward_burned, 0u);
+  // Burned + claimed == pool minus the crashed (unclaimable) allocation:
+  // the offender's share went to the sink, not to the survivors.
+  uint64_t claimed = 0;
+  for (uint32_t i = 0; i < 6; ++i) claimed += result->rewards[i];
+  EXPECT_LE(claimed + result->reward_burned, 1'000'000u);
+  EXPECT_GT(claimed, 0u);
+}
+
+TEST(ByzantineTest, MixedByzantinePlanIsEngineModeInvariant) {
+  // Equivocation at round 1 and poisoning at round 2 in one session: the
+  // parallel engine must land the identical chain.
+  BcflConfig config = ByzantineConfig();
+  auto serial = RunPlan(
+      config, "equivocate-submit owner 2 @1; poison-update owner 4 @2 *50",
+      RoundEngineMode::kSerial);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = RunPlan(
+      config, "equivocate-submit owner 2 @1; poison-update owner 4 @2 *50",
+      RoundEngineMode::kParallel);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(serial->per_round_sv, parallel->per_round_sv);
+  EXPECT_EQ(serial->total_sv, parallel->total_sv);
+  EXPECT_EQ(serial->global_weights, parallel->global_weights);
+  EXPECT_EQ(serial->round_accuracies, parallel->round_accuracies);
+  EXPECT_EQ(serial->retired_at, parallel->retired_at);
+  EXPECT_EQ(serial->slashed_at, parallel->slashed_at);
+  EXPECT_EQ(serial->slash_transactions, parallel->slash_transactions);
+  EXPECT_EQ(serial->blocks_committed, parallel->blocks_committed);
+  EXPECT_EQ(serial->total_transactions, parallel->total_transactions);
+}
+
+TEST(ByzantineTest, PoisonWithoutNormBoundGoesUndetected) {
+  // The gate is opt-in: with no agreed bound the poisoned round still
+  // completes (and converges worse) — documenting why deployments set
+  // update_norm_bound.
+  BcflConfig config = ByzantineConfig();
+  config.update_norm_bound = 0.0;
+  auto result =
+      RunPlan(config, "poison-update owner 4 @1 *50", RoundEngineMode::kParallel);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->slashed_at.empty());
+  EXPECT_TRUE(result->retired_at.empty());
+  EXPECT_EQ(result->round_accuracies.size(), 3u);
+}
+
+TEST(ByzantineTest, LedgerRecordsSlashesAndAccusations) {
+  BcflConfig config = ByzantineConfig();
+  config.fault_plan = *fault::FaultPlan::Parse("equivocate-submit owner 2 @1");
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  obs::RoundLedger ledger;
+  std::string path = ::testing::TempDir() + "byzantine_ledger.jsonl";
+  ASSERT_TRUE(ledger.Open(path).ok());
+  (*coordinator)->set_round_ledger(&ledger);
+  auto result = (*coordinator)->Run();
+  ASSERT_TRUE(result.ok());
+  ledger.Close();
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"slashed\":[2]"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"accusations\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcfl::core

@@ -86,6 +86,50 @@ TEST(ChaosTest, RandomPlansConvergeWithFrozenSvInvariant) {
   }
 }
 
+TEST(ChaosTest, ByzantineMixedPlansConvergeWithSlashInvariants) {
+  // Random plans drawing byzantine events (bad shares, equivocation,
+  // inconsistent masks, poisoned updates) on top of the crash/omission
+  // mix: every seed must converge, every slashed owner must be retired
+  // and frozen from its conviction round on.
+  BcflConfig base = ChaosConfig();
+  base.update_norm_bound = 5.0;  // Arm the poisoning gate.
+  fault::FaultPlanOptions options = PlanOptions(base);
+  options.byzantine_rate = 0.6;
+  size_t slashes_seen = 0;
+  for (uint64_t seed = 0; seed < SweepWidth(); ++seed) {
+    BcflConfig config = base;
+    config.fault_plan = fault::FaultPlan::Random(seed * 104729 + 3, options);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
+                 config.fault_plan.ToString());
+    auto coordinator = BcflCoordinator::Create(config);
+    ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+    auto result = (*coordinator)->Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->per_round_sv.size(), base.rounds);
+    slashes_seen += result->slashed_at.size();
+
+    auto& engine = (*coordinator)->engine();
+    for (const auto& [owner, slashed_round] : result->slashed_at) {
+      // A slash implies retirement at the same round, the on-chain
+      // conviction record, and a frozen SV from that round on.
+      ASSERT_TRUE(result->retired_at.count(owner) > 0) << "owner " << owner;
+      EXPECT_EQ(result->retired_at.at(owner), slashed_round);
+      EXPECT_TRUE(engine.CanonicalState().Has(keys::Slashed(owner)));
+      for (uint64_t round = slashed_round; round < base.rounds; ++round) {
+        EXPECT_EQ(result->per_round_sv[round][owner], 0.0)
+            << "owner " << owner << " round " << round;
+      }
+    }
+    // Owners retired without a slash (plain crashes) carry no conviction.
+    for (const auto& [owner, _] : result->retired_at) {
+      if (result->slashed_at.count(owner) > 0) continue;
+      EXPECT_FALSE(engine.CanonicalState().Has(keys::Slashed(owner)));
+    }
+  }
+  // The 0.6 rate makes an all-honest sweep essentially impossible.
+  EXPECT_GT(slashes_seen, 0u);
+}
+
 TEST(ChaosTest, FaultedRunsAreDeterministic) {
   BcflConfig config = ChaosConfig();
   config.fault_plan =

@@ -134,6 +134,150 @@ TEST(FaultPlanTest, ValidateRejectsInvertedIntervals) {
   EXPECT_FALSE(plan.Validate(4, 3, 3).ok());
 }
 
+TEST(FaultPlanTest, ParsesByzantineEventKinds) {
+  auto plan = FaultPlan::Parse(
+      "bad-share owner 3 @1..2\n"
+      "inconsistent-mask owner 0 @1\n"
+      "equivocate-submit owner 2 @0\n"
+      "poison-update owner 4 @2 *50");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events.size(), 4u);
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kBadShare);
+  EXPECT_EQ(plan->events[0].end_round, 2u);
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kInconsistentMask);
+  EXPECT_EQ(plan->events[2].kind, FaultKind::kEquivocateSubmit);
+  EXPECT_EQ(plan->events[3].kind, FaultKind::kPoisonUpdate);
+  EXPECT_EQ(plan->events[3].magnitude, 50.0);
+  // And the byzantine grammar round-trips.
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(plan->ToString(), reparsed->ToString());
+}
+
+TEST(FaultPlanTest, ParseFuzzRejectsMalformedByzantineSpecs) {
+  // Unknown kinds near the real ones.
+  EXPECT_FALSE(FaultPlan::Parse("bad-shares owner 1 @0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("equivocate owner 1 @0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("poison owner 1 @0 *50").ok());
+  // poison-update without (or with malformed) magnitude.
+  EXPECT_FALSE(FaultPlan::Parse("poison-update owner 1 @0").ok());
+  EXPECT_FALSE(FaultPlan::Parse("poison-update owner 1 @0 *").ok());
+  EXPECT_FALSE(FaultPlan::Parse("poison-update owner 1 @0 *abc").ok());
+  EXPECT_FALSE(FaultPlan::Parse("poison-update owner 1 @0 *1.2.3").ok());
+  // Out-of-range numbers survive as parse errors, not UB.
+  EXPECT_FALSE(
+      FaultPlan::Parse("bad-share owner 99999999999999999999 @0").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("poison-update owner 1 @0 *1e999999").ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsByzantineEventsAimedAtMiners) {
+  for (const char* spec :
+       {"bad-share miner 0 @0", "inconsistent-mask miner 0 @0",
+        "equivocate-submit miner 0 @0", "poison-update miner 0 @0 *50"}) {
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << spec;
+    EXPECT_FALSE(plan->Validate(6, 3, 4).ok()) << spec;
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsOutOfRangeByzantineOwner) {
+  auto plan = FaultPlan::Parse("bad-share owner 7 @0");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate(6, 3, 4).ok());
+  EXPECT_TRUE(plan->Validate(8, 3, 5).ok());
+}
+
+TEST(FaultPlanTest, ValidateCountsByzantineOwnersAgainstShamirBudget) {
+  // A slashed byzantine owner is retired exactly like a crashed one, so
+  // the union of crashed and byzantine owners spends the same budget:
+  // 6 owners, threshold 4 -> at most 2 may go down.
+  auto two = FaultPlan::Parse("crash owner 1 @1; bad-share owner 3 @1");
+  auto three = FaultPlan::Parse(
+      "crash owner 1 @1; bad-share owner 3 @1; equivocate-submit owner 5 @1");
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_TRUE(two->Validate(6, 3, 4).ok());
+  EXPECT_FALSE(three->Validate(6, 3, 4).ok());
+  // The same owner misbehaving twice spends one slot, not two.
+  auto repeat = FaultPlan::Parse(
+      "bad-share owner 3 @1; poison-update owner 3 @2 *50; crash owner 1 @1");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->Validate(6, 3, 4).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsPoisonMagnitudeAtOrBelowOne) {
+  FaultPlan plan;
+  FaultEvent event;
+  event.kind = FaultKind::kPoisonUpdate;
+  event.node_kind = NodeKind::kOwner;
+  event.node = 1;
+  event.round = 0;
+  event.magnitude = 1.0;  // Scaling by 1 poisons nothing.
+  plan.events.push_back(event);
+  EXPECT_FALSE(plan.Validate(6, 3, 4).ok());
+  plan.events[0].magnitude = 1.5;
+  EXPECT_TRUE(plan.Validate(6, 3, 4).ok());
+}
+
+TEST(FaultPlanTest, RandomByzantinePlansRespectTheEnvelope) {
+  FaultPlanOptions options;
+  options.byzantine_rate = 0.5;
+  const size_t threshold = options.num_owners / 2 + 1;
+  bool saw_byzantine = false;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FaultPlan plan = FaultPlan::Random(seed, options);
+    EXPECT_TRUE(
+        plan.Validate(options.num_owners, options.num_miners, threshold).ok())
+        << "seed " << seed << "\n"
+        << plan.ToString();
+    for (const auto& event : plan.events) {
+      if (event.kind == FaultKind::kBadShare ||
+          event.kind == FaultKind::kInconsistentMask ||
+          event.kind == FaultKind::kEquivocateSubmit ||
+          event.kind == FaultKind::kPoisonUpdate) {
+        saw_byzantine = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_byzantine);
+}
+
+TEST(FaultPlanTest, ZeroByzantineRateKeepsOldSeedsBitIdentical) {
+  // byzantine_rate = 0 (the default) must not perturb the RNG stream of
+  // pre-PR-9 random plans: seeded chaos suites stay reproducible.
+  FaultPlanOptions old_options;
+  FaultPlanOptions new_options;
+  new_options.byzantine_rate = 0.0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    EXPECT_EQ(FaultPlan::Random(seed, old_options).ToString(),
+              FaultPlan::Random(seed, new_options).ToString());
+  }
+}
+
+TEST(FaultInjectorTest, ByzantineQueriesTrackRounds) {
+  auto plan = FaultPlan::Parse(
+      "bad-share owner 3 @1..2; equivocate-submit owner 2 @1; "
+      "inconsistent-mask owner 0 @1; poison-update owner 4 @1 *50");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, 6, 3);
+  injector.BeginRound(0);
+  EXPECT_FALSE(injector.OwnerForgesShare(3));
+  EXPECT_FALSE(injector.OwnerEquivocates(2));
+  EXPECT_FALSE(injector.OwnerInconsistentMask(0));
+  EXPECT_EQ(injector.OwnerPoisonMagnitude(4), 0.0);
+  injector.BeginRound(1);
+  EXPECT_TRUE(injector.OwnerForgesShare(3));
+  EXPECT_FALSE(injector.OwnerForgesShare(2));
+  EXPECT_TRUE(injector.OwnerEquivocates(2));
+  EXPECT_TRUE(injector.OwnerInconsistentMask(0));
+  EXPECT_EQ(injector.OwnerPoisonMagnitude(4), 50.0);
+  injector.BeginRound(2);
+  EXPECT_TRUE(injector.OwnerForgesShare(3));  // Interval end inclusive.
+  EXPECT_FALSE(injector.OwnerEquivocates(2));
+  EXPECT_EQ(injector.OwnerPoisonMagnitude(4), 0.0);
+}
+
 TEST(FaultPlanTest, RandomPlansAlwaysValidate) {
   FaultPlanOptions options;  // 9 owners, 5 miners, 10 rounds.
   const size_t threshold = options.num_owners / 2 + 1;

@@ -314,6 +314,63 @@ TEST(ShamirBatchTest, BatchErrorNamesLowestFailingSet) {
       scheme->ReconstructBatch(sets, sizes, &pool).status().IsInvalidArgument());
 }
 
+TEST(ShamirVssTest, VerifiedQuorumReconstructsAfterDroppingForgery) {
+  // The recovery-path contract (PR 9): verify every revealed share
+  // against the dealer's Feldman commitment, drop what fails, and
+  // reconstruct from the survivors — the forged share never taints the
+  // secret, and the forger is identified by slot.
+  auto scheme = SSS::Create(3, 6);
+  ASSERT_TRUE(scheme.ok());
+  Xoshiro256 rng(90);
+  Bytes secret = {7, 7, 7, 7, 7, 7, 7, 7};
+  VssCommitment commitment;
+  auto shares = scheme->SplitVerifiable(secret, &rng, &commitment);
+  shares[1].values[0] = SSS::FieldAdd(shares[1].values[0], 1);  // Forged.
+
+  std::vector<ShamirShare> accepted;
+  for (const auto& share : shares) {
+    if (scheme->VerifyShare(share, commitment)) accepted.push_back(share);
+  }
+  ASSERT_EQ(accepted.size(), 5u);  // Exactly the forger excluded.
+  EXPECT_EQ(accepted[1].x, shares[2].x);
+  auto back = scheme->Reconstruct(accepted, secret.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, secret);
+}
+
+TEST(ShamirVssTest, VerifyShareIndexZeroAndCountMismatchRejected) {
+  auto scheme = SSS::Create(2, 4);
+  ASSERT_TRUE(scheme.ok());
+  Xoshiro256 rng(91);
+  VssCommitment commitment;
+  auto shares = scheme->SplitVerifiable(Bytes{1, 2, 3}, &rng, &commitment);
+  ShamirShare zero = shares[0];
+  zero.x = 0;
+  EXPECT_FALSE(scheme->VerifyShare(zero, commitment));
+  ShamirShare short_share = shares[0];
+  short_share.values.clear();
+  EXPECT_FALSE(scheme->VerifyShare(short_share, commitment));
+  EXPECT_TRUE(scheme->VerifyShare(shares[0], commitment));
+}
+
+TEST(ShamirVssTest, ExactlyThresholdRosterEveryShareVerifies) {
+  auto scheme = SSS::Create(5, 5);
+  ASSERT_TRUE(scheme.ok());
+  Xoshiro256 rng(92);
+  Bytes secret(32);
+  for (auto& b : secret) b = static_cast<uint8_t>(rng.Next());
+  VssCommitment commitment;
+  auto shares = scheme->SplitVerifiable(secret, &rng, &commitment);
+  for (const auto& share : shares) {
+    EXPECT_TRUE(scheme->VerifyShare(share, commitment));
+    EXPECT_EQ(scheme->VerifyShare(share, commitment),
+              scheme->VerifyShareReference(share, commitment));
+  }
+  auto back = scheme->Reconstruct(shares, secret.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, secret);
+}
+
 TEST(ShamirBatchTest, SizesLengthMismatchRejected) {
   auto scheme = SSS::Create(2, 3);
   ASSERT_TRUE(scheme.ok());

@@ -43,6 +43,7 @@ struct CliOptions {
   uint64_t fault_seed = 0;
   bool have_fault_seed = false;
   size_t chaos_sweep = 0;
+  double chaos_byzantine_rate = 0.0;
   int metrics_port = -1;  ///< -1 = no HTTP endpoint; 0 = ephemeral port.
   std::string ledger_out;
   bool obs_off = false;
@@ -68,6 +69,11 @@ void PrintUsage(const char* argv0) {
       "  --fault-seed N  random fault plan within the safety envelope\n"
       "  --chaos-sweep N run N random-plan sessions; non-zero exit on any\n"
       "                  failed/hung round\n"
+      "  --chaos-byzantine R  per-owner byzantine-event probability for\n"
+      "                  random plans (bad-share / equivocate / poison /\n"
+      "                  inconsistent-mask; default 0 = crash-only)\n"
+      "  --norm-bound F  L2 bound on decoded aggregates; >0 arms the\n"
+      "                  poisoning gate + norm audit (default 0 = off)\n"
       "  --metrics-out F metrics JSON path (default metrics.json, - skips)\n"
       "  --trace-out F   Chrome trace JSON path (default trace.json, - "
       "skips)\n"
@@ -163,6 +169,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--chaos-sweep");
       if (v == nullptr) return false;
       options->chaos_sweep = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--chaos-byzantine") {
+      const char* v = next_value("--chaos-byzantine");
+      if (v == nullptr) return false;
+      options->chaos_byzantine_rate = std::atof(v);
+      if (options->chaos_byzantine_rate < 0.0 ||
+          options->chaos_byzantine_rate > 1.0) {
+        std::fprintf(stderr, "--chaos-byzantine must be in [0, 1]\n");
+        return false;
+      }
+    } else if (arg == "--norm-bound") {
+      const char* v = next_value("--norm-bound");
+      if (v == nullptr) return false;
+      options->config.update_norm_bound = std::atof(v);
     } else if (arg == "--metrics-port") {
       const char* v = next_value("--metrics-port");
       if (v == nullptr) return false;
@@ -210,13 +229,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
-bcfl::fault::FaultPlanOptions PlanOptionsFor(
-    const bcfl::core::BcflConfig& config) {
+bcfl::fault::FaultPlanOptions PlanOptionsFor(const CliOptions& options) {
+  const bcfl::core::BcflConfig& config = options.config;
   bcfl::fault::FaultPlanOptions plan_options;
   plan_options.num_owners = config.num_owners;
   plan_options.num_miners = static_cast<uint32_t>(config.num_miners);
   plan_options.rounds = config.rounds;
   plan_options.shamir_threshold = config.secure_agg_threshold;
+  plan_options.byzantine_rate = options.chaos_byzantine_rate;
   return plan_options;
 }
 
@@ -230,7 +250,7 @@ size_t RunChaosSweep(const CliOptions& options,
     uint64_t seed = options.fault_seed + k;
     bcfl::core::BcflConfig config = options.config;
     config.fault_plan =
-        bcfl::fault::FaultPlan::Random(seed, PlanOptionsFor(config));
+        bcfl::fault::FaultPlan::Random(seed, PlanOptionsFor(options));
     auto coordinator = bcfl::core::BcflCoordinator::Create(config);
     if (!coordinator.ok()) {
       std::printf("chaos seed %llu: SETUP FAILED: %s\n",
@@ -257,10 +277,10 @@ size_t RunChaosSweep(const CliOptions& options,
       continue;
     }
     std::printf("chaos seed %llu: ok (%zu fault events, %zu owners retired, "
-                "%zu blocks)\n",
+                "%zu slashed, %zu blocks)\n",
                 static_cast<unsigned long long>(seed),
                 config.fault_plan.events.size(), result->retired_at.size(),
-                result->blocks_committed);
+                result->slashed_at.size(), result->blocks_committed);
   }
   std::printf("\nchaos sweep: %zu/%zu seeds converged\n",
               options.chaos_sweep - failures, options.chaos_sweep);
@@ -340,7 +360,7 @@ int main(int argc, char** argv) {
     options.config.fault_plan = *plan;
   } else if (options.have_fault_seed) {
     options.config.fault_plan = bcfl::fault::FaultPlan::Random(
-        options.fault_seed, PlanOptionsFor(options.config));
+        options.fault_seed, PlanOptionsFor(options));
   }
   if (!options.config.fault_plan.empty()) {
     std::printf("fault plan (%zu events):\n%s\n",
@@ -421,6 +441,16 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (!result->slashed_at.empty()) {
+    std::printf("\nslashed on chain (evidence verified by every miner):");
+    for (const auto& [owner, round] : result->slashed_at) {
+      std::printf(" owner %u @round %llu;", owner,
+                  static_cast<unsigned long long>(round));
+    }
+    std::printf("\n%zu accusation tx(s); %llu reward unit(s) burned.\n",
+                result->slash_transactions,
+                static_cast<unsigned long long>(result->reward_burned));
+  }
 
   bcfl::obs::ExportPaths paths;
   paths.metrics_json = options.metrics_out == "-" ? "" : options.metrics_out;
@@ -445,6 +475,22 @@ int main(int argc, char** argv) {
     }
     plan_json.EndArray();
     paths.metrics_extra["fault_plan"] = plan_json.str();
+  }
+  // Slashing outcome (PR 9): how many accusations were filed, who was
+  // convicted (owner -> round) and the burned reward, for triage next to
+  // the fault schedule.
+  paths.metrics_extra["slash_transactions"] =
+      std::to_string(result->slash_transactions);
+  paths.metrics_extra["reward_burned"] = std::to_string(result->reward_burned);
+  {
+    bcfl::obs::JsonWriter slashed_json;
+    slashed_json.BeginObject();
+    for (const auto& [owner, round] : result->slashed_at) {
+      slashed_json.Field(std::to_string(owner).c_str(),
+                         static_cast<size_t>(round));
+    }
+    slashed_json.EndObject();
+    paths.metrics_extra["slashed_at"] = slashed_json.str();
   }
   bcfl::Status exported = bcfl::obs::ExportGlobal(paths);
   if (!exported.ok()) {
