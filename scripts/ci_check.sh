@@ -359,4 +359,89 @@ else
   grep -q '"slashed"' "$ARTIFACT_DIR/byz_ledger.jsonl"
 fi
 
+# Crash-restart stage (PR 10): a session killed mid-run by a `kill` fault
+# and resumed from its durable state dir must finish bit-identical to the
+# same session run uninterrupted — per-round SV, global weights, chain tip
+# and the per-round ledger (modulo wall-clock phase timings). Runs on both
+# round engines. Also asserts the chain persisted through O(1) block-log
+# appends, never a full-chain rewrite.
+for ENGINE in serial parallel; do
+  BASE_DIR="$ARTIFACT_DIR/restart_base_$ENGINE"
+  CRASH_DIR="$ARTIFACT_DIR/restart_crash_$ENGINE"
+  RESTART_ARGS=(--owners 5 --miners 3 --rounds 4 --groups 2 --instances 400
+                --seed 7 --round-engine "$ENGINE" --trace-out -
+                --fault-plan "crash owner 4 @1; kill @2")
+
+  # Uninterrupted baseline: same plan, kill disarmed.
+  "$BUILD_DIR/tools/bcfl_sim" "${RESTART_ARGS[@]}" \
+    --ignore-kill-faults --state-dir "$BASE_DIR" \
+    --metrics-out "$BASE_DIR.metrics.json" \
+    --ledger-out "$BASE_DIR.ledger.jsonl"
+
+  # Killed run: the kill fault must take the process down with exit 77.
+  set +e
+  "$BUILD_DIR/tools/bcfl_sim" "${RESTART_ARGS[@]}" \
+    --state-dir "$CRASH_DIR" \
+    --metrics-out "$CRASH_DIR.metrics.json" \
+    --ledger-out "$CRASH_DIR.ledger.jsonl"
+  KILL_EXIT=$?
+  set -e
+  if [ "$KILL_EXIT" -ne 77 ]; then
+    echo "crash-restart ($ENGINE): kill run exited $KILL_EXIT, want 77" >&2
+    exit 1
+  fi
+
+  # Resume: picks the session up from the state dir and finishes it.
+  "$BUILD_DIR/tools/bcfl_sim" "${RESTART_ARGS[@]}" \
+    --resume --state-dir "$CRASH_DIR" \
+    --metrics-out "$CRASH_DIR.metrics.json" \
+    --ledger-out "$CRASH_DIR.ledger.jsonl"
+
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$BASE_DIR" "$CRASH_DIR" "$ENGINE" <<'EOF'
+import json
+import sys
+
+base_dir, crash_dir, engine = sys.argv[1], sys.argv[2], sys.argv[3]
+
+base = json.load(open(f"{base_dir}.metrics.json"))
+resumed = json.load(open(f"{crash_dir}.metrics.json"))
+
+# Bit-identity: the session summary digests SV/weights/accuracy doubles
+# and the chain tip; a single flipped bit anywhere diverges the digests.
+assert base["session_summary"] == resumed["session_summary"], (
+    f"resumed {engine} session diverged from the uninterrupted baseline:\n"
+    f"  base    {base['session_summary']}\n"
+    f"  resumed {resumed['session_summary']}")
+
+# The ledger must match record for record modulo wall-clock phase
+# timings (everything deterministic: SV, volatility, rosters, faults).
+def ledger(path):
+    out = []
+    for line in open(path):
+        record = json.loads(line)
+        record.pop("phase_us", None)
+        out.append(record)
+    return out
+base_ledger = ledger(f"{base_dir}.ledger.jsonl")
+crash_ledger = ledger(f"{crash_dir}.ledger.jsonl")
+assert base_ledger == crash_ledger, f"{engine} ledgers diverge"
+assert len(crash_ledger) == 4, len(crash_ledger)
+
+# Durability ran through the O(1) append path, never a full rewrite.
+counters = resumed["counters"]
+assert counters.get("chain.blocklog.appends", 0) > 0, counters
+assert counters.get("chain.storage.full_saves", 0) == 0, counters
+assert counters.get("core.checkpoints_written", 0) > 0, counters
+assert counters.get("core.resume.blocks_replayed", 0) > 0, counters
+
+print(f"crash-restart OK ({engine}): kill @2 -> resume matched the "
+      f"baseline across {len(crash_ledger)} ledger records, "
+      f"{counters['core.resume.blocks_replayed']:.0f} blocks replayed")
+EOF
+  else
+    grep -q '"session_summary"' "$CRASH_DIR.metrics.json"
+  fi
+done
+
 echo "CI check: all green"

@@ -26,6 +26,10 @@
 # verification (test_vss, batched ModPow under a pool) and the full
 # accusation/slashing path on both round engines (test_byzantine), where
 # slash transactions race the parallel owner fan-out.
+# Since the durable-persistence PR it also covers kill/restart recovery
+# (test_resume, reduced to the parallel-engine cases): the block-log
+# commit sink and checkpoint writes interleave with the hot owner
+# fan-out, and the resumed session must still be bit-identical.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -45,7 +49,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   test_metrics test_tracer test_http_exporter test_round_ledger \
   test_fault test_chaos \
   test_round_engine test_shamir test_vss test_dropout_recovery \
-  test_byzantine test_sig_cache test_merkle bench_kernels \
+  test_byzantine test_sig_cache test_merkle test_resume bench_kernels \
   bench_chain_throughput bench_e2e_rounds
 
 # halt_on_error: fail the script on the first race instead of limping on.
@@ -72,6 +76,10 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   --gtest_filter='Engines/SlashEqualsCrashTest.BadShareForgerDuringRecovery/Parallel:ByzantineTest.MixedByzantinePlanIsEngineModeInvariant'
 "$BUILD_DIR/tests/test_sig_cache"
 "$BUILD_DIR/tests/test_merkle"
+# Kill/restart under TSan, reduced to the parallel-engine cases where
+# checkpoint/block-log writes race the owner fan-out.
+"$BUILD_DIR/tests/test_resume" \
+  --gtest_filter='ResumeTest.ParallelKillMidSessionResumesBitIdentical:ResumeTest.ResumeSurvivesFaultsBesidesTheKill'
 # Chaos under TSan: full faulted protocol runs (coordinator + consensus
 # + recovery) with a reduced sweep — TSan is ~10x slower per seed.
 BCFL_CHAOS_SEEDS="${BCFL_CHAOS_SEEDS:-2}" "$BUILD_DIR/tests/test_chaos"

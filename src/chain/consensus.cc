@@ -258,8 +258,43 @@ Result<CommitResult> ConsensusEngine::TryPropose(uint64_t height,
                               " failed to commit");
       }
     }
+    if (commit_sink_) {
+      // Durability before acknowledgement: if the block cannot be made
+      // durable (log append/fsync failed) the commit fails closed.
+      BCFL_RETURN_IF_ERROR(
+          commit_sink_(proposal)
+              .WithContext("commit sink at height " +
+                           std::to_string(proposal.header.height)));
+    }
   }
   return result;
+}
+
+Status ConsensusEngine::ReplayCommittedBlock(
+    const Block& block, const std::map<uint32_t, uint64_t>& miner_heights) {
+  for (auto& miner : miners_) {
+    auto it = miner_heights.find(miner->id());
+    const uint64_t target =
+        it == miner_heights.end() ? UINT64_MAX : it->second;
+    if (block.header.height > target) continue;  // Was lagging at checkpoint.
+    if (miner->chain().Height() >= block.header.height) continue;
+    BCFL_RETURN_IF_ERROR(
+        miner->CommitBlock(block).WithContext(
+            "replaying height " + std::to_string(block.header.height) +
+            " into miner " + std::to_string(miner->id())));
+    for (const Transaction& tx : block.txs) {
+      miner->mempool().NoteCommitted(tx);
+    }
+  }
+  return Status::OK();
+}
+
+std::map<uint32_t, uint64_t> ConsensusEngine::MinerHeights() const {
+  std::map<uint32_t, uint64_t> heights;
+  for (const auto& miner : miners_) {
+    heights[miner->id()] = miner->chain().Height();
+  }
+  return heights;
 }
 
 Result<CommitResult> ConsensusEngine::RunRound() {

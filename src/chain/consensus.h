@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -96,6 +98,28 @@ class ConsensusEngine {
   void set_fault_injector(fault::FaultInjector* injector);
   fault::FaultInjector* fault_injector() const { return injector_; }
 
+  /// Sink invoked with every block the engine commits, after all
+  /// reachable replicas applied it. This is the durability hook: the
+  /// append-only block log fsyncs each committed block here, so a sink
+  /// error fails the commit closed instead of acknowledging a block that
+  /// never reached disk.
+  using CommitSink = std::function<Status(const Block&)>;
+  void set_commit_sink(CommitSink sink) { commit_sink_ = std::move(sink); }
+
+  /// Restart path: applies one settled block from the durable log.
+  /// `miner_heights` (by miner id) are the per-replica committed heights
+  /// captured in the checkpoint — a replica that was lagging then (crashed
+  /// or partitioned while the block committed) skips it here and catches
+  /// up in-session exactly as it would have without the restart. Bypasses
+  /// the vote path: the block carried a majority when first committed, and
+  /// every replica still re-executes it against its own state root. The
+  /// commit sink is NOT invoked (the block is already on disk).
+  Status ReplayCommittedBlock(const Block& block,
+                              const std::map<uint32_t, uint64_t>& miner_heights);
+
+  /// Committed chain height of every replica, for session checkpoints.
+  std::map<uint32_t, uint64_t> MinerHeights() const;
+
   /// True when `id` is online and reachable from the canonical replica
   /// this round. Always true without an injector.
   bool MinerParticipating(uint32_t id) const;
@@ -119,6 +143,7 @@ class ConsensusEngine {
   std::vector<std::unique_ptr<Miner>> miners_;
   std::unique_ptr<LeaderSchedule> schedule_;
   fault::FaultInjector* injector_ = nullptr;
+  CommitSink commit_sink_;
 
   // Per-attempt vote collection (filled by network handlers). Votes are
   // keyed by the voter id carried in the payload so each roster member

@@ -46,6 +46,11 @@ Status Mempool::Add(Transaction tx) {
   return Status::OK();
 }
 
+void Mempool::NoteCommitted(const Transaction& tx) {
+  seen_.insert(KeyOf(tx));
+  seen_sender_nonce_.insert(SenderNonceOf(tx));
+}
+
 std::vector<Transaction> Mempool::Take(size_t max_count) {
   size_t count = max_count == 0 ? pending_.size()
                                 : std::min(max_count, pending_.size());

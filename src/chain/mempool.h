@@ -43,6 +43,13 @@ class Mempool {
   /// block commits so replicas shed already-included entries.
   void RemoveCommitted(const std::vector<Transaction>& txs);
 
+  /// Records an already-committed transaction in the duplicate-suppression
+  /// sets without admitting it. Used when a replica replays settled blocks
+  /// from the durable log on restart, so a post-restart re-gossip of a
+  /// historical transaction (or a re-signed replay of its nonce) is
+  /// rejected exactly as it was before the crash.
+  void NoteCommitted(const Transaction& tx);
+
   size_t size() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }
 

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fsync_util.h"
+#include "obs/metrics.h"
+
 namespace bcfl::chain {
 
 namespace {
@@ -30,8 +33,13 @@ Status SaveChain(const Blockchain& chain, const std::string& path) {
   }
   const Bytes& buffer = writer.buffer();
   size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
+  // The rename is only atomic-durable if the tmp file's *contents* hit
+  // the disk first; otherwise a power loss can promote an empty or torn
+  // file to `path`.
+  Status sync = (written == buffer.size()) ? FlushAndSync(file)
+                                           : Status::Internal("short write");
   int close_rc = std::fclose(file);
-  if (written != buffer.size() || close_rc != 0) {
+  if (written != buffer.size() || !sync.ok() || close_rc != 0) {
     std::remove(tmp_path.c_str());
     return Status::Internal("short write while saving chain");
   }
@@ -41,6 +49,9 @@ Status SaveChain(const Blockchain& chain, const std::string& path) {
     std::remove(tmp_path.c_str());
     return Status::Internal("rename failed: " + ec.message());
   }
+  // And the rename itself is only durable once the directory entry is.
+  BCFL_RETURN_IF_ERROR(SyncParentDir(path));
+  obs::MetricsRegistry::Global().GetCounter("chain.storage.full_saves").Add();
   return Status::OK();
 }
 
@@ -49,18 +60,28 @@ Result<Blockchain> LoadChain(const std::string& path) {
   if (file == nullptr) {
     return Status::NotFound("no chain file at " + path);
   }
-  std::fseek(file, 0, SEEK_END);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot seek chain file");
+  }
   long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (size < 0) {
+  if (size < 0 || std::fseek(file, 0, SEEK_SET) != 0) {
     std::fclose(file);
     return Status::Internal("cannot stat chain file");
   }
   Bytes buffer(static_cast<size_t>(size));
-  size_t read = std::fread(buffer.data(), 1, buffer.size(), file);
+  // Bounded loop instead of one fread trusting `size`: handles EINTR
+  // short reads and files larger than one stdio transfer.
+  Status read = buffer.empty()
+                    ? Status::OK()
+                    : ReadExact(file, buffer.data(), buffer.size());
   std::fclose(file);
-  if (read != buffer.size()) {
-    return Status::Corruption("short read while loading chain");
+  if (!read.ok()) {
+    return Status::Corruption("short read while loading chain: " +
+                              std::string(read.message()));
+  }
+  if (buffer.empty()) {
+    return Status::Corruption("chain file is empty");
   }
 
   ByteReader reader(buffer);

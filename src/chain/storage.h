@@ -15,8 +15,15 @@ namespace bcfl::chain {
 /// roots) while reading, so a corrupted or truncated file is rejected —
 /// never half-loaded.
 ///
-/// Writes go to `<path>.tmp` and are renamed into place, so a crash
-/// mid-save leaves the previous file intact.
+/// Writes go to `<path>.tmp`, which is fsynced (file and containing
+/// directory) before the rename, so a crash or power loss mid-save
+/// leaves the previous file intact — never an empty or torn one.
+///
+/// This is the *compat snapshot* path: it serializes the whole chain
+/// (O(chain) memory and I/O) on every call. Steady-state persistence
+/// runs through the append-only `BlockLog` (block_log.h), which writes
+/// O(1 block) per commit; SaveChain remains for one-shot exports and
+/// older tooling.
 Status SaveChain(const Blockchain& chain, const std::string& path);
 
 Result<Blockchain> LoadChain(const std::string& path);

@@ -1,0 +1,127 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define BCFL_CRC32C_HAVE_SSE42 1
+#define BCFL_CRC32C_TARGET_SSE42 __attribute__((target("sse4.2")))
+#include <nmmintrin.h>
+#else
+#define BCFL_CRC32C_HAVE_SSE42 0
+#define BCFL_CRC32C_TARGET_SSE42
+#endif
+
+namespace bcfl {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+// Slicing-by-4 tables, built once at first use. Table 0 is the classic
+// byte-at-a-time table; tables 1..3 extend it so the portable kernel
+// consumes four bytes per step.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+// Portable slicing-by-4 kernel over the raw (pre-inversion) state.
+uint32_t UpdatePortable(uint32_t crc, const uint8_t* data, size_t size) {
+  const Tables& tables = GetTables();
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(data[0]) |
+           (static_cast<uint32_t>(data[1]) << 8) |
+           (static_cast<uint32_t>(data[2]) << 16) |
+           (static_cast<uint32_t>(data[3]) << 24);
+    crc = tables.t[3][crc & 0xFFu] ^ tables.t[2][(crc >> 8) & 0xFFu] ^
+          tables.t[1][(crc >> 16) & 0xFFu] ^ tables.t[0][crc >> 24];
+    data += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *data) & 0xFFu];
+    ++data;
+    --size;
+  }
+  return crc;
+}
+
+#if BCFL_CRC32C_HAVE_SSE42
+BCFL_CRC32C_TARGET_SSE42
+uint32_t UpdateHardware(uint32_t crc, const uint8_t* data, size_t size) {
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, data, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    data += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (size >= 4) {
+    uint32_t word;
+    __builtin_memcpy(&word, data, 4);
+    crc = _mm_crc32_u32(crc, word);
+    data += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *data);
+    ++data;
+    --size;
+  }
+  return crc;
+}
+
+bool HardwareSupported() {
+  static const bool supported = __builtin_cpu_supports("sse4.2") != 0;
+  return supported;
+}
+#endif  // BCFL_CRC32C_HAVE_SSE42
+
+uint32_t Update(uint32_t crc, const uint8_t* data, size_t size) {
+#if BCFL_CRC32C_HAVE_SSE42
+  if (HardwareSupported()) return UpdateHardware(crc, data, size);
+#endif
+  return UpdatePortable(crc, data, size);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  return Update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t size) {
+  return Update(crc ^ 0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+bool Crc32cHardwareEnabled() {
+#if BCFL_CRC32C_HAVE_SSE42
+  return HardwareSupported();
+#else
+  return false;
+#endif
+}
+
+}  // namespace bcfl

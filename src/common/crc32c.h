@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bcfl {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum guarding every record of the durable block log and the
+/// session checkpoint files. Castagnoli rather than the zip CRC because
+/// x86 carries a hardware instruction for it (SSE4.2 `crc32`), so the
+/// per-commit fsync path pays nanoseconds, not microseconds, for
+/// integrity. Dispatch follows the sha256.cc idiom: a table-driven
+/// portable kernel always exists, the hardware kernel is selected once at
+/// first use via `__builtin_cpu_supports`.
+///
+/// `Crc32c` returns the finalized (post-inverted) checksum of `data`;
+/// `Crc32cExtend` continues a previous finalized checksum, so
+/// `Crc32cExtend(Crc32c(a, n), b, m) == Crc32c(ab, n + m)`.
+uint32_t Crc32c(const uint8_t* data, size_t size);
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t size);
+
+/// True when the SSE4.2 hardware kernel is compiled in and selected at
+/// runtime (exposed for tests and the metrics plane).
+bool Crc32cHardwareEnabled();
+
+}  // namespace bcfl

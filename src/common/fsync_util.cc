@@ -1,0 +1,76 @@
+#include "common/fsync_util.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace bcfl {
+
+Status FlushAndSync(std::FILE* file) {
+  if (file == nullptr) return Status::InvalidArgument("null file");
+  if (std::fflush(file) != 0) {
+    return Status::Internal(std::string("fflush failed: ") +
+                            std::strerror(errno));
+  }
+#if defined(_WIN32)
+  if (_commit(_fileno(file)) != 0) {
+    return Status::Internal("file sync failed");
+  }
+#else
+  if (::fsync(fileno(file)) != 0) {
+    return Status::Internal(std::string("fsync failed: ") +
+                            std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+#if defined(_WIN32)
+  // Windows metadata updates are synchronous enough for the test harness;
+  // directory handles cannot be fsynced through the CRT.
+  (void)path;
+  return Status::OK();
+#else
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  std::string dir = parent.empty() ? std::string(".") : parent.string();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory for sync: " + dir);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("directory fsync failed: " + dir);
+  }
+  return Status::OK();
+#endif
+}
+
+Status ReadExact(std::FILE* file, uint8_t* out, size_t size) {
+  size_t total = 0;
+  while (total < size) {
+    size_t got = std::fread(out + total, 1, size - total, file);
+    if (got == 0) {
+      if (std::ferror(file) != 0 && errno == EINTR) {
+        std::clearerr(file);
+        continue;
+      }
+      if (std::feof(file) != 0) {
+        return Status::Corruption("unexpected end of file");
+      }
+      return Status::Internal("read error");
+    }
+    total += got;
+  }
+  return Status::OK();
+}
+
+}  // namespace bcfl

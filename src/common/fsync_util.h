@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+
+namespace bcfl {
+
+/// Durability primitives shared by the persistence layer (chain snapshot,
+/// block log, session checkpoint). All of them follow the same POSIX
+/// contract: data is durable only after (1) the file's own fsync and
+/// (2) an fsync of the containing directory once the name changes
+/// (create/rename) — a rename without the directory fsync can survive the
+/// process but vanish in a power loss.
+
+/// Flushes stdio buffers and fsyncs the open stream's file descriptor.
+Status FlushAndSync(std::FILE* file);
+
+/// Fsyncs the directory containing `path`, making a completed
+/// create/rename of `path` durable.
+Status SyncParentDir(const std::string& path);
+
+/// Reads exactly `size` bytes into `out`, looping over short reads
+/// (EINTR, pipes, >2 GiB files on 32-bit longs). Returns Corruption when
+/// the stream ends early, Internal on a read error.
+Status ReadExact(std::FILE* file, uint8_t* out, size_t size);
+
+}  // namespace bcfl

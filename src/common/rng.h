@@ -28,6 +28,11 @@ class SplitMix64 {
   /// Returns a double uniformly distributed in [0, 1).
   double NextDouble();
 
+  /// Raw generator state, for checkpoint/restore. Restoring the saved
+  /// state resumes the stream bit-identically.
+  uint64_t SaveState() const { return state_; }
+  void RestoreState(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };
@@ -64,6 +69,24 @@ class Xoshiro256 {
 
   /// Returns a uniformly random permutation of {0, 1, ..., n-1}.
   std::vector<size_t> Permutation(size_t n);
+
+  /// Complete generator state, for checkpoint/restore: the four xoshiro
+  /// state words plus the polar-method gaussian cache (the cache matters —
+  /// dropping a buffered second sample would shift every later gaussian
+  /// draw and break bit-identical resume).
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const {
+    return State{s_, has_cached_gaussian_, cached_gaussian_};
+  }
+  void RestoreState(const State& state) {
+    s_ = state.s;
+    has_cached_gaussian_ = state.has_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
 
  private:
   std::array<uint64_t, 4> s_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 
+#include "common/fsync_util.h"
 #include "core/reward_contract.h"
 #include "core/slash_contract.h"
 #include "data/noise.h"
@@ -219,6 +222,237 @@ Status BcflCoordinator::InstallMinerBehavior(size_t miner_idx,
     return Status::OutOfRange("no such miner");
   }
   engine_->miner(miner_idx).set_behavior(std::move(behavior));
+  return Status::OK();
+}
+
+uint64_t BcflCoordinator::ConfigFingerprint() const {
+  ByteWriter writer;
+  writer.WriteU32(config_.num_owners);
+  writer.WriteU64(config_.num_miners);
+  writer.WriteU32(config_.rounds);
+  writer.WriteU32(config_.num_groups);
+  writer.WriteU64(config_.seed);
+  writer.WriteU64(config_.seed_e);
+  writer.WriteU32(config_.fixed_point_bits);
+  writer.WriteDouble(config_.sigma);
+  writer.WriteDouble(config_.local.learning_rate);
+  writer.WriteU64(config_.local.epochs);
+  writer.WriteDouble(config_.local.l2_penalty);
+  writer.WriteU64(config_.digits.num_instances);
+  writer.WriteU64(config_.digits.seed);
+  writer.WriteU32(static_cast<uint32_t>(config_.digits.max_shift));
+  writer.WriteDouble(config_.digits.pixel_jitter);
+  writer.WriteDouble(config_.digits.stroke_dropout);
+  writer.WriteU64(config_.consensus.leader_seed);
+  writer.WriteU64(config_.consensus.max_txs_per_block);
+  writer.WriteU32(config_.consensus.max_retries);
+  writer.WriteU64(config_.consensus.view_change_timeout_us);
+  writer.WriteU64(config_.consensus.network.min_latency_us);
+  writer.WriteU64(config_.consensus.network.max_latency_us);
+  writer.WriteDouble(config_.consensus.network.drop_probability);
+  writer.WriteU64(config_.consensus.network.seed);
+  writer.WriteU64(config_.reward_pool);
+  writer.WriteString(config_.fault_plan.ToString());
+  writer.WriteU64(config_.secure_agg_threshold);
+  writer.WriteDouble(config_.update_norm_bound);
+  writer.WriteU64(config_.submit_deadline_us);
+  writer.WriteU64(config_.submit_backoff_us);
+  writer.WriteU32(config_.max_submit_attempts);
+  const crypto::Digest digest = crypto::Sha256::Hash(writer.buffer());
+  uint64_t fingerprint = 0;
+  for (int i = 0; i < 8; ++i) {
+    fingerprint |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return fingerprint;
+}
+
+Status BcflCoordinator::AttachPersistence(const PersistenceOptions& options) {
+  if (persistence_attached_) {
+    return Status::FailedPrecondition("persistence already attached");
+  }
+  if (options.state_dir.empty()) {
+    return Status::InvalidArgument("persistence needs a state dir");
+  }
+  persist_ = options;
+  if (persist_.checkpoint_every == 0) persist_.checkpoint_every = 1;
+  std::error_code ec;
+  std::filesystem::create_directories(persist_.state_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create state dir " + persist_.state_dir +
+                            ": " + ec.message());
+  }
+  checkpoint_path_ = persist_.state_dir + "/checkpoint.bckp";
+  kill_journal_path_ = persist_.state_dir + "/kill_journal";
+  BCFL_ASSIGN_OR_RETURN(
+      chain::BlockLog log,
+      chain::BlockLog::Open(persist_.state_dir + "/blocks.log"));
+  block_log_ = std::make_unique<chain::BlockLog>(std::move(log));
+
+  Status st = persist_.resume ? RestoreFromState() : InitFreshState();
+  if (!st.ok()) {
+    block_log_.reset();
+    return st;
+  }
+  // Durability before acknowledgement: from here on every committed block
+  // is fsynced to the log inside the commit, or the commit fails closed.
+  engine_->set_commit_sink([this](const chain::Block& block) {
+    return block_log_->Append(block);
+  });
+  persistence_attached_ = true;
+  return Status::OK();
+}
+
+Status BcflCoordinator::InitFreshState() {
+  if (block_log_->tip_height() > 0) {
+    return Status::FailedPrecondition(
+        "state dir already holds a session (block log tip " +
+        std::to_string(block_log_->tip_height()) +
+        "); pass resume to continue it");
+  }
+  (void)block_log_->TakeRecoveredBlocks();
+  // Create() already committed the setup block(s) through live consensus;
+  // backfill them so the log holds every non-genesis block.
+  const chain::Blockchain& chain = engine_->CanonicalChain();
+  for (uint64_t h = 1; h <= chain.Height(); ++h) {
+    BCFL_ASSIGN_OR_RETURN(chain::Block block, chain.GetBlock(h));
+    BCFL_RETURN_IF_ERROR(block_log_->Append(block));
+  }
+  // Initial checkpoint: a kill at round 0 must already leave a resumable
+  // state dir behind.
+  BcflRunResult fresh;
+  const ml::Matrix zero(params_.weight_rows, params_.weight_cols);
+  return WriteCheckpoint(0, fresh, zero);
+}
+
+Status BcflCoordinator::RestoreFromState() {
+  static auto& replays = obs::MetricsRegistry::Global().GetCounter(
+      "core.resume.blocks_replayed");
+  obs::ScopedSpan span(obs::Tracer::Global(), "resume_restore", "core");
+  if (config_.keep_local_models) {
+    return Status::InvalidArgument(
+        "resume cannot rebuild per_round_locals; disable keep_local_models");
+  }
+  BCFL_ASSIGN_OR_RETURN(SessionCheckpoint cp, LoadCheckpoint(checkpoint_path_));
+  if (cp.config_fingerprint != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint was taken under a different configuration — refusing "
+        "to resume");
+  }
+  std::vector<chain::Block> logged = block_log_->TakeRecoveredBlocks();
+  if (block_log_->tip_height() < cp.tip_height) {
+    return Status::Corruption(
+        "block log tip " + std::to_string(block_log_->tip_height()) +
+        " is behind checkpoint tip " + std::to_string(cp.tip_height) +
+        " — the log lost acknowledged blocks");
+  }
+  // Blocks past the checkpoint are re-created bit-identically by the
+  // resumed rounds; drop them instead of replaying protocol state the
+  // checkpoint knows nothing about.
+  BCFL_RETURN_IF_ERROR(block_log_->TruncateToHeight(cp.tip_height));
+  logged.resize(cp.tip_height);
+
+  // Create() re-committed the setup block through live consensus. The
+  // log's copy must match it byte for byte, or this state dir belongs to
+  // a different session than the supplied configuration.
+  const chain::Blockchain& live = engine_->CanonicalChain();
+  if (live.Height() < 1 || logged.empty()) {
+    return Status::Corruption("no setup block to verify the state dir by");
+  }
+  BCFL_ASSIGN_OR_RETURN(chain::Block setup_block, live.GetBlock(1));
+  if (setup_block.Serialize() != logged[0].Serialize()) {
+    return Status::Corruption(
+        "logged setup block does not match this configuration's setup — "
+        "wrong state dir?");
+  }
+  for (size_t i = 1; i < logged.size(); ++i) {
+    BCFL_RETURN_IF_ERROR(
+        engine_->ReplayCommittedBlock(logged[i], cp.miner_heights));
+    replays.Add();
+  }
+  const chain::Blockchain& replayed = engine_->CanonicalChain();
+  if (replayed.Height() != cp.tip_height ||
+      replayed.Tip().header.Hash() != cp.tip_hash) {
+    return Status::Corruption(
+        "replayed chain tip diverges from the checkpoint tip");
+  }
+
+  rng_->RestoreState(cp.session_rng);
+  BCFL_RETURN_IF_ERROR(
+      engine_->mutable_network().RestoreResumeState(cp.network));
+  retired_ = cp.retired_at;
+  seeded_result_ = BcflRunResult{};
+  seeded_result_.per_round_sv = cp.per_round_sv;
+  seeded_result_.round_accuracies = cp.round_accuracies;
+  seeded_result_.blocks_committed = static_cast<size_t>(cp.blocks_committed);
+  seeded_result_.total_transactions =
+      static_cast<size_t>(cp.total_transactions);
+  seeded_result_.recover_transactions =
+      static_cast<size_t>(cp.recover_transactions);
+  seeded_result_.submission_retries =
+      static_cast<size_t>(cp.submission_retries);
+  seeded_result_.slash_transactions =
+      static_cast<size_t>(cp.slash_transactions);
+  seeded_result_.slashed_at = cp.slashed_at;
+  seeded_global_ = cp.global_weights;
+  start_round_ = cp.next_round;
+  resumed_ = true;
+  return DisarmJournaledKills();
+}
+
+Status BcflCoordinator::WriteCheckpoint(uint64_t next_round,
+                                        const BcflRunResult& result,
+                                        const ml::Matrix& global) {
+  static auto& checkpoints = obs::MetricsRegistry::Global().GetCounter(
+      "core.checkpoints_written");
+  obs::ScopedSpan span(obs::Tracer::Global(), "checkpoint", "core");
+  SessionCheckpoint cp;
+  cp.config_fingerprint = ConfigFingerprint();
+  cp.next_round = next_round;
+  cp.session_rng = rng_->SaveState();
+  cp.network = engine_->mutable_network().SaveResumeState();
+  const chain::Blockchain& chain = engine_->CanonicalChain();
+  cp.tip_height = chain.Height();
+  cp.tip_hash = chain.Tip().header.Hash();
+  cp.miner_heights = engine_->MinerHeights();
+  cp.global_weights = global;
+  cp.per_round_sv = result.per_round_sv;
+  cp.round_accuracies = result.round_accuracies;
+  cp.blocks_committed = result.blocks_committed;
+  cp.total_transactions = result.total_transactions;
+  cp.recover_transactions = result.recover_transactions;
+  cp.submission_retries = result.submission_retries;
+  cp.slash_transactions = result.slash_transactions;
+  cp.retired_at = retired_;
+  cp.slashed_at = result.slashed_at;
+  cp.ledger_rounds =
+      ledger_ != nullptr ? ledger_->rounds_written() : next_round;
+  BCFL_RETURN_IF_ERROR(SaveCheckpoint(cp, checkpoint_path_));
+  checkpoints.Add();
+  return Status::OK();
+}
+
+Status BcflCoordinator::JournalKill(uint64_t round) {
+  std::FILE* file = std::fopen(kill_journal_path_.c_str(), "a");
+  if (file == nullptr) {
+    return Status::Internal("cannot open kill journal " + kill_journal_path_);
+  }
+  std::fprintf(file, "%llu\n", static_cast<unsigned long long>(round));
+  Status sync = FlushAndSync(file);
+  std::fclose(file);
+  BCFL_RETURN_IF_ERROR(sync.WithContext("journaling kill"));
+  return SyncParentDir(kill_journal_path_);
+}
+
+Status BcflCoordinator::DisarmJournaledKills() {
+  std::FILE* file = std::fopen(kill_journal_path_.c_str(), "r");
+  if (file == nullptr) return Status::OK();  // No kill has fired yet.
+  unsigned long long round = 0;
+  while (std::fscanf(file, "%llu", &round) == 1) {
+    if (injector_ != nullptr) {
+      injector_->DisarmKill(static_cast<uint64_t>(round));
+    }
+  }
+  std::fclose(file);
   return Status::OK();
 }
 
@@ -578,9 +812,15 @@ Result<BcflRunResult> BcflCoordinator::Run() {
       obs::MetricsRegistry::Global().GetHistogram("fl.round_us");
   static auto& accuracy_gauge =
       obs::MetricsRegistry::Global().GetGauge("fl.round_accuracy");
-  BcflRunResult result;
+  // A resumed session starts from the checkpointed accumulators and
+  // global model instead of zero — everything else below is unchanged,
+  // which is exactly why the continuation is bit-identical.
+  BcflRunResult result =
+      resumed_ ? std::move(seeded_result_) : BcflRunResult{};
   const size_t n = config_.num_owners;
-  ml::Matrix global(params_.weight_rows, params_.weight_cols);
+  ml::Matrix global = resumed_
+                          ? std::move(seeded_global_)
+                          : ml::Matrix(params_.weight_rows, params_.weight_cols);
 
   // Ledger probes: the phase latencies a round ledgers are per-round
   // deltas of the same live instruments the exposition endpoint serves,
@@ -596,11 +836,27 @@ Result<BcflRunResult> BcflCoordinator::Run() {
   obs::RoundRecord pending_final_record;
   bool have_pending_final_record = false;
 
-  for (uint64_t round = 0; round < config_.rounds; ++round) {
+  for (uint64_t round = start_round_; round < config_.rounds; ++round) {
     obs::ScopedSpan round_span(obs::Tracer::Global(), "round", "fl");
     obs::ScopedLatency round_latency(round_us);
     rounds_counter.Add();
     if (injector_ != nullptr) injector_->BeginRound(round);
+    // Process-kill fault (PR 10): fires at the start of its round, after
+    // journaling itself so a resumed process disarms it instead of
+    // refiring. bcfl_sim's handler hard-exits here; in-process callers
+    // (tests) get FailedPrecondition and resume from the state dir.
+    if (injector_ != nullptr && injector_->KillScheduled(round)) {
+      was_killed_ = true;
+      killed_round_ = round;
+      if (persistence_attached_) {
+        BCFL_RETURN_IF_ERROR(JournalKill(round));
+      }
+      injector_->RecordExecuted(
+          round, "kill: coordinator process dies at round start");
+      if (kill_handler_) kill_handler_(round);
+      return Status::FailedPrecondition("killed by fault plan at round " +
+                                        std::to_string(round));
+    }
     const double mask_us0 = mask_us_hist.Sum();
     const double sv_eval_us0 = sv_eval_us_hist.Sum();
     const uint64_t sig_hits0 = sig_hits.Value();
@@ -843,6 +1099,17 @@ Result<BcflRunResult> BcflCoordinator::Run() {
       } else {
         BCFL_RETURN_IF_ERROR(ledger_->Append(record));
       }
+    }
+
+    // Session checkpoint (PR 10): taken at the round boundary, after the
+    // ledger record landed, so checkpoint.ledger_rounds counts exactly the
+    // records a resume keeps. The final round is never checkpointed — a
+    // completed session has nothing left to resume.
+    if (persistence_attached_ && round + 1 < config_.rounds &&
+        (round + 1) % persist_.checkpoint_every == 0) {
+      BCFL_RETURN_IF_ERROR(
+          WriteCheckpoint(round + 1, result, global)
+              .WithContext("checkpoint after round " + std::to_string(round)));
     }
   }
 

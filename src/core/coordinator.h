@@ -1,13 +1,17 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "chain/block_log.h"
 #include "chain/consensus.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "core/fl_contract.h"
 #include "core/params.h"
 #include "core/round_engine.h"
@@ -72,6 +76,23 @@ struct BcflConfig {
   /// O(rounds * owners * model) memory and only experiments comparing
   /// against off-chain baselines need it.
   bool keep_local_models = false;
+};
+
+/// Durable-session persistence (PR 10): where the append-only block log,
+/// the crash-consistent session checkpoint and the kill journal live, how
+/// often checkpoints are taken, and whether this process resumes a killed
+/// session instead of starting a fresh one.
+struct PersistenceOptions {
+  /// Directory holding blocks.log, checkpoint.bckp and kill_journal.
+  /// Created if absent.
+  std::string state_dir;
+  /// A checkpoint is written after every K-th completed round (plus one
+  /// at attach time, so a kill at round 0 is already resumable). 0 is
+  /// normalised to 1.
+  uint64_t checkpoint_every = 1;
+  /// Restore the session from `state_dir`. Without this flag a state dir
+  /// that already holds committed blocks is refused, never overwritten.
+  bool resume = false;
 };
 
 /// Everything a full on-chain session produces.
@@ -153,6 +174,47 @@ class BcflCoordinator {
   /// nullptr (the default) disables ledger emission.
   void set_round_ledger(obs::RoundLedger* ledger) { ledger_ = ledger; }
 
+  // --- Durability & restart (PR 10). -----------------------------------
+
+  /// Attaches durable persistence after Create(). Fresh mode seeds the
+  /// state dir: the setup block goes into the append-only log, an initial
+  /// checkpoint (next_round = 0) is written, and from then on every block
+  /// the engine commits is fsynced to the log *before* the commit is
+  /// acknowledged. Resume mode restores a killed session instead: the
+  /// checkpoint is loaded fail-closed, its fingerprint checked against
+  /// this configuration, the logged blocks past the checkpoint truncated,
+  /// heights 2..tip replayed into the freshly re-created engine, and the
+  /// session RNG / network / roster / counters restored — Run() then
+  /// continues from `start_round()` bit-identically to a run that was
+  /// never killed.
+  Status AttachPersistence(const PersistenceOptions& options);
+
+  /// First FL round Run() will execute (non-zero only after a resume).
+  uint64_t start_round() const { return start_round_; }
+  /// Full-precision per-round SV vectors restored from the checkpoint
+  /// (one entry per completed round; empty unless resumed). Feed this to
+  /// RoundLedger::OpenForResume so the rolling-volatility window holds
+  /// the exact doubles, not the ledger's %.6f-rounded values.
+  const std::vector<std::vector<double>>& restored_sv_history() const {
+    return seeded_result_.per_round_sv;
+  }
+  /// True when Run() stopped because an armed `kill` fault fired (only
+  /// observable in-process when the kill handler declines to exit).
+  bool was_killed() const { return was_killed_; }
+  uint64_t killed_round() const { return killed_round_; }
+  /// Invoked when an armed `kill` fault fires, after the kill has been
+  /// journaled to the state dir. bcfl_sim installs std::_Exit here to
+  /// model a hard process death; if the handler returns (or none is set),
+  /// Run() surfaces FailedPrecondition instead.
+  void set_kill_handler(std::function<void(uint64_t)> handler) {
+    kill_handler_ = std::move(handler);
+  }
+
+  /// Hash of every determinism-relevant config knob (seeds, roster,
+  /// rounds, deadlines, fault plan, ...). A checkpoint records it and
+  /// resume refuses a checkpoint taken under a different configuration.
+  uint64_t ConfigFingerprint() const;
+
  private:
   BcflCoordinator() = default;
 
@@ -224,6 +286,20 @@ class BcflCoordinator {
   /// submits a norm-violation slash for every member over the bound.
   Status AuditFlaggedGroups(uint64_t round, BcflRunResult* result);
 
+  /// Fresh-persistence half of AttachPersistence: refuses a used state
+  /// dir, logs the setup block, writes the round-0 checkpoint.
+  Status InitFreshState();
+  /// Resume half: checkpoint load + log replay + dynamic-state restore.
+  Status RestoreFromState();
+  /// Captures the session at the boundary before `next_round` and writes
+  /// it atomically to the checkpoint file.
+  Status WriteCheckpoint(uint64_t next_round, const BcflRunResult& result,
+                         const ml::Matrix& global);
+  /// Durably records that the kill at `round` fired, so a resumed process
+  /// disarms it instead of refiring forever.
+  Status JournalKill(uint64_t round);
+  Status DisarmJournaledKills();
+
   BcflConfig config_;
   ml::Dataset test_set_;
   std::vector<fl::FlClient> clients_;
@@ -252,6 +328,20 @@ class BcflCoordinator {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<RoundEngine> round_engine_;
   RoundScratch round_scratch_;
+  /// Durability & restart state (PR 10).
+  PersistenceOptions persist_;
+  bool persistence_attached_ = false;
+  std::unique_ptr<chain::BlockLog> block_log_;
+  std::string checkpoint_path_;
+  std::string kill_journal_path_;
+  std::function<void(uint64_t)> kill_handler_;
+  bool was_killed_ = false;
+  uint64_t killed_round_ = 0;
+  uint64_t start_round_ = 0;
+  bool resumed_ = false;
+  /// Accumulators restored from the checkpoint, consumed by Run().
+  BcflRunResult seeded_result_;
+  ml::Matrix seeded_global_;
 };
 
 }  // namespace bcfl::core

@@ -21,6 +21,7 @@ const char* KindName(FaultKind kind) {
     case FaultKind::kInconsistentMask: return "inconsistent-mask";
     case FaultKind::kEquivocateSubmit: return "equivocate-submit";
     case FaultKind::kPoisonUpdate: return "poison-update";
+    case FaultKind::kKill: return "kill";
   }
   return "?";
 }
@@ -94,6 +95,10 @@ std::vector<const FaultEvent*> EventsByRound(
 }
 
 std::string FaultEvent::ToString() const {
+  if (kind == FaultKind::kKill) {
+    // Kills target the coordinator process itself, so there is no node.
+    return "kill " + RangeString(round, end_round);
+  }
   std::string out = KindName(kind);
   out += ' ';
   if (kind == FaultKind::kPartition) {
@@ -142,6 +147,20 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
     std::string token;
     while (tokens >> token) parts.push_back(token);
     if (parts.empty()) continue;
+    if (parts[0] == "kill") {
+      // `kill @<round>` — no target node; the coordinator process dies.
+      if (parts.size() != 2 || parts[1].empty() || parts[1][0] != '@') {
+        return Status::InvalidArgument("kill wants 'kill @<round>': '" + line +
+                                       "'");
+      }
+      FaultEvent event;
+      event.kind = FaultKind::kKill;
+      BCFL_ASSIGN_OR_RETURN(event.round,
+                            ParseNumber(parts[1].substr(1), "round"));
+      event.end_round = event.round;
+      plan.events.push_back(std::move(event));
+      continue;
+    }
     if (parts.size() < 3) {
       return Status::InvalidArgument("incomplete fault event: '" + line + "'");
     }
@@ -404,6 +423,10 @@ Status FaultPlan::Validate(uint32_t num_owners, uint32_t num_miners,
     horizon = std::max(horizon, event.end_round);
     if (event.end_round < event.round) {
       return Status::InvalidArgument("inverted interval: " + event.ToString());
+    }
+    if (event.kind == FaultKind::kKill) {
+      // Kills never cost liveness: the process restarts and resumes.
+      continue;
     }
     if (event.kind == FaultKind::kPartition) {
       for (uint32_t id : event.members) {

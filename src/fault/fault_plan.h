@@ -31,6 +31,10 @@ enum class FaultKind : uint8_t {
   kInconsistentMask, ///< Owner's masked submission is not its masked update.
   kEquivocateSubmit, ///< Owner signs two conflicting submissions at `round`.
   kPoisonUpdate,     ///< Owner scales its local update by `magnitude`.
+  /// Coordinator process killed at the start of `round` (PR 10) — the
+  /// restart drill: the run must come back via `--resume` and finish
+  /// bit-identical. Targets the whole process, so it has no node.
+  kKill,
 };
 
 /// One scheduled fault, keyed to the FL round counter; durations express
@@ -107,6 +111,7 @@ struct FaultPlan {
   ///   inconsistent-mask owner <id> @<round>
   ///   equivocate-submit owner <id> @<round>
   ///   poison-update owner <id> @<round> *<magnitude>
+  ///   kill @<round>
   static Result<FaultPlan> Parse(const std::string& spec);
 
   /// Deterministic random plan within the safety envelope of `options`.

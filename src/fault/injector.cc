@@ -98,6 +98,9 @@ void FaultInjector::BeginRound(uint64_t round) {
           mag = std::max(mag, e.magnitude);
         }
         break;
+      case FaultKind::kKill:
+        // Queried explicitly via KillScheduled; no per-round set.
+        break;
     }
   }
 
@@ -112,6 +115,14 @@ void FaultInjector::BeginRound(uint64_t round) {
       RecordExecuted(round, e.ToString());
     }
   }
+}
+
+bool FaultInjector::KillScheduled(uint64_t round) const {
+  if (all_kills_disarmed_ || disarmed_kills_.count(round) > 0) return false;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kKill && e.round == round) return true;
+  }
+  return false;
 }
 
 uint64_t FaultInjector::OwnerExtraDelayUs(uint32_t owner) const {

@@ -81,6 +81,19 @@ class FaultInjector {
     return it == poison_magnitudes_.end() ? 0.0 : it->second;
   }
 
+  // --- Process-kill queries (coordinator; PR 10). ----------------------
+  /// True when the plan kills the coordinator at the start of `round` and
+  /// that kill has not been disarmed. The coordinator consults this right
+  /// after BeginRound and, when armed, journals the kill and dies.
+  bool KillScheduled(uint64_t round) const;
+  /// Disarms the kill at `round` — the restart supervisor (bcfl_sim
+  /// --resume) records fired kills in an on-disk journal so a kill fires
+  /// exactly once across restarts instead of refiring forever.
+  void DisarmKill(uint64_t round) { disarmed_kills_.insert(round); }
+  /// Disarms every kill in the plan (the uninterrupted baseline run of
+  /// the crash-restart CI stage: same plan, no process death).
+  void DisarmAllKills() { all_kills_disarmed_ = true; }
+
   // --- Miner-side queries (consensus engine). --------------------------
   bool MinerOffline(uint32_t miner) const {
     return crashed_miners_.count(miner) > 0;
@@ -138,6 +151,8 @@ class FaultInjector {
   std::set<uint32_t> equivocating_owners_;
   std::set<uint32_t> inconsistent_owners_;
   std::map<uint32_t, double> poison_magnitudes_;
+  std::set<uint64_t> disarmed_kills_;
+  bool all_kills_disarmed_ = false;
 
   std::vector<Executed> executed_;
 };

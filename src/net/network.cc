@@ -94,6 +94,38 @@ Status SimulatedNetwork::Broadcast(NodeId from, const Bytes& payload) {
   return Status::OK();
 }
 
+SimulatedNetwork::ResumeState SimulatedNetwork::SaveResumeState() const {
+  ResumeState state;
+  state.rng = rng_.SaveState();
+  state.next_seq = next_seq_;
+  state.clock_us = clock_.NowMicros();
+  state.drop_streams.reserve(drop_rngs_.size());
+  for (const auto& [pair, stream] : drop_rngs_) {
+    state.drop_streams.emplace_back(pair.first, pair.second,
+                                    stream.SaveState());
+  }
+  return state;
+}
+
+Status SimulatedNetwork::RestoreResumeState(const ResumeState& state) {
+  if (!queue_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot restore network state with messages in flight");
+  }
+  rng_.RestoreState(state.rng);
+  next_seq_ = state.next_seq;
+  // The replayed setup consumed strictly less simulated time than the
+  // checkpointed session, so AdvanceTo (never backwards) is safe.
+  clock_.AdvanceTo(state.clock_us);
+  drop_rngs_.clear();
+  for (const auto& [from, to, stream_state] : state.drop_streams) {
+    SplitMix64 stream(0);
+    stream.RestoreState(stream_state);
+    drop_rngs_.emplace(std::make_pair(from, to), stream);
+  }
+  return Status::OK();
+}
+
 size_t SimulatedNetwork::DeliverAll() {
   size_t delivered = 0;
   while (!queue_.empty()) {

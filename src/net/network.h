@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <queue>
+#include <tuple>
 #include <vector>
 
 #include "common/bytes.h"
@@ -103,6 +104,23 @@ class SimulatedNetwork {
 
   const NetworkStats& stats() const { return stats_; }
   const SimClock& clock() const { return clock_; }
+
+  /// Everything that makes future deliveries bit-identical: the latency
+  /// RNG, the per-pair loss streams, the message sequence counter and the
+  /// simulated clock. Captured at a round boundary (empty queue) by the
+  /// session checkpoint and restored on `--resume`; the stats counters
+  /// are diagnostic and deliberately not part of it.
+  struct ResumeState {
+    Xoshiro256::State rng;
+    uint64_t next_seq = 0;
+    uint64_t clock_us = 0;
+    /// (from, to, SplitMix64 state) of every lazily-created loss stream.
+    std::vector<std::tuple<NodeId, NodeId, uint64_t>> drop_streams;
+  };
+  ResumeState SaveResumeState() const;
+  /// Fails with FailedPrecondition while messages are in flight — resume
+  /// state is only meaningful at a quiescent round boundary.
+  Status RestoreResumeState(const ResumeState& state);
 
  private:
   uint64_t SampleLatency();

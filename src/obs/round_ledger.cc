@@ -1,8 +1,14 @@
 #include "obs/round_ledger.h"
 
 #include <cmath>
+#include <string>
 
+#include "obs/json_reader.h"
 #include "obs/json_writer.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace bcfl::obs {
 
@@ -45,6 +51,91 @@ Status RoundLedger::Open(const std::string& path) {
   }
   path_ = path;
   return Status::OK();
+}
+
+Status RoundLedger::OpenForResume(
+    const std::string& path, size_t keep_rounds,
+    const std::vector<std::vector<double>>* exact_sv_history) {
+  if (exact_sv_history != nullptr && exact_sv_history->size() < keep_rounds) {
+    return Status::InvalidArgument(
+        "exact SV history holds " + std::to_string(exact_sv_history->size()) +
+        " rounds, resume needs " + std::to_string(keep_rounds));
+  }
+  Close();
+  sv_history_.clear();
+  last_volatility_.clear();
+
+  std::FILE* file = std::fopen(path.c_str(), "r+");
+  if (file == nullptr) {
+    if (keep_rounds == 0) return Open(path);
+    return Status::NotFound("no round ledger to resume at " + path);
+  }
+
+  // Scan line by line, keeping the byte offset after each whole record.
+  std::string line;
+  size_t kept = 0;
+  long keep_offset = 0;
+  int c;
+  while (kept < keep_rounds && (c = std::fgetc(file)) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    auto value = ParseJson(line);
+    if (!value.ok() || !value->is_object()) {
+      std::fclose(file);
+      return Status::Corruption("unparseable round ledger record " +
+                                std::to_string(kept) + " in " + path);
+    }
+    const JsonValue* sv = value->Find("sv");
+    if (sv == nullptr || !sv->is_array()) {
+      std::fclose(file);
+      return Status::Corruption("round ledger record " + std::to_string(kept) +
+                                " has no sv array");
+    }
+    std::vector<double> scores;
+    scores.reserve(sv->array.size());
+    for (const JsonValue& v : sv->array) scores.push_back(v.number);
+    sv_history_.push_back(std::move(scores));
+    line.clear();
+    ++kept;
+    keep_offset = std::ftell(file);
+    if (keep_offset < 0) {
+      std::fclose(file);
+      return Status::Internal("cannot tell round ledger position");
+    }
+  }
+  if (kept < keep_rounds) {
+    std::fclose(file);
+    return Status::Corruption(
+        "round ledger holds " + std::to_string(kept) + " records, resume needs " +
+        std::to_string(keep_rounds));
+  }
+
+  // Drop everything after the kept prefix (a torn tail from the kill, or
+  // records past the checkpoint that the resumed run re-creates).
+#if defined(_WIN32)
+  std::fclose(file);
+  return Status::Unimplemented("ledger resume unsupported on this platform");
+#else
+  if (std::fflush(file) != 0 ||
+      ::ftruncate(fileno(file), static_cast<off_t>(keep_offset)) != 0 ||
+      std::fseek(file, keep_offset, SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot truncate round ledger: " + path);
+  }
+  file_ = file;
+  path_ = path;
+  if (exact_sv_history != nullptr) {
+    // The parsed history validated the file; the checkpoint's doubles are
+    // what the uninterrupted run's volatility window actually held.
+    sv_history_.assign(exact_sv_history->begin(),
+                       exact_sv_history->begin() +
+                           static_cast<ptrdiff_t>(keep_rounds));
+  }
+  last_volatility_ = RollingSvVolatility(sv_history_, volatility_window_);
+  return Status::OK();
+#endif
 }
 
 Status RoundLedger::Append(const RoundRecord& record) {

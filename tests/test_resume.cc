@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/coordinator.h"
+#include "fault/fault_plan.h"
+
+namespace bcfl::core {
+namespace {
+
+/// Kill/restart recovery (PR 10): a coordinator killed mid-session by a
+/// `kill @R` fault and resumed from its state dir must finish with results
+/// bit-identical to the same session run uninterrupted — SV trajectories,
+/// global weights, chain tip, counters.
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bcfl_resume_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string StateDir(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  BcflConfig SmallConfig(RoundEngineMode mode, const std::string& plan) {
+    BcflConfig config;
+    config.num_owners = 4;
+    config.num_miners = 3;
+    config.rounds = 4;
+    config.num_groups = 2;
+    config.seed = 21;
+    config.seed_e = 5;
+    config.local.epochs = 1;
+    config.digits.num_instances = 300;
+    config.round_engine = mode;
+    if (!plan.empty()) {
+      auto parsed = fault::FaultPlan::Parse(plan);
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+      config.fault_plan = *parsed;
+    }
+    return config;
+  }
+
+  /// Runs the session to completion with every kill disarmed — the
+  /// uninterrupted baseline the resumed run must match bit for bit.
+  BcflRunResult Baseline(const BcflConfig& config) {
+    auto coordinator = BcflCoordinator::Create(config);
+    EXPECT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+    if (auto* injector = (*coordinator)->fault_injector(); injector) {
+      injector->DisarmAllKills();
+    }
+    auto result = (*coordinator)->Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  void ExpectBitIdentical(const BcflRunResult& a, const BcflRunResult& b) {
+    EXPECT_EQ(a.per_round_sv, b.per_round_sv);
+    EXPECT_EQ(a.total_sv, b.total_sv);
+    EXPECT_EQ(a.round_accuracies, b.round_accuracies);
+    EXPECT_TRUE(a.global_weights == b.global_weights);
+    EXPECT_EQ(a.blocks_committed, b.blocks_committed);
+    EXPECT_EQ(a.total_transactions, b.total_transactions);
+    EXPECT_EQ(a.recover_transactions, b.recover_transactions);
+    EXPECT_EQ(a.submission_retries, b.submission_retries);
+    EXPECT_EQ(a.slash_transactions, b.slash_transactions);
+    EXPECT_EQ(a.retired_at, b.retired_at);
+    EXPECT_EQ(a.slashed_at, b.slashed_at);
+  }
+
+  /// Kill at `plan`'s round, then resume from the state dir; returns the
+  /// resumed run's result and checks the kill actually fired.
+  BcflRunResult KillAndResume(const BcflConfig& config,
+                              const std::string& state_dir,
+                              uint64_t expect_killed_round,
+                              uint64_t checkpoint_every = 1) {
+    PersistenceOptions persist;
+    persist.state_dir = state_dir;
+    persist.checkpoint_every = checkpoint_every;
+    {
+      auto coordinator = BcflCoordinator::Create(config);
+      EXPECT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+      EXPECT_TRUE((*coordinator)->AttachPersistence(persist).ok());
+      // No kill handler installed: Run() surfaces FailedPrecondition
+      // instead of exiting the test process.
+      auto killed = (*coordinator)->Run();
+      EXPECT_TRUE(killed.status().IsFailedPrecondition())
+          << killed.status().ToString();
+      EXPECT_TRUE((*coordinator)->was_killed());
+      EXPECT_EQ((*coordinator)->killed_round(), expect_killed_round);
+    }
+    persist.resume = true;
+    auto coordinator = BcflCoordinator::Create(config);
+    EXPECT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+    Status attached = (*coordinator)->AttachPersistence(persist);
+    EXPECT_TRUE(attached.ok()) << attached.ToString();
+    EXPECT_LE((*coordinator)->start_round(), expect_killed_round);
+    EXPECT_EQ((*coordinator)->restored_sv_history().size(),
+              (*coordinator)->start_round());
+    auto result = (*coordinator)->Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ResumeTest, SerialKillMidSessionResumesBitIdentical) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "kill @2");
+  BcflRunResult baseline = Baseline(config);
+  BcflRunResult resumed = KillAndResume(config, StateDir("serial"), 2);
+  ExpectBitIdentical(baseline, resumed);
+}
+
+TEST_F(ResumeTest, ParallelKillMidSessionResumesBitIdentical) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kParallel, "kill @2");
+  config.pool_threads = 3;
+  BcflRunResult baseline = Baseline(config);
+  BcflRunResult resumed = KillAndResume(config, StateDir("parallel"), 2);
+  ExpectBitIdentical(baseline, resumed);
+}
+
+TEST_F(ResumeTest, KillAtRoundZeroResumesFromInitialCheckpoint) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "kill @0");
+  BcflRunResult baseline = Baseline(config);
+  BcflRunResult resumed = KillAndResume(config, StateDir("r0"), 0);
+  ExpectBitIdentical(baseline, resumed);
+}
+
+TEST_F(ResumeTest, SparseCheckpointsReplayTheGap) {
+  // kill @3 with a checkpoint every 2 rounds: the resume restarts at round
+  // 2 and re-executes rounds 2 and 3 from the replayed chain.
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "kill @3");
+  BcflRunResult baseline = Baseline(config);
+  BcflRunResult resumed =
+      KillAndResume(config, StateDir("sparse"), 3, /*checkpoint_every=*/2);
+  ExpectBitIdentical(baseline, resumed);
+}
+
+TEST_F(ResumeTest, ResumeSurvivesFaultsBesidesTheKill) {
+  // A dropout-recovery round before the kill: the retired roster and the
+  // recover counters must survive the restart.
+  BcflConfig config =
+      SmallConfig(RoundEngineMode::kParallel, "crash owner 3 @1; kill @2");
+  BcflRunResult baseline = Baseline(config);
+  BcflRunResult resumed = KillAndResume(config, StateDir("faults"), 2);
+  EXPECT_FALSE(resumed.retired_at.empty());
+  ExpectBitIdentical(baseline, resumed);
+}
+
+TEST_F(ResumeTest, FreshAttachRefusesUsedStateDir) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "kill @2");
+  PersistenceOptions persist;
+  persist.state_dir = StateDir("used");
+  {
+    auto coordinator = BcflCoordinator::Create(config);
+    ASSERT_TRUE(coordinator.ok());
+    ASSERT_TRUE((*coordinator)->AttachPersistence(persist).ok());
+    (void)(*coordinator)->Run();  // Dies at the kill, leaving state behind.
+  }
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_TRUE((*coordinator)
+                  ->AttachPersistence(persist)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ResumeTest, ResumeRefusesDifferentConfig) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "kill @2");
+  PersistenceOptions persist;
+  persist.state_dir = StateDir("fingerprint");
+  {
+    auto coordinator = BcflCoordinator::Create(config);
+    ASSERT_TRUE(coordinator.ok());
+    ASSERT_TRUE((*coordinator)->AttachPersistence(persist).ok());
+    (void)(*coordinator)->Run();
+  }
+  BcflConfig other = config;
+  other.seed = 22;  // Different data, keys and partitions.
+  persist.resume = true;
+  auto coordinator = BcflCoordinator::Create(other);
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_TRUE((*coordinator)
+                  ->AttachPersistence(persist)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ResumeTest, ResumeOnEmptyStateDirIsNotFound) {
+  BcflConfig config = SmallConfig(RoundEngineMode::kSerial, "");
+  PersistenceOptions persist;
+  persist.state_dir = StateDir("empty");
+  persist.resume = true;
+  auto coordinator = BcflCoordinator::Create(config);
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_TRUE((*coordinator)->AttachPersistence(persist).IsNotFound());
+}
+
+}  // namespace
+}  // namespace bcfl::core

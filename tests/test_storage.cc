@@ -73,6 +73,21 @@ TEST_F(StorageTest, MissingFileIsNotFound) {
   EXPECT_TRUE(LoadChain(Path("nope.bin")).status().IsNotFound());
 }
 
+TEST_F(StorageTest, EmptyFileIsCorruption) {
+  { std::ofstream touch(Path("empty.bin")); }
+  EXPECT_TRUE(LoadChain(Path("empty.bin")).status().IsCorruption());
+}
+
+TEST_F(StorageTest, HeaderOnlyFileIsRejected) {
+  // Magic + version but no block count: a crash between header and body.
+  std::ofstream out(Path("header.bin"), std::ios::binary);
+  out.write("BCFL", 4);
+  uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.close();
+  EXPECT_FALSE(LoadChain(Path("header.bin")).ok());
+}
+
 TEST_F(StorageTest, GarbageFileIsCorruption) {
   std::ofstream(Path("garbage.bin")) << "definitely not a chain";
   EXPECT_TRUE(LoadChain(Path("garbage.bin")).status().IsCorruption());

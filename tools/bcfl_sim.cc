@@ -20,9 +20,11 @@
 #include <cstring>
 #include <string>
 
+#include "common/bytes.h"
 #include "core/adversary.h"
 #include "common/logging.h"
 #include "core/coordinator.h"
+#include "crypto/sha256.h"
 #include "fault/fault_plan.h"
 #include "obs/exporter.h"
 #include "obs/http_exporter.h"
@@ -47,7 +49,16 @@ struct CliOptions {
   int metrics_port = -1;  ///< -1 = no HTTP endpoint; 0 = ephemeral port.
   std::string ledger_out;
   bool obs_off = false;
+  std::string state_dir;
+  uint64_t checkpoint_every = 1;
+  bool resume = false;
+  bool ignore_kill_faults = false;
 };
+
+/// Exit code of a process death staged by a `kill` fault — distinct from
+/// failure (1) and usage (2) so the restart supervisor in ci_check.sh can
+/// tell "killed as planned" from "actually broke".
+constexpr int kKilledExitCode = 77;
 
 void PrintUsage(const char* argv0) {
   std::printf(
@@ -80,6 +91,13 @@ void PrintUsage(const char* argv0) {
       "  --metrics-port P serve Prometheus text on http://127.0.0.1:P/metrics\n"
       "                  while the session runs (0 picks an ephemeral port)\n"
       "  --ledger-out F  per-round protocol ledger JSONL path\n"
+      "  --state-dir D   durable session state (append-only block log +\n"
+      "                  crash-consistent checkpoints) in directory D\n"
+      "  --checkpoint-every N  rounds between checkpoints (default 1)\n"
+      "  --resume        continue a killed session from --state-dir\n"
+      "                  (bit-identical to the uninterrupted run)\n"
+      "  --ignore-kill-faults  disarm `kill` events in the fault plan (the\n"
+      "                  uninterrupted baseline of the crash-restart check)\n"
       "  --obs MODE      on|off: off disables metrics + tracing for this\n"
       "                  process (same as BCFL_OBS=off)\n"
       "  --verbose       INFO-level protocol logging\n"
@@ -195,6 +213,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--ledger-out");
       if (v == nullptr) return false;
       options->ledger_out = v;
+    } else if (arg == "--state-dir") {
+      const char* v = next_value("--state-dir");
+      if (v == nullptr) return false;
+      options->state_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next_value("--checkpoint-every");
+      if (v == nullptr) return false;
+      options->checkpoint_every = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--resume") {
+      options->resume = true;
+    } else if (arg == "--ignore-kill-faults") {
+      options->ignore_kill_faults = true;
     } else if (arg == "--obs" || arg.rfind("--obs=", 0) == 0) {
       std::string mode;
       if (arg == "--obs") {
@@ -313,8 +343,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (options.resume && options.state_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --state-dir\n");
+    return 2;
+  }
   bcfl::obs::RoundLedger ledger;
-  if (!options.ledger_out.empty()) {
+  // On --resume the ledger reopens *after* the checkpoint is restored
+  // (below), keeping exactly the records the checkpoint covers.
+  if (!options.ledger_out.empty() && !options.resume) {
     bcfl::Status opened = ledger.Open(options.ledger_out);
     if (!opened.ok()) {
       std::fprintf(stderr, "--ledger-out: %s\n", opened.ToString().c_str());
@@ -387,6 +423,56 @@ int main(int argc, char** argv) {
   // Spans recorded from here on also carry simulated network time.
   bcfl::obs::Tracer::Global().AttachSimClock(
       &(*coordinator)->engine().network().clock());
+
+  // Durable session state (PR 10): block log + checkpoints + kill
+  // journal. A `kill` fault then exits with kKilledExitCode after the
+  // journal entry is on disk; `--resume` picks the session back up.
+  if (!options.state_dir.empty()) {
+    bcfl::core::PersistenceOptions persist;
+    persist.state_dir = options.state_dir;
+    persist.checkpoint_every = options.checkpoint_every;
+    persist.resume = options.resume;
+    bcfl::Status attached = (*coordinator)->AttachPersistence(persist);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "--state-dir: %s\n", attached.ToString().c_str());
+      return 1;
+    }
+    (*coordinator)->set_kill_handler([](uint64_t round) {
+      std::printf("fault plan killed the coordinator at round %llu; "
+                  "resume with --resume --state-dir\n",
+                  static_cast<unsigned long long>(round));
+      std::fflush(stdout);
+      std::_Exit(kKilledExitCode);
+    });
+    if (options.resume) {
+      std::printf("resumed session: %llu completed rounds restored from the "
+                  "state dir; continuing at round %llu\n",
+                  static_cast<unsigned long long>(
+                      (*coordinator)->start_round()),
+                  static_cast<unsigned long long>(
+                      (*coordinator)->start_round()));
+      if (!options.ledger_out.empty()) {
+        bcfl::Status reopened = ledger.OpenForResume(
+            options.ledger_out,
+            static_cast<size_t>((*coordinator)->start_round()),
+            &(*coordinator)->restored_sv_history());
+        if (!reopened.ok()) {
+          std::fprintf(stderr, "--ledger-out: %s\n",
+                       reopened.ToString().c_str());
+          return 1;
+        }
+        std::printf("  ledger -> %s (kept %zu records)\n",
+                    ledger.path().c_str(), ledger.rounds_written());
+        ledger_ptr = &ledger;
+      }
+    }
+  }
+  if (options.ignore_kill_faults) {
+    if (auto* injector = (*coordinator)->fault_injector();
+        injector != nullptr) {
+      injector->DisarmAllKills();
+    }
+  }
   (*coordinator)->set_round_ledger(ledger_ptr);
   for (size_t m = 0; m < options.byzantine; ++m) {
     auto st = (*coordinator)
@@ -491,6 +577,46 @@ int main(int argc, char** argv) {
     }
     slashed_json.EndObject();
     paths.metrics_extra["slashed_at"] = slashed_json.str();
+  }
+  // Deterministic end-of-session fingerprint: everything here is a pure
+  // function of the protocol run (no wall clock, no process-local counter
+  // baselines), so the crash-restart CI stage diffs this object between a
+  // killed+resumed session and the uninterrupted baseline byte for byte.
+  {
+    const bcfl::chain::Blockchain& chain =
+        (*coordinator)->engine().CanonicalChain();
+    bcfl::ByteWriter sv_bits;
+    for (double v : result->total_sv) sv_bits.WriteDouble(v);
+    for (const auto& round_sv : result->per_round_sv) {
+      for (double v : round_sv) sv_bits.WriteDouble(v);
+    }
+    bcfl::ByteWriter weight_bits;
+    result->global_weights.Serialize(&weight_bits);
+    bcfl::ByteWriter accuracy_bits;
+    for (double acc : result->round_accuracies) {
+      accuracy_bits.WriteDouble(acc);
+    }
+    bcfl::obs::JsonWriter summary;
+    summary.BeginObject();
+    summary.Field("chain_tip_height", static_cast<size_t>(chain.Height()));
+    summary.Field("chain_tip_hash",
+                  bcfl::crypto::DigestToHex(chain.Tip().header.Hash()));
+    summary.Field("blocks_committed", result->blocks_committed);
+    summary.Field("transactions", result->total_transactions);
+    summary.Field("recover_transactions", result->recover_transactions);
+    summary.Field("submission_retries", result->submission_retries);
+    summary.Field("slash_transactions", result->slash_transactions);
+    summary.Field("sv_digest", bcfl::crypto::DigestToHex(
+                                   bcfl::crypto::Sha256::Hash(
+                                       sv_bits.buffer())));
+    summary.Field("weights_digest", bcfl::crypto::DigestToHex(
+                                        bcfl::crypto::Sha256::Hash(
+                                            weight_bits.buffer())));
+    summary.Field("accuracy_digest", bcfl::crypto::DigestToHex(
+                                         bcfl::crypto::Sha256::Hash(
+                                             accuracy_bits.buffer())));
+    summary.EndObject();
+    paths.metrics_extra["session_summary"] = summary.str();
   }
   bcfl::Status exported = bcfl::obs::ExportGlobal(paths);
   if (!exported.ok()) {
